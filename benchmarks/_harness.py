@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it computes the
+rows/series with the simulator, renders them as a plain-text table, prints the
+table and also writes it under ``reports/`` so the regenerated artefacts are
+inspectable after a ``pytest benchmarks/ --benchmark-only`` run (whose stdout
+capture would otherwise hide them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis.report import format_table
+
+#: Directory (relative to the repository root) where regenerated tables land.
+REPORTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "reports"
+
+
+def emit_report(name: str, headers: list[str], rows: list[list[object]], title: str) -> str:
+    """Render a table, print it and persist it under ``reports/<name>.txt``."""
+    table = format_table(headers, rows, title=title)
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+    print("\n" + table)
+    return table
+
+
+def percent(value: float) -> str:
+    """Format a latency change as a signed percentage."""
+    return f"{value:+.1f}%"
+
+
+def factor(value: float) -> str:
+    """Format an energy/power ratio as a factor."""
+    return f"{value:.2f}x"

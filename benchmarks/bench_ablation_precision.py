@@ -1,0 +1,59 @@
+"""Ablation — INT8 vs BF16 operation of the CIM-based TPU.
+
+The paper's CIM-MXU supports both INT8 and BF16 (through the pre/post-
+processing pipeline).  The evaluation uses INT8; this ablation quantifies what
+BF16 costs on the same workloads: double the operand traffic (which matters in
+the memory-bound decode stage) and a higher per-MAC energy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import emit_report, factor
+
+from repro.common import Precision
+from repro.core.simulator import LLMInferenceSettings
+from repro.workloads.llm import GPT3_30B
+
+
+@pytest.fixture(scope="module")
+def settings_by_precision():
+    return {
+        precision: LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                        precision=precision, decode_kv_samples=2)
+        for precision in (Precision.INT8, Precision.BF16)
+    }
+
+
+def test_ablation_precision(benchmark, cim_sim, settings_by_precision):
+    """Time the BF16 decode layer and emit the precision ablation."""
+    results = {}
+    for precision, settings in settings_by_precision.items():
+        results[precision] = {
+            "prefill": cim_sim.simulate_llm_prefill_layer(GPT3_30B, settings),
+            "decode": cim_sim.simulate_llm_decode_layer(GPT3_30B, settings),
+        }
+    benchmark(cim_sim.simulate_llm_decode_layer, GPT3_30B,
+              settings_by_precision[Precision.BF16])
+
+    rows = []
+    for stage in ("prefill", "decode"):
+        int8 = results[Precision.INT8][stage]
+        bf16 = results[Precision.BF16][stage]
+        rows.append([stage,
+                     f"{int8.total_seconds * 1e3:.3f} ms", f"{bf16.total_seconds * 1e3:.3f} ms",
+                     factor(bf16.total_seconds / int8.total_seconds),
+                     factor(bf16.mxu_energy / int8.mxu_energy)])
+    emit_report("ablation_precision",
+                ["stage", "INT8 latency", "BF16 latency", "BF16 slowdown", "BF16 MXU energy"],
+                rows,
+                title="Ablation - INT8 vs BF16 on the CIM-based TPU (GPT-3-30B layer)")
+
+    # BF16 doubles the weight traffic: the memory-bound decode stage slows
+    # down by roughly 2×, while energy per layer rises in both stages.
+    decode_slowdown = (results[Precision.BF16]["decode"].total_seconds
+                       / results[Precision.INT8]["decode"].total_seconds)
+    assert 1.5 < decode_slowdown < 2.5
+    assert results[Precision.BF16]["prefill"].mxu_energy \
+        > results[Precision.INT8]["prefill"].mxu_energy

@@ -1,0 +1,57 @@
+"""Ablation — double buffering and memory coalescing (the paper's scheduling options).
+
+The paper's mapping engine uses "double buffering and memory coalesce
+technique at each level of the memory hierarchy as scheduling options".  This
+ablation disables them one at a time on the CIM-based TPU and measures the
+impact on the Fig. 6 decode layer, which is the most memory-sensitive workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import emit_report, percent
+
+from repro.core.designs import cim_tpu_default
+from repro.core.simulator import InferenceSimulator, LLMInferenceSettings
+from repro.mapping.schedule import ScheduleOptions
+from repro.workloads.llm import GPT3_30B
+
+VARIANTS = {
+    "full scheduling": ScheduleOptions(double_buffering=True, memory_coalescing=True),
+    "no double buffering": ScheduleOptions(double_buffering=False, memory_coalescing=True),
+    "no coalescing": ScheduleOptions(double_buffering=True, memory_coalescing=False),
+    "neither": ScheduleOptions(double_buffering=False, memory_coalescing=False),
+}
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                decode_kv_samples=2)
+
+
+def run_variant(schedule: ScheduleOptions, settings: LLMInferenceSettings):
+    config = cim_tpu_default().with_updates(schedule=schedule)
+    simulator = InferenceSimulator(config)
+    return simulator.simulate_llm_decode_layer(GPT3_30B, settings)
+
+
+def test_ablation_scheduling_options(benchmark, settings):
+    """Time one variant and emit the scheduling ablation table."""
+    results = {label: run_variant(schedule, settings) for label, schedule in VARIANTS.items()}
+    benchmark(run_variant, VARIANTS["full scheduling"], settings)
+
+    reference = results["full scheduling"].total_seconds
+    rows = []
+    for label, result in results.items():
+        rows.append([label, f"{result.total_seconds * 1e3:.3f} ms",
+                     percent((result.total_seconds / reference - 1.0) * 100.0)])
+    emit_report("ablation_scheduling",
+                ["scheduling", "decode layer latency", "vs full scheduling"],
+                rows,
+                title="Ablation - double buffering and memory coalescing (CIM TPU, LLM decode)")
+
+    assert results["no double buffering"].total_seconds > reference
+    assert results["no coalescing"].total_seconds >= reference
+    assert results["neither"].total_seconds >= results["no double buffering"].total_seconds

@@ -1,0 +1,52 @@
+"""Fig. 1 — Evolution of the computing performance of CIM-based designs.
+
+Regenerates the survey series plotted in Fig. 1: peak performance of published
+CIM designs over time, compared against the NVIDIA A100 and Google TPUv4, plus
+the >100 TOPS operating point of the paper's CIM-based TPU (the default
+configuration of this reproduction).
+"""
+
+from __future__ import annotations
+
+from _harness import emit_report
+
+from repro.core.designs import cim_tpu_default
+from repro.data.cim_survey import CIM_DESIGN_SURVEY, performance_evolution, performance_gap_to_accelerators
+
+
+def build_fig1_rows() -> list[list[object]]:
+    """Survey rows sorted chronologically, with the CIM-TPU appended."""
+    rows: list[list[object]] = []
+    for record in sorted(CIM_DESIGN_SURVEY, key=lambda r: (r.year, r.name)):
+        rows.append([
+            f"{record.venue}'{record.year % 100:02d}",
+            record.name,
+            f"{record.peak_tops:.4g} TOPS",
+            f"{record.area_mm2:.4g} mm2",
+            f"{record.technology_nm} nm",
+            "CIM" if record.is_cim else "digital",
+            "INT/FP" if record.supports_floating_point else "INT",
+        ])
+    cim_tpu = cim_tpu_default()
+    rows.append(["this work", "CIM-based TPU (4 x 16x8 CIM-MXUs)",
+                 f"{cim_tpu.peak_tops:.4g} TOPS", "-", "22 nm", "CIM", "INT/FP"])
+    return rows
+
+
+def test_fig1_cim_evolution(benchmark):
+    """Time the survey aggregation and emit the Fig. 1 series."""
+    series = benchmark(performance_evolution, False)
+    assert len(series) == len(CIM_DESIGN_SURVEY)
+
+    rows = build_fig1_rows()
+    emit_report("fig1_cim_evolution",
+                ["venue", "design", "peak perf", "area", "node", "type", "precision"],
+                rows,
+                title="Fig. 1 - Evolution of CIM-based designs (survey data)")
+
+    gap = performance_gap_to_accelerators()
+    emit_report("fig1_performance_gap",
+                ["quantity", "value"],
+                [["best accelerator / best CIM chip (peak TOPS)", f"{gap:.1f}x"],
+                 ["CIM-TPU target", "> 100 TOPS"]],
+                title="Fig. 1 - performance gap CIM chips vs. accelerators")

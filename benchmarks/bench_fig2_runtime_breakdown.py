@@ -1,0 +1,54 @@
+"""Fig. 2d — Inference latency breakdown of generative models on a GPU.
+
+Regenerates the motivating breakdown: the share of inference latency spent in
+the Transformer layers / DiT blocks versus the pre- and post-processing layers
+for Llama2-13B and DiT-XL/2, using the A100-like roofline device model (the
+documented substitution for the paper's CUDA profiling run).
+
+Paper reference values: Llama2-13B 0.70 % / 98.35 % / 0.95 %,
+DiT-XL/2 0.35 % / 99.31 % / 0.34 %.
+"""
+
+from __future__ import annotations
+
+from _harness import emit_report
+
+from repro.data.gpu_profile import A100_PCIE_40GB, profile_model_breakdown
+from repro.workloads.dit import DIT_XL_2
+from repro.workloads.llm import LLAMA2_13B
+
+PAPER_REFERENCE = {
+    "llama2-13b": (0.70, 98.35, 0.95),
+    "dit-xl-2": (0.35, 99.31, 0.34),
+}
+
+
+def run_fig2_breakdowns() -> dict[str, dict[str, float]]:
+    """Profile both models on the A100-like device."""
+    return {
+        "llama2-13b": profile_model_breakdown(LLAMA2_13B, A100_PCIE_40GB, batch=1, seq_len=512),
+        "dit-xl-2": profile_model_breakdown(DIT_XL_2, A100_PCIE_40GB, batch=1,
+                                            image_resolution=512),
+    }
+
+
+def test_fig2_runtime_breakdown(benchmark):
+    """Time the profiling pass and emit the Fig. 2d rows."""
+    breakdowns = benchmark(run_fig2_breakdowns)
+
+    rows = []
+    for model, breakdown in breakdowns.items():
+        paper_pre, paper_core, paper_post = PAPER_REFERENCE[model]
+        rows.append([model, "pre-process",
+                     f"{breakdown['pre_process_fraction'] * 100:.2f}%", f"{paper_pre:.2f}%"])
+        rows.append([model, "transformer / DiT blocks",
+                     f"{breakdown['core_layers_fraction'] * 100:.2f}%", f"{paper_core:.2f}%"])
+        rows.append([model, "post-process",
+                     f"{breakdown['post_process_fraction'] * 100:.2f}%", f"{paper_post:.2f}%"])
+    emit_report("fig2_runtime_breakdown",
+                ["model", "layer group", "measured share", "paper share"],
+                rows,
+                title="Fig. 2d - inference latency breakdown (A100-like roofline substitute)")
+
+    for breakdown in breakdowns.values():
+        assert breakdown["core_layers_fraction"] > 0.95

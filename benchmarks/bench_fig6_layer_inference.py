@@ -1,0 +1,79 @@
+"""Fig. 6 — Baseline vs. CIM-based TPU on single-layer generative-model inference.
+
+Regenerates the three panels of Fig. 6: a GPT-3-30B Transformer layer in the
+prefill stage (batch 8, 1024 prompt tokens), the same layer in the decode
+stage (processing the 256th output token) and one DiT-XL/2 block at 512×512 —
+each reported as per-category latency plus total MXU energy, for the TPUv4i
+baseline and the default CIM-based TPU.
+
+Paper headline numbers: prefill +2.43 % latency / 9.21× less MXU energy,
+decode −29.9 % / 13.4×, DiT block −6.67 % / 10.4×.
+"""
+
+from __future__ import annotations
+
+from _harness import emit_report, factor, percent
+
+from repro.analysis.breakdown import compare_graph_results, overall_comparison
+from repro.core.results import GraphResult
+from repro.workloads.dit import DIT_XL_2
+from repro.workloads.llm import GPT3_30B
+
+PAPER_HEADLINES = {
+    "llm_prefill": ("+2.43%", "9.21x"),
+    "llm_decode": ("-29.9%", "13.4x"),
+    "dit_block": ("-6.67%", "10.4x"),
+}
+
+
+def _emit_panel(name: str, baseline: GraphResult, candidate: GraphResult) -> dict[str, float]:
+    headline = overall_comparison(baseline, candidate)
+    per_category = compare_graph_results(baseline, candidate)
+
+    rows = []
+    for row in per_category:
+        rows.append([
+            row.category.value,
+            f"{row.baseline_seconds * 1e3:.3f} ms",
+            f"{row.candidate_seconds * 1e3:.3f} ms",
+            percent(row.latency_change_percent),
+            factor(row.energy_reduction_factor) if row.baseline_mxu_energy > 0 else "-",
+        ])
+    paper_latency, paper_energy = PAPER_HEADLINES[name]
+    rows.append(["TOTAL",
+                 f"{headline['baseline_latency_s'] * 1e3:.3f} ms",
+                 f"{headline['candidate_latency_s'] * 1e3:.3f} ms",
+                 f"{percent(headline['latency_change_percent'])} (paper {paper_latency})",
+                 f"{factor(headline['mxu_energy_reduction_factor'])} (paper {paper_energy})"])
+    emit_report(f"fig6_{name}",
+                ["layer", "baseline latency", "CIM latency", "latency change", "MXU energy gain"],
+                rows,
+                title=f"Fig. 6 - {name.replace('_', ' ')} (baseline TPUv4i vs. CIM-based TPU)")
+    return headline
+
+
+def test_fig6_llm_prefill(benchmark, baseline_sim, cim_sim, paper_llm_settings):
+    """LLM prefill panel of Fig. 6."""
+    baseline = baseline_sim.simulate_llm_prefill_layer(GPT3_30B, paper_llm_settings)
+    candidate = benchmark(cim_sim.simulate_llm_prefill_layer, GPT3_30B, paper_llm_settings)
+    headline = _emit_panel("llm_prefill", baseline, candidate)
+    assert abs(headline["latency_change_percent"]) < 10.0
+    assert headline["mxu_energy_reduction_factor"] > 7.0
+
+
+def test_fig6_llm_decode(benchmark, baseline_sim, cim_sim, paper_llm_settings):
+    """LLM decode panel of Fig. 6 (256th output token)."""
+    baseline = baseline_sim.simulate_llm_decode_layer(GPT3_30B, paper_llm_settings)
+    candidate = benchmark(cim_sim.simulate_llm_decode_layer, GPT3_30B, paper_llm_settings)
+    headline = _emit_panel("llm_decode", baseline, candidate)
+    assert headline["latency_change_percent"] < -20.0
+    assert headline["mxu_energy_reduction_factor"] > 10.0
+
+
+def test_fig6_dit_block(benchmark, baseline_sim, cim_sim, paper_dit_settings):
+    """DiT block panel of Fig. 6."""
+    baseline = baseline_sim.simulate_dit_block(DIT_XL_2, paper_dit_settings)
+    candidate = benchmark(cim_sim.simulate_dit_block, DIT_XL_2, paper_dit_settings)
+    headline = _emit_panel("dit_block", baseline, candidate)
+    assert -20.0 < headline["latency_change_percent"] < 5.0
+    assert headline["mxu_energy_reduction_factor"] > 7.0

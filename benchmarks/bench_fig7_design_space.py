@@ -1,0 +1,106 @@
+"""Table IV / Fig. 7 — Architecture exploration of CIM-MXU design choices.
+
+Sweeps the nine Table IV design points (2/4/8 CIM-MXUs × 8×8 / 16×8 / 16×16
+CIM-core grids) over end-to-end GPT-3-30B inference (1024 input / 512 output
+tokens) and DiT-XL/2 sampling, and reports latency and MXU energy relative to
+the TPUv4i baseline — the two panels of Fig. 7.
+
+Paper reference points: for LLM inference, 2×(8×8) costs +38 % latency but
+saves 27.3× MXU energy, while 8×(16×16) only improves latency by 2.5 % over
+8×(16×8) at ~2× the energy; Design A is 4×(8×8).  For DiT inference, 8×(16×16)
+is −33.8 % latency at 3.56× lower MXU power and 2×(8×8) is +100 % latency at
+20× lower power; Design B is 8×(16×8).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import emit_report, factor, percent
+
+from repro.core.explorer import ArchitectureExplorer
+from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
+
+
+@pytest.fixture(scope="module")
+def exploration_rows():
+    explorer = ArchitectureExplorer(
+        llm_settings=LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                          decode_kv_samples=4),
+        dit_settings=DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50))
+    return explorer.explore()
+
+
+def _emit_workload_panel(rows, workload: str) -> None:
+    table_rows = []
+    for row in rows:
+        if row.workload != workload:
+            continue
+        table_rows.append([
+            row.design,
+            f"{row.peak_tops:.0f}",
+            f"{row.latency_seconds * 1e3:.1f} ms",
+            percent(row.latency_change_percent),
+            f"{row.mxu_energy_joules:.2f} J",
+            factor(row.energy_saving_vs_baseline),
+        ])
+    emit_report(f"fig7_{workload}_exploration",
+                ["design", "peak TOPS", "latency", "vs baseline", "MXU energy", "energy saving"],
+                table_rows,
+                title=f"Fig. 7 - CIM-MXU design-space exploration ({workload.upper()})")
+
+
+def test_fig7_exploration(benchmark, exploration_rows):
+    """Time one exploration point and emit both Fig. 7 panels."""
+    explorer = ArchitectureExplorer(
+        llm_settings=LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                          decode_kv_samples=2),
+        dit_settings=DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=10))
+    benchmark(explorer._run_workloads, explorer.design_points[0].to_config())
+
+    _emit_workload_panel(exploration_rows, "llm")
+    _emit_workload_panel(exploration_rows, "dit")
+
+    by_key = {(r.design, r.workload): r for r in exploration_rows}
+
+    # Memory-bound LLM: quadrupling peak compute from 8x16x8 to 8x16x16 barely
+    # helps latency but costs energy (paper: 2.5 % for +95 % energy).
+    llm_mid = by_key[("8 x 16x8", "llm")]
+    llm_big = by_key[("8 x 16x16", "llm")]
+    assert (llm_mid.latency_seconds - llm_big.latency_seconds) / llm_mid.latency_seconds < 0.10
+    assert llm_big.mxu_energy_joules > llm_mid.mxu_energy_joules
+
+    # Small designs maximise LLM energy savings (paper: 27.3× for 2x8x8).
+    assert by_key[("2 x 8x8", "llm")].energy_saving_vs_baseline == max(
+        r.energy_saving_vs_baseline for r in exploration_rows
+        if r.workload == "llm" and r.design != "baseline")
+
+    # Compute-bound DiT: the largest configuration is the fastest, the
+    # smallest is slower than the baseline (paper: −33.8 % and +100 %).
+    dit_rows = [r for r in exploration_rows if r.workload == "dit" and r.design != "baseline"]
+    fastest = min(dit_rows, key=lambda r: r.latency_seconds)
+    assert fastest.design in ("8 x 16x16", "8 x 16x8")
+    assert by_key[("2 x 8x8", "dit")].latency_vs_baseline > 1.2
+
+
+def test_fig7_design_a_and_b_selection(benchmark, exploration_rows):
+    """The explorer's trade-off rule lands on small grids for LLM and large for DiT."""
+    explorer = ArchitectureExplorer()
+    best_llm = benchmark(explorer.best_design, exploration_rows, "llm", 0.25)
+    best_dit = explorer.best_design(exploration_rows, "dit", max_latency_increase=0.25)
+
+    emit_report("fig7_selected_designs",
+                ["workload", "selected design", "latency vs baseline", "MXU energy saving",
+                 "paper choice"],
+                [["llm", best_llm.design, percent(best_llm.latency_change_percent),
+                  factor(best_llm.energy_saving_vs_baseline), "Design A: 4 x 8x8"],
+                 ["dit", best_dit.design, percent(best_dit.latency_change_percent),
+                  factor(best_dit.energy_saving_vs_baseline), "Design B: 8 x 16x8"]],
+                title="Fig. 7 - selected designs (trade-off rule)")
+
+    # LLM (memory-bound): a low-peak-throughput design wins and maximises the
+    # energy saving; DiT (compute-bound): a higher-peak design wins.  The
+    # specific grid picked can differ from the paper's Design A/B by one
+    # neighbouring point because the trade-off window is a modelling choice.
+    assert best_llm.peak_tops <= best_dit.peak_tops
+    assert best_llm.energy_saving_vs_baseline >= best_dit.energy_saving_vs_baseline

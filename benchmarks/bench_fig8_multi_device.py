@@ -1,0 +1,94 @@
+"""Fig. 8 — Multi-TPU inference throughput (1, 2 and 4 devices in a ring).
+
+Regenerates the Fig. 8 bars: GPT-3-30B and DiT-XL/2 inference throughput for
+the baseline TPUv4i, Design A and Design B with pipeline parallelism over the
+ICI ring, plus the MXU energy reduction of the optimised designs.
+
+Paper reference: Design A averages ~+28 % LLM throughput at 24.2× lower MXU
+energy; Design B reaches ~+33 % DiT throughput at 6.34× lower MXU energy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import emit_report, factor
+
+from repro.core.designs import design_a, design_b, tpuv4i_baseline
+from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
+from repro.parallel.multi_device import MultiTPUSystem
+from repro.workloads.dit import DIT_XL_2
+from repro.workloads.llm import GPT3_30B
+
+DEVICE_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def llm_settings():
+    return LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                decode_kv_samples=2)
+
+
+@pytest.fixture(scope="module")
+def dit_settings():
+    return DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50)
+
+
+def _sweep(configs, simulate):
+    results = {}
+    for label, config in configs.items():
+        results[label] = [simulate(MultiTPUSystem(config, n)) for n in DEVICE_COUNTS]
+    return results
+
+
+def test_fig8_llm_throughput(benchmark, llm_settings):
+    """LLM panel of Fig. 8: tokens/s for baseline, Design A and Design B."""
+    configs = {"baseline": tpuv4i_baseline(), "design-a": design_a(), "design-b": design_b()}
+    results = _sweep(configs, lambda system: system.simulate_llm(GPT3_30B, llm_settings))
+    benchmark(lambda: MultiTPUSystem(design_a(), 4).simulate_llm(GPT3_30B, llm_settings))
+
+    rows = []
+    for label, series in results.items():
+        for n, result in zip(DEVICE_COUNTS, series):
+            rows.append([label, n, f"{result.throughput:.1f} tokens/s",
+                         f"{results['baseline'][DEVICE_COUNTS.index(n)].throughput:.1f}",
+                         factor(result.throughput
+                                / results["baseline"][DEVICE_COUNTS.index(n)].throughput),
+                         factor(results["baseline"][DEVICE_COUNTS.index(n)].mxu_energy_joules
+                                / result.mxu_energy_joules)])
+    emit_report("fig8_llm_throughput",
+                ["design", "TPUs", "throughput", "baseline tokens/s", "speedup", "MXU energy saving"],
+                rows,
+                title="Fig. 8 - GPT-3-30B multi-TPU inference throughput")
+
+    for index in range(len(DEVICE_COUNTS)):
+        assert results["design-a"][index].throughput > results["baseline"][index].throughput
+        assert results["baseline"][index].mxu_energy_joules \
+            > 10 * results["design-a"][index].mxu_energy_joules
+    # Throughput scales with the device count for every design.
+    for series in results.values():
+        assert series[2].throughput > series[1].throughput > series[0].throughput
+
+
+def test_fig8_dit_throughput(benchmark, dit_settings):
+    """DiT panel of Fig. 8: images/s for baseline, Design A and Design B."""
+    configs = {"baseline": tpuv4i_baseline(), "design-a": design_a(), "design-b": design_b()}
+    results = _sweep(configs, lambda system: system.simulate_dit(DIT_XL_2, dit_settings))
+    benchmark(lambda: MultiTPUSystem(design_b(), 4).simulate_dit(DIT_XL_2, dit_settings))
+
+    rows = []
+    for label, series in results.items():
+        for n, result in zip(DEVICE_COUNTS, series):
+            baseline_result = results["baseline"][DEVICE_COUNTS.index(n)]
+            rows.append([label, n, f"{result.throughput:.3f} images/s",
+                         factor(result.throughput / baseline_result.throughput),
+                         factor(baseline_result.mxu_energy_joules / result.mxu_energy_joules)])
+    emit_report("fig8_dit_throughput",
+                ["design", "TPUs", "throughput", "speedup vs baseline", "MXU energy saving"],
+                rows,
+                title="Fig. 8 - DiT-XL/2 multi-TPU inference throughput")
+
+    for index in range(len(DEVICE_COUNTS)):
+        assert results["design-b"][index].throughput > results["baseline"][index].throughput
+        assert results["baseline"][index].mxu_energy_joules \
+            > 3 * results["design-b"][index].mxu_energy_joules

@@ -1,0 +1,37 @@
+"""Table I — Architecture parameters for the baseline TPUv4i and the CIM-based TPU."""
+
+from __future__ import annotations
+
+from _harness import emit_report
+
+from repro.core.designs import cim_tpu_default, tpuv4i_baseline
+from repro.core.tpu import TPUModel
+
+
+def build_table1() -> list[list[object]]:
+    """Side-by-side Table I rows for the two chip configurations."""
+    baseline = dict(tpuv4i_baseline().table_rows())
+    cim = dict(cim_tpu_default().table_rows())
+    rows = []
+    for key in baseline:
+        rows.append([key, baseline[key], cim[key]])
+    return rows
+
+
+def test_table1_architecture_parameters(benchmark):
+    """Time chip-model construction and emit the Table I comparison."""
+    models = benchmark(lambda: (TPUModel(tpuv4i_baseline()), TPUModel(cim_tpu_default())))
+    baseline_model, cim_model = models
+
+    rows = build_table1()
+    rows.append(["Total MXU area",
+                 f"{baseline_model.mxu_area_mm2:.1f} mm2 (22 nm)",
+                 f"{cim_model.mxu_area_mm2:.1f} mm2 (22 nm)"])
+    emit_report("table1_architecture",
+                ["parameter", "TPUv4i baseline", "CIM-based TPU"],
+                rows,
+                title="Table I - architecture parameters")
+
+    # Both chips expose the same peak MACs/cycle and the same memory system.
+    assert baseline_model.config.peak_macs_per_cycle == cim_model.config.peak_macs_per_cycle
+    assert cim_model.mxu_area_mm2 < baseline_model.mxu_area_mm2

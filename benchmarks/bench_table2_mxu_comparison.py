@@ -1,0 +1,39 @@
+"""Table II — Comparison between the digital MXU and the CIM-MXU.
+
+Paper reference: both deliver 16384 MACs/cycle; the CIM-MXU reaches
+7.26 TOPS/W (9.43× better) and 1.31 TOPS/mm² (2.02× better), and the paper's
+text adds that it needs only ~50 % of the digital MXU's area.
+"""
+
+from __future__ import annotations
+
+from _harness import emit_report, factor
+
+from repro.cim.energy import compare_mxus
+from repro.cim.mxu import CIMMXU
+from repro.systolic.systolic_array import DigitalMXU
+
+
+def test_table2_mxu_comparison(benchmark):
+    """Time the MXU comparison and emit the Table II rows."""
+    comparison = benchmark(compare_mxus, DigitalMXU(), CIMMXU())
+
+    rows = [
+        ["MACs per cycle", f"{int(comparison['digital_macs_per_cycle'])}",
+         f"{int(comparison['cim_macs_per_cycle'])}", "1x (paper: 1x)"],
+        ["Energy efficiency", f"{comparison['digital_tops_per_watt']:.2f} TOPS/W",
+         f"{comparison['cim_tops_per_watt']:.2f} TOPS/W",
+         f"{factor(comparison['energy_efficiency_gain'])} (paper: 9.43x)"],
+        ["Area efficiency", f"{comparison['digital_tops_per_mm2']:.3f} TOPS/mm2",
+         f"{comparison['cim_tops_per_mm2']:.3f} TOPS/mm2",
+         f"{factor(comparison['area_efficiency_gain'])} (paper: 2.02x)"],
+        ["MXU area ratio (CIM/digital)", "-", "-",
+         f"{comparison['cim_area_ratio']:.2f} (paper: ~0.5)"],
+    ]
+    emit_report("table2_mxu_comparison",
+                ["metric", "digital MXU", "CIM-MXU", "gain"],
+                rows,
+                title="Table II - digital MXU vs. CIM-MXU (22 nm, 1.05 GHz)")
+
+    assert comparison["energy_efficiency_gain"] > 9.0
+    assert comparison["area_efficiency_gain"] > 1.9

@@ -1,0 +1,35 @@
+"""Table III — Configurations of the evaluated generative models."""
+
+from __future__ import annotations
+
+from _harness import emit_report
+
+from repro.workloads.dit import DIT_XL_2
+from repro.workloads.llm import GPT3_30B
+from repro.workloads.registry import MODEL_REGISTRY
+
+
+def build_table3() -> list[list[object]]:
+    """Table III rows plus derived quantities used by the simulator."""
+    rows = [
+        ["GPT3-30B", GPT3_30B.num_layers, GPT3_30B.num_heads, GPT3_30B.d_model,
+         f"{GPT3_30B.approximate_parameters / 1e9:.1f} B params"],
+        ["DiT-XL/2", DIT_XL_2.depth, DIT_XL_2.num_heads, DIT_XL_2.d_model,
+         f"{DIT_XL_2.tokens_for_resolution(512)} tokens @ 512x512"],
+    ]
+    return rows
+
+
+def test_table3_model_configurations(benchmark):
+    """Time workload-registry access and emit the Table III rows."""
+    registry = benchmark(lambda: dict(MODEL_REGISTRY))
+    assert "gpt3-30b" in registry and "dit-xl-2" in registry
+
+    emit_report("table3_model_configs",
+                ["generative model", "# layers", "# heads", "d_model", "derived"],
+                build_table3(),
+                title="Table III - evaluated generative model configurations")
+
+    # The paper's Table III values.
+    assert (GPT3_30B.num_layers, GPT3_30B.num_heads, GPT3_30B.d_model) == (48, 56, 7168)
+    assert (DIT_XL_2.depth, DIT_XL_2.num_heads, DIT_XL_2.d_model) == (28, 16, 1152)

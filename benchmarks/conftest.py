@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness (paper evaluation settings)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import cim_tpu_default, design_a, design_b, tpuv4i_baseline
+from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+
+
+@pytest.fixture(scope="session")
+def paper_llm_settings():
+    """Fig. 6/7 LLM setting: batch 8, 1024 input tokens, 512 output tokens."""
+    return LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                decode_kv_samples=4)
+
+
+@pytest.fixture(scope="session")
+def paper_dit_settings():
+    """Fig. 6/7 DiT setting: batch 8, 512×512 images."""
+    return DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50)
+
+
+@pytest.fixture(scope="session")
+def baseline_sim():
+    """Simulator for the TPUv4i baseline."""
+    return InferenceSimulator(tpuv4i_baseline())
+
+
+@pytest.fixture(scope="session")
+def cim_sim():
+    """Simulator for the default CIM-based TPU."""
+    return InferenceSimulator(cim_tpu_default())
+
+
+@pytest.fixture(scope="session")
+def design_a_sim():
+    """Simulator for Design A."""
+    return InferenceSimulator(design_a())
+
+
+@pytest.fixture(scope="session")
+def design_b_sim():
+    """Simulator for Design B."""
+    return InferenceSimulator(design_b())

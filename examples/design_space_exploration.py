@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Explore CIM-MXU design choices (the paper's Table IV / Fig. 7 study).
+
+Sweeps CIM-MXU count × CIM-core grid dimension over GPT-3-30B and DiT-XL/2
+inference, prints latency and MXU energy relative to the TPUv4i baseline, and
+reports which design the trade-off rule selects for each workload (the paper's
+Design A and Design B).
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import ArchitectureExplorer, DiTInferenceSettings, LLMInferenceSettings
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    explorer = ArchitectureExplorer(
+        llm_settings=LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                          decode_kv_samples=4),
+        dit_settings=DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50))
+    rows = explorer.explore()
+
+    for workload in ("llm", "dit"):
+        table_rows = []
+        for row in rows:
+            if row.workload != workload:
+                continue
+            table_rows.append([
+                row.design,
+                f"{row.peak_tops:.0f}",
+                f"{row.latency_seconds * 1e3:.1f} ms",
+                f"{row.latency_change_percent:+.1f}%",
+                f"{row.energy_saving_vs_baseline:.1f}x",
+            ])
+        print(format_table(
+            ["design", "peak TOPS", "latency", "latency vs baseline", "MXU energy saving"],
+            table_rows,
+            title=f"Design-space exploration — {workload.upper()}"))
+        print()
+
+    best_llm = explorer.best_design(rows, "llm", max_latency_increase=0.25)
+    best_dit = explorer.best_design(rows, "dit", max_latency_increase=0.25)
+    print(f"Selected LLM design (paper: Design A, 4 x 8x8):  {best_llm.design} "
+          f"({best_llm.latency_change_percent:+.1f}% latency, "
+          f"{best_llm.energy_saving_vs_baseline:.1f}x energy saving)")
+    print(f"Selected DiT design (paper: Design B, 8 x 16x8): {best_dit.design} "
+          f"({best_dit.latency_change_percent:+.1f}% latency, "
+          f"{best_dit.energy_saving_vs_baseline:.1f}x energy saving)")
+
+
+if __name__ == "__main__":
+    main()

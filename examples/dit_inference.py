@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Diffusion Transformer (DiT-XL/2) inference analysis on CIM-based TPUs.
+
+Simulates DiT-XL/2 image generation at several resolutions on the baseline
+TPUv4i, the default CIM TPU and Design B, showing where the time goes inside a
+DiT block (the paper's observation that Softmax and GEMM dominate) and how the
+CIM designs trade latency against MXU energy.
+
+Run with::
+
+    python examples/dit_inference.py [resolution ...]
+
+where each resolution is a square image size (default: 256 512).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    DIT_XL_2,
+    DiTInferenceSettings,
+    InferenceSimulator,
+    cim_tpu_default,
+    design_b,
+    tpuv4i_baseline,
+)
+from repro.analysis.breakdown import latency_breakdown
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    resolutions = [int(arg) for arg in sys.argv[1:]] or [256, 512]
+    designs = {
+        "TPUv4i baseline": tpuv4i_baseline(),
+        "CIM TPU (4 x 16x8)": cim_tpu_default(),
+        "Design B (8 x 16x8)": design_b(),
+    }
+
+    rows = []
+    for resolution in resolutions:
+        settings = DiTInferenceSettings(batch=8, image_resolution=resolution, sampling_steps=50)
+        baseline_result = None
+        for label, config in designs.items():
+            simulator = InferenceSimulator(config)
+            inference = simulator.simulate_dit_inference(DIT_XL_2, settings)
+            if baseline_result is None:
+                baseline_result = inference
+            rows.append([
+                f"{resolution}x{resolution}",
+                label,
+                f"{inference.total_seconds:.2f} s",
+                f"{inference.throughput:.3f} images/s",
+                f"{baseline_result.total_seconds / inference.total_seconds:.2f}x",
+                f"{baseline_result.mxu_energy / inference.mxu_energy:.1f}x",
+            ])
+
+    print(format_table(
+        ["resolution", "design", "sampling latency", "throughput", "speedup", "MXU energy saving"],
+        rows,
+        title="DiT-XL/2 sampling (batch 8, 50 diffusion steps)"))
+
+    print()
+    settings = DiTInferenceSettings(batch=8, image_resolution=512)
+    block = InferenceSimulator(tpuv4i_baseline()).simulate_dit_block(DIT_XL_2, settings)
+    breakdown_rows = [[row.label, f"{row.value * 1e3:.3f} ms", f"{row.fraction * 100:.1f}%"]
+                      for row in latency_breakdown(block)]
+    print(format_table(
+        ["layer category", "latency", "share"],
+        breakdown_rows,
+        title="Inside one DiT block on the baseline TPU (512x512)"))
+
+
+if __name__ == "__main__":
+    main()

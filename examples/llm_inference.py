@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""End-to-end LLM serving analysis on CIM-based TPUs.
+
+Simulates GPT-3-30B inference (1024 prompt tokens, 512 generated tokens,
+batch 8) on the baseline TPUv4i, the default CIM TPU and Design A, prints the
+prefill/decode split, the per-category latency breakdown of the decode layer,
+and the resulting end-to-end throughput and MXU energy per generated token.
+
+Run with::
+
+    python examples/llm_inference.py [model-name]
+
+where ``model-name`` is one of the registered LLMs (default ``gpt3-30b``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    GPT3_30B,
+    InferenceSimulator,
+    LLMInferenceSettings,
+    cim_tpu_default,
+    design_a,
+    get_model,
+    tpuv4i_baseline,
+)
+from repro.analysis.breakdown import latency_breakdown
+from repro.analysis.report import format_table
+from repro.workloads.llm import LLMConfig
+
+
+def main() -> None:
+    model = GPT3_30B
+    if len(sys.argv) > 1:
+        candidate = get_model(sys.argv[1])
+        if not isinstance(candidate, LLMConfig):
+            raise SystemExit(f"'{sys.argv[1]}' is not an LLM configuration")
+        model = candidate
+
+    settings = LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512)
+    designs = {
+        "TPUv4i baseline": tpuv4i_baseline(),
+        "CIM TPU (4 x 16x8)": cim_tpu_default(),
+        "Design A (4 x 8x8)": design_a(),
+    }
+
+    rows = []
+    decode_breakdowns = {}
+    for label, config in designs.items():
+        simulator = InferenceSimulator(config)
+        inference = simulator.simulate_llm_inference(model, settings)
+        decode_breakdowns[label] = simulator.simulate_llm_decode_layer(model, settings)
+        prefill_share = inference.stage("prefill").seconds / inference.total_seconds
+        rows.append([
+            label,
+            f"{inference.total_seconds:.2f} s",
+            f"{prefill_share * 100:.0f}% / {(1 - prefill_share) * 100:.0f}%",
+            f"{inference.throughput:.1f} tokens/s",
+            f"{inference.mxu_energy / inference.items * 1e3:.2f} mJ/token",
+        ])
+
+    print(format_table(
+        ["design", "end-to-end latency", "prefill/decode split", "throughput", "MXU energy"],
+        rows,
+        title=f"{model.name} inference (batch 8, 1024 in / 512 out)"))
+
+    print()
+    breakdown_rows = []
+    for label, result in decode_breakdowns.items():
+        for row in latency_breakdown(result)[:5]:
+            breakdown_rows.append([label, row.label, f"{row.value * 1e3:.3f} ms",
+                                   f"{row.fraction * 100:.1f}%"])
+    print(format_table(
+        ["design", "layer category", "latency", "share"],
+        breakdown_rows,
+        title="Decode-layer latency breakdown (top five categories per design)"))
+
+
+if __name__ == "__main__":
+    main()

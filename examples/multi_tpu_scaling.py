@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Multi-TPU scaling study (the paper's Fig. 8 evaluation).
+
+Runs GPT-3-30B and DiT-XL/2 inference on rings of 1, 2 and 4 TPUs with
+pipeline parallelism for the baseline TPUv4i, Design A and Design B, and
+prints throughput scaling plus the MXU energy reduction of the CIM designs.
+
+Run with::
+
+    python examples/multi_tpu_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DIT_XL_2,
+    GPT3_30B,
+    DiTInferenceSettings,
+    LLMInferenceSettings,
+    MultiTPUSystem,
+    design_a,
+    design_b,
+    tpuv4i_baseline,
+)
+from repro.analysis.report import format_table
+
+DEVICE_COUNTS = (1, 2, 4)
+
+
+def main() -> None:
+    llm_settings = LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                        decode_kv_samples=2)
+    dit_settings = DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50)
+    designs = {
+        "baseline": tpuv4i_baseline(),
+        "design-a": design_a(),
+        "design-b": design_b(),
+    }
+
+    llm_rows = []
+    dit_rows = []
+    for label, config in designs.items():
+        for devices in DEVICE_COUNTS:
+            system = MultiTPUSystem(config, devices)
+            llm = system.simulate_llm(GPT3_30B, llm_settings)
+            dit = system.simulate_dit(DIT_XL_2, dit_settings)
+            llm_rows.append([label, devices, f"{llm.throughput:.1f} tokens/s",
+                             f"{llm.energy_per_item * 1e3:.2f} mJ/token"])
+            dit_rows.append([label, devices, f"{dit.throughput:.3f} images/s",
+                             f"{dit.energy_per_item:.2f} J/image"])
+
+    print(format_table(["design", "TPUs", "throughput", "MXU energy"], llm_rows,
+                       title="GPT-3-30B serving throughput (pipeline parallel ring)"))
+    print()
+    print(format_table(["design", "TPUs", "throughput", "MXU energy"], dit_rows,
+                       title="DiT-XL/2 sampling throughput (pipeline parallel ring)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: compare the baseline TPUv4i against the CIM-based TPU.
+
+Runs one GPT-3-30B Transformer layer (prefill and decode, the paper's Fig. 6
+setting) and one DiT-XL/2 block on both chip models and prints the latency
+change and MXU energy reduction the CIM-MXUs deliver.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DIT_XL_2,
+    GPT3_30B,
+    DiTInferenceSettings,
+    InferenceSimulator,
+    LLMInferenceSettings,
+    cim_tpu_default,
+    tpuv4i_baseline,
+)
+from repro.analysis.breakdown import overall_comparison
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    baseline = InferenceSimulator(tpuv4i_baseline())
+    cim = InferenceSimulator(cim_tpu_default())
+
+    llm_settings = LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512)
+    dit_settings = DiTInferenceSettings(batch=8, image_resolution=512)
+
+    panels = {
+        "GPT-3-30B prefill layer": (
+            baseline.simulate_llm_prefill_layer(GPT3_30B, llm_settings),
+            cim.simulate_llm_prefill_layer(GPT3_30B, llm_settings),
+        ),
+        "GPT-3-30B decode layer": (
+            baseline.simulate_llm_decode_layer(GPT3_30B, llm_settings),
+            cim.simulate_llm_decode_layer(GPT3_30B, llm_settings),
+        ),
+        "DiT-XL/2 block": (
+            baseline.simulate_dit_block(DIT_XL_2, dit_settings),
+            cim.simulate_dit_block(DIT_XL_2, dit_settings),
+        ),
+    }
+
+    rows = []
+    for name, (base_result, cim_result) in panels.items():
+        headline = overall_comparison(base_result, cim_result)
+        rows.append([
+            name,
+            f"{headline['baseline_latency_s'] * 1e3:.2f} ms",
+            f"{headline['candidate_latency_s'] * 1e3:.2f} ms",
+            f"{headline['latency_change_percent']:+.1f}%",
+            f"{headline['mxu_energy_reduction_factor']:.1f}x",
+        ])
+
+    print(format_table(
+        ["workload", "TPUv4i latency", "CIM-TPU latency", "latency change", "MXU energy saving"],
+        rows,
+        title="CIM-based TPU vs. baseline TPUv4i (paper Fig. 6 setting)"))
+
+
+if __name__ == "__main__":
+    main()

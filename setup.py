@@ -1,0 +1,10 @@
+"""Setup shim for environments whose pip cannot perform PEP 660 editable installs.
+
+The project metadata lives in pyproject.toml; this file only enables the
+legacy ``pip install -e . --no-use-pep517`` path on machines without the
+``wheel`` package (such as offline evaluation containers).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — CIM-TPU: compute-in-memory based TPU architecture model and simulator.
+
+A from-scratch Python reproduction of *"Leveraging Compute-in-Memory for
+Efficient Generative Model Inference in TPUs"* (DATE 2025): an analytical
+architecture model of a TPUv4i-class accelerator whose matrix multiply units
+are replaced by grids of digital SRAM compute-in-memory cores, together with
+the workload descriptions (LLM prefill/decode, DiT blocks), the mapping
+engine, the design-space explorer and the multi-TPU parallelism models used by
+the paper's evaluation.
+
+Typical usage::
+
+    from repro import (
+        tpuv4i_baseline, cim_tpu_default, InferenceSimulator,
+        GPT3_30B, LLMInferenceSettings,
+    )
+
+    baseline = InferenceSimulator(tpuv4i_baseline())
+    cim = InferenceSimulator(cim_tpu_default())
+    settings = LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512)
+    print(cim.simulate_llm_inference(GPT3_30B, settings).total_seconds)
+"""
+
+from repro.common import Precision
+from repro.core.config import MXUType, TPUConfig
+from repro.core.designs import (
+    PREDEFINED_DESIGNS,
+    cim_tpu_default,
+    design_a,
+    design_b,
+    make_cim_tpu,
+    tpuv4i_baseline,
+)
+from repro.core.explorer import ArchitectureExplorer, DesignPoint, ExplorationRow, TABLE_IV_DESIGN_POINTS
+from repro.core.results import GraphResult, InferenceResult, OperatorResult, StageResult
+from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+from repro.core.tpu import TPUModel
+from repro.parallel.multi_device import MultiDeviceResult, MultiTPUSystem
+from repro.workloads.dit import DIT_XL_2, DiTConfig
+from repro.workloads.llm import GPT3_30B, GPT3_175B, LLAMA2_7B, LLAMA2_13B, LLMConfig
+from repro.workloads.registry import MODEL_REGISTRY, get_model
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Precision",
+    "MXUType",
+    "TPUConfig",
+    "PREDEFINED_DESIGNS",
+    "tpuv4i_baseline",
+    "cim_tpu_default",
+    "design_a",
+    "design_b",
+    "make_cim_tpu",
+    "ArchitectureExplorer",
+    "DesignPoint",
+    "ExplorationRow",
+    "TABLE_IV_DESIGN_POINTS",
+    "GraphResult",
+    "InferenceResult",
+    "OperatorResult",
+    "StageResult",
+    "InferenceSimulator",
+    "LLMInferenceSettings",
+    "DiTInferenceSettings",
+    "TPUModel",
+    "MultiTPUSystem",
+    "MultiDeviceResult",
+    "DiTConfig",
+    "DIT_XL_2",
+    "LLMConfig",
+    "GPT3_30B",
+    "GPT3_175B",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "MODEL_REGISTRY",
+    "get_model",
+    "__version__",
+]

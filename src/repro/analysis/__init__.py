@@ -1,0 +1,43 @@
+"""Analysis and reporting utilities: breakdowns, rooflines, table formatting."""
+
+from repro.analysis.breakdown import (
+    BreakdownRow,
+    latency_breakdown,
+    mxu_energy_breakdown,
+    compare_graph_results,
+    overall_comparison,
+    ComparisonRow,
+)
+from repro.analysis.capacity import (
+    ModelFootprint,
+    CapacityPlan,
+    llm_footprint,
+    dit_footprint,
+    plan_capacity,
+)
+from repro.analysis.power import PowerSummary, graph_power_summary, inference_power_summary, mxu_power_ratio
+from repro.analysis.roofline import RooflineModel, RooflinePoint
+from repro.analysis.report import format_table, format_percent, format_factor
+
+__all__ = [
+    "BreakdownRow",
+    "latency_breakdown",
+    "mxu_energy_breakdown",
+    "compare_graph_results",
+    "overall_comparison",
+    "ComparisonRow",
+    "ModelFootprint",
+    "CapacityPlan",
+    "llm_footprint",
+    "dit_footprint",
+    "plan_capacity",
+    "PowerSummary",
+    "graph_power_summary",
+    "inference_power_summary",
+    "mxu_power_ratio",
+    "RooflineModel",
+    "RooflinePoint",
+    "format_table",
+    "format_percent",
+    "format_factor",
+]

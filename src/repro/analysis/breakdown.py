@@ -1,0 +1,107 @@
+"""Latency and energy breakdowns by layer category (Fig. 6-style reporting)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import GraphResult
+from repro.workloads.operators import LayerCategory
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One category's share of a graph's latency or energy."""
+
+    category: LayerCategory
+    value: float
+    fraction: float
+
+    @property
+    def label(self) -> str:
+        """Display label of the category."""
+        return self.category.value
+
+
+def latency_breakdown(result: GraphResult) -> list[BreakdownRow]:
+    """Per-category latency rows, sorted by descending share."""
+    total = result.total_seconds
+    rows = []
+    for category, seconds in result.latency_by_category().items():
+        fraction = seconds / total if total > 0 else 0.0
+        rows.append(BreakdownRow(category=category, value=seconds, fraction=fraction))
+    return sorted(rows, key=lambda row: row.value, reverse=True)
+
+
+def mxu_energy_breakdown(result: GraphResult) -> list[BreakdownRow]:
+    """Per-category MXU energy rows, sorted by descending share."""
+    total = result.mxu_energy
+    rows = []
+    for category, joules in result.mxu_energy_by_category().items():
+        fraction = joules / total if total > 0 else 0.0
+        rows.append(BreakdownRow(category=category, value=joules, fraction=fraction))
+    return sorted(rows, key=lambda row: row.value, reverse=True)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Per-category comparison of two designs running the same graph."""
+
+    category: LayerCategory
+    baseline_seconds: float
+    candidate_seconds: float
+    baseline_mxu_energy: float
+    candidate_mxu_energy: float
+
+    @property
+    def latency_change_percent(self) -> float:
+        """Latency change of the candidate vs. the baseline (negative = faster)."""
+        if self.baseline_seconds == 0:
+            return 0.0
+        return (self.candidate_seconds / self.baseline_seconds - 1.0) * 100.0
+
+    @property
+    def energy_reduction_factor(self) -> float:
+        """MXU energy reduction factor (baseline / candidate)."""
+        if self.candidate_mxu_energy == 0:
+            return float("inf") if self.baseline_mxu_energy > 0 else 1.0
+        return self.baseline_mxu_energy / self.candidate_mxu_energy
+
+
+def compare_graph_results(baseline: GraphResult, candidate: GraphResult) -> list[ComparisonRow]:
+    """Category-by-category comparison of two evaluations of the same graph."""
+    categories: list[LayerCategory] = []
+    for result in (baseline, candidate):
+        for category in result.latency_by_category():
+            if category not in categories:
+                categories.append(category)
+
+    base_latency = baseline.latency_by_category()
+    cand_latency = candidate.latency_by_category()
+    base_energy = baseline.mxu_energy_by_category()
+    cand_energy = candidate.mxu_energy_by_category()
+
+    rows = []
+    for category in categories:
+        rows.append(ComparisonRow(
+            category=category,
+            baseline_seconds=base_latency.get(category, 0.0),
+            candidate_seconds=cand_latency.get(category, 0.0),
+            baseline_mxu_energy=base_energy.get(category, 0.0),
+            candidate_mxu_energy=cand_energy.get(category, 0.0),
+        ))
+    return rows
+
+
+def overall_comparison(baseline: GraphResult, candidate: GraphResult) -> dict[str, float]:
+    """Headline numbers of a Fig. 6 panel: latency change and energy factor."""
+    latency_change = (candidate.total_seconds / baseline.total_seconds - 1.0) * 100.0
+    energy_factor = (baseline.mxu_energy / candidate.mxu_energy
+                     if candidate.mxu_energy > 0 else float("inf"))
+    return {
+        "baseline_latency_s": baseline.total_seconds,
+        "candidate_latency_s": candidate.total_seconds,
+        "latency_change_percent": latency_change,
+        "baseline_mxu_energy_j": baseline.mxu_energy,
+        "candidate_mxu_energy_j": candidate.mxu_energy,
+        "mxu_energy_reduction_factor": energy_factor,
+    }

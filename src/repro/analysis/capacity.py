@@ -1,0 +1,125 @@
+"""Memory-capacity planning for generative-model deployment on TPUs.
+
+The paper's single-layer evaluation sidesteps an important deployment
+constraint that its multi-device section then addresses: a GPT-3-30B class
+model does not fit into one TPUv4i's 8 GB of HBM once weights and the KV cache
+are accounted for, which is one of the reasons the paper scales to multi-TPU
+rings.  This module computes model footprints (weights, KV cache, peak
+activations), checks them against a chip configuration, and derives the
+minimum device count and a suggested parallelism strategy — the capacity side
+of the paper's "tensor parallelism and pipeline parallelism" statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import Precision, ceil_div
+from repro.core.config import TPUConfig
+from repro.workloads.dit import DiTConfig
+from repro.workloads.llm import LLMConfig
+
+
+@dataclass(frozen=True)
+class ModelFootprint:
+    """Memory footprint of one model under a given inference setting."""
+
+    model_name: str
+    weight_bytes: int
+    kv_cache_bytes: int
+    activation_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.weight_bytes < 0 or self.kv_cache_bytes < 0 or self.activation_bytes < 0:
+            raise ValueError("footprint components must be non-negative")
+
+    @property
+    def total_bytes(self) -> int:
+        """Total main-memory footprint."""
+        return self.weight_bytes + self.kv_cache_bytes + self.activation_bytes
+
+    @property
+    def total_gib(self) -> float:
+        """Total footprint in GiB."""
+        return self.total_bytes / 2**30
+
+
+def llm_footprint(model: LLMConfig, batch: int, context_tokens: int,
+                  precision: Precision = Precision.INT8) -> ModelFootprint:
+    """Footprint of an LLM serving ``batch`` sequences of ``context_tokens``.
+
+    Weights cover every Transformer layer plus the embedding/LM-head matrices;
+    the KV cache covers the full context; activations are the double-buffered
+    working set of one layer (inputs, attention scores for one head group and
+    FFN intermediates), which is what must co-reside with weights in HBM.
+    """
+    if batch <= 0 or context_tokens <= 0:
+        raise ValueError("batch and context_tokens must be positive")
+    layer = model.layer_config()
+    weight_bytes = (model.num_layers * layer.weight_bytes_per_layer
+                    + 2 * model.vocab_size * model.d_model) * precision.bytes
+    kv_bytes = model.kv_cache_bytes(batch, context_tokens, precision)
+    tokens = batch * context_tokens
+    activation_bytes = 2 * tokens * (model.d_model + model.d_ff) * precision.bytes
+    return ModelFootprint(model_name=model.name, weight_bytes=weight_bytes,
+                          kv_cache_bytes=kv_bytes, activation_bytes=activation_bytes)
+
+
+def dit_footprint(model: DiTConfig, batch: int, image_resolution: int = 512,
+                  precision: Precision = Precision.INT8) -> ModelFootprint:
+    """Footprint of DiT sampling at the given batch and resolution."""
+    if batch <= 0 or image_resolution <= 0:
+        raise ValueError("batch and image_resolution must be positive")
+    layer = model.layer_config()
+    cond_mlp = model.d_model * 6 * model.d_model
+    weight_bytes = model.depth * (layer.weight_bytes_per_layer + cond_mlp) * precision.bytes
+    tokens = batch * model.tokens_for_resolution(image_resolution)
+    activation_bytes = 2 * tokens * (model.d_model + model.d_ff) * precision.bytes
+    # Attention scores of one block (per head, token × token) also live on chip
+    # transiently; DiT has no KV cache.
+    score_bytes = batch * model.num_heads * model.tokens_for_resolution(image_resolution) ** 2
+    return ModelFootprint(model_name=model.name, weight_bytes=weight_bytes,
+                          kv_cache_bytes=0, activation_bytes=activation_bytes + score_bytes)
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Result of fitting a model footprint onto a TPU configuration."""
+
+    footprint: ModelFootprint
+    device_memory_bytes: int
+    fits_single_device: bool
+    min_devices: int
+    suggested_parallelism: str
+
+    @property
+    def memory_per_device_bytes(self) -> float:
+        """Footprint share per device at the minimum device count."""
+        return self.footprint.total_bytes / self.min_devices
+
+
+def plan_capacity(footprint: ModelFootprint, tpu: TPUConfig,
+                  memory_utilisation: float = 0.9) -> CapacityPlan:
+    """Derive the minimum device count and a parallelism suggestion.
+
+    ``memory_utilisation`` reserves headroom for fragmentation, the runtime
+    and double-buffered staging (10 % by default).  The suggestion follows the
+    paper's practice: weights dominating the footprint favours pipeline
+    parallelism (weights are partitioned by layer, with only activations on
+    the ICI); a KV-cache-dominated footprint favours tensor parallelism so the
+    cache is sharded with the heads.
+    """
+    if not 0 < memory_utilisation <= 1:
+        raise ValueError("memory_utilisation must be in (0, 1]")
+    usable = int(tpu.main_memory_bytes * memory_utilisation)
+    min_devices = max(1, ceil_div(footprint.total_bytes, usable))
+    fits = min_devices == 1
+    if fits:
+        suggestion = "single-device"
+    elif footprint.kv_cache_bytes > footprint.weight_bytes:
+        suggestion = "tensor"
+    else:
+        suggestion = "pipeline"
+    return CapacityPlan(footprint=footprint, device_memory_bytes=tpu.main_memory_bytes,
+                        fits_single_device=fits, min_devices=min_devices,
+                        suggested_parallelism=suggestion)

@@ -1,0 +1,93 @@
+"""Average-power summaries of simulated workloads.
+
+The paper motivates CIM with the >350 W TDP of mainstream accelerators and
+quotes some exploration results as *power* rather than energy (e.g. the
+8×16×16 DiT configuration consumes "3.56× less power" than the baseline MXUs).
+This module converts the simulator's energy results into average-power views:
+per-component average power over a graph or inference, and the MXU power
+ratio between two designs running the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import GraphResult, InferenceResult
+
+
+@dataclass(frozen=True)
+class PowerSummary:
+    """Average power drawn by each modelled component over one workload."""
+
+    workload: str
+    tpu_name: str
+    duration_seconds: float
+    component_watts: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        if any(watts < 0 for watts in self.component_watts.values()):
+            raise ValueError("component power must be non-negative")
+
+    @property
+    def total_watts(self) -> float:
+        """Average total power of the modelled components."""
+        return sum(self.component_watts.values())
+
+    @property
+    def mxu_watts(self) -> float:
+        """Average power of the matrix units (the paper's power axis)."""
+        return self.component_watts.get("mxu", 0.0)
+
+    def component(self, name: str) -> float:
+        """Average power of one component (0 if it never drew energy)."""
+        return self.component_watts.get(name, 0.0)
+
+
+def graph_power_summary(result: GraphResult) -> PowerSummary:
+    """Average power over one evaluated operator graph."""
+    duration = result.total_seconds
+    if duration <= 0:
+        raise ValueError(f"graph '{result.name}' has zero duration")
+    energy = result.total_energy
+    watts = {component: energy.component_total(component) / duration
+             for component in sorted(energy.components)}
+    return PowerSummary(workload=result.name, tpu_name=result.tpu_name,
+                        duration_seconds=duration, component_watts=watts)
+
+
+def inference_power_summary(result: InferenceResult) -> PowerSummary:
+    """Average power over a full inference (all stages, repeats included)."""
+    duration = result.total_seconds
+    if duration <= 0:
+        raise ValueError(f"inference of '{result.model_name}' has zero duration")
+    component_joules: dict[str, float] = {}
+    for stage in result.stages:
+        stage_energy = stage.graph.total_energy
+        for component in stage_energy.components:
+            component_joules[component] = (component_joules.get(component, 0.0)
+                                           + stage_energy.component_total(component) * stage.repeat)
+    watts = {component: joules / duration
+             for component, joules in sorted(component_joules.items())}
+    return PowerSummary(workload=result.model_name, tpu_name=result.tpu_name,
+                        duration_seconds=duration, component_watts=watts)
+
+
+def mxu_power_ratio(baseline: InferenceResult | GraphResult,
+                    candidate: InferenceResult | GraphResult) -> float:
+    """Average MXU power of the baseline divided by the candidate's.
+
+    This is the quantity behind the paper's "3.56× less power" and "20× power
+    reduction" statements: the energy ratio corrected for the difference in
+    runtime between the two designs.
+    """
+    baseline_summary = (inference_power_summary(baseline)
+                        if isinstance(baseline, InferenceResult)
+                        else graph_power_summary(baseline))
+    candidate_summary = (inference_power_summary(candidate)
+                         if isinstance(candidate, InferenceResult)
+                         else graph_power_summary(candidate))
+    if candidate_summary.mxu_watts == 0:
+        raise ZeroDivisionError("candidate drew no MXU power")
+    return baseline_summary.mxu_watts / candidate_summary.mxu_watts

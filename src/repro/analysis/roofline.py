@@ -1,0 +1,75 @@
+"""Roofline model used to classify operators as compute- or memory-bound.
+
+The paper leans on the standard LLM-inference roofline argument (prefill is
+compute-bound, decode is memory-bound); this module provides the quantitative
+version for any device described by a peak throughput and a memory bandwidth,
+and is also the engine behind the A100-like GPU profile used for the Fig. 2d
+substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.operators import MatMulOp, Operator
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One operator placed on the roofline."""
+
+    name: str
+    arithmetic_intensity: float
+    attainable_ops_per_s: float
+    bound: str
+
+    @property
+    def is_compute_bound(self) -> bool:
+        """Whether the operator sits on the flat (compute) part of the roof."""
+        return self.bound == "compute"
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """A device roofline: peak throughput and memory bandwidth."""
+
+    peak_ops_per_s: float
+    memory_bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.peak_ops_per_s <= 0 or self.memory_bandwidth_bytes_per_s <= 0:
+            raise ValueError("peak throughput and bandwidth must be positive")
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity (ops/byte) at which the two roofs meet."""
+        return self.peak_ops_per_s / self.memory_bandwidth_bytes_per_s
+
+    def attainable(self, arithmetic_intensity: float) -> float:
+        """Attainable ops/s at the given arithmetic intensity."""
+        if arithmetic_intensity < 0:
+            raise ValueError("arithmetic intensity must be non-negative")
+        return min(self.peak_ops_per_s,
+                   arithmetic_intensity * self.memory_bandwidth_bytes_per_s)
+
+    def classify(self, operator: Operator) -> RooflinePoint:
+        """Place an operator on the roofline."""
+        total_bytes = operator.input_bytes + operator.output_bytes + operator.weight_bytes
+        ops = operator.flops
+        intensity = ops / total_bytes if total_bytes > 0 else 0.0
+        bound = "compute" if intensity >= self.ridge_point else "memory"
+        return RooflinePoint(name=operator.name, arithmetic_intensity=intensity,
+                             attainable_ops_per_s=self.attainable(intensity), bound=bound)
+
+    def execution_seconds(self, operator: Operator, overhead_seconds: float = 0.0) -> float:
+        """Roofline-limited execution time of an operator on this device."""
+        if overhead_seconds < 0:
+            raise ValueError("overhead must be non-negative")
+        total_bytes = operator.input_bytes + operator.output_bytes + operator.weight_bytes
+        compute_seconds = operator.flops / self.peak_ops_per_s
+        memory_seconds = total_bytes / self.memory_bandwidth_bytes_per_s
+        if isinstance(operator, MatMulOp):
+            return max(compute_seconds, memory_seconds) + overhead_seconds
+        # Vector operators on a GPU/TPU are overwhelmingly memory-bound, but a
+        # minimum compute time is still charged.
+        return max(compute_seconds, memory_seconds) + overhead_seconds

@@ -1,0 +1,78 @@
+"""CIM core: one macro plus its peripheral accumulation and driver logic.
+
+A CIM core is the tile replicated across the CIM-MXU grid.  It owns a CIM
+macro, the word-line/input drivers, the shift-accumulator that recombines
+bit-serial partial sums, a partial-sum (PSUM) buffer and a slice of the
+control logic.  At the modeling granularity of this simulator the core's
+timing is the macro's timing; what the core adds is the energy/area/leakage
+accounting and the PSUM storage needed by the output-stationary grid dataflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import Precision
+from repro.cim.macro import CIMMacro, CIMMacroConfig
+from repro.hw.area import AreaModel
+from repro.hw.energy import EnergyModel
+
+
+@dataclass
+class CIMCore:
+    """One CIM core of the CIM-MXU grid."""
+
+    macro: CIMMacro = field(default_factory=CIMMacro)
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+    area_model: AreaModel = field(default_factory=AreaModel)
+    #: Partial-sum buffer entries (one 32-bit accumulator per output channel,
+    #: double buffered to support the output-stationary wave dataflow).
+    psum_entries_per_channel: int = 2
+
+    @property
+    def config(self) -> CIMMacroConfig:
+        """Geometry of the underlying macro."""
+        return self.macro.config
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Net MAC throughput of the core."""
+        return self.config.macs_per_cycle
+
+    @property
+    def weight_capacity_bytes(self) -> int:
+        """Weight storage of the core in bytes."""
+        return self.config.weight_capacity_bits // 8
+
+    @property
+    def psum_buffer_bytes(self) -> int:
+        """Partial-sum buffer capacity in bytes."""
+        return self.config.output_channels * self.psum_entries_per_channel * 4
+
+    @property
+    def area_mm2(self) -> float:
+        """Silicon area of one core (macro + periphery), from calibration."""
+        return self.area_model.cim_core_area()
+
+    @property
+    def leakage_power_w(self) -> float:
+        """Static power of one core."""
+        return self.energy_model.cim_core_leakage_power()
+
+    def mac_energy(self, macs: int, precision: Precision = Precision.INT8) -> float:
+        """Dynamic energy (J) of performing ``macs`` MAC operations."""
+        if macs < 0:
+            raise ValueError("macs must be non-negative")
+        return macs * self.energy_model.cim_mac_energy(precision.bits)
+
+    def weight_write_energy(self, num_bytes: int) -> float:
+        """Dynamic energy (J) of writing ``num_bytes`` of weights into the macro."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return self.energy_model.cim_weight_write_energy(num_bytes)
+
+    def leakage_energy(self, seconds: float) -> float:
+        """Static energy (J) burned over ``seconds`` (busy or idle)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return self.leakage_power_w * seconds

@@ -1,0 +1,69 @@
+"""Pre- and post-processing pipeline for floating-point CIM operation.
+
+The paper's CIM-MXU supports BF16 in addition to INT8: the weight mantissas
+are stored in the CIM macros, and a pre-processing unit aligns exponents and
+shifts input mantissas before they enter the bit-serial datapath, while a
+post-processing unit performs the remaining shift-and-accumulate and rounding.
+In INT8 mode both units are bypassed.
+
+The pipeline is fully pipelined in hardware, so its effect on throughput is a
+fixed pipeline-fill latency rather than a per-element slowdown; its main cost
+is energy (modelled via ``CalibrationConstants.bf16_energy_overhead``) and a
+small amount of area.  This module makes those costs explicit and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import Precision
+from repro.hw.calibration import CalibrationConstants, PAPER_CALIBRATION
+
+
+@dataclass(frozen=True)
+class PrecisionPipeline:
+    """Pre/post-processing pipeline of a CIM core's FP mode.
+
+    Attributes
+    ----------
+    pre_stage_cycles:
+        Pipeline depth of the exponent-alignment / mantissa-shift stage.
+    post_stage_cycles:
+        Pipeline depth of the shift-accumulate / rounding stage.
+    calibration:
+        Source of the BF16 energy overhead factor.
+    """
+
+    pre_stage_cycles: int = 2
+    post_stage_cycles: int = 3
+    calibration: CalibrationConstants = PAPER_CALIBRATION
+
+    def __post_init__(self) -> None:
+        if self.pre_stage_cycles < 0 or self.post_stage_cycles < 0:
+            raise ValueError("pipeline depths must be non-negative")
+
+    def pipeline_fill_cycles(self, precision: Precision) -> int:
+        """Extra latency cycles before the first result emerges."""
+        if precision is Precision.INT8:
+            return 0
+        return self.pre_stage_cycles + self.post_stage_cycles
+
+    def is_bypassed(self, precision: Precision) -> bool:
+        """Whether the FP pipeline is bypassed for the given precision."""
+        return precision is Precision.INT8
+
+    def energy_factor(self, precision: Precision) -> float:
+        """Multiplicative dynamic-energy factor relative to INT8 operation."""
+        if precision is Precision.INT8:
+            return 1.0
+        return self.calibration.bf16_energy_overhead
+
+    def throughput_factor(self, precision: Precision) -> float:
+        """Relative MACs/cycle compared to INT8 (1.0 in the paper's design)."""
+        if precision is Precision.INT8:
+            return 1.0
+        return self.calibration.bf16_throughput_factor
+
+    def mantissa_bits_loaded(self, precision: Precision) -> int:
+        """Weight bits per element that are stored in the CIM array."""
+        return precision.mantissa_bits

@@ -1,0 +1,192 @@
+"""Command-line interface for the CIM-TPU simulator.
+
+Four subcommands cover the everyday uses of the library without writing any
+Python:
+
+``repro-sim compare``
+    Fig. 6-style comparison of the baseline TPUv4i and a CIM design on one
+    LLM layer (prefill + decode) and one DiT block.
+``repro-sim explore``
+    The Table IV / Fig. 7 design-space sweep.
+``repro-sim multi-device``
+    Fig. 8-style multi-TPU throughput scaling.
+``repro-sim models``
+    List the registered model configurations and their memory footprints.
+
+Run ``python -m repro.cli --help`` (or ``repro-sim --help`` once installed)
+for the full option set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.breakdown import overall_comparison
+from repro.analysis.capacity import dit_footprint, llm_footprint, plan_capacity
+from repro.analysis.report import format_table
+from repro.core.designs import PREDEFINED_DESIGNS, tpuv4i_baseline
+from repro.core.explorer import ArchitectureExplorer
+from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+from repro.parallel.multi_device import MultiTPUSystem
+from repro.workloads.dit import DIT_XL_2, DiTConfig
+from repro.workloads.llm import GPT3_30B, LLMConfig
+from repro.workloads.registry import MODEL_REGISTRY, get_model
+
+
+def _design_config(name: str):
+    try:
+        return PREDEFINED_DESIGNS[name]
+    except KeyError:
+        known = ", ".join(sorted(PREDEFINED_DESIGNS))
+        raise SystemExit(f"unknown design '{name}'; choose one of: {known}")
+
+
+def _llm_settings(args: argparse.Namespace) -> LLMInferenceSettings:
+    return LLMInferenceSettings(batch=args.batch, input_tokens=args.input_tokens,
+                                output_tokens=args.output_tokens, decode_kv_samples=2)
+
+
+def _dit_settings(args: argparse.Namespace) -> DiTInferenceSettings:
+    return DiTInferenceSettings(batch=args.batch, image_resolution=args.resolution,
+                                sampling_steps=args.steps)
+
+
+# ---------------------------------------------------------------- subcommands
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Compare the baseline against a CIM design on Fig. 6 workloads."""
+    baseline = InferenceSimulator(tpuv4i_baseline())
+    candidate = InferenceSimulator(_design_config(args.design))
+    llm = get_model(args.llm)
+    if not isinstance(llm, LLMConfig):
+        raise SystemExit(f"'{args.llm}' is not an LLM")
+    llm_settings = _llm_settings(args)
+    dit_settings = _dit_settings(args)
+
+    panels = {
+        f"{llm.name} prefill layer": (
+            baseline.simulate_llm_prefill_layer(llm, llm_settings),
+            candidate.simulate_llm_prefill_layer(llm, llm_settings)),
+        f"{llm.name} decode layer": (
+            baseline.simulate_llm_decode_layer(llm, llm_settings),
+            candidate.simulate_llm_decode_layer(llm, llm_settings)),
+        "dit-xl-2 block": (
+            baseline.simulate_dit_block(DIT_XL_2, dit_settings),
+            candidate.simulate_dit_block(DIT_XL_2, dit_settings)),
+    }
+    rows = []
+    for name, (base, cand) in panels.items():
+        headline = overall_comparison(base, cand)
+        rows.append([name,
+                     f"{headline['baseline_latency_s'] * 1e3:.2f} ms",
+                     f"{headline['candidate_latency_s'] * 1e3:.2f} ms",
+                     f"{headline['latency_change_percent']:+.1f}%",
+                     f"{headline['mxu_energy_reduction_factor']:.1f}x"])
+    print(format_table(["workload", "baseline", args.design, "latency change", "MXU energy saving"],
+                       rows, title=f"Baseline TPUv4i vs. {args.design}"))
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Run the Table IV / Fig. 7 design-space exploration."""
+    explorer = ArchitectureExplorer(llm_settings=_llm_settings(args),
+                                    dit_settings=_dit_settings(args))
+    rows = explorer.explore()
+    table_rows = [[row.design, row.workload, f"{row.peak_tops:.0f}",
+                   f"{row.latency_seconds * 1e3:.1f} ms",
+                   f"{row.latency_change_percent:+.1f}%",
+                   f"{row.energy_saving_vs_baseline:.1f}x"] for row in rows]
+    print(format_table(["design", "workload", "peak TOPS", "latency", "vs baseline",
+                        "MXU energy saving"],
+                       table_rows, title="CIM-MXU design-space exploration"))
+    return 0
+
+
+def cmd_multi_device(args: argparse.Namespace) -> int:
+    """Simulate multi-TPU serving throughput."""
+    config = _design_config(args.design)
+    llm = get_model(args.llm)
+    if not isinstance(llm, LLMConfig):
+        raise SystemExit(f"'{args.llm}' is not an LLM")
+    settings = _llm_settings(args)
+    rows = []
+    for devices in args.devices:
+        system = MultiTPUSystem(config, devices, parallelism=args.parallelism)
+        result = system.simulate_llm(llm, settings)
+        rows.append([devices, f"{result.throughput:.1f} tokens/s",
+                     f"{result.communication_seconds * 1e3:.1f} ms",
+                     f"{result.energy_per_item * 1e3:.2f} mJ/token"])
+    print(format_table(["TPUs", "throughput", "ICI time per group", "MXU energy"],
+                       rows, title=f"{llm.name} on {args.design} ({args.parallelism} parallel)"))
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """List registered models with their footprints and capacity plans."""
+    tpu = tpuv4i_baseline()
+    rows = []
+    for name in sorted(MODEL_REGISTRY):
+        model = MODEL_REGISTRY[name]
+        if isinstance(model, LLMConfig):
+            footprint = llm_footprint(model, batch=args.batch,
+                                      context_tokens=args.input_tokens + args.output_tokens)
+            kind = "LLM"
+        elif isinstance(model, DiTConfig):
+            footprint = dit_footprint(model, batch=args.batch, image_resolution=args.resolution)
+            kind = "DiT"
+        else:  # pragma: no cover - registry only holds the two kinds
+            continue
+        plan = plan_capacity(footprint, tpu)
+        rows.append([name, kind, f"{footprint.total_gib:.1f} GiB",
+                     plan.min_devices, plan.suggested_parallelism])
+    print(format_table(["model", "kind", "footprint", "min TPUs", "suggested parallelism"],
+                       rows, title="Registered models (batch "
+                                   f"{args.batch}, {args.input_tokens}+{args.output_tokens} tokens)"))
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(prog="repro-sim",
+                                     description="CIM-TPU architecture simulator")
+    parser.add_argument("--batch", type=int, default=8, help="batch size (default 8)")
+    parser.add_argument("--input-tokens", type=int, default=1024, dest="input_tokens",
+                        help="prompt length for LLM workloads")
+    parser.add_argument("--output-tokens", type=int, default=512, dest="output_tokens",
+                        help="generated tokens for LLM workloads")
+    parser.add_argument("--resolution", type=int, default=512, help="DiT image resolution")
+    parser.add_argument("--steps", type=int, default=50, help="DiT sampling steps")
+    parser.add_argument("--llm", default=GPT3_30B.name, help="LLM model name")
+
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser("compare", help="baseline vs. CIM design on Fig. 6 workloads")
+    compare.add_argument("--design", default="cim-default",
+                         help="one of: " + ", ".join(sorted(PREDEFINED_DESIGNS)))
+    compare.set_defaults(func=cmd_compare)
+
+    explore = subparsers.add_parser("explore", help="Table IV / Fig. 7 design-space sweep")
+    explore.set_defaults(func=cmd_explore)
+
+    multi = subparsers.add_parser("multi-device", help="Fig. 8 multi-TPU throughput")
+    multi.add_argument("--design", default="design-a")
+    multi.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4])
+    multi.add_argument("--parallelism", choices=("pipeline", "tensor"), default="pipeline")
+    multi.set_defaults(func=cmd_multi_device)
+
+    models = subparsers.add_parser("models", help="list models and capacity plans")
+    models.set_defaults(func=cmd_models)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Shared primitives used across the CIM-TPU model packages.
+
+This module intentionally stays tiny: the numeric precision enum shared by
+workloads and hardware models, and a couple of arithmetic helpers that appear
+in every cycle-count derivation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class Precision(enum.Enum):
+    """Numeric formats supported by the MXUs (the paper evaluates both)."""
+
+    INT8 = "int8"
+    BF16 = "bf16"
+
+    @property
+    def bits(self) -> int:
+        """Bit width of one operand."""
+        return {Precision.INT8: 8, Precision.BF16: 16}[self]
+
+    @property
+    def bytes(self) -> int:
+        """Byte width of one operand."""
+        return self.bits // 8
+
+    @property
+    def mantissa_bits(self) -> int:
+        """Bits that enter the integer MAC datapath (CIM FP mode loads mantissas)."""
+        return {Precision.INT8: 8, Precision.BF16: 8}[self]
+
+    @property
+    def accumulator_bytes(self) -> int:
+        """Byte width of an accumulated partial sum / output element."""
+        return {Precision.INT8: 4, Precision.BF16: 4}[self]
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division; denominator must be positive."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the inclusive range [low, high]."""
+    if low > high:
+        raise ValueError(f"invalid clamp range [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def cycles_to_seconds(cycles: float, frequency_ghz: float) -> float:
+    """Convert a cycle count to seconds at the given clock frequency."""
+    if frequency_ghz <= 0:
+        raise ValueError("frequency must be positive")
+    return cycles / (frequency_ghz * 1e9)
+
+
+def seconds_to_cycles(seconds: float, frequency_ghz: float) -> float:
+    """Convert a duration in seconds to clock cycles."""
+    if frequency_ghz <= 0:
+        raise ValueError("frequency must be positive")
+    return seconds * frequency_ghz * 1e9
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of positive values (used for speedup aggregation)."""
+    if not values:
+        raise ValueError("cannot take the geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

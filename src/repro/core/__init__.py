@@ -1,0 +1,44 @@
+"""Core of the reproduction: the CIM-based TPU model, simulator and explorer.
+
+This package assembles the substrates (matrix units, memory hierarchy, vector
+unit, mapping engine) into a chip-level TPU model, provides the inference
+simulator used for every experiment in the paper, the predefined designs
+(TPUv4i baseline, default CIM TPU, Design A, Design B) and the architecture
+design-space explorer behind Table IV / Fig. 7.
+"""
+
+from repro.core.config import MXUType, TPUConfig
+from repro.core.results import OperatorResult, GraphResult, StageResult, InferenceResult
+from repro.core.tpu import TPUModel
+from repro.core.simulator import InferenceSimulator, LLMInferenceSettings, DiTInferenceSettings
+from repro.core.designs import (
+    tpuv4i_baseline,
+    cim_tpu_default,
+    design_a,
+    design_b,
+    make_cim_tpu,
+    PREDEFINED_DESIGNS,
+)
+from repro.core.explorer import ArchitectureExplorer, DesignPoint, ExplorationRow
+
+__all__ = [
+    "MXUType",
+    "TPUConfig",
+    "OperatorResult",
+    "GraphResult",
+    "StageResult",
+    "InferenceResult",
+    "TPUModel",
+    "InferenceSimulator",
+    "LLMInferenceSettings",
+    "DiTInferenceSettings",
+    "tpuv4i_baseline",
+    "cim_tpu_default",
+    "design_a",
+    "design_b",
+    "make_cim_tpu",
+    "PREDEFINED_DESIGNS",
+    "ArchitectureExplorer",
+    "DesignPoint",
+    "ExplorationRow",
+]

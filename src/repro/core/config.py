@@ -1,0 +1,113 @@
+"""Chip-level configuration of a (CIM-based or baseline) TPU.
+
+A :class:`TPUConfig` captures every architectural parameter of Table I plus
+the design choices explored in Table IV: which matrix-unit flavour is
+installed, how many MXUs there are, their dimensions, memory capacities and
+bandwidths, and the scheduling options of the mapping engine.  Everything the
+simulator does is derived from one of these objects, so sweeping design points
+is just a matter of constructing new configs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.common import Precision
+from repro.mapping.schedule import ScheduleOptions
+
+
+class MXUType(enum.Enum):
+    """Matrix-unit flavour installed in the TensorCore."""
+
+    SYSTOLIC = "systolic"
+    CIM = "cim"
+
+
+@dataclass(frozen=True)
+class TPUConfig:
+    """Full architectural description of one TPU chip model."""
+
+    name: str = "tpuv4i"
+    mxu_type: MXUType = MXUType.SYSTOLIC
+    mxu_count: int = 4
+    # Digital systolic MXU dimensions (used when mxu_type is SYSTOLIC).
+    systolic_rows: int = 128
+    systolic_cols: int = 128
+    # CIM-MXU grid dimensions (used when mxu_type is CIM).
+    cim_grid_rows: int = 16
+    cim_grid_cols: int = 8
+    cim_core_rows: int = 128
+    cim_core_cols: int = 256
+    # Chip-level parameters (Table I).
+    frequency_ghz: float = 1.05
+    vmem_bytes: int = 16 * 2**20
+    cmem_bytes: int = 128 * 2**20
+    main_memory_bytes: int = 8 * 2**30
+    main_memory_bandwidth_gbps: float = 614.0
+    oci_bytes_per_cycle: float = 2048.0
+    ici_link_bandwidth_gbps: float = 100.0
+    ici_link_count: int = 2
+    vector_lanes: int = 8 * 128
+    technology: str = "tsmc22"
+    default_precision: Precision = Precision.INT8
+    schedule: ScheduleOptions = field(default_factory=ScheduleOptions)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("TPU configuration needs a non-empty name")
+        positive = (
+            "mxu_count", "systolic_rows", "systolic_cols", "cim_grid_rows", "cim_grid_cols",
+            "cim_core_rows", "cim_core_cols", "frequency_ghz", "vmem_bytes", "cmem_bytes",
+            "main_memory_bytes", "main_memory_bandwidth_gbps", "oci_bytes_per_cycle",
+            "ici_link_bandwidth_gbps", "ici_link_count", "vector_lanes",
+        )
+        for field_name in positive:
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    # ------------------------------------------------------------ derived
+    @property
+    def macs_per_cycle_per_mxu(self) -> int:
+        """Peak MACs per cycle of one installed MXU."""
+        if self.mxu_type is MXUType.SYSTOLIC:
+            return self.systolic_rows * self.systolic_cols
+        core_macs = self.cim_core_rows  # net MACs/cycle of one CIM core
+        return self.cim_grid_rows * self.cim_grid_cols * core_macs
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """Peak MACs per cycle of the whole chip."""
+        return self.mxu_count * self.macs_per_cycle_per_mxu
+
+    @property
+    def peak_tops(self) -> float:
+        """Peak INT8 TOPS of the chip."""
+        return 2.0 * self.peak_macs_per_cycle * self.frequency_ghz * 1e9 / 1e12
+
+    @property
+    def mxu_description(self) -> str:
+        """Human-readable MXU description used in reports."""
+        if self.mxu_type is MXUType.SYSTOLIC:
+            return f"{self.mxu_count} × {self.systolic_rows}×{self.systolic_cols} systolic"
+        return (f"{self.mxu_count} × {self.cim_grid_rows}×{self.cim_grid_cols} CIM cores "
+                f"({self.cim_core_rows}×{self.cim_core_cols} each)")
+
+    def with_updates(self, **kwargs: object) -> "TPUConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def table_rows(self) -> list[tuple[str, str]]:
+        """Key architecture parameters as (name, value) rows (Table I style)."""
+        return [
+            ("Tensor Core count", "1"),
+            ("MXU configuration", self.mxu_description),
+            ("Peak throughput", f"{self.peak_tops:.1f} TOPS (INT8)"),
+            ("Vector width", f"{self.vector_lanes // 128} × 128"),
+            ("Vector memory size", f"{self.vmem_bytes // 2**20} MB"),
+            ("Common memory size", f"{self.cmem_bytes // 2**20} MB"),
+            ("Main memory size", f"{self.main_memory_bytes // 2**30} GB"),
+            ("Main memory bandwidth", f"{self.main_memory_bandwidth_gbps:.0f} GB/s"),
+            ("ICI link bandwidth", f"{self.ici_link_bandwidth_gbps:.0f} GB/s × {self.ici_link_count}"),
+            ("Clock frequency", f"{self.frequency_ghz:.2f} GHz"),
+        ]

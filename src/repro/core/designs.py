@@ -1,0 +1,59 @@
+"""Predefined TPU designs used throughout the paper's evaluation.
+
+* :func:`tpuv4i_baseline` — the baseline TPUv4i with four 128×128 digital
+  systolic MXUs (Table I, left column).
+* :func:`cim_tpu_default` — the paper's default CIM-based TPU: the same chip
+  with the MXUs replaced by four 16×8 grids of 128×256 CIM cores (Table I,
+  right column), used in the Fig. 6 analysis.
+* :func:`design_a` — the LLM-optimised design from the exploration: four
+  CIM-MXUs with 8×8 CIM-core grids.
+* :func:`design_b` — the DiT-optimised design: eight CIM-MXUs with 16×8 grids.
+* :func:`make_cim_tpu` — arbitrary Table IV design points.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MXUType, TPUConfig
+
+
+def tpuv4i_baseline(name: str = "tpuv4i-baseline") -> TPUConfig:
+    """The baseline TPUv4i configuration (four 128×128 systolic MXUs)."""
+    return TPUConfig(name=name, mxu_type=MXUType.SYSTOLIC, mxu_count=4,
+                     systolic_rows=128, systolic_cols=128)
+
+
+def make_cim_tpu(mxu_count: int, grid_rows: int, grid_cols: int,
+                 name: str | None = None) -> TPUConfig:
+    """A CIM-based TPU with the given CIM-MXU count and core-grid dimensions.
+
+    Everything else (memory capacities, bandwidths, frequency, VPU) stays at
+    the Table I values, exactly as in the paper's exploration.
+    """
+    if name is None:
+        name = f"cim-{mxu_count}x{grid_rows}x{grid_cols}"
+    return TPUConfig(name=name, mxu_type=MXUType.CIM, mxu_count=mxu_count,
+                     cim_grid_rows=grid_rows, cim_grid_cols=grid_cols)
+
+
+def cim_tpu_default(name: str = "cim-tpu") -> TPUConfig:
+    """The default CIM-based TPU: four 16×8 CIM-MXUs (Table I)."""
+    return make_cim_tpu(mxu_count=4, grid_rows=16, grid_cols=8, name=name)
+
+
+def design_a(name: str = "design-a") -> TPUConfig:
+    """Design A: LLM-optimised CIM TPU (four CIM-MXUs, 8×8 CIM cores)."""
+    return make_cim_tpu(mxu_count=4, grid_rows=8, grid_cols=8, name=name)
+
+
+def design_b(name: str = "design-b") -> TPUConfig:
+    """Design B: DiT-optimised CIM TPU (eight CIM-MXUs, 16×8 CIM cores)."""
+    return make_cim_tpu(mxu_count=8, grid_rows=16, grid_cols=8, name=name)
+
+
+#: The named designs used by the benchmarks and examples.
+PREDEFINED_DESIGNS: dict[str, TPUConfig] = {
+    "baseline": tpuv4i_baseline(),
+    "cim-default": cim_tpu_default(),
+    "design-a": design_a(),
+    "design-b": design_b(),
+}

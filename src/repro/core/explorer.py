@@ -1,0 +1,136 @@
+"""Architecture design-space exploration (Table IV / Fig. 7 of the paper).
+
+The explorer sweeps the CIM-MXU design choices of Table IV — core-grid
+dimensions 8×8, 16×8 and 16×16 combined with 2, 4 or 8 CIM-MXUs per chip —
+runs LLM and DiT inference on every design point, and compares latency and
+MXU energy against the TPUv4i baseline.  Its outputs are the rows plotted in
+Fig. 7 and the provenance of Design A (LLM-optimal trade-off) and Design B
+(DiT-optimal trade-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TPUConfig
+from repro.core.designs import make_cim_tpu, tpuv4i_baseline
+from repro.core.results import InferenceResult
+from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+from repro.workloads.dit import DIT_XL_2, DiTConfig
+from repro.workloads.llm import GPT3_30B, LLMConfig
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One CIM-MXU design choice from Table IV."""
+
+    mxu_count: int
+    grid_rows: int
+    grid_cols: int
+
+    def __post_init__(self) -> None:
+        if self.mxu_count <= 0 or self.grid_rows <= 0 or self.grid_cols <= 0:
+            raise ValueError("design point dimensions must be positive")
+
+    @property
+    def label(self) -> str:
+        """Short label used in tables ("4 × 16x8")."""
+        return f"{self.mxu_count} x {self.grid_rows}x{self.grid_cols}"
+
+    def to_config(self) -> TPUConfig:
+        """The TPU configuration of this design point."""
+        return make_cim_tpu(self.mxu_count, self.grid_rows, self.grid_cols)
+
+
+#: The nine design points spanned by Table IV (3 array dimensions × 3 counts).
+TABLE_IV_DESIGN_POINTS: list[DesignPoint] = [
+    DesignPoint(mxu_count=count, grid_rows=rows, grid_cols=cols)
+    for rows, cols in ((8, 8), (16, 8), (16, 16))
+    for count in (2, 4, 8)
+]
+
+
+@dataclass(frozen=True)
+class ExplorationRow:
+    """Evaluation of one design point on one workload."""
+
+    design: str
+    workload: str
+    peak_tops: float
+    latency_seconds: float
+    mxu_energy_joules: float
+    latency_vs_baseline: float
+    energy_saving_vs_baseline: float
+
+    @property
+    def latency_change_percent(self) -> float:
+        """Latency change relative to the baseline (negative = faster)."""
+        return (self.latency_vs_baseline - 1.0) * 100.0
+
+
+@dataclass
+class ArchitectureExplorer:
+    """Sweeps CIM-MXU design choices over LLM and DiT inference."""
+
+    llm: LLMConfig = GPT3_30B
+    dit: DiTConfig = DIT_XL_2
+    llm_settings: LLMInferenceSettings = field(default_factory=LLMInferenceSettings)
+    dit_settings: DiTInferenceSettings = field(default_factory=DiTInferenceSettings)
+    design_points: list[DesignPoint] = field(default_factory=lambda: list(TABLE_IV_DESIGN_POINTS))
+
+    def _run_workloads(self, config: TPUConfig) -> dict[str, InferenceResult]:
+        simulator = InferenceSimulator(config)
+        return {
+            "llm": simulator.simulate_llm_inference(self.llm, self.llm_settings),
+            "dit": simulator.simulate_dit_inference(self.dit, self.dit_settings),
+        }
+
+    def explore(self) -> list[ExplorationRow]:
+        """Evaluate the baseline and every design point on both workloads."""
+        baseline_config = tpuv4i_baseline()
+        baseline_results = self._run_workloads(baseline_config)
+
+        rows: list[ExplorationRow] = []
+        for workload, result in baseline_results.items():
+            rows.append(ExplorationRow(
+                design="baseline", workload=workload,
+                peak_tops=baseline_config.peak_tops,
+                latency_seconds=result.total_seconds,
+                mxu_energy_joules=result.mxu_energy,
+                latency_vs_baseline=1.0,
+                energy_saving_vs_baseline=1.0))
+
+        for point in self.design_points:
+            config = point.to_config()
+            results = self._run_workloads(config)
+            for workload, result in results.items():
+                baseline = baseline_results[workload]
+                rows.append(ExplorationRow(
+                    design=point.label, workload=workload,
+                    peak_tops=config.peak_tops,
+                    latency_seconds=result.total_seconds,
+                    mxu_energy_joules=result.mxu_energy,
+                    latency_vs_baseline=result.total_seconds / baseline.total_seconds,
+                    energy_saving_vs_baseline=baseline.mxu_energy / result.mxu_energy))
+        return rows
+
+    # --------------------------------------------------------------- optima
+    @staticmethod
+    def _workload_rows(rows: list[ExplorationRow], workload: str) -> list[ExplorationRow]:
+        return [row for row in rows if row.workload == workload and row.design != "baseline"]
+
+    def best_design(self, rows: list[ExplorationRow], workload: str,
+                    max_latency_increase: float = 0.10) -> ExplorationRow:
+        """Pick the best trade-off design for a workload.
+
+        Mirrors the paper's reasoning: among design points whose latency is no
+        more than ``max_latency_increase`` worse than the best-latency point,
+        pick the one with the highest MXU-energy saving.
+        """
+        candidates = self._workload_rows(rows, workload)
+        if not candidates:
+            raise ValueError(f"no exploration rows for workload '{workload}'")
+        best_latency = min(row.latency_seconds for row in candidates)
+        tolerable = [row for row in candidates
+                     if row.latency_seconds <= best_latency * (1.0 + max_latency_increase)]
+        return max(tolerable, key=lambda row: row.energy_saving_vs_baseline)

@@ -1,0 +1,199 @@
+"""Result containers produced by the simulator.
+
+Three levels of aggregation mirror the granularity of the paper's figures:
+
+* :class:`OperatorResult` — one operator on one chip (bars inside Fig. 6).
+* :class:`GraphResult` — one operator graph (a Transformer layer, a DiT
+  block, or a whole model), with by-category latency and energy breakdowns.
+* :class:`InferenceResult` — a full inference composed of stages (prefill +
+  decode, or repeated DiT blocks over sampling steps), used by Fig. 7 / 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.energy import EnergyBudget
+from repro.workloads.operators import LayerCategory, Operator
+
+
+@dataclass(frozen=True)
+class OperatorResult:
+    """Cost of one operator on the simulated chip."""
+
+    operator: Operator
+    cycles: float
+    seconds: float
+    energy: EnergyBudget
+    unit: str                      # "mxu" or "vpu"
+    bound: str                     # "compute" or "memory"
+    utilization: float
+    mxu_busy_cycles: float = 0.0
+
+    @property
+    def name(self) -> str:
+        """Operator name."""
+        return self.operator.name
+
+    @property
+    def category(self) -> LayerCategory:
+        """Layer category used by the breakdowns."""
+        return self.operator.category
+
+    @property
+    def mxu_energy(self) -> float:
+        """Energy attributed to the matrix units for this operator."""
+        return self.energy.component_total("mxu")
+
+
+@dataclass
+class GraphResult:
+    """Cost of one operator graph (layer, block or model)."""
+
+    name: str
+    tpu_name: str
+    operator_results: list[OperatorResult] = field(default_factory=list)
+    #: Idle leakage accumulated by units waiting for other units, added by the
+    #: chip model on top of the per-operator energies.
+    idle_energy: EnergyBudget = field(default_factory=EnergyBudget)
+
+    @property
+    def total_cycles(self) -> float:
+        """End-to-end cycles of the graph (operators execute sequentially)."""
+        return sum(result.cycles for result in self.operator_results)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency in seconds."""
+        return sum(result.seconds for result in self.operator_results)
+
+    @property
+    def total_energy(self) -> EnergyBudget:
+        """Total chip energy including idle leakage."""
+        budget = EnergyBudget()
+        for result in self.operator_results:
+            budget.merge(result.energy)
+        budget.merge(self.idle_energy)
+        return budget
+
+    @property
+    def mxu_energy(self) -> float:
+        """MXU energy (the quantity the paper's energy axes report)."""
+        return self.total_energy.component_total("mxu")
+
+    @property
+    def total_macs(self) -> float:
+        """Useful MACs executed by the graph."""
+        return sum(getattr(result.operator, "macs", 0) for result in self.operator_results)
+
+    # ------------------------------------------------------------ breakdowns
+    def latency_by_category(self) -> dict[LayerCategory, float]:
+        """Latency (seconds) grouped by layer category."""
+        breakdown: dict[LayerCategory, float] = {}
+        for result in self.operator_results:
+            breakdown[result.category] = breakdown.get(result.category, 0.0) + result.seconds
+        return breakdown
+
+    def mxu_energy_by_category(self) -> dict[LayerCategory, float]:
+        """MXU energy (J) grouped by layer category."""
+        breakdown: dict[LayerCategory, float] = {}
+        for result in self.operator_results:
+            breakdown[result.category] = breakdown.get(result.category, 0.0) + result.mxu_energy
+        return breakdown
+
+    def latency_fraction(self, category: LayerCategory) -> float:
+        """Fraction of total latency spent in the given category."""
+        total = self.total_seconds
+        if total == 0:
+            return 0.0
+        return self.latency_by_category().get(category, 0.0) / total
+
+    def category_fractions(self) -> dict[LayerCategory, float]:
+        """Latency fraction of every category present in the graph."""
+        total = self.total_seconds
+        if total == 0:
+            return {}
+        return {category: seconds / total
+                for category, seconds in self.latency_by_category().items()}
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """One inference stage: an evaluated graph plus how often it repeats."""
+
+    name: str
+    graph: GraphResult
+    repeat: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.repeat <= 0:
+            raise ValueError("repeat must be positive")
+
+    @property
+    def seconds(self) -> float:
+        """Total latency contribution of the stage."""
+        return self.graph.total_seconds * self.repeat
+
+    @property
+    def mxu_energy(self) -> float:
+        """Total MXU energy contribution of the stage."""
+        return self.graph.mxu_energy * self.repeat
+
+    @property
+    def total_energy(self) -> float:
+        """Total chip energy contribution of the stage."""
+        return self.graph.total_energy.total * self.repeat
+
+
+@dataclass
+class InferenceResult:
+    """A complete simulated inference (one or more stages)."""
+
+    model_name: str
+    tpu_name: str
+    stages: list[StageResult] = field(default_factory=list)
+    #: Number of "items" produced (generated tokens for LLMs, images for DiT),
+    #: used to convert latency to throughput.
+    items: float = 1.0
+    item_unit: str = "token"
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end inference latency."""
+        return sum(stage.seconds for stage in self.stages)
+
+    @property
+    def mxu_energy(self) -> float:
+        """Total MXU energy over the inference."""
+        return sum(stage.mxu_energy for stage in self.stages)
+
+    @property
+    def total_energy(self) -> float:
+        """Total chip energy over the inference."""
+        return sum(stage.total_energy for stage in self.stages)
+
+    @property
+    def throughput(self) -> float:
+        """Items per second (tokens/s for LLMs, images/s for DiT)."""
+        seconds = self.total_seconds
+        return self.items / seconds if seconds > 0 else 0.0
+
+    def stage(self, name: str) -> StageResult:
+        """Look up a stage by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        known = ", ".join(s.name for s in self.stages)
+        raise KeyError(f"no stage named '{name}' (stages: {known})")
+
+    def speedup_over(self, baseline: "InferenceResult") -> float:
+        """Latency speedup of this result relative to a baseline result."""
+        if self.total_seconds == 0:
+            raise ZeroDivisionError("cannot compute speedup for a zero-latency result")
+        return baseline.total_seconds / self.total_seconds
+
+    def mxu_energy_reduction_over(self, baseline: "InferenceResult") -> float:
+        """MXU energy reduction factor relative to a baseline result."""
+        if self.mxu_energy == 0:
+            raise ZeroDivisionError("cannot compute energy reduction for a zero-energy result")
+        return baseline.mxu_energy / self.mxu_energy

@@ -1,0 +1,143 @@
+"""Inference simulator: run generative-model workloads on a TPU model.
+
+The simulator reproduces the paper's evaluation methodology:
+
+* **LLM layer analysis** (Fig. 6) — one Transformer layer of GPT-3-30B in the
+  prefill stage (prompt length 1024, batch 8) and in the decode stage
+  (processing the 256th output token), INT8.
+* **LLM end-to-end inference** (Fig. 7/8) — prefill of the whole prompt plus
+  the full decode phase (paper setting: 1024 input / 512 output tokens); the
+  per-layer results are scaled by the layer count, and the decode phase is
+  sampled at several KV-cache lengths to capture its growth.
+* **DiT block / end-to-end** — one DiT-XL/2 block at 512×512 (Fig. 6) and the
+  full sampling loop (blocks × depth × diffusion steps) for Fig. 7/8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import Precision
+from repro.core.config import TPUConfig
+from repro.core.results import GraphResult, InferenceResult, StageResult
+from repro.core.tpu import TPUModel
+from repro.workloads.dit import DiTConfig, build_dit_block
+from repro.workloads.llm import LLMConfig, build_llm_layer
+from repro.workloads.graph import OperatorGraph
+
+
+@dataclass(frozen=True)
+class LLMInferenceSettings:
+    """Evaluation settings for LLM inference (paper defaults)."""
+
+    batch: int = 8
+    input_tokens: int = 1024
+    output_tokens: int = 512
+    precision: Precision = Precision.INT8
+    #: Number of KV-cache lengths at which the decode layer is evaluated; the
+    #: decode phase cost is the average of these samples times the token count.
+    decode_kv_samples: int = 4
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or self.input_tokens <= 0 or self.output_tokens <= 0:
+            raise ValueError("batch, input_tokens and output_tokens must be positive")
+        if self.decode_kv_samples <= 0:
+            raise ValueError("decode_kv_samples must be positive")
+
+    def decode_kv_lengths(self) -> list[int]:
+        """Representative KV-cache lengths spanning the decode phase."""
+        samples = min(self.decode_kv_samples, self.output_tokens)
+        if samples == 1:
+            return [self.input_tokens + self.output_tokens // 2]
+        step = self.output_tokens / samples
+        return [int(self.input_tokens + step * (i + 0.5)) for i in range(samples)]
+
+
+@dataclass(frozen=True)
+class DiTInferenceSettings:
+    """Evaluation settings for DiT inference (paper defaults)."""
+
+    batch: int = 8
+    image_resolution: int = 512
+    sampling_steps: int = 50
+    precision: Precision = Precision.INT8
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or self.image_resolution <= 0 or self.sampling_steps <= 0:
+            raise ValueError("batch, image_resolution and sampling_steps must be positive")
+
+
+class InferenceSimulator:
+    """Drives a :class:`TPUModel` over generative-model workloads."""
+
+    def __init__(self, tpu_config: TPUConfig) -> None:
+        self.tpu_config = tpu_config
+        self.model = TPUModel(tpu_config)
+
+    # ------------------------------------------------------------- primitives
+    def run_graph(self, graph: OperatorGraph) -> GraphResult:
+        """Evaluate an arbitrary operator graph on the configured TPU."""
+        return self.model.run_graph(graph)
+
+    # ------------------------------------------------------------------- LLM
+    def simulate_llm_prefill_layer(self, llm: LLMConfig,
+                                   settings: LLMInferenceSettings) -> GraphResult:
+        """One Transformer layer processing the whole prompt (Fig. 6 left)."""
+        graph = build_llm_layer(llm, "prefill", settings.batch, settings.input_tokens,
+                                precision=settings.precision)
+        return self.model.run_graph(graph)
+
+    def simulate_llm_decode_layer(self, llm: LLMConfig, settings: LLMInferenceSettings,
+                                  kv_len: int | None = None) -> GraphResult:
+        """One Transformer layer processing one decode token (Fig. 6 middle).
+
+        The paper simulates the 256th output token, i.e. a KV length of the
+        prompt plus 256; that is the default when ``kv_len`` is not given.
+        """
+        effective_kv = kv_len if kv_len is not None else settings.input_tokens + 256
+        graph = build_llm_layer(llm, "decode", settings.batch, settings.input_tokens,
+                                kv_len=effective_kv, precision=settings.precision)
+        return self.model.run_graph(graph)
+
+    def simulate_llm_inference(self, llm: LLMConfig,
+                               settings: LLMInferenceSettings | None = None) -> InferenceResult:
+        """End-to-end LLM inference: prefill plus the full decode phase."""
+        settings = settings if settings is not None else LLMInferenceSettings()
+        result = InferenceResult(model_name=llm.name, tpu_name=self.tpu_config.name,
+                                 items=float(settings.batch * settings.output_tokens),
+                                 item_unit="token")
+
+        prefill = self.simulate_llm_prefill_layer(llm, settings)
+        result.stages.append(StageResult(name="prefill", graph=prefill,
+                                         repeat=float(llm.num_layers)))
+
+        kv_lengths = settings.decode_kv_lengths()
+        tokens_per_sample = settings.output_tokens / len(kv_lengths)
+        for index, kv_len in enumerate(kv_lengths):
+            decode = self.simulate_llm_decode_layer(llm, settings, kv_len=kv_len)
+            result.stages.append(StageResult(
+                name=f"decode[kv={kv_len}]" if len(kv_lengths) > 1 else "decode",
+                graph=decode,
+                repeat=float(llm.num_layers) * tokens_per_sample))
+            del index
+        return result
+
+    # ------------------------------------------------------------------- DiT
+    def simulate_dit_block(self, dit: DiTConfig,
+                           settings: DiTInferenceSettings) -> GraphResult:
+        """One DiT block at the configured resolution (Fig. 6 right)."""
+        graph = build_dit_block(dit, settings.batch, settings.image_resolution,
+                                precision=settings.precision)
+        return self.model.run_graph(graph)
+
+    def simulate_dit_inference(self, dit: DiTConfig,
+                               settings: DiTInferenceSettings | None = None) -> InferenceResult:
+        """End-to-end DiT sampling: blocks × depth × diffusion steps."""
+        settings = settings if settings is not None else DiTInferenceSettings()
+        result = InferenceResult(model_name=dit.name, tpu_name=self.tpu_config.name,
+                                 items=float(settings.batch), item_unit="image")
+        block = self.simulate_dit_block(dit, settings)
+        result.stages.append(StageResult(
+            name="dit_blocks", graph=block,
+            repeat=float(dit.depth * settings.sampling_steps)))
+        return result

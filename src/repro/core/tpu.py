@@ -1,0 +1,209 @@
+"""Chip-level TPU model: matrix units + vector unit + memory + mapping engine.
+
+A :class:`TPUModel` is constructed from a :class:`repro.core.config.TPUConfig`
+and exposes two entry points: :meth:`TPUModel.run_operator` evaluates a single
+operator and :meth:`TPUModel.run_graph` evaluates an operator graph (a
+Transformer layer, DiT block or whole model).  Energy accounting follows the
+paper's convention: per-operator results include the dynamic energy and the
+busy-time leakage of the units doing the work *and* the idle leakage of the
+units waiting (e.g. the MXUs leak while the VPU computes a Softmax), so that
+the per-category MXU energy bars of Fig. 6 add up to the chip totals used in
+Fig. 7/8.
+"""
+
+from __future__ import annotations
+
+from repro.cim.macro import CIMMacroConfig
+from repro.cim.mxu import CIMMXU, CIMMXUConfig
+from repro.core.config import MXUType, TPUConfig
+from repro.core.results import GraphResult, OperatorResult
+from repro.hw.area import AreaModel
+from repro.hw.calibration import PAPER_CALIBRATION, TPUSpec
+from repro.hw.energy import EnergyModel
+from repro.hw.technology import get_node
+from repro.mapping.engine import MappingEngine, MappingObjective
+from repro.memory.dram import MainMemoryConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.interconnect import OCIConfig
+from repro.memory.sram import SRAMConfig
+from repro.systolic.systolic_array import DigitalMXU, SystolicArrayConfig
+from repro.vector.layernorm import layernorm_op_counts
+from repro.vector.softmax import softmax_op_counts
+from repro.vector.activations import elementwise_op_counts, gelu_tanh_op_counts
+from repro.vector.vpu import VectorUnit, VPUConfig
+from repro.workloads.graph import OperatorGraph
+from repro.workloads.operators import (
+    ElementwiseOp,
+    GeLUOp,
+    LayerNormOp,
+    MatMulOp,
+    Operator,
+    SoftmaxOp,
+)
+
+
+class TPUModel:
+    """Analytical model of one TPU chip (baseline or CIM-based)."""
+
+    def __init__(self, config: TPUConfig,
+                 objective: MappingObjective = MappingObjective.LATENCY) -> None:
+        self.config = config
+        technology = get_node(config.technology)
+        spec = TPUSpec(
+            frequency_ghz=config.frequency_ghz,
+            mxu_count=config.mxu_count,
+            systolic_rows=config.systolic_rows,
+            systolic_cols=config.systolic_cols,
+            cim_grid_rows=config.cim_grid_rows,
+            cim_grid_cols=config.cim_grid_cols,
+            cim_core_rows=config.cim_core_rows,
+            cim_core_cols=config.cim_core_cols,
+            vector_lanes=config.vector_lanes,
+            vmem_bytes=config.vmem_bytes,
+            cmem_bytes=config.cmem_bytes,
+            main_memory_bytes=config.main_memory_bytes,
+            main_memory_bandwidth_gbps=config.main_memory_bandwidth_gbps,
+            ici_link_bandwidth_gbps=config.ici_link_bandwidth_gbps,
+            ici_link_count=config.ici_link_count,
+        )
+        self.energy_model = EnergyModel(technology=technology, calibration=PAPER_CALIBRATION,
+                                        spec=spec)
+        self.area_model = AreaModel(technology=technology, calibration=PAPER_CALIBRATION, spec=spec)
+        self.mxu = self._build_mxu()
+        self.vpu = VectorUnit(
+            config=VPUConfig(lanes=config.vector_lanes, frequency_ghz=config.frequency_ghz),
+            energy_model=self.energy_model)
+        self.hierarchy = MemoryHierarchy(
+            vmem=SRAMConfig(name="VMEM", capacity_bytes=config.vmem_bytes,
+                            read_bytes_per_cycle=4096.0, write_bytes_per_cycle=4096.0, banks=128),
+            cmem=SRAMConfig(name="CMEM", capacity_bytes=config.cmem_bytes,
+                            read_bytes_per_cycle=2048.0, write_bytes_per_cycle=2048.0, banks=64),
+            main_memory=MainMemoryConfig(capacity_bytes=config.main_memory_bytes,
+                                         bandwidth_gbps=config.main_memory_bandwidth_gbps,
+                                         frequency_ghz=config.frequency_ghz),
+            oci=OCIConfig(bandwidth_bytes_per_cycle=config.oci_bytes_per_cycle),
+            energy_model=self.energy_model)
+        self.engine = MappingEngine(
+            mxu_template=self.mxu, mxu_count=config.mxu_count,
+            hierarchy=self.hierarchy, vpu=self.vpu,
+            schedule=config.schedule, objective=objective)
+
+    # ----------------------------------------------------------- construction
+    def _build_mxu(self) -> DigitalMXU | CIMMXU:
+        cfg = self.config
+        if cfg.mxu_type is MXUType.SYSTOLIC:
+            return DigitalMXU(
+                config=SystolicArrayConfig(rows=cfg.systolic_rows, cols=cfg.systolic_cols,
+                                           frequency_ghz=cfg.frequency_ghz),
+                energy_model=self.energy_model, area_model=self.area_model)
+        core = CIMMacroConfig(input_channels=cfg.cim_core_rows, output_channels=cfg.cim_core_cols,
+                              macs_per_cycle=cfg.cim_core_rows)
+        return CIMMXU(
+            config=CIMMXUConfig(grid_rows=cfg.cim_grid_rows, grid_cols=cfg.cim_grid_cols,
+                                core=core, frequency_ghz=cfg.frequency_ghz),
+            energy_model=self.energy_model, area_model=self.area_model)
+
+    # ------------------------------------------------------------- properties
+    @property
+    def name(self) -> str:
+        """Configuration name."""
+        return self.config.name
+
+    @property
+    def mxu_area_mm2(self) -> float:
+        """Total MXU silicon area of the chip."""
+        return self.mxu.area_mm2 * self.config.mxu_count
+
+    @property
+    def frequency_hz(self) -> float:
+        """Clock frequency in hertz."""
+        return self.config.frequency_ghz * 1e9
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert cycles to seconds at the chip clock."""
+        return cycles / self.frequency_hz
+
+    # --------------------------------------------------------------- operators
+    def run_operator(self, operator: Operator) -> OperatorResult:
+        """Evaluate one operator on this chip."""
+        if isinstance(operator, MatMulOp):
+            return self._run_matmul(operator)
+        return self._run_vector_op(operator)
+
+    def _run_matmul(self, op: MatMulOp) -> OperatorResult:
+        mapping = self.engine.map_matmul(op)
+        energy = mapping.energy
+
+        # Idle leakage: MXUs not used by the mapping, and the stall time of
+        # the used MXUs when the operator is memory-bound, plus the idle VPU.
+        used = mapping.candidate.mxu_count
+        idle_mxu_cycles = (self.config.mxu_count * mapping.total_cycles
+                           - used * mapping.mxu_busy_cycles)
+        if idle_mxu_cycles > 0:
+            energy.merge(self.mxu.idle_energy(idle_mxu_cycles))
+        energy.merge(self.vpu.idle_energy(mapping.total_cycles))
+
+        return OperatorResult(
+            operator=op,
+            cycles=mapping.total_cycles,
+            seconds=self.cycles_to_seconds(mapping.total_cycles),
+            energy=energy,
+            unit="mxu",
+            bound=mapping.bound,
+            utilization=mapping.utilization,
+            mxu_busy_cycles=mapping.mxu_busy_cycles,
+        )
+
+    def _vector_cost(self, op: Operator) -> tuple[int, int, int]:
+        """Scalar-op count and traffic of a vector operator."""
+        if not isinstance(op, (SoftmaxOp, LayerNormOp, GeLUOp, ElementwiseOp)):
+            raise TypeError(f"unsupported vector operator type: {type(op).__name__}")
+        element_bytes = op.precision.bytes
+        if isinstance(op, SoftmaxOp):
+            cost = softmax_op_counts(op.rows, op.row_length, element_bytes)
+            return cost.total_ops, cost.input_bytes, cost.output_bytes
+        if isinstance(op, LayerNormOp):
+            cost = layernorm_op_counts(op.rows, op.hidden_dim, element_bytes)
+            return cost.total_ops, cost.input_bytes, cost.output_bytes
+        if isinstance(op, GeLUOp):
+            cost = gelu_tanh_op_counts(op.elements, element_bytes)
+            return cost.total_ops, cost.input_bytes, cost.output_bytes
+        if isinstance(op, ElementwiseOp):
+            cost = elementwise_op_counts(op.name, op.elements, op.ops_per_element,
+                                         op.operands, element_bytes)
+            return cost.total_ops, cost.input_bytes, cost.output_bytes
+        raise TypeError(f"unsupported vector operator type: {type(op).__name__}")
+
+    def _run_vector_op(self, op: Operator) -> OperatorResult:
+        total_ops, input_bytes, output_bytes = self._vector_cost(op)
+        vpu_result = self.vpu.execute(total_ops, input_bytes, output_bytes)
+        transfer = self.hierarchy.cmem_to_vmem(input_bytes + output_bytes)
+        if self.config.schedule.double_buffering:
+            cycles = max(vpu_result.cycles, transfer.cycles)
+        else:
+            cycles = vpu_result.cycles + transfer.cycles
+
+        energy = vpu_result.energy
+        energy.merge(transfer.energy)
+        # Matrix units leak while the vector unit works.
+        energy.merge(self.mxu.idle_energy(self.config.mxu_count * cycles))
+
+        bound = "compute" if vpu_result.cycles >= transfer.cycles else "memory"
+        return OperatorResult(
+            operator=op,
+            cycles=cycles,
+            seconds=self.cycles_to_seconds(cycles),
+            energy=energy,
+            unit="vpu",
+            bound=bound,
+            utilization=0.0,
+            mxu_busy_cycles=0.0,
+        )
+
+    # ------------------------------------------------------------------ graphs
+    def run_graph(self, graph: OperatorGraph) -> GraphResult:
+        """Evaluate an operator graph; operators execute back to back."""
+        result = GraphResult(name=graph.name, tpu_name=self.config.name)
+        for operator in graph:
+            result.operator_results.append(self.run_operator(operator))
+        return result

@@ -1,0 +1,13 @@
+"""Reference data sets: the Fig. 1 CIM survey and the Fig. 2d GPU profile."""
+
+from repro.data.cim_survey import CIMDesignRecord, CIM_DESIGN_SURVEY, performance_evolution
+from repro.data.gpu_profile import GPUDeviceModel, A100_PCIE_40GB, profile_model_breakdown
+
+__all__ = [
+    "CIMDesignRecord",
+    "CIM_DESIGN_SURVEY",
+    "performance_evolution",
+    "GPUDeviceModel",
+    "A100_PCIE_40GB",
+    "profile_model_breakdown",
+]

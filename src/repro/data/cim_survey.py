@@ -1,0 +1,77 @@
+"""Survey of published CIM designs (Fig. 1 of the paper).
+
+Fig. 1 plots the computing performance of CIM-based designs over time against
+two established accelerators (NVIDIA A100 and Google TPUv4) and the >100 TOPS
+target of the paper's CIM-based TPU.  The data points — all taken from the
+publications the paper cites — are reproduced here so the Fig. 1 bench can
+regenerate the series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CIMDesignRecord:
+    """One published design point of Fig. 1."""
+
+    name: str
+    venue: str
+    year: int
+    peak_tops: float
+    area_mm2: float
+    technology_nm: int
+    supports_floating_point: bool
+    is_cim: bool
+    reference: str
+
+    def __post_init__(self) -> None:
+        if self.peak_tops <= 0 or self.area_mm2 <= 0 or self.technology_nm <= 0:
+            raise ValueError(f"invalid record for {self.name}")
+        if self.year < 2015 or self.year > 2030:
+            raise ValueError(f"implausible year {self.year} for {self.name}")
+
+    @property
+    def tops_per_mm2(self) -> float:
+        """Area efficiency of the design."""
+        return self.peak_tops / self.area_mm2
+
+
+#: The designs plotted in Fig. 1, ordered chronologically.
+CIM_DESIGN_SURVEY: list[CIMDesignRecord] = [
+    CIMDesignRecord(name="Twin-8T SRAM CIM macro", venue="ISSCC", year=2019,
+                    peak_tops=0.0177, area_mm2=0.003, technology_nm=65,
+                    supports_floating_point=False, is_cim=True, reference="[7]"),
+    CIMDesignRecord(name="7nm FinFET CIM macro", venue="ISSCC", year=2020,
+                    peak_tops=0.4551, area_mm2=0.0032, technology_nm=7,
+                    supports_floating_point=False, is_cim=True, reference="[8]"),
+    CIMDesignRecord(name="Reconfigurable digital CIM processor", venue="ISSCC", year=2022,
+                    peak_tops=1.35, area_mm2=0.94, technology_nm=28,
+                    supports_floating_point=True, is_cim=True, reference="[9]"),
+    CIMDesignRecord(name="Intensive-CIM sparse-digital processor", venue="ISSCC", year=2023,
+                    peak_tops=5.52, area_mm2=4.54, technology_nm=28,
+                    supports_floating_point=True, is_cim=True, reference="[10]"),
+    CIMDesignRecord(name="Metis AIPU core", venue="ISSCC", year=2024,
+                    peak_tops=52.4, area_mm2=6.5, technology_nm=12,
+                    supports_floating_point=False, is_cim=True, reference="[11]"),
+    CIMDesignRecord(name="NVIDIA A100", venue="IEEE Micro", year=2021,
+                    peak_tops=624.0, area_mm2=826.0, technology_nm=7,
+                    supports_floating_point=True, is_cim=False, reference="[4]"),
+    CIMDesignRecord(name="Google TPUv4", venue="ISCA", year=2023,
+                    peak_tops=275.0, area_mm2=780.0, technology_nm=7,
+                    supports_floating_point=True, is_cim=False, reference="[6]"),
+]
+
+
+def performance_evolution(cim_only: bool = True) -> list[tuple[int, float]]:
+    """(year, peak TOPS) series of the survey, ordered by year."""
+    records = [r for r in CIM_DESIGN_SURVEY if r.is_cim] if cim_only else list(CIM_DESIGN_SURVEY)
+    return sorted(((r.year, r.peak_tops) for r in records), key=lambda pair: pair[0])
+
+
+def performance_gap_to_accelerators() -> float:
+    """Ratio between the best non-CIM accelerator and the best CIM design."""
+    best_cim = max(r.peak_tops for r in CIM_DESIGN_SURVEY if r.is_cim)
+    best_accel = max(r.peak_tops for r in CIM_DESIGN_SURVEY if not r.is_cim)
+    return best_accel / best_cim

@@ -1,0 +1,33 @@
+"""Hardware cost models: technology scaling, energy, area and calibration.
+
+This package provides the low-level cost models that every higher-level
+component model (systolic MXU, CIM-MXU, SRAM buffers, HBM, VPU) builds on:
+
+* :mod:`repro.hw.technology` — technology-node descriptions and scaling rules.
+* :mod:`repro.hw.calibration` — the silicon-calibrated constants reported by the
+  paper (Table II) together with the TPUv4i public specifications.
+* :mod:`repro.hw.energy` — per-operation dynamic energy and leakage power models.
+* :mod:`repro.hw.area` — area models for MXUs, CIM cores and SRAM.
+"""
+
+from repro.hw.technology import TechnologyNode, TECHNOLOGY_NODES, scale_energy, scale_area
+from repro.hw.calibration import (
+    CalibrationConstants,
+    PAPER_CALIBRATION,
+    TPUV4I_SPEC,
+)
+from repro.hw.energy import EnergyModel, EnergyBudget
+from repro.hw.area import AreaModel
+
+__all__ = [
+    "TechnologyNode",
+    "TECHNOLOGY_NODES",
+    "scale_energy",
+    "scale_area",
+    "CalibrationConstants",
+    "PAPER_CALIBRATION",
+    "TPUV4I_SPEC",
+    "EnergyModel",
+    "EnergyBudget",
+    "AreaModel",
+]

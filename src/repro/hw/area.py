@@ -1,0 +1,74 @@
+"""Area models for MXUs, CIM cores and SRAM buffers.
+
+Areas are derived from the Table II area efficiencies at the 22 nm calibration
+node and scaled with the selected technology node.  The chip-level evaluation
+in the paper only uses MXU area for two statements — the CIM-MXU reaches the
+baseline peak throughput in about half the area, and larger CIM-MXU
+configurations spend the freed-up area on more CIM cores — both of which this
+model reproduces directly from the calibrated densities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.calibration import CalibrationConstants, PAPER_CALIBRATION, TPUSpec, TPUV4I_SPEC
+from repro.hw.energy import peak_tops
+from repro.hw.technology import TechnologyNode, CALIBRATION_NODE, scale_area
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Area estimates (mm²) for the matrix units and on-chip SRAM."""
+
+    technology: TechnologyNode = CALIBRATION_NODE
+    calibration: CalibrationConstants = PAPER_CALIBRATION
+    spec: TPUSpec = TPUV4I_SPEC
+    #: SRAM macro density at 22 nm, in Mbit per mm² (large compiled arrays).
+    sram_mbit_per_mm2: float = 1.6
+
+    def _scale(self, area_mm2: float) -> float:
+        return scale_area(area_mm2, CALIBRATION_NODE, self.technology)
+
+    def digital_mxu_area(self, rows: int | None = None, cols: int | None = None) -> float:
+        """Area of a digital systolic MXU with the given dimensions.
+
+        The 128×128 reference point comes from the calibrated area efficiency;
+        other dimensions scale with the MAC count, which is accurate to first
+        order because the array is dominated by the MAC cells themselves.
+        """
+        rows = self.spec.systolic_rows if rows is None else rows
+        cols = self.spec.systolic_cols if cols is None else cols
+        if rows <= 0 or cols <= 0:
+            raise ValueError("systolic array dimensions must be positive")
+        reference_macs = self.spec.systolic_macs_per_cycle
+        reference_tops = peak_tops(reference_macs, self.spec.frequency_ghz)
+        reference_area = reference_tops / self.calibration.digital_tops_per_mm2
+        return self._scale(reference_area * (rows * cols) / reference_macs)
+
+    def cim_core_area(self) -> float:
+        """Area of one 128×256 CIM core (macro + local accumulation logic)."""
+        reference_macs = self.spec.cim_macs_per_cycle
+        reference_tops = peak_tops(reference_macs, self.spec.frequency_ghz)
+        reference_area = reference_tops / self.calibration.cim_tops_per_mm2
+        core_count = self.spec.cim_grid_rows * self.spec.cim_grid_cols
+        return self._scale(reference_area / core_count)
+
+    def cim_mxu_area(self, grid_rows: int | None = None, grid_cols: int | None = None) -> float:
+        """Area of a CIM-MXU made of a ``grid_rows × grid_cols`` grid of cores."""
+        grid_rows = self.spec.cim_grid_rows if grid_rows is None else grid_rows
+        grid_cols = self.spec.cim_grid_cols if grid_cols is None else grid_cols
+        if grid_rows <= 0 or grid_cols <= 0:
+            raise ValueError("CIM grid dimensions must be positive")
+        return self.cim_core_area() * grid_rows * grid_cols
+
+    def sram_area(self, capacity_bytes: int) -> float:
+        """Area of an on-chip SRAM of the given capacity."""
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        mbit = capacity_bytes * 8 / 2**20
+        return self._scale(mbit / self.sram_mbit_per_mm2)
+
+    def cim_area_saving_vs_digital(self) -> float:
+        """Area of the default CIM-MXU relative to the digital MXU (paper: ≈0.5)."""
+        return self.cim_mxu_area() / self.digital_mxu_area()

@@ -1,0 +1,101 @@
+"""Technology node descriptions and first-order scaling rules.
+
+The paper implements both the digital MXU and the CIM-MXU in TSMC 22 nm and
+evaluates the full chip against a TPUv4i baseline that is fabricated in 7 nm.
+For fair comparisons the paper scales both designs "to the same technology and
+frequency".  This module provides that scaling: a small table of technology
+nodes with relative energy, area and frequency factors, normalised to the
+22 nm node used for the silicon calibration.
+
+The scaling rules are first-order (capacitance-driven dynamic energy scaling
+and classic area shrink); they are sufficient for the relative comparisons the
+paper performs, where baseline and CIM design are always placed at the *same*
+node so the ratios are node-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS technology node with scaling factors relative to 22 nm.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node name, e.g. ``"tsmc22"``.
+    feature_nm:
+        Drawn feature size in nanometres.
+    energy_factor:
+        Dynamic energy per switched operation relative to the 22 nm node
+        (smaller is better).
+    area_factor:
+        Logic/SRAM area for the same function relative to the 22 nm node.
+    leakage_factor:
+        Leakage power density (W/mm²) relative to the 22 nm node.  Leakage
+        density tends to *rise* at advanced nodes.
+    max_frequency_ghz:
+        A representative achievable clock frequency for datapath logic.
+    """
+
+    name: str
+    feature_nm: float
+    energy_factor: float
+    area_factor: float
+    leakage_factor: float
+    max_frequency_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0:
+            raise ValueError(f"feature_nm must be positive, got {self.feature_nm}")
+        for field_name in ("energy_factor", "area_factor", "leakage_factor", "max_frequency_ghz"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+
+
+#: Technology nodes known to the model.  Factors are normalised to 22 nm, the
+#: node used for the paper's post-P&R calibration (Table II).
+TECHNOLOGY_NODES: dict[str, TechnologyNode] = {
+    "tsmc65": TechnologyNode("tsmc65", 65.0, energy_factor=4.6, area_factor=7.4, leakage_factor=0.55, max_frequency_ghz=0.6),
+    "tsmc28": TechnologyNode("tsmc28", 28.0, energy_factor=1.35, area_factor=1.55, leakage_factor=0.9, max_frequency_ghz=1.0),
+    "tsmc22": TechnologyNode("tsmc22", 22.0, energy_factor=1.0, area_factor=1.0, leakage_factor=1.0, max_frequency_ghz=1.05),
+    "tsmc12": TechnologyNode("tsmc12", 12.0, energy_factor=0.52, area_factor=0.42, leakage_factor=1.25, max_frequency_ghz=1.4),
+    "tsmc7": TechnologyNode("tsmc7", 7.0, energy_factor=0.34, area_factor=0.21, leakage_factor=1.5, max_frequency_ghz=1.8),
+    "tsmc5": TechnologyNode("tsmc5", 5.0, energy_factor=0.27, area_factor=0.15, leakage_factor=1.7, max_frequency_ghz=2.0),
+}
+
+#: The node at which the paper's Table II silicon numbers were measured.
+CALIBRATION_NODE = TECHNOLOGY_NODES["tsmc22"]
+
+
+def get_node(name: str) -> TechnologyNode:
+    """Look up a technology node by name.
+
+    Raises
+    ------
+    KeyError
+        If the node name is unknown; the error lists the available nodes.
+    """
+    try:
+        return TECHNOLOGY_NODES[name]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGY_NODES))
+        raise KeyError(f"unknown technology node '{name}'; known nodes: {known}") from None
+
+
+def scale_energy(energy: float, source: TechnologyNode, target: TechnologyNode) -> float:
+    """Scale a dynamic energy value from ``source`` node to ``target`` node."""
+    return energy * target.energy_factor / source.energy_factor
+
+
+def scale_area(area: float, source: TechnologyNode, target: TechnologyNode) -> float:
+    """Scale an area value from ``source`` node to ``target`` node."""
+    return area * target.area_factor / source.area_factor
+
+
+def scale_leakage_density(density: float, source: TechnologyNode, target: TechnologyNode) -> float:
+    """Scale a leakage power density (W/mm²) from ``source`` to ``target`` node."""
+    return density * target.leakage_factor / source.leakage_factor

@@ -1,0 +1,116 @@
+"""Mapspace enumeration and heuristic pruning.
+
+For a (possibly batched) matmul the mapping engine considers how to spread
+the work across the chip's MXUs.  Four partitioning dimensions exist —
+independent batch instances, the M (token) dimension, the N (output-feature)
+dimension and the K (reduction) dimension — and each interacts differently
+with MXU utilisation, weight traffic and the need for a cross-MXU reduction.
+The full mapspace (all partition dimensions × all tile shapes × scheduling
+options) is large; following the paper we prune it with simple dominance
+heuristics and keep a handful of candidates that the engine evaluates exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common import ceil_div
+from repro.workloads.operators import MatMulOp
+
+
+class PartitionDim(enum.Enum):
+    """Dimension along which a matmul is split across MXUs."""
+
+    BATCH = "batch"
+    M = "m"
+    N = "n"
+    K = "k"
+
+
+@dataclass(frozen=True)
+class MappingCandidate:
+    """One pruned point of the mapspace for a specific matmul and MXU count.
+
+    Attributes
+    ----------
+    partition:
+        Dimension split across the MXUs.
+    mxu_count:
+        Number of MXUs the work is spread over.
+    instances_per_mxu:
+        Independent batch instances each MXU processes sequentially.
+    m, k, n:
+        Per-MXU, per-instance GEMM shape after partitioning.
+    needs_reduction:
+        Whether partial results must be reduced across MXUs afterwards
+        (only for K partitioning).
+    """
+
+    partition: PartitionDim
+    mxu_count: int
+    instances_per_mxu: int
+    m: int
+    k: int
+    n: int
+    needs_reduction: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mxu_count <= 0 or self.instances_per_mxu <= 0:
+            raise ValueError("mxu_count and instances_per_mxu must be positive")
+        if self.m <= 0 or self.k <= 0 or self.n <= 0:
+            raise ValueError("per-MXU GEMM dimensions must be positive")
+
+
+def enumerate_candidates(op: MatMulOp, mxu_count: int,
+                         min_split_extent: int = 8) -> list[MappingCandidate]:
+    """Enumerate the pruned set of partitioning candidates for a matmul.
+
+    Pruning rules (heuristics in the spirit of the paper's mapping engine):
+
+    * Partition the batch dimension whenever the operator is batched — the
+      instances are fully independent, so this never loses utilisation.
+    * Partition M only when each shard keeps at least ``min_split_extent``
+      rows; splitting a GEMV's single row is meaningless.
+    * Partition N only when each shard keeps at least one reasonable column
+      block; N splitting never requires a reduction so it is always kept as a
+      candidate for non-batched operators.
+    * Partition K only when K is by far the largest dimension (the only
+      situation where paying the cross-MXU reduction can win).
+    """
+    if mxu_count <= 0:
+        raise ValueError("mxu_count must be positive")
+    candidates: list[MappingCandidate] = []
+
+    if op.batch > 1:
+        split = min(mxu_count, op.batch)
+        candidates.append(MappingCandidate(
+            partition=PartitionDim.BATCH, mxu_count=split,
+            instances_per_mxu=ceil_div(op.batch, split),
+            m=op.m, k=op.k, n=op.n))
+
+    if op.m >= min_split_extent * mxu_count:
+        candidates.append(MappingCandidate(
+            partition=PartitionDim.M, mxu_count=mxu_count,
+            instances_per_mxu=op.batch,
+            m=ceil_div(op.m, mxu_count), k=op.k, n=op.n))
+
+    if op.n >= mxu_count:
+        candidates.append(MappingCandidate(
+            partition=PartitionDim.N, mxu_count=mxu_count,
+            instances_per_mxu=op.batch,
+            m=op.m, k=op.k, n=ceil_div(op.n, mxu_count)))
+
+    if op.k >= mxu_count and op.k >= 4 * max(op.m, 1):
+        candidates.append(MappingCandidate(
+            partition=PartitionDim.K, mxu_count=mxu_count,
+            instances_per_mxu=op.batch,
+            m=op.m, k=ceil_div(op.k, mxu_count), n=op.n,
+            needs_reduction=True))
+
+    if not candidates:
+        # Degenerate small operator: run it on a single MXU.
+        candidates.append(MappingCandidate(
+            partition=PartitionDim.N, mxu_count=1,
+            instances_per_mxu=op.batch, m=op.m, k=op.k, n=op.n))
+    return candidates

@@ -1,0 +1,28 @@
+"""Memory hierarchy substrate: on-chip SRAMs, HBM, OCI and ICI interconnect.
+
+The CIM-based TPU keeps the two-level on-chip memory hierarchy of the TPUv4i:
+a 128 MB common memory (CMEM) shared across the chip and a 16 MB vector memory
+(VMEM) adjacent to the compute units, backed by 8 GB of HBM at 614 GB/s.  Data
+moves between CMEM and VMEM over the on-chip interconnect (OCI) and between
+chips over two 100 GB/s ICI links.  The mapping engine overlaps these
+transfers with computation through double buffering.
+"""
+
+from repro.memory.sram import SRAMConfig, SRAMBuffer
+from repro.memory.dram import MainMemoryConfig, MainMemory
+from repro.memory.interconnect import OCIConfig, OnChipInterconnect, ICILink, RingTopology
+from repro.memory.hierarchy import MemoryHierarchy, TransferRequest, TransferResult
+
+__all__ = [
+    "SRAMConfig",
+    "SRAMBuffer",
+    "MainMemoryConfig",
+    "MainMemory",
+    "OCIConfig",
+    "OnChipInterconnect",
+    "ICILink",
+    "RingTopology",
+    "MemoryHierarchy",
+    "TransferRequest",
+    "TransferResult",
+]

@@ -1,0 +1,149 @@
+"""Two-level memory hierarchy with double buffering and coalescing.
+
+The hierarchy mirrors the TPUv4i (and the paper's CIM-based TPU, which keeps
+it unchanged): HBM → CMEM → VMEM → compute units.  The mapping engine asks
+this model two questions for every scheduled tile:
+
+* how many cycles does it take to stage the tile's operands (and drain its
+  results) at each level, and
+* what is the resulting energy.
+
+Double buffering at a level lets the *next* tile's transfers overlap the
+current tile's computation, so the steady-state latency of a tile becomes
+``max(compute, transfer)`` instead of their sum.  Memory coalescing chooses
+the long-burst HBM efficiency point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.energy import EnergyBudget, EnergyModel
+from repro.memory.dram import MainMemory, MainMemoryConfig
+from repro.memory.interconnect import OCIConfig, OnChipInterconnect
+from repro.memory.sram import SRAMBuffer, SRAMConfig, cmem_default, vmem_default
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """A data movement request between two adjacent levels of the hierarchy."""
+
+    num_bytes: float
+    source: str
+    destination: str
+    coalesced: bool = True
+
+    _LEVELS = ("hbm", "cmem", "vmem", "compute")
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if self.source not in self._LEVELS or self.destination not in self._LEVELS:
+            raise ValueError(
+                f"source/destination must be one of {self._LEVELS}, "
+                f"got {self.source!r} → {self.destination!r}")
+        if self.source == self.destination:
+            raise ValueError("source and destination must differ")
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Cycles and energy of one hierarchy transfer."""
+
+    cycles: float
+    energy: EnergyBudget
+
+
+class MemoryHierarchy:
+    """HBM → CMEM → VMEM hierarchy shared by all TPU variants in the model."""
+
+    def __init__(self,
+                 vmem: SRAMConfig | None = None,
+                 cmem: SRAMConfig | None = None,
+                 main_memory: MainMemoryConfig | None = None,
+                 oci: OCIConfig | None = None,
+                 energy_model: EnergyModel | None = None) -> None:
+        self.vmem = SRAMBuffer(vmem if vmem is not None else vmem_default())
+        self.cmem = SRAMBuffer(cmem if cmem is not None else cmem_default())
+        self.main_memory = MainMemory(main_memory)
+        self.oci = OnChipInterconnect(oci)
+        self.energy_model = energy_model if energy_model is not None else EnergyModel()
+
+    # ---------------------------------------------------------------- timing
+    def transfer(self, request: TransferRequest) -> TransferResult:
+        """Evaluate one transfer between adjacent (or bridged) levels."""
+        cycles = 0.0
+        energy = EnergyBudget()
+        path = self._path(request.source, request.destination)
+        for src, dst in zip(path[:-1], path[1:]):
+            hop_cycles, hop_energy = self._hop(request.num_bytes, src, dst, request.coalesced)
+            # Hops are pipelined: a long transfer streams through intermediate
+            # buffers, so the slowest hop dominates rather than the sum.
+            cycles = max(cycles, hop_cycles)
+            energy.merge(hop_energy)
+        return TransferResult(cycles=cycles, energy=energy)
+
+    def hbm_to_cmem(self, num_bytes: float, coalesced: bool = True) -> TransferResult:
+        """Stage data from HBM into CMEM."""
+        return self.transfer(TransferRequest(num_bytes, "hbm", "cmem", coalesced))
+
+    def cmem_to_vmem(self, num_bytes: float) -> TransferResult:
+        """Stage data from CMEM into VMEM over the OCI."""
+        return self.transfer(TransferRequest(num_bytes, "cmem", "vmem"))
+
+    def hbm_to_vmem(self, num_bytes: float, coalesced: bool = True) -> TransferResult:
+        """Stream data from HBM through CMEM into VMEM."""
+        return self.transfer(TransferRequest(num_bytes, "hbm", "vmem", coalesced))
+
+    def vmem_to_cmem(self, num_bytes: float) -> TransferResult:
+        """Drain results from VMEM back into CMEM."""
+        return self.transfer(TransferRequest(num_bytes, "vmem", "cmem"))
+
+    def _path(self, source: str, destination: str) -> list[str]:
+        order = ["hbm", "cmem", "vmem", "compute"]
+        i, j = order.index(source), order.index(destination)
+        if i < j:
+            return order[i:j + 1]
+        return list(reversed(order[j:i + 1]))
+
+    def _hop(self, num_bytes: float, src: str, dst: str,
+             coalesced: bool) -> tuple[float, EnergyBudget]:
+        energy = EnergyBudget()
+        pair = frozenset((src, dst))
+        if pair == frozenset(("hbm", "cmem")):
+            cycles = self.main_memory.transfer_cycles(num_bytes, coalesced)
+            energy.add_dynamic("hbm", self.energy_model.hbm_access_energy(num_bytes))
+            energy.add_dynamic("cmem", self.energy_model.cmem_access_energy(num_bytes))
+        elif pair == frozenset(("cmem", "vmem")):
+            cycles = max(self.oci.transfer_cycles(num_bytes),
+                         self.cmem.read_cycles(num_bytes),
+                         self.vmem.write_cycles(num_bytes))
+            energy.add_dynamic("cmem", self.energy_model.cmem_access_energy(num_bytes))
+            energy.add_dynamic("vmem", self.energy_model.vmem_access_energy(num_bytes))
+        elif pair == frozenset(("vmem", "compute")):
+            cycles = self.vmem.read_cycles(num_bytes)
+            energy.add_dynamic("vmem", self.energy_model.vmem_access_energy(num_bytes))
+        else:
+            raise ValueError(f"no direct hop between {src} and {dst}")
+        return cycles, energy
+
+    # ----------------------------------------------------------- scheduling
+    @staticmethod
+    def overlapped_latency(compute_cycles: float, transfer_cycles: float,
+                           double_buffered: bool = True) -> float:
+        """Steady-state latency of a tile given its compute and transfer time.
+
+        With double buffering the transfers of tile ``i+1`` happen during the
+        computation of tile ``i``; without it, the two serialise.
+        """
+        if compute_cycles < 0 or transfer_cycles < 0:
+            raise ValueError("cycle counts must be non-negative")
+        if double_buffered:
+            return max(compute_cycles, transfer_cycles)
+        return compute_cycles + transfer_cycles
+
+    def double_buffer_fits(self, buffer: SRAMBuffer, tile_bytes: int) -> bool:
+        """Whether a tile can be double buffered in the given SRAM."""
+        if tile_bytes < 0:
+            raise ValueError("tile_bytes must be non-negative")
+        return 2 * tile_bytes <= buffer.config.capacity_bytes

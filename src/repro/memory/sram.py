@@ -1,0 +1,105 @@
+"""On-chip SRAM buffer model (VMEM and CMEM).
+
+Both on-chip memories are modelled as banked SRAMs with a capacity, a read
+bandwidth and a write bandwidth expressed in bytes per core clock cycle.  The
+buffer also offers a simple allocation interface so the mapping engine can
+verify that a candidate tiling (with or without double buffering) actually
+fits before it is scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import ceil_div
+
+
+@dataclass(frozen=True)
+class SRAMConfig:
+    """Static parameters of one on-chip SRAM buffer."""
+
+    name: str
+    capacity_bytes: int
+    read_bytes_per_cycle: float
+    write_bytes_per_cycle: float
+    banks: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SRAM buffer needs a non-empty name")
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if self.read_bytes_per_cycle <= 0 or self.write_bytes_per_cycle <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.banks <= 0:
+            raise ValueError("bank count must be positive")
+
+
+class SRAMBuffer:
+    """A capacity- and bandwidth-constrained on-chip buffer."""
+
+    def __init__(self, config: SRAMConfig) -> None:
+        self.config = config
+        self._allocations: dict[str, int] = {}
+
+    # ---------------------------------------------------------------- timing
+    def read_cycles(self, num_bytes: float) -> float:
+        """Cycles needed to read ``num_bytes`` from the buffer."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self.config.read_bytes_per_cycle
+
+    def write_cycles(self, num_bytes: float) -> float:
+        """Cycles needed to write ``num_bytes`` into the buffer."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self.config.write_bytes_per_cycle
+
+    # ------------------------------------------------------------ allocation
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently reserved by named allocations."""
+        return sum(self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available for allocation."""
+        return self.config.capacity_bytes - self.allocated_bytes
+
+    def fits(self, num_bytes: int) -> bool:
+        """Whether an additional allocation of ``num_bytes`` would fit."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes <= self.free_bytes
+
+    def allocate(self, name: str, num_bytes: int) -> None:
+        """Reserve ``num_bytes`` under ``name``; raises if it does not fit."""
+        if name in self._allocations:
+            raise ValueError(f"allocation '{name}' already exists in {self.config.name}")
+        if not self.fits(num_bytes):
+            raise MemoryError(
+                f"{self.config.name}: cannot allocate {num_bytes} bytes for '{name}' "
+                f"({self.free_bytes} bytes free of {self.config.capacity_bytes})")
+        self._allocations[name] = num_bytes
+
+    def release(self, name: str) -> None:
+        """Release a named allocation."""
+        if name not in self._allocations:
+            raise KeyError(f"no allocation named '{name}' in {self.config.name}")
+        del self._allocations[name]
+
+    def reset(self) -> None:
+        """Drop every allocation (used between simulated operators)."""
+        self._allocations.clear()
+
+
+def vmem_default() -> SRAMConfig:
+    """The TPUv4i 16 MB vector memory, wide enough to feed four MXUs."""
+    return SRAMConfig(name="VMEM", capacity_bytes=16 * 2**20,
+                      read_bytes_per_cycle=4096.0, write_bytes_per_cycle=4096.0, banks=128)
+
+
+def cmem_default() -> SRAMConfig:
+    """The TPUv4i 128 MB common memory."""
+    return SRAMConfig(name="CMEM", capacity_bytes=128 * 2**20,
+                      read_bytes_per_cycle=2048.0, write_bytes_per_cycle=2048.0, banks=64)

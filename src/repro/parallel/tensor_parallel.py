@@ -1,0 +1,72 @@
+"""Megatron-style tensor parallelism for Transformer layers.
+
+Tensor parallelism shards each layer across devices: attention heads and the
+FFN inner dimension are divided, so the QKV/FFN1 matmuls are column-split and
+the projection/FFN2 matmuls are row-split.  Two all-reduces of the activation
+tensor per layer (one after attention, one after the FFN) stitch the shards
+back together — that communication volume, not the compute, is what limits
+tensor-parallel scaling over the 100 GB/s ICI links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import Precision
+from repro.memory.interconnect import RingTopology
+from repro.workloads.transformer import TransformerLayerConfig
+
+
+def shard_layer_config(config: TransformerLayerConfig, degree: int) -> TransformerLayerConfig:
+    """The per-device layer shape under tensor parallelism of the given degree.
+
+    Heads and the FFN inner dimension are divided by ``degree``; the hidden
+    dimension (and therefore the LayerNorms and residuals) stays replicated.
+    """
+    if degree <= 0:
+        raise ValueError("tensor-parallel degree must be positive")
+    if degree == 1:
+        return config
+    if config.num_heads % degree != 0:
+        raise ValueError(
+            f"cannot shard {config.num_heads} heads over {degree} devices evenly")
+    if config.d_ff % degree != 0:
+        raise ValueError(
+            f"cannot shard FFN dimension {config.d_ff} over {degree} devices evenly")
+    return TransformerLayerConfig(
+        d_model=config.d_model,
+        num_heads=config.num_heads // degree,
+        d_ff=config.d_ff // degree,
+        head_dim=config.resolved_head_dim,
+        gated_ffn=config.gated_ffn,
+    )
+
+
+@dataclass(frozen=True)
+class TensorParallelPlan:
+    """Tensor-parallel execution plan for one Transformer layer."""
+
+    degree: int
+    topology: RingTopology
+
+    def __post_init__(self) -> None:
+        if self.degree <= 0:
+            raise ValueError("degree must be positive")
+        if self.degree > self.topology.num_devices:
+            raise ValueError("tensor-parallel degree cannot exceed the device count")
+
+    def allreduce_bytes_per_layer(self, tokens: int, d_model: int,
+                                  precision: Precision = Precision.INT8) -> int:
+        """Bytes all-reduced per layer (two all-reduces of the activations)."""
+        if tokens <= 0 or d_model <= 0:
+            raise ValueError("tokens and d_model must be positive")
+        return 2 * tokens * d_model * precision.bytes
+
+    def communication_cycles_per_layer(self, tokens: int, d_model: int,
+                                       precision: Precision = Precision.INT8) -> float:
+        """ICI cycles spent in all-reduces for one layer."""
+        if self.degree == 1:
+            return 0.0
+        payload = self.allreduce_bytes_per_layer(tokens, d_model, precision) // 2
+        ring = RingTopology(num_devices=self.degree, link=self.topology.link)
+        return 2 * ring.all_reduce_cycles(payload)

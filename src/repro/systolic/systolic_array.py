@@ -1,0 +1,184 @@
+"""Component model of the digital systolic MXU used in the baseline TPUv4i.
+
+A :class:`DigitalMXU` bundles the analytical dataflow cycle model with the
+energy and area calibration so that the chip-level simulator can ask a single
+object three questions about a (possibly tiled) GEMM: how many cycles, how
+much energy, and how much operand traffic it generates at the MXU boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import Precision
+from repro.hw.area import AreaModel
+from repro.hw.energy import EnergyBudget, EnergyModel
+from repro.systolic.dataflows import Dataflow, SystolicCycleBreakdown, systolic_gemm_cycles
+
+
+@dataclass(frozen=True)
+class SystolicArrayConfig:
+    """Static configuration of one digital systolic MXU.
+
+    Attributes
+    ----------
+    rows, cols:
+        Physical MAC-array dimensions (TPUv4i: 128×128).
+    stationary_dataflow:
+        Dataflow used for matmuls whose weight operand is a true layer weight
+        (reusable, pre-loadable through the weight FIFO).
+    dynamic_dataflow:
+        Dataflow used for matmuls whose "weight" operand is produced at run
+        time (attention ``Q×Kᵀ``, ``S×Vᵀ``) and therefore cannot be staged in
+        the weight FIFO ahead of time.
+    frequency_ghz:
+        Clock frequency; kept here so a standalone MXU can report TOPS.
+    """
+
+    rows: int = 128
+    cols: int = 128
+    stationary_dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY_DB
+    dynamic_dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY
+    frequency_ghz: float = 1.05
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("systolic array dimensions must be positive")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak MAC throughput of the array."""
+        return self.rows * self.cols
+
+    @property
+    def peak_tops(self) -> float:
+        """Peak INT8 TOPS (2 ops per MAC)."""
+        return 2.0 * self.macs_per_cycle * self.frequency_ghz * 1e9 / 1e12
+
+
+@dataclass(frozen=True)
+class MXUComputeResult:
+    """Result of executing one GEMM tile on a matrix unit.
+
+    The same result type is produced by :class:`DigitalMXU` and by
+    :class:`repro.cim.mxu.CIMMXU`, so the mapping engine and the chip model
+    are agnostic to which matrix-unit flavour is installed.
+    """
+
+    cycles: int
+    macs: int
+    utilization: float
+    energy: EnergyBudget
+    input_bytes: int
+    weight_bytes: int
+    output_bytes: int
+    breakdown: SystolicCycleBreakdown | None = None
+
+    @property
+    def total_operand_bytes(self) -> int:
+        """Bytes of operands crossing the MXU boundary for this tile."""
+        return self.input_bytes + self.weight_bytes + self.output_bytes
+
+
+@dataclass
+class DigitalMXU:
+    """A digital weight-stationary systolic matrix unit (baseline MXU)."""
+
+    config: SystolicArrayConfig = field(default_factory=SystolicArrayConfig)
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+    area_model: AreaModel = field(default_factory=AreaModel)
+
+    @property
+    def name(self) -> str:
+        """Short descriptor used in reports."""
+        return f"digital-{self.config.rows}x{self.config.cols}"
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak MAC throughput of this MXU."""
+        return self.config.macs_per_cycle
+
+    @property
+    def area_mm2(self) -> float:
+        """Silicon area of this MXU."""
+        return self.area_model.digital_mxu_area(self.config.rows, self.config.cols)
+
+    @property
+    def leakage_power_w(self) -> float:
+        """Static power of this MXU, proportional to its MAC count."""
+        reference = self.energy_model.digital_mxu_leakage_power()
+        reference_macs = self.energy_model.spec.systolic_macs_per_cycle
+        return reference * self.macs_per_cycle / reference_macs
+
+    def gemm(self, m: int, k: int, n: int, precision: Precision = Precision.INT8,
+             stationary_weights: bool = True, instances: int = 1) -> MXUComputeResult:
+        """Execute ``instances`` ``[M,K]×[K,N]`` GEMM tiles and return cycles + energy.
+
+        Parameters
+        ----------
+        m, k, n:
+            GEMM dimensions of each tile as seen by this MXU.
+        precision:
+            Operand precision (INT8 or BF16); both run at the same MACs/cycle
+            on the TPUv4i MXU, BF16 costs more energy per MAC.
+        stationary_weights:
+            Whether the weight operand can be staged through the weight FIFO
+            (layer weights) or must be streamed like an activation
+            (attention score/value matrices).
+        instances:
+            Independent batch instances executed back to back; a MAC-grid
+            systolic array cannot pack small instances spatially, so the cost
+            is strictly sequential.
+        """
+        if instances <= 0:
+            raise ValueError("instances must be positive")
+        dataflow = (self.config.stationary_dataflow if stationary_weights
+                    else self.config.dynamic_dataflow)
+        breakdown = systolic_gemm_cycles(m, k, n, self.config.rows, self.config.cols, dataflow)
+        total_cycles = breakdown.total_cycles * instances
+        total_macs = breakdown.macs * instances
+
+        energy = EnergyBudget()
+        mac_energy = self.energy_model.digital_mac_energy(precision.bits) * total_macs
+        energy.add_dynamic("mxu", mac_energy)
+        weight_bytes = k * n * precision.bytes
+        if not stationary_weights:
+            weight_bytes *= instances
+        energy.add_dynamic("mxu", self.energy_model.digital_weight_load_energy(weight_bytes))
+        leakage_seconds = total_cycles / (self.config.frequency_ghz * 1e9)
+        energy.add_leakage("mxu", self.leakage_power_w * leakage_seconds)
+
+        input_bytes = instances * m * k * precision.bytes
+        output_bytes = instances * m * n * precision.accumulator_bytes
+        return MXUComputeResult(
+            cycles=total_cycles,
+            macs=total_macs,
+            utilization=breakdown.utilization,
+            energy=energy,
+            input_bytes=input_bytes,
+            weight_bytes=weight_bytes,
+            output_bytes=output_bytes,
+            breakdown=breakdown,
+        )
+
+    def idle_energy(self, cycles: float) -> EnergyBudget:
+        """Leakage energy burned while the MXU sits idle for ``cycles``."""
+        if cycles < 0:
+            raise ValueError("idle cycles must be non-negative")
+        budget = EnergyBudget()
+        seconds = cycles / (self.config.frequency_ghz * 1e9)
+        budget.add_leakage("mxu", self.leakage_power_w * seconds)
+        return budget
+
+    def energy_efficiency_tops_per_watt(self, precision: Precision = Precision.INT8) -> float:
+        """Sustained TOPS/W at full utilisation (reproduces Table II)."""
+        macs_per_second = self.macs_per_cycle * self.config.frequency_ghz * 1e9
+        dynamic_power = self.energy_model.digital_mac_energy(precision.bits) * macs_per_second
+        total_power = dynamic_power + self.leakage_power_w
+        return (2.0 * macs_per_second / 1e12) / total_power
+
+    def area_efficiency_tops_per_mm2(self) -> float:
+        """Peak TOPS per mm² (reproduces Table II)."""
+        return self.config.peak_tops / self.area_mm2

@@ -1,0 +1,26 @@
+"""Vector processing unit (VPU) substrate.
+
+The VPU handles every non-matmul operator in the generative models: Softmax
+(with the online-normalizer algorithm [27]), LayerNorm, tanh-approximated GeLU
+(the approximation DiT uses), residual additions, and the DiT conditioning
+shift-and-scale operations.  The paper keeps the VPU unchanged between the
+baseline and the CIM-based TPU, so it is shared by both chip models.
+"""
+
+from repro.vector.vpu import VPUConfig, VectorUnit, VectorOpResult
+from repro.vector.softmax import softmax_op_counts, SoftmaxCost
+from repro.vector.layernorm import layernorm_op_counts, LayerNormCost
+from repro.vector.activations import gelu_tanh_op_counts, ActivationCost, elementwise_op_counts
+
+__all__ = [
+    "VPUConfig",
+    "VectorUnit",
+    "VectorOpResult",
+    "softmax_op_counts",
+    "SoftmaxCost",
+    "layernorm_op_counts",
+    "LayerNormCost",
+    "gelu_tanh_op_counts",
+    "ActivationCost",
+    "elementwise_op_counts",
+]

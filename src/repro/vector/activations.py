@@ -1,0 +1,78 @@
+"""Operation-count models for activation and elementwise operators.
+
+GeLU is approximated with the tanh formulation, matching both the DiT
+reference implementation and the paper's methodology; tanh itself is costed as
+a rational polynomial approximation on the vector unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Scalar-operation cost of one tanh (rational approximation + range clamp).
+TANH_OPS = 14
+
+
+@dataclass(frozen=True)
+class ActivationCost:
+    """Scalar-operation and traffic counts of an elementwise operator."""
+
+    name: str
+    elements: int
+    total_ops: int
+    ops_per_element: float
+    input_bytes: int
+    output_bytes: int
+
+
+def gelu_tanh_op_counts(elements: int, element_bytes: int = 1) -> ActivationCost:
+    """Count scalar VPU operations for tanh-approximated GeLU.
+
+    ``gelu(x) ≈ 0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`` — per element:
+    two multiplies for ``x³``, one multiply-add for the inner polynomial, one
+    multiply by the constant, one tanh, one add, and two multiplies for the
+    outer product.
+    """
+    if elements <= 0:
+        raise ValueError("elements must be positive")
+    if element_bytes <= 0:
+        raise ValueError("element_bytes must be positive")
+    per_element = 2 + 2 + 1 + TANH_OPS + 1 + 2
+    total = elements * per_element
+    return ActivationCost(
+        name="gelu_tanh",
+        elements=elements,
+        total_ops=total,
+        ops_per_element=per_element,
+        input_bytes=elements * element_bytes,
+        output_bytes=elements * element_bytes,
+    )
+
+
+def elementwise_op_counts(name: str, elements: int, ops_per_element: float = 1.0,
+                          operands: int = 2, element_bytes: int = 1) -> ActivationCost:
+    """Generic elementwise operator (residual add, shift & scale, masking).
+
+    ``operands`` counts the input tensors read per output element, which
+    drives the traffic estimate (e.g. a residual add reads two operands; a
+    DiT shift-and-scale reads the activation plus two conditioning vectors,
+    but the conditioning vectors are broadcast so they are charged once per
+    row by the caller).
+    """
+    if elements <= 0:
+        raise ValueError("elements must be positive")
+    if ops_per_element <= 0:
+        raise ValueError("ops_per_element must be positive")
+    if operands <= 0:
+        raise ValueError("operands must be positive")
+    if element_bytes <= 0:
+        raise ValueError("element_bytes must be positive")
+    total = int(round(elements * ops_per_element))
+    return ActivationCost(
+        name=name,
+        elements=elements,
+        total_ops=total,
+        ops_per_element=ops_per_element,
+        input_bytes=elements * operands * element_bytes,
+        output_bytes=elements * element_bytes,
+    )

@@ -1,0 +1,55 @@
+"""Operation-count model of LayerNorm on the vector unit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Scalar-operation cost of one reciprocal square root (Newton iteration).
+RSQRT_OPS = 8
+
+
+@dataclass(frozen=True)
+class LayerNormCost:
+    """Scalar-operation and traffic counts of a batched LayerNorm."""
+
+    rows: int
+    hidden_dim: int
+    total_ops: int
+    ops_per_element: float
+    input_bytes: int
+    output_bytes: int
+
+    @property
+    def elements(self) -> int:
+        """Number of normalised elements."""
+        return self.rows * self.hidden_dim
+
+
+def layernorm_op_counts(rows: int, hidden_dim: int, element_bytes: int = 1,
+                        elementwise_affine: bool = True) -> LayerNormCost:
+    """Count scalar VPU operations for LayerNorm over ``rows × hidden_dim``.
+
+    Per element: one add for the mean reduction, one subtract, one multiply
+    and one add for the variance reduction, one multiply by the reciprocal
+    standard deviation, and (optionally) a scale and a shift for the affine
+    parameters.  Per row: the mean/variance finalisation and one rsqrt.
+    """
+    if rows <= 0 or hidden_dim <= 0:
+        raise ValueError("rows and hidden_dim must be positive")
+    if element_bytes <= 0:
+        raise ValueError("element_bytes must be positive")
+
+    per_element = 1 + 1 + 2 + 1
+    if elementwise_affine:
+        per_element += 2
+    per_row = hidden_dim * per_element + 4 + RSQRT_OPS
+    total = rows * per_row
+    elements = rows * hidden_dim
+    return LayerNormCost(
+        rows=rows,
+        hidden_dim=hidden_dim,
+        total_ops=total,
+        ops_per_element=total / elements,
+        input_bytes=elements * element_bytes,
+        output_bytes=elements * element_bytes,
+    )

@@ -1,0 +1,102 @@
+"""Vector processing unit (VPU) component model.
+
+The TPUv4i VPU is an 8×128-lane SIMD engine.  The model converts the scalar
+operation counts produced by the softmax / layernorm / activation cost models
+into cycles (operations divided by lanes, plus a per-invocation ramp) and
+energy, and reports the operand traffic so the chip model can overlap VPU
+work with memory transfers exactly as it does for the MXUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.energy import EnergyBudget, EnergyModel
+
+
+@dataclass(frozen=True)
+class VPUConfig:
+    """Static configuration of the vector unit."""
+
+    lanes: int = 8 * 128
+    #: ALUs per lane (the TPUv4i VPU issues several ops per lane per cycle).
+    alus_per_lane: int = 4
+    frequency_ghz: float = 1.05
+    #: Fixed cycles to launch a vector operation (decode, operand staging).
+    launch_overhead_cycles: int = 16
+    #: Fraction of peak lane throughput sustained on real kernels.
+    efficiency: float = 0.85
+    #: Leakage power of the whole VPU in watts.
+    leakage_power_w: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0 or self.frequency_ghz <= 0:
+            raise ValueError("lanes and frequency must be positive")
+        if self.alus_per_lane <= 0:
+            raise ValueError("alus_per_lane must be positive")
+        if self.launch_overhead_cycles < 0:
+            raise ValueError("launch overhead must be non-negative")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        if self.leakage_power_w < 0:
+            raise ValueError("leakage power must be non-negative")
+
+    @property
+    def ops_per_cycle(self) -> float:
+        """Sustained scalar operations per cycle."""
+        return self.lanes * self.alus_per_lane * self.efficiency
+
+
+@dataclass(frozen=True)
+class VectorOpResult:
+    """Cycles, energy and traffic of one vector-unit operator."""
+
+    cycles: float
+    ops: int
+    energy: EnergyBudget
+    input_bytes: int
+    output_bytes: int
+
+    @property
+    def total_operand_bytes(self) -> int:
+        """Bytes of operands crossing the VPU boundary."""
+        return self.input_bytes + self.output_bytes
+
+
+@dataclass
+class VectorUnit:
+    """The TPU's vector processing unit."""
+
+    config: VPUConfig = field(default_factory=VPUConfig)
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+
+    @property
+    def name(self) -> str:
+        """Short descriptor used in reports."""
+        return f"vpu-{self.config.lanes}"
+
+    def execute(self, total_ops: int, input_bytes: int, output_bytes: int) -> VectorOpResult:
+        """Run an operator described by its scalar-op count and traffic."""
+        if total_ops < 0 or input_bytes < 0 or output_bytes < 0:
+            raise ValueError("operation and byte counts must be non-negative")
+        cycles = self.config.launch_overhead_cycles + total_ops / self.config.ops_per_cycle
+        energy = EnergyBudget()
+        energy.add_dynamic("vpu", self.energy_model.vpu_op_energy(total_ops))
+        seconds = cycles / (self.config.frequency_ghz * 1e9)
+        energy.add_leakage("vpu", self.config.leakage_power_w * seconds)
+        return VectorOpResult(
+            cycles=cycles,
+            ops=total_ops,
+            energy=energy,
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+        )
+
+    def idle_energy(self, cycles: float) -> EnergyBudget:
+        """Leakage energy while the VPU waits for matrix work to finish."""
+        if cycles < 0:
+            raise ValueError("idle cycles must be non-negative")
+        budget = EnergyBudget()
+        seconds = cycles / (self.config.frequency_ghz * 1e9)
+        budget.add_leakage("vpu", self.config.leakage_power_w * seconds)
+        return budget

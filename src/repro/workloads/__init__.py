@@ -1,0 +1,54 @@
+"""Workload descriptions: operator graphs for LLM and DiT inference.
+
+The simulator consumes *operator graphs*: ordered collections of matmul and
+vector operators annotated with the layer category they belong to (QKV
+generation, attention, projection, FFN, normalisation, …), exactly the
+granularity at which the paper reports its latency and energy breakdowns
+(Fig. 6).  Builders are provided for Transformer layers in LLM prefill and
+decode modes (with KV cache), for DiT blocks with adaLN conditioning, and for
+whole models (token embedding + layer stack + prediction head) used by the
+Fig. 2d runtime-breakdown experiment.
+"""
+
+from repro.workloads.operators import (
+    LayerCategory,
+    Operator,
+    MatMulOp,
+    SoftmaxOp,
+    LayerNormOp,
+    GeLUOp,
+    ElementwiseOp,
+    OperandSource,
+)
+from repro.workloads.graph import OperatorGraph
+from repro.workloads.transformer import TransformerLayerConfig, build_prefill_layer, build_decode_layer
+from repro.workloads.llm import LLMConfig, GPT3_30B, GPT3_175B, LLAMA2_7B, LLAMA2_13B, build_llm_model_graph
+from repro.workloads.dit import DiTConfig, DIT_XL_2, build_dit_block, build_dit_model_graph
+from repro.workloads.registry import MODEL_REGISTRY, get_model
+
+__all__ = [
+    "LayerCategory",
+    "Operator",
+    "MatMulOp",
+    "SoftmaxOp",
+    "LayerNormOp",
+    "GeLUOp",
+    "ElementwiseOp",
+    "OperandSource",
+    "OperatorGraph",
+    "TransformerLayerConfig",
+    "build_prefill_layer",
+    "build_decode_layer",
+    "LLMConfig",
+    "GPT3_30B",
+    "GPT3_175B",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "build_llm_model_graph",
+    "DiTConfig",
+    "DIT_XL_2",
+    "build_dit_block",
+    "build_dit_model_graph",
+    "MODEL_REGISTRY",
+    "get_model",
+]

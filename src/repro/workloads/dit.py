@@ -1,0 +1,194 @@
+"""Diffusion Transformer (DiT) configurations and block/model builders.
+
+DiT-XL/2 (Peebles & Xie) is the diffusion model the paper evaluates: 28 DiT
+blocks, 16 heads, hidden dimension 1152, patch size 2.  At an image
+resolution of 512×512 the VAE latent is 64×64×4, so patchification yields
+``(64/2)² = 1024`` tokens.  Each DiT block is a Transformer layer augmented
+with adaLN conditioning: a conditioning MLP produces per-block shift/scale/
+gate vectors that modulate the token path before and after attention and the
+MLP (the "Conditioning" category in the paper's Fig. 6 breakdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import Precision
+from repro.workloads.graph import OperatorGraph
+from repro.workloads.operators import (
+    ElementwiseOp,
+    GeLUOp,
+    LayerCategory,
+    LayerNormOp,
+    MatMulOp,
+    OperandSource,
+    SoftmaxOp,
+)
+from repro.workloads.transformer import TransformerLayerConfig
+
+
+@dataclass(frozen=True)
+class DiTConfig:
+    """Architecture description of a Diffusion Transformer."""
+
+    name: str
+    depth: int
+    num_heads: int
+    d_model: int
+    patch_size: int = 2
+    in_channels: int = 4
+    mlp_ratio: int = 4
+    #: VAE spatial downsampling factor between image and latent.
+    vae_downsample: int = 8
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0 or self.num_heads <= 0 or self.d_model <= 0:
+            raise ValueError(f"model '{self.name}' has non-positive dimensions")
+        if self.patch_size <= 0 or self.in_channels <= 0 or self.mlp_ratio <= 0:
+            raise ValueError("patch_size, in_channels and mlp_ratio must be positive")
+        if self.vae_downsample <= 0:
+            raise ValueError("vae_downsample must be positive")
+
+    @property
+    def d_ff(self) -> int:
+        """FFN inner dimension."""
+        return self.mlp_ratio * self.d_model
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension (DiT-XL/2: 1152 / 16 = 72)."""
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        return self.d_model // self.num_heads
+
+    def tokens_for_resolution(self, image_resolution: int) -> int:
+        """Token count for a square image of the given resolution."""
+        if image_resolution <= 0:
+            raise ValueError("image_resolution must be positive")
+        latent = image_resolution // self.vae_downsample
+        if latent % self.patch_size != 0:
+            raise ValueError(
+                f"latent size {latent} is not divisible by patch size {self.patch_size}")
+        side = latent // self.patch_size
+        return side * side
+
+    def layer_config(self) -> TransformerLayerConfig:
+        """Shape of the Transformer layer embedded in each DiT block."""
+        return TransformerLayerConfig(
+            d_model=self.d_model, num_heads=self.num_heads, d_ff=self.d_ff)
+
+
+#: DiT-XL/2, the diffusion model evaluated throughout the paper.
+DIT_XL_2 = DiTConfig(name="dit-xl-2", depth=28, num_heads=16, d_model=1152)
+
+
+def build_dit_block(config: DiTConfig, batch: int, image_resolution: int = 512,
+                    precision: Precision = Precision.INT8,
+                    name: str | None = None) -> OperatorGraph:
+    """Operator graph of one DiT block (Transformer layer + adaLN conditioning)."""
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    tokens_per_sample = config.tokens_for_resolution(image_resolution)
+    tokens = batch * tokens_per_sample
+    d_model = config.d_model
+    head_dim = config.head_dim
+    instances = batch * config.num_heads
+    name = name if name is not None else f"{config.name}_block"
+    graph = OperatorGraph(name=name)
+
+    # adaLN conditioning MLP: per-sample conditioning vector -> 6 modulation
+    # vectors (shift/scale/gate for attention and MLP branches).
+    graph.add(GeLUOp(name=f"{name}_cond_silu", category=LayerCategory.CONDITIONING,
+                     precision=precision, elements=batch * d_model))
+    graph.add(MatMulOp(name=f"{name}_cond_mlp", category=LayerCategory.CONDITIONING,
+                       precision=precision, m=batch, k=d_model, n=6 * d_model,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+
+    # Attention branch.
+    graph.add(LayerNormOp(name=f"{name}_ln1", category=LayerCategory.LAYERNORM,
+                          precision=precision, rows=tokens, hidden_dim=d_model))
+    graph.add(ElementwiseOp(name=f"{name}_modulate1", category=LayerCategory.CONDITIONING,
+                            precision=precision, elements=tokens * d_model,
+                            ops_per_element=2.0, operands=3))
+    graph.add(MatMulOp(name=f"{name}_qkv", category=LayerCategory.QKV_GEN, precision=precision,
+                       m=tokens, k=d_model, n=3 * d_model,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(MatMulOp(name=f"{name}_qk_t", category=LayerCategory.ATTENTION, precision=precision,
+                       m=tokens_per_sample, k=head_dim, n=tokens_per_sample, batch=instances,
+                       stationary_weights=False, weight_source=OperandSource.CMEM,
+                       activation_source=OperandSource.CMEM))
+    graph.add(SoftmaxOp(name=f"{name}_softmax", category=LayerCategory.ATTENTION,
+                        precision=precision, rows=instances * tokens_per_sample,
+                        row_length=tokens_per_sample))
+    graph.add(MatMulOp(name=f"{name}_sv", category=LayerCategory.ATTENTION, precision=precision,
+                       m=tokens_per_sample, k=tokens_per_sample, n=head_dim, batch=instances,
+                       stationary_weights=False, weight_source=OperandSource.CMEM,
+                       activation_source=OperandSource.CMEM))
+    graph.add(MatMulOp(name=f"{name}_proj", category=LayerCategory.PROJECTION, precision=precision,
+                       m=tokens, k=d_model, n=d_model,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(ElementwiseOp(name=f"{name}_gate_residual1", category=LayerCategory.CONDITIONING,
+                            precision=precision, elements=tokens * d_model,
+                            ops_per_element=2.0, operands=3))
+
+    # MLP branch.
+    graph.add(LayerNormOp(name=f"{name}_ln2", category=LayerCategory.LAYERNORM,
+                          precision=precision, rows=tokens, hidden_dim=d_model))
+    graph.add(ElementwiseOp(name=f"{name}_modulate2", category=LayerCategory.CONDITIONING,
+                            precision=precision, elements=tokens * d_model,
+                            ops_per_element=2.0, operands=3))
+    graph.add(MatMulOp(name=f"{name}_ffn1", category=LayerCategory.FFN1, precision=precision,
+                       m=tokens, k=d_model, n=config.d_ff,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(GeLUOp(name=f"{name}_gelu", category=LayerCategory.GELU, precision=precision,
+                     elements=tokens * config.d_ff))
+    graph.add(MatMulOp(name=f"{name}_ffn2", category=LayerCategory.FFN2, precision=precision,
+                       m=tokens, k=config.d_ff, n=d_model,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(ElementwiseOp(name=f"{name}_gate_residual2", category=LayerCategory.CONDITIONING,
+                            precision=precision, elements=tokens * d_model,
+                            ops_per_element=2.0, operands=3))
+    return graph
+
+
+def build_dit_model_graph(config: DiTConfig, batch: int, image_resolution: int = 512,
+                          precision: Precision = Precision.INT8) -> OperatorGraph:
+    """Whole-model DiT graph: patchify/embedding, all blocks, final head.
+
+    Used by the Fig. 2d reproduction (pre-process / DiT blocks / post-process
+    shares of total inference latency).
+    """
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    tokens_per_sample = config.tokens_for_resolution(image_resolution)
+    tokens = batch * tokens_per_sample
+    patch_elems = config.patch_size ** 2 * config.in_channels
+    graph = OperatorGraph(name=f"{config.name}_model")
+
+    # Pre-processing: patchify (a small dense projection per patch) plus the
+    # timestep/label embedding MLPs.
+    graph.add(MatMulOp(name=f"{config.name}_patchify", category=LayerCategory.EMBEDDING,
+                       precision=precision, m=tokens, k=patch_elems, n=config.d_model,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(MatMulOp(name=f"{config.name}_t_embed", category=LayerCategory.EMBEDDING,
+                       precision=precision, m=batch, k=256, n=config.d_model,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(MatMulOp(name=f"{config.name}_t_embed2", category=LayerCategory.EMBEDDING,
+                       precision=precision, m=batch, k=config.d_model, n=config.d_model,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+
+    block_graph = build_dit_block(config, batch, image_resolution, precision)
+    for _ in range(config.depth):
+        graph.extend(block_graph)
+
+    # Post-processing: final adaLN, linear to patch pixels, reshape.
+    graph.add(LayerNormOp(name=f"{config.name}_final_ln", category=LayerCategory.PREDICTION_HEAD,
+                          precision=precision, rows=tokens, hidden_dim=config.d_model))
+    graph.add(MatMulOp(name=f"{config.name}_final_linear", category=LayerCategory.PREDICTION_HEAD,
+                       precision=precision, m=tokens, k=config.d_model,
+                       n=2 * patch_elems,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(ElementwiseOp(name=f"{config.name}_unpatchify", category=LayerCategory.PREDICTION_HEAD,
+                            precision=precision, elements=tokens * 2 * patch_elems,
+                            ops_per_element=1.0, operands=1))
+    return graph

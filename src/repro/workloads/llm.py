@@ -1,0 +1,137 @@
+"""Large language model configurations and whole-model graph builders.
+
+The paper evaluates a GPT-3-30B Transformer layer (Table III: 48 layers,
+56 heads, hidden dimension 7168) and, for the motivating GPU breakdown
+(Fig. 2d), Llama2-13B.  Additional configurations are included so the
+simulator can be exercised across model scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import Precision
+from repro.workloads.graph import OperatorGraph
+from repro.workloads.operators import (
+    ElementwiseOp,
+    LayerCategory,
+    LayerNormOp,
+    MatMulOp,
+    OperandSource,
+)
+from repro.workloads.transformer import TransformerLayerConfig, build_decode_layer, build_prefill_layer
+
+
+@dataclass(frozen=True)
+class LLMConfig:
+    """Architecture description of a decoder-only LLM."""
+
+    name: str
+    num_layers: int
+    num_heads: int
+    d_model: int
+    d_ff: int
+    vocab_size: int = 50272
+    gated_ffn: bool = False
+    head_dim: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.num_heads <= 0 or self.d_model <= 0 or self.d_ff <= 0:
+            raise ValueError(f"model '{self.name}' has non-positive dimensions")
+        if self.vocab_size <= 0:
+            raise ValueError("vocab_size must be positive")
+
+    def layer_config(self) -> TransformerLayerConfig:
+        """Shape of one Transformer layer of this model."""
+        return TransformerLayerConfig(
+            d_model=self.d_model, num_heads=self.num_heads, d_ff=self.d_ff,
+            head_dim=self.head_dim, gated_ffn=self.gated_ffn)
+
+    @property
+    def approximate_parameters(self) -> int:
+        """Approximate parameter count (layer weights + embeddings)."""
+        layer = self.layer_config().weight_bytes_per_layer  # one byte per INT8 weight
+        embeddings = 2 * self.vocab_size * self.d_model
+        return self.num_layers * layer + embeddings
+
+    def kv_cache_bytes(self, batch: int, seq_len: int,
+                       precision: Precision = Precision.INT8) -> int:
+        """KV-cache footprint for the whole model at the given context length."""
+        if batch <= 0 or seq_len <= 0:
+            raise ValueError("batch and seq_len must be positive")
+        head_dim = self.layer_config().resolved_head_dim
+        per_layer = 2 * batch * seq_len * self.num_heads * head_dim * precision.bytes
+        return self.num_layers * per_layer
+
+
+#: GPT-3 30B as configured in Table III of the paper.
+GPT3_30B = LLMConfig(name="gpt3-30b", num_layers=48, num_heads=56, d_model=7168, d_ff=4 * 7168)
+
+#: GPT-3 175B (Brown et al., 2020).
+GPT3_175B = LLMConfig(name="gpt3-175b", num_layers=96, num_heads=96, d_model=12288, d_ff=4 * 12288)
+
+#: Llama-2 7B (gated FFN).
+LLAMA2_7B = LLMConfig(name="llama2-7b", num_layers=32, num_heads=32, d_model=4096, d_ff=11008,
+                      vocab_size=32000, gated_ffn=True)
+
+#: Llama-2 13B, the model profiled in Fig. 2d of the paper.
+LLAMA2_13B = LLMConfig(name="llama2-13b", num_layers=40, num_heads=40, d_model=5120, d_ff=13824,
+                       vocab_size=32000, gated_ffn=True)
+
+
+def build_llm_layer(config: LLMConfig, stage: str, batch: int, seq_len: int,
+                    kv_len: int | None = None,
+                    precision: Precision = Precision.INT8) -> OperatorGraph:
+    """Build one Transformer layer of the model in the given inference stage.
+
+    Parameters
+    ----------
+    stage:
+        ``"prefill"`` or ``"decode"``.
+    seq_len:
+        Prompt length (prefill) or, for decode, the prompt length used to
+        derive the default ``kv_len``.
+    kv_len:
+        KV-cache length for decode; defaults to ``seq_len``.
+    """
+    layer = config.layer_config()
+    if stage == "prefill":
+        return build_prefill_layer(layer, batch, seq_len, precision,
+                                   name=f"{config.name}_prefill")
+    if stage == "decode":
+        effective_kv = kv_len if kv_len is not None else seq_len
+        return build_decode_layer(layer, batch, effective_kv, precision,
+                                  name=f"{config.name}_decode")
+    raise ValueError(f"unknown stage '{stage}' (expected 'prefill' or 'decode')")
+
+
+def build_llm_model_graph(config: LLMConfig, stage: str, batch: int, seq_len: int,
+                          kv_len: int | None = None,
+                          precision: Precision = Precision.INT8) -> OperatorGraph:
+    """Whole-model graph: embedding, all Transformer layers, prediction head.
+
+    Used by the Fig. 2d reproduction, which needs the relative weight of the
+    pre/post-processing layers against the Transformer stack.
+    """
+    if batch <= 0 or seq_len <= 0:
+        raise ValueError("batch and seq_len must be positive")
+    tokens = batch * seq_len if stage == "prefill" else batch
+    graph = OperatorGraph(name=f"{config.name}_{stage}_model")
+
+    # Token embedding: a table gather plus positional addition, handled by the
+    # vector/scalar path — negligible compute, mostly memory traffic.
+    graph.add(ElementwiseOp(
+        name=f"{config.name}_token_embedding", category=LayerCategory.EMBEDDING,
+        precision=precision, elements=tokens * config.d_model,
+        ops_per_element=1.0, operands=1))
+
+    layer_graph = build_llm_layer(config, stage, batch, seq_len, kv_len, precision)
+    for _ in range(config.num_layers):
+        graph.extend(layer_graph)
+
+    graph.add(LayerNormOp(name=f"{config.name}_final_ln", category=LayerCategory.PREDICTION_HEAD,
+                          precision=precision, rows=tokens, hidden_dim=config.d_model))
+    graph.add(MatMulOp(name=f"{config.name}_lm_head", category=LayerCategory.PREDICTION_HEAD,
+                       precision=precision, m=tokens, k=config.d_model, n=config.vocab_size,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    return graph

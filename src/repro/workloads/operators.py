@@ -1,0 +1,268 @@
+"""Operator definitions for generative-model inference workloads.
+
+Each operator carries exactly the information the architecture model needs:
+its shape, its numeric precision, which layer category it belongs to (for the
+Fig. 6-style breakdowns), whether its "weight" operand is a true, pre-loadable
+layer weight or a runtime activation (attention score/value matrices), and
+where its operands live before the operator starts (HBM for layer weights,
+CMEM for activations and the KV cache of the layer currently being computed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common import Precision
+
+
+class LayerCategory(enum.Enum):
+    """Layer categories used by the paper's latency/energy breakdowns."""
+
+    QKV_GEN = "QKV Gen"
+    ATTENTION = "Attention"
+    PROJECTION = "Proj."
+    FFN1 = "FFN1"
+    FFN2 = "FFN2"
+    LAYERNORM = "LayerNorm"
+    GELU = "GeLU"
+    CONDITIONING = "Conditioning"
+    EMBEDDING = "Embedding"
+    PREDICTION_HEAD = "Prediction Head"
+    OTHER = "Other"
+
+
+class OperandSource(enum.Enum):
+    """Where an operator's large operand resides before execution."""
+
+    HBM = "hbm"
+    CMEM = "cmem"
+    VMEM = "vmem"
+
+
+@dataclass(frozen=True)
+class Operator:
+    """Base class for all workload operators."""
+
+    name: str
+    category: LayerCategory
+    precision: Precision = Precision.INT8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operator needs a non-empty name")
+
+    @property
+    def is_matmul(self) -> bool:
+        """Whether this operator runs on the matrix units."""
+        return isinstance(self, MatMulOp)
+
+    @property
+    def flops(self) -> int:
+        """Floating-point / integer operations performed (2 per MAC)."""
+        raise NotImplementedError
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of activations read by the operator."""
+        raise NotImplementedError
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes of results produced by the operator."""
+        raise NotImplementedError
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of weights (zero for vector operators)."""
+        return 0
+
+
+@dataclass(frozen=True)
+class MatMulOp(Operator):
+    """A (possibly batched) GEMM/GEMV ``[m, k] × [k, n]`` executed ``batch`` times.
+
+    Attributes
+    ----------
+    m, k, n:
+        Per-instance GEMM dimensions.
+    batch:
+        Number of independent instances (e.g. ``batch × heads`` attention
+        matmuls).  Instances share no operands.
+    stationary_weights:
+        ``True`` for layer weights that can be staged through the weight FIFO
+        of a digital MXU (QKV/projection/FFN matrices); ``False`` for runtime
+        operands such as ``Kᵀ`` and ``V`` in attention.
+    weight_source:
+        Memory level where the ``[k, n]`` operand initially resides.
+    activation_source:
+        Memory level where the ``[m, k]`` operand initially resides.
+    """
+
+    m: int = 1
+    k: int = 1
+    n: int = 1
+    batch: int = 1
+    stationary_weights: bool = True
+    weight_source: OperandSource = OperandSource.HBM
+    activation_source: OperandSource = OperandSource.CMEM
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.m <= 0 or self.k <= 0 or self.n <= 0 or self.batch <= 0:
+            raise ValueError(
+                f"matmul '{self.name}' dimensions must be positive, got "
+                f"m={self.m}, k={self.k}, n={self.n}, batch={self.batch}")
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations across all instances."""
+        return self.batch * self.m * self.k * self.n
+
+    @property
+    def flops(self) -> int:
+        """Total operations (2 per MAC)."""
+        return 2 * self.macs
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of the ``[k, n]`` operand(s)."""
+        per_instance = self.k * self.n * self.precision.bytes
+        if self.stationary_weights:
+            # A true weight matrix is shared by every instance of the batch.
+            return per_instance
+        return self.batch * per_instance
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of the ``[m, k]`` operand(s)."""
+        return self.batch * self.m * self.k * self.precision.bytes
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes of the ``[m, n]`` result(s)."""
+        return self.batch * self.m * self.n * self.precision.accumulator_bytes
+
+    @property
+    def is_gemv_like(self) -> bool:
+        """Whether the operand shape is GEMV-like (tiny reduction-parallel M)."""
+        return self.m <= 16
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MACs per byte of operand traffic (roofline x-axis)."""
+        traffic = self.weight_bytes + self.input_bytes + self.output_bytes
+        return self.macs / traffic if traffic > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class SoftmaxOp(Operator):
+    """Row-wise Softmax over ``rows`` rows of ``row_length`` elements."""
+
+    rows: int = 1
+    row_length: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rows <= 0 or self.row_length <= 0:
+            raise ValueError(f"softmax '{self.name}' dimensions must be positive")
+
+    @property
+    def elements(self) -> int:
+        """Total normalised elements."""
+        return self.rows * self.row_length
+
+    @property
+    def flops(self) -> int:
+        """Scalar operations (detailed count lives in the VPU cost model)."""
+        return self.elements
+
+    @property
+    def input_bytes(self) -> int:
+        return self.elements * self.precision.bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.elements * self.precision.bytes
+
+
+@dataclass(frozen=True)
+class LayerNormOp(Operator):
+    """LayerNorm over ``rows`` rows of ``hidden_dim`` elements."""
+
+    rows: int = 1
+    hidden_dim: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rows <= 0 or self.hidden_dim <= 0:
+            raise ValueError(f"layernorm '{self.name}' dimensions must be positive")
+
+    @property
+    def elements(self) -> int:
+        """Total normalised elements."""
+        return self.rows * self.hidden_dim
+
+    @property
+    def flops(self) -> int:
+        return self.elements
+
+    @property
+    def input_bytes(self) -> int:
+        return self.elements * self.precision.bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.elements * self.precision.bytes
+
+
+@dataclass(frozen=True)
+class GeLUOp(Operator):
+    """Elementwise GeLU (tanh approximation) over ``elements`` values."""
+
+    elements: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.elements <= 0:
+            raise ValueError(f"gelu '{self.name}' needs a positive element count")
+
+    @property
+    def flops(self) -> int:
+        return self.elements
+
+    @property
+    def input_bytes(self) -> int:
+        return self.elements * self.precision.bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.elements * self.precision.bytes
+
+
+@dataclass(frozen=True)
+class ElementwiseOp(Operator):
+    """Generic elementwise operator (residual add, DiT shift & scale, gating)."""
+
+    elements: int = 1
+    ops_per_element: float = 1.0
+    operands: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.elements <= 0:
+            raise ValueError(f"elementwise '{self.name}' needs a positive element count")
+        if self.ops_per_element <= 0 or self.operands <= 0:
+            raise ValueError(f"elementwise '{self.name}' needs positive op/operand counts")
+
+    @property
+    def flops(self) -> int:
+        return int(round(self.elements * self.ops_per_element))
+
+    @property
+    def input_bytes(self) -> int:
+        return self.elements * self.operands * self.precision.bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.elements * self.precision.bytes

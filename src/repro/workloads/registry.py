@@ -1,0 +1,43 @@
+"""Registry of the generative models known to the simulator."""
+
+from __future__ import annotations
+
+from repro.workloads.dit import DIT_XL_2, DiTConfig
+from repro.workloads.llm import GPT3_30B, GPT3_175B, LLAMA2_7B, LLAMA2_13B, LLMConfig
+
+#: All model configurations addressable by name.
+MODEL_REGISTRY: dict[str, LLMConfig | DiTConfig] = {
+    GPT3_30B.name: GPT3_30B,
+    GPT3_175B.name: GPT3_175B,
+    LLAMA2_7B.name: LLAMA2_7B,
+    LLAMA2_13B.name: LLAMA2_13B,
+    DIT_XL_2.name: DIT_XL_2,
+}
+
+
+def get_model(name: str) -> LLMConfig | DiTConfig:
+    """Look up a model configuration by name.
+
+    Raises
+    ------
+    KeyError
+        If the model is unknown; the error lists the registered names.
+    """
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise KeyError(f"unknown model '{name}'; registered models: {known}") from None
+
+
+def register_model(config: LLMConfig | DiTConfig, overwrite: bool = False) -> None:
+    """Add a model configuration to the registry.
+
+    Raises
+    ------
+    ValueError
+        If a model of the same name exists and ``overwrite`` is not set.
+    """
+    if config.name in MODEL_REGISTRY and not overwrite:
+        raise ValueError(f"model '{config.name}' is already registered")
+    MODEL_REGISTRY[config.name] = config

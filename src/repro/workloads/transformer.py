@@ -1,0 +1,201 @@
+"""Transformer-layer operator-graph builders (LLM prefill and decode).
+
+The builders produce the operator sequence of one Transformer layer at the
+granularity the paper evaluates: QKV generation, the attention matmuls and
+Softmax, the output projection, the two FFN matmuls with GeLU, and the
+LayerNorms / residual additions handled by the vector unit.
+
+Two execution modes are provided:
+
+* **prefill** — the whole prompt is processed at once; every matmul has a
+  large ``M`` dimension (``batch × seq_len``) and the attention operates over
+  the full ``seq_len × seq_len`` score matrix.
+* **decode** — one token per sequence is processed; the dense matmuls become
+  GEMV-shaped (``M = batch``) and attention reads the KV cache of length
+  ``kv_len``, which is the memory-bound regime the paper analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import Precision
+from repro.workloads.graph import OperatorGraph
+from repro.workloads.operators import (
+    ElementwiseOp,
+    GeLUOp,
+    LayerCategory,
+    LayerNormOp,
+    MatMulOp,
+    OperandSource,
+    SoftmaxOp,
+)
+
+
+@dataclass(frozen=True)
+class TransformerLayerConfig:
+    """Shape parameters of one Transformer layer.
+
+    Attributes
+    ----------
+    d_model:
+        Hidden dimension.
+    num_heads:
+        Attention head count (``head_dim = d_model / num_heads`` unless
+        overridden).
+    d_ff:
+        FFN inner dimension (``4 × d_model`` for GPT-style models).
+    head_dim:
+        Per-head dimension; defaults to ``d_model // num_heads``.
+    gated_ffn:
+        Whether the FFN uses a gated (SwiGLU-style) structure with separate
+        gate and up projections, as in Llama-2.
+    """
+
+    d_model: int
+    num_heads: int
+    d_ff: int
+    head_dim: int | None = None
+    gated_ffn: bool = False
+
+    def __post_init__(self) -> None:
+        if self.d_model <= 0 or self.num_heads <= 0 or self.d_ff <= 0:
+            raise ValueError("d_model, num_heads and d_ff must be positive")
+        if self.head_dim is None:
+            if self.d_model % self.num_heads != 0:
+                raise ValueError(
+                    f"d_model ({self.d_model}) must be divisible by num_heads ({self.num_heads}) "
+                    "unless head_dim is given explicitly")
+        elif self.head_dim <= 0:
+            raise ValueError("head_dim must be positive")
+
+    @property
+    def resolved_head_dim(self) -> int:
+        """Per-head dimension actually used."""
+        return self.head_dim if self.head_dim is not None else self.d_model // self.num_heads
+
+    @property
+    def qkv_output_dim(self) -> int:
+        """Output width of the fused QKV projection."""
+        return 3 * self.num_heads * self.resolved_head_dim
+
+    @property
+    def weight_bytes_per_layer(self) -> int:
+        """INT8 weight footprint of one layer (used for capacity checks)."""
+        attn = self.d_model * self.qkv_output_dim + self.num_heads * self.resolved_head_dim * self.d_model
+        if self.gated_ffn:
+            ffn = self.d_model * 2 * self.d_ff + self.d_ff * self.d_model
+        else:
+            ffn = self.d_model * self.d_ff + self.d_ff * self.d_model
+        return attn + ffn
+
+
+def _attention_ops(graph: OperatorGraph, config: TransformerLayerConfig, batch: int,
+                   query_len: int, kv_len: int, precision: Precision, prefix: str) -> None:
+    """Append the attention score/softmax/value operators to the graph."""
+    head_dim = config.resolved_head_dim
+    instances = batch * config.num_heads
+    graph.add(MatMulOp(
+        name=f"{prefix}_qk_t", category=LayerCategory.ATTENTION, precision=precision,
+        m=query_len, k=head_dim, n=kv_len, batch=instances,
+        stationary_weights=False, weight_source=OperandSource.CMEM,
+        activation_source=OperandSource.CMEM))
+    graph.add(SoftmaxOp(
+        name=f"{prefix}_softmax", category=LayerCategory.ATTENTION, precision=precision,
+        rows=instances * query_len, row_length=kv_len))
+    graph.add(MatMulOp(
+        name=f"{prefix}_sv", category=LayerCategory.ATTENTION, precision=precision,
+        m=query_len, k=kv_len, n=head_dim, batch=instances,
+        stationary_weights=False, weight_source=OperandSource.CMEM,
+        activation_source=OperandSource.CMEM))
+
+
+def _ffn_ops(graph: OperatorGraph, config: TransformerLayerConfig, tokens: int,
+             precision: Precision, prefix: str) -> None:
+    """Append the FFN operators (plain or gated) to the graph."""
+    d_model, d_ff = config.d_model, config.d_ff
+    if config.gated_ffn:
+        ffn1_out = 2 * d_ff
+    else:
+        ffn1_out = d_ff
+    graph.add(MatMulOp(
+        name=f"{prefix}_ffn1", category=LayerCategory.FFN1, precision=precision,
+        m=tokens, k=d_model, n=ffn1_out, stationary_weights=True,
+        weight_source=OperandSource.HBM))
+    graph.add(GeLUOp(
+        name=f"{prefix}_gelu", category=LayerCategory.GELU, precision=precision,
+        elements=tokens * d_ff))
+    if config.gated_ffn:
+        graph.add(ElementwiseOp(
+            name=f"{prefix}_gate_mul", category=LayerCategory.GELU, precision=precision,
+            elements=tokens * d_ff, ops_per_element=1.0, operands=2))
+    graph.add(MatMulOp(
+        name=f"{prefix}_ffn2", category=LayerCategory.FFN2, precision=precision,
+        m=tokens, k=d_ff, n=d_model, stationary_weights=True,
+        weight_source=OperandSource.HBM))
+
+
+def build_prefill_layer(config: TransformerLayerConfig, batch: int, seq_len: int,
+                        precision: Precision = Precision.INT8,
+                        name: str = "prefill_layer") -> OperatorGraph:
+    """Operator graph of one Transformer layer in the prefill stage."""
+    if batch <= 0 or seq_len <= 0:
+        raise ValueError("batch and seq_len must be positive")
+    tokens = batch * seq_len
+    d_model = config.d_model
+    graph = OperatorGraph(name=name)
+
+    graph.add(LayerNormOp(name=f"{name}_ln1", category=LayerCategory.LAYERNORM,
+                          precision=precision, rows=tokens, hidden_dim=d_model))
+    graph.add(MatMulOp(name=f"{name}_qkv", category=LayerCategory.QKV_GEN, precision=precision,
+                       m=tokens, k=d_model, n=config.qkv_output_dim,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    _attention_ops(graph, config, batch, seq_len, seq_len, precision, name)
+    graph.add(MatMulOp(name=f"{name}_proj", category=LayerCategory.PROJECTION, precision=precision,
+                       m=tokens, k=config.num_heads * config.resolved_head_dim, n=d_model,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(ElementwiseOp(name=f"{name}_residual1", category=LayerCategory.OTHER,
+                            precision=precision, elements=tokens * d_model))
+    graph.add(LayerNormOp(name=f"{name}_ln2", category=LayerCategory.LAYERNORM,
+                          precision=precision, rows=tokens, hidden_dim=d_model))
+    _ffn_ops(graph, config, tokens, precision, name)
+    graph.add(ElementwiseOp(name=f"{name}_residual2", category=LayerCategory.OTHER,
+                            precision=precision, elements=tokens * d_model))
+    return graph
+
+
+def build_decode_layer(config: TransformerLayerConfig, batch: int, kv_len: int,
+                       precision: Precision = Precision.INT8,
+                       name: str = "decode_layer") -> OperatorGraph:
+    """Operator graph of one Transformer layer processing one decode token.
+
+    ``kv_len`` is the KV-cache length seen by the attention of this step
+    (prompt length plus tokens generated so far).
+    """
+    if batch <= 0 or kv_len <= 0:
+        raise ValueError("batch and kv_len must be positive")
+    tokens = batch  # one new token per sequence
+    d_model = config.d_model
+    graph = OperatorGraph(name=name)
+
+    graph.add(LayerNormOp(name=f"{name}_ln1", category=LayerCategory.LAYERNORM,
+                          precision=precision, rows=tokens, hidden_dim=d_model))
+    graph.add(MatMulOp(name=f"{name}_qkv", category=LayerCategory.QKV_GEN, precision=precision,
+                       m=tokens, k=d_model, n=config.qkv_output_dim,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(ElementwiseOp(name=f"{name}_kv_cache_update", category=LayerCategory.OTHER,
+                            precision=precision,
+                            elements=2 * batch * config.num_heads * config.resolved_head_dim,
+                            ops_per_element=1.0, operands=1))
+    _attention_ops(graph, config, batch, 1, kv_len, precision, name)
+    graph.add(MatMulOp(name=f"{name}_proj", category=LayerCategory.PROJECTION, precision=precision,
+                       m=tokens, k=config.num_heads * config.resolved_head_dim, n=d_model,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(ElementwiseOp(name=f"{name}_residual1", category=LayerCategory.OTHER,
+                            precision=precision, elements=tokens * d_model))
+    graph.add(LayerNormOp(name=f"{name}_ln2", category=LayerCategory.LAYERNORM,
+                          precision=precision, rows=tokens, hidden_dim=d_model))
+    _ffn_ops(graph, config, tokens, precision, name)
+    graph.add(ElementwiseOp(name=f"{name}_residual2", category=LayerCategory.OTHER,
+                            precision=precision, elements=tokens * d_model))
+    return graph

@@ -1,0 +1,102 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide small, fast workload settings (tiny batch and sequence
+lengths) so unit and integration tests stay quick, plus the paper's actual
+evaluation settings for the few tests that check headline reproduction claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import cim_tpu_default, design_a, design_b, tpuv4i_baseline
+from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+from repro.core.tpu import TPUModel
+from repro.workloads.dit import DiTConfig
+from repro.workloads.llm import LLMConfig
+
+
+@pytest.fixture(scope="session")
+def baseline_config():
+    """The TPUv4i baseline configuration."""
+    return tpuv4i_baseline()
+
+
+@pytest.fixture(scope="session")
+def cim_config():
+    """The default CIM-based TPU configuration."""
+    return cim_tpu_default()
+
+
+@pytest.fixture(scope="session")
+def design_a_config():
+    """Design A (LLM-optimised CIM TPU)."""
+    return design_a()
+
+
+@pytest.fixture(scope="session")
+def design_b_config():
+    """Design B (DiT-optimised CIM TPU)."""
+    return design_b()
+
+
+@pytest.fixture(scope="session")
+def baseline_model(baseline_config):
+    """A chip model of the baseline TPU."""
+    return TPUModel(baseline_config)
+
+
+@pytest.fixture(scope="session")
+def cim_model(cim_config):
+    """A chip model of the default CIM TPU."""
+    return TPUModel(cim_config)
+
+
+@pytest.fixture(scope="session")
+def baseline_simulator(baseline_config):
+    """An inference simulator on the baseline TPU."""
+    return InferenceSimulator(baseline_config)
+
+
+@pytest.fixture(scope="session")
+def cim_simulator(cim_config):
+    """An inference simulator on the default CIM TPU."""
+    return InferenceSimulator(cim_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_llm():
+    """A small LLM configuration that keeps unit tests fast."""
+    return LLMConfig(name="tiny-llm", num_layers=2, num_heads=8, d_model=512, d_ff=2048,
+                     vocab_size=1000)
+
+
+@pytest.fixture(scope="session")
+def tiny_dit():
+    """A small DiT configuration that keeps unit tests fast."""
+    return DiTConfig(name="tiny-dit", depth=2, num_heads=4, d_model=256)
+
+
+@pytest.fixture(scope="session")
+def tiny_llm_settings():
+    """Small LLM inference settings for fast tests."""
+    return LLMInferenceSettings(batch=2, input_tokens=64, output_tokens=16,
+                                decode_kv_samples=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_dit_settings():
+    """Small DiT inference settings for fast tests."""
+    return DiTInferenceSettings(batch=1, image_resolution=256, sampling_steps=2)
+
+
+@pytest.fixture(scope="session")
+def paper_llm_settings():
+    """The paper's LLM evaluation settings (batch 8, 1024 in, 512 out)."""
+    return LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512)
+
+
+@pytest.fixture(scope="session")
+def paper_dit_settings():
+    """The paper's DiT evaluation settings (batch 8, 512×512)."""
+    return DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50)

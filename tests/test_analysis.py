@@ -1,0 +1,144 @@
+"""Tests for breakdowns, rooflines and report formatting."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    compare_graph_results,
+    latency_breakdown,
+    mxu_energy_breakdown,
+    overall_comparison,
+)
+from repro.analysis.report import (
+    format_factor,
+    format_joules,
+    format_percent,
+    format_seconds,
+    format_table,
+)
+from repro.analysis.roofline import RooflineModel
+from repro.core.results import GraphResult, OperatorResult
+from repro.hw.energy import EnergyBudget
+from repro.workloads.operators import LayerCategory, MatMulOp, SoftmaxOp
+
+
+def make_result(name, category, seconds, mxu_energy):
+    op = MatMulOp(name=name, category=category, m=2, k=2, n=2)
+    energy = EnergyBudget()
+    energy.add_dynamic("mxu", mxu_energy)
+    return OperatorResult(operator=op, cycles=seconds * 1e9, seconds=seconds, energy=energy,
+                          unit="mxu", bound="compute", utilization=0.5)
+
+
+def make_graph(scale=1.0):
+    graph = GraphResult(name="layer", tpu_name="chip")
+    graph.operator_results.append(make_result("qkv", LayerCategory.QKV_GEN, 1.0 * scale, 4.0 * scale))
+    graph.operator_results.append(make_result("attn", LayerCategory.ATTENTION, 2.0 * scale, 1.0 * scale))
+    return graph
+
+
+class TestBreakdowns:
+    def test_latency_breakdown_sorted_desc(self):
+        rows = latency_breakdown(make_graph())
+        assert rows[0].category is LayerCategory.ATTENTION
+        assert rows[0].fraction == pytest.approx(2.0 / 3.0)
+
+    def test_energy_breakdown(self):
+        rows = mxu_energy_breakdown(make_graph())
+        assert rows[0].category is LayerCategory.QKV_GEN
+        assert sum(r.fraction for r in rows) == pytest.approx(1.0)
+
+    def test_compare_graph_results(self):
+        baseline, candidate = make_graph(1.0), make_graph(0.5)
+        rows = compare_graph_results(baseline, candidate)
+        for row in rows:
+            assert row.latency_change_percent == pytest.approx(-50.0)
+            assert row.energy_reduction_factor == pytest.approx(2.0)
+
+    def test_overall_comparison(self):
+        headline = overall_comparison(make_graph(1.0), make_graph(0.5))
+        assert headline["latency_change_percent"] == pytest.approx(-50.0)
+        assert headline["mxu_energy_reduction_factor"] == pytest.approx(2.0)
+
+    def test_comparison_handles_zero_candidate_energy(self):
+        baseline = make_graph()
+        empty = GraphResult(name="layer", tpu_name="chip")
+        empty.operator_results.append(make_result("qkv", LayerCategory.QKV_GEN, 1.0, 0.0))
+        rows = compare_graph_results(baseline, empty)
+        assert rows[0].energy_reduction_factor == float("inf")
+
+
+class TestRoofline:
+    def setup_method(self):
+        self.roofline = RooflineModel(peak_ops_per_s=100e12, memory_bandwidth_bytes_per_s=1e12)
+
+    def test_ridge_point(self):
+        assert self.roofline.ridge_point == pytest.approx(100.0)
+
+    def test_attainable_clamped_at_peak(self):
+        assert self.roofline.attainable(1e6) == 100e12
+        assert self.roofline.attainable(1.0) == 1e12
+
+    def test_classify_matmul_shapes(self):
+        compute_heavy = MatMulOp(name="big", category=LayerCategory.FFN1,
+                                 m=4096, k=4096, n=4096)
+        memory_heavy = MatMulOp(name="gemv", category=LayerCategory.FFN1, m=1, k=4096, n=4096)
+        assert self.roofline.classify(compute_heavy).is_compute_bound
+        assert not self.roofline.classify(memory_heavy).is_compute_bound
+
+    def test_execution_seconds_roofline_limited(self):
+        op = MatMulOp(name="gemv", category=LayerCategory.FFN1, m=1, k=4096, n=4096)
+        seconds = self.roofline.execution_seconds(op)
+        memory_seconds = (op.weight_bytes + op.input_bytes + op.output_bytes) / 1e12
+        assert seconds == pytest.approx(memory_seconds)
+
+    def test_vector_op_supported(self):
+        op = SoftmaxOp(name="sm", category=LayerCategory.ATTENTION, rows=128, row_length=128)
+        assert self.roofline.execution_seconds(op, overhead_seconds=1e-6) > 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RooflineModel(peak_ops_per_s=0, memory_bandwidth_bytes_per_s=1)
+        with pytest.raises(ValueError):
+            self.roofline.attainable(-1)
+        with pytest.raises(ValueError):
+            self.roofline.execution_seconds(
+                SoftmaxOp(name="s", category=LayerCategory.ATTENTION, rows=1, row_length=1),
+                overhead_seconds=-1)
+
+
+class TestReportFormatting:
+    def test_format_percent(self):
+        assert format_percent(0.024) == "+2.4%"
+        assert format_percent(-0.299) == "-29.9%"
+
+    def test_format_factor(self):
+        assert format_factor(9.43) == "9.43x"
+
+    def test_format_seconds_units(self):
+        assert format_seconds(2.0).endswith(" s")
+        assert format_seconds(2e-3).endswith(" ms")
+        assert format_seconds(2e-6).endswith(" us")
+
+    def test_format_joules_units(self):
+        assert format_joules(2.0).endswith(" J")
+        assert format_joules(2e-3).endswith(" mJ")
+        assert format_joules(2e-6).endswith(" uJ")
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 22]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_validates_row_width(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_format_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+        with pytest.raises(ValueError):
+            format_joules(-1.0)

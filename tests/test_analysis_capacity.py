@@ -1,0 +1,88 @@
+"""Tests for memory-capacity planning."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    ModelFootprint,
+    dit_footprint,
+    llm_footprint,
+    plan_capacity,
+)
+from repro.common import Precision
+from repro.core.designs import tpuv4i_baseline
+from repro.workloads.dit import DIT_XL_2
+from repro.workloads.llm import GPT3_30B, LLAMA2_7B
+
+
+class TestFootprints:
+    def test_gpt3_30b_weights_around_30_gb_int8(self):
+        footprint = llm_footprint(GPT3_30B, batch=8, context_tokens=1536)
+        assert 25 * 2**30 < footprint.weight_bytes < 35 * 2**30
+
+    def test_kv_cache_scales_with_batch_and_context(self):
+        small = llm_footprint(GPT3_30B, batch=1, context_tokens=512)
+        large = llm_footprint(GPT3_30B, batch=8, context_tokens=1024)
+        assert large.kv_cache_bytes == 16 * small.kv_cache_bytes
+
+    def test_bf16_doubles_weights(self):
+        int8 = llm_footprint(LLAMA2_7B, batch=1, context_tokens=512, precision=Precision.INT8)
+        bf16 = llm_footprint(LLAMA2_7B, batch=1, context_tokens=512, precision=Precision.BF16)
+        assert bf16.weight_bytes == 2 * int8.weight_bytes
+
+    def test_dit_has_no_kv_cache(self):
+        footprint = dit_footprint(DIT_XL_2, batch=8)
+        assert footprint.kv_cache_bytes == 0
+        assert footprint.weight_bytes > 0
+
+    def test_dit_weights_under_a_gigabyte_int8(self):
+        # DiT-XL/2 is a ~675 M parameter model.
+        footprint = dit_footprint(DIT_XL_2, batch=1)
+        assert footprint.weight_bytes < 2**30
+
+    def test_total_and_gib(self):
+        footprint = ModelFootprint("m", weight_bytes=2**30, kv_cache_bytes=2**29,
+                                   activation_bytes=2**29)
+        assert footprint.total_bytes == 2 * 2**30
+        assert footprint.total_gib == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelFootprint("m", weight_bytes=-1, kv_cache_bytes=0, activation_bytes=0)
+        with pytest.raises(ValueError):
+            llm_footprint(GPT3_30B, batch=0, context_tokens=10)
+        with pytest.raises(ValueError):
+            dit_footprint(DIT_XL_2, batch=1, image_resolution=0)
+
+
+class TestCapacityPlan:
+    def test_gpt3_30b_needs_multiple_tpuv4i(self):
+        footprint = llm_footprint(GPT3_30B, batch=8, context_tokens=1536)
+        plan = plan_capacity(footprint, tpuv4i_baseline())
+        assert not plan.fits_single_device
+        assert plan.min_devices >= 4
+        assert plan.suggested_parallelism == "pipeline"
+
+    def test_dit_fits_one_device(self):
+        footprint = dit_footprint(DIT_XL_2, batch=8)
+        plan = plan_capacity(footprint, tpuv4i_baseline())
+        assert plan.fits_single_device
+        assert plan.min_devices == 1
+        assert plan.suggested_parallelism == "single-device"
+
+    def test_kv_dominated_footprint_suggests_tensor_parallelism(self):
+        footprint = ModelFootprint("kv-heavy", weight_bytes=4 * 2**30,
+                                   kv_cache_bytes=20 * 2**30, activation_bytes=0)
+        plan = plan_capacity(footprint, tpuv4i_baseline())
+        assert plan.suggested_parallelism == "tensor"
+
+    def test_memory_per_device(self):
+        footprint = ModelFootprint("m", weight_bytes=16 * 2**30, kv_cache_bytes=0,
+                                   activation_bytes=0)
+        plan = plan_capacity(footprint, tpuv4i_baseline())
+        assert plan.memory_per_device_bytes == pytest.approx(
+            footprint.total_bytes / plan.min_devices)
+
+    def test_utilisation_bound_validation(self):
+        footprint = dit_footprint(DIT_XL_2, batch=1)
+        with pytest.raises(ValueError):
+            plan_capacity(footprint, tpuv4i_baseline(), memory_utilisation=0.0)

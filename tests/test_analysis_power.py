@@ -1,0 +1,89 @@
+"""Tests for the average-power summaries."""
+
+import pytest
+
+from repro.analysis.power import (
+    PowerSummary,
+    graph_power_summary,
+    inference_power_summary,
+    mxu_power_ratio,
+)
+from repro.core.designs import cim_tpu_default, make_cim_tpu, tpuv4i_baseline
+from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+from repro.workloads.dit import DIT_XL_2
+from repro.workloads.llm import GPT3_30B
+
+
+@pytest.fixture(scope="module")
+def llm_settings():
+    return LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=64,
+                                decode_kv_samples=2)
+
+
+@pytest.fixture(scope="module")
+def dit_settings():
+    return DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=5)
+
+
+class TestPowerSummary:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerSummary("w", "t", duration_seconds=0.0, component_watts={})
+        with pytest.raises(ValueError):
+            PowerSummary("w", "t", duration_seconds=1.0, component_watts={"mxu": -1.0})
+
+    def test_totals(self):
+        summary = PowerSummary("w", "t", 1.0, {"mxu": 30.0, "vpu": 5.0})
+        assert summary.total_watts == pytest.approx(35.0)
+        assert summary.mxu_watts == pytest.approx(30.0)
+        assert summary.component("hbm") == 0.0
+
+
+class TestGraphPower:
+    def test_prefill_mxu_power_is_tens_of_watts(self, baseline_simulator, paper_llm_settings):
+        result = baseline_simulator.simulate_llm_prefill_layer(GPT3_30B, paper_llm_settings)
+        summary = graph_power_summary(result)
+        # Four digital MXUs at full tilt draw on the order of 100–200 W; the
+        # prefill layer keeps them mostly busy.
+        assert 30.0 < summary.mxu_watts < 300.0
+        assert summary.total_watts > summary.mxu_watts
+
+    def test_cim_mxu_power_much_lower(self, baseline_simulator, cim_simulator,
+                                      paper_llm_settings):
+        base = baseline_simulator.simulate_llm_prefill_layer(GPT3_30B, paper_llm_settings)
+        cim = cim_simulator.simulate_llm_prefill_layer(GPT3_30B, paper_llm_settings)
+        ratio = mxu_power_ratio(base, cim)
+        assert ratio > 5.0
+
+    def test_energy_equals_power_times_time(self, cim_simulator, paper_llm_settings):
+        result = cim_simulator.simulate_llm_decode_layer(GPT3_30B, paper_llm_settings)
+        summary = graph_power_summary(result)
+        assert summary.mxu_watts * summary.duration_seconds == pytest.approx(result.mxu_energy)
+
+
+class TestInferencePower:
+    def test_dit_power_ratio_matches_paper_direction(self, dit_settings):
+        baseline = InferenceSimulator(tpuv4i_baseline()).simulate_dit_inference(DIT_XL_2, dit_settings)
+        large = InferenceSimulator(make_cim_tpu(8, 16, 16)).simulate_dit_inference(DIT_XL_2, dit_settings)
+        # Paper: the 8×(16×16) configuration still consumes 3.56× less MXU
+        # power than the baseline despite being the fastest design.
+        ratio = mxu_power_ratio(baseline, large)
+        assert 2.0 < ratio < 8.0
+
+    def test_small_config_power_reduction_is_larger(self, dit_settings):
+        baseline = InferenceSimulator(tpuv4i_baseline()).simulate_dit_inference(DIT_XL_2, dit_settings)
+        small = InferenceSimulator(make_cim_tpu(2, 8, 8)).simulate_dit_inference(DIT_XL_2, dit_settings)
+        large = InferenceSimulator(make_cim_tpu(8, 16, 16)).simulate_dit_inference(DIT_XL_2, dit_settings)
+        # Paper: 2×(8×8) reduces MXU power by ~20×, far more than 8×(16×16).
+        assert mxu_power_ratio(baseline, small) > mxu_power_ratio(baseline, large)
+
+    def test_inference_summary_consistent_with_energy(self, llm_settings):
+        inference = InferenceSimulator(cim_tpu_default()).simulate_llm_inference(GPT3_30B, llm_settings)
+        summary = inference_power_summary(inference)
+        assert summary.mxu_watts * summary.duration_seconds == pytest.approx(
+            inference.mxu_energy, rel=1e-6)
+
+    def test_zero_duration_rejected(self):
+        from repro.core.results import GraphResult
+        with pytest.raises(ValueError):
+            graph_power_summary(GraphResult(name="empty", tpu_name="t"))

@@ -1,0 +1,57 @@
+"""Tests for the CIM core (macro + periphery) model."""
+
+import pytest
+
+from repro.cim.core import CIMCore
+from repro.common import Precision
+
+
+@pytest.fixture(scope="module")
+def core():
+    return CIMCore()
+
+
+class TestGeometry:
+    def test_macs_per_cycle(self, core):
+        assert core.macs_per_cycle == 128
+
+    def test_weight_capacity(self, core):
+        assert core.weight_capacity_bytes == 128 * 256
+
+    def test_psum_buffer_double_buffered(self, core):
+        assert core.psum_buffer_bytes == 256 * 2 * 4
+
+
+class TestCosts:
+    def test_area_positive(self, core):
+        assert core.area_mm2 > 0
+
+    def test_128_cores_match_mxu_area(self, core):
+        # 128 cores form the default 16×8 CIM-MXU whose area efficiency is the
+        # Table II calibration point.
+        mxu_area = core.area_mm2 * 128
+        peak_tops = 2 * 16384 * 1.05e9 / 1e12
+        assert peak_tops / mxu_area == pytest.approx(1.31, rel=0.01)
+
+    def test_leakage_power_positive(self, core):
+        assert core.leakage_power_w > 0
+
+    def test_mac_energy_linear(self, core):
+        assert core.mac_energy(2000) == pytest.approx(2 * core.mac_energy(1000))
+
+    def test_bf16_mac_energy_higher(self, core):
+        assert core.mac_energy(1000, Precision.BF16) > core.mac_energy(1000, Precision.INT8)
+
+    def test_weight_write_energy_positive(self, core):
+        assert core.weight_write_energy(1024) > 0
+
+    def test_leakage_energy_linear_in_time(self, core):
+        assert core.leakage_energy(2.0) == pytest.approx(2 * core.leakage_energy(1.0))
+
+    def test_negative_inputs_rejected(self, core):
+        with pytest.raises(ValueError):
+            core.mac_energy(-1)
+        with pytest.raises(ValueError):
+            core.weight_write_energy(-1)
+        with pytest.raises(ValueError):
+            core.leakage_energy(-0.5)

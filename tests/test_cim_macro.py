@@ -1,0 +1,103 @@
+"""Tests for the digital CIM macro model."""
+
+import pytest
+
+from repro.common import Precision
+from repro.cim.macro import CIMMacro, CIMMacroConfig
+
+
+@pytest.fixture(scope="module")
+def macro():
+    return CIMMacro()
+
+
+class TestConfig:
+    def test_defaults_match_paper_core(self):
+        config = CIMMacroConfig()
+        assert config.input_channels == 128
+        assert config.output_channels == 256
+        assert config.macs_per_cycle == 128
+        assert config.weight_capacity == 128 * 256
+
+    def test_capacity_bits(self):
+        config = CIMMacroConfig()
+        assert config.weight_capacity_bits == 128 * 256 * 8
+
+    def test_rejects_macs_above_capacity(self):
+        with pytest.raises(ValueError):
+            CIMMacroConfig(input_channels=4, output_channels=4, macs_per_cycle=100)
+
+    def test_rejects_non_positive_fields(self):
+        with pytest.raises(ValueError):
+            CIMMacroConfig(banks=0)
+
+
+class TestComputeCycles:
+    def test_full_macro_vector_cycles(self, macro):
+        # 128×256 MACs at 128 MACs/cycle = 256 cycles per input vector.
+        assert macro.cycles_per_input_vector() == 256
+
+    def test_partial_output_channels_proportional(self, macro):
+        assert macro.cycles_per_input_vector(used_output_channels=128) == 128
+
+    def test_partial_input_channels_proportional(self, macro):
+        assert macro.cycles_per_input_vector(used_input_channels=64) == 128
+
+    def test_bf16_adds_alignment_cycle(self, macro):
+        int8 = macro.cycles_per_input_vector(precision=Precision.INT8)
+        bf16 = macro.cycles_per_input_vector(precision=Precision.BF16)
+        assert bf16 == int8 + 1
+
+    def test_compute_cycles_linear_in_vectors(self, macro):
+        assert macro.compute_cycles(10) == 10 * macro.cycles_per_input_vector()
+
+    def test_zero_vectors_is_free(self, macro):
+        assert macro.compute_cycles(0) == 0
+
+    def test_invalid_channel_counts_rejected(self, macro):
+        with pytest.raises(ValueError):
+            macro.cycles_per_input_vector(used_output_channels=0)
+        with pytest.raises(ValueError):
+            macro.cycles_per_input_vector(used_output_channels=257)
+        with pytest.raises(ValueError):
+            macro.cycles_per_input_vector(used_input_channels=129)
+
+
+class TestWeightWrite:
+    def test_full_block_write_cycles(self, macro):
+        # 128×256 bytes over a 256-bit port = 1024 cycles.
+        assert macro.weight_write_cycles() == 1024
+
+    def test_partial_block_proportional(self, macro):
+        assert macro.weight_write_cycles(rows=64, cols=256) == 512
+
+    def test_zero_block_is_free(self, macro):
+        assert macro.weight_write_cycles(rows=0, cols=0) == 0
+
+    def test_out_of_range_rejected(self, macro):
+        with pytest.raises(ValueError):
+            macro.weight_write_cycles(rows=129)
+        with pytest.raises(ValueError):
+            macro.weight_write_cycles(cols=300)
+
+
+class TestInputDelivery:
+    def test_delivery_cycles(self, macro):
+        # One INT8 vector of 128 activations over a 32-bit port = 32 cycles.
+        assert macro.input_delivery_cycles(1) == 32
+
+    def test_delivery_slower_for_bf16(self, macro):
+        assert macro.input_delivery_cycles(4, Precision.BF16) == 2 * macro.input_delivery_cycles(4)
+
+    def test_delivery_never_blocks_compute(self, macro):
+        # The macro consumes one vector every 256 cycles but can receive one
+        # every 32 cycles, so input delivery is never the bottleneck.
+        assert macro.input_delivery_cycles(1) < macro.cycles_per_input_vector()
+
+
+class TestMacCounting:
+    def test_full_counts(self, macro):
+        assert macro.macs_for(3) == 3 * 128 * 256
+
+    def test_partial_counts(self, macro):
+        assert macro.macs_for(2, used_rows=10, used_cols=20) == 2 * 10 * 20

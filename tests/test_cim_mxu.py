@@ -1,0 +1,145 @@
+"""Tests for the CIM-MXU (grid of CIM cores) model."""
+
+import pytest
+
+from repro.cim.mxu import CIMMXU, CIMMXUConfig
+from repro.common import Precision
+from repro.systolic.systolic_array import DigitalMXU
+
+
+@pytest.fixture(scope="module")
+def mxu():
+    return CIMMXU()
+
+
+class TestConfig:
+    def test_default_grid_matches_table1(self):
+        config = CIMMXUConfig()
+        assert config.grid_rows == 16 and config.grid_cols == 8
+        assert config.core_count == 128
+        assert config.macs_per_cycle == 16384
+
+    def test_extents(self):
+        config = CIMMXUConfig()
+        assert config.k_extent == 16 * 128
+        assert config.n_extent == 8 * 256
+
+    def test_weight_capacity(self):
+        config = CIMMXUConfig()
+        assert config.weight_capacity_bytes == 128 * 128 * 256
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            CIMMXUConfig(grid_rows=0)
+
+
+class TestTable2:
+    def test_energy_efficiency_matches_paper(self, mxu):
+        assert mxu.energy_efficiency_tops_per_watt() == pytest.approx(7.26, rel=0.01)
+
+    def test_area_efficiency_matches_paper(self, mxu):
+        assert mxu.area_efficiency_tops_per_mm2() == pytest.approx(1.31, rel=0.01)
+
+    def test_same_macs_per_cycle_as_digital_mxu(self, mxu):
+        assert mxu.macs_per_cycle == DigitalMXU().macs_per_cycle
+
+    def test_half_the_area_of_digital_mxu(self, mxu):
+        digital = DigitalMXU()
+        assert mxu.area_mm2 / digital.area_mm2 == pytest.approx(0.5, abs=0.1)
+
+
+class TestGemmCycles:
+    def test_aligned_gemm_near_peak_utilization(self, mxu):
+        result = mxu.gemm_cycles(4096, 2048, 2048)
+        assert result.utilization > 0.9
+
+    def test_cycles_lower_bounded_by_peak_throughput(self, mxu):
+        result = mxu.gemm_cycles(512, 4096, 4096)
+        ideal = 512 * 4096 * 4096 / mxu.macs_per_cycle
+        assert result.total_cycles >= ideal
+
+    def test_gemv_much_faster_than_digital_systolic(self, mxu):
+        # The headline architectural effect: GEMV-shaped work does not pay the
+        # systolic fill/drain traversal, so the CIM-MXU is far faster.
+        digital = DigitalMXU()
+        cim_cycles = mxu.gemm_cycles(1, 2048, 2048).total_cycles
+        digital_cycles = digital.gemm(1, 2048, 2048, stationary_weights=False).cycles
+        assert cim_cycles < digital_cycles / 3
+
+    def test_partial_fold_costs_proportionally_less(self, mxu):
+        full = mxu.gemm_cycles(64, 2048, 2048).total_cycles
+        half_k = mxu.gemm_cycles(64, 1024, 2048).total_cycles
+        assert half_k < full
+        assert half_k == pytest.approx(full / 2, rel=0.1)
+
+    def test_weight_update_overlap_reduces_cycles(self):
+        overlapped = CIMMXU(config=CIMMXUConfig(overlap_weight_update=True))
+        serialised = CIMMXU(config=CIMMXUConfig(overlap_weight_update=False))
+        shape = (8, 4096, 4096)
+        assert overlapped.gemm_cycles(*shape).total_cycles < serialised.gemm_cycles(*shape).total_cycles
+
+    def test_resident_weights_skip_write_cycles(self, mxu):
+        fresh = mxu.gemm_cycles(4, 2048, 2048, weights_resident=False)
+        resident = mxu.gemm_cycles(4, 2048, 2048, weights_resident=True)
+        assert resident.total_cycles <= fresh.total_cycles
+        assert resident.weight_write_cycles == 0
+
+    def test_invalid_dimensions_rejected(self, mxu):
+        with pytest.raises(ValueError):
+            mxu.gemm_cycles(0, 128, 128)
+        with pytest.raises(ValueError):
+            mxu.gemm_cycles(1, 128, 128, instances=0)
+
+
+class TestInstancePacking:
+    def test_small_instances_pack_onto_grid(self, mxu):
+        # A 72×1024 attention operand needs 1 grid row and 4 grid columns, so
+        # 16 × 2 = 32 instances fit concurrently.
+        assert mxu.instance_packing(72, 1024) == 32
+
+    def test_large_instances_do_not_pack(self, mxu):
+        assert mxu.instance_packing(4096, 4096) == 1
+
+    def test_packed_batch_faster_than_sequential(self, mxu):
+        single = mxu.gemm_cycles(1024, 72, 1024, instances=1).total_cycles
+        batched = mxu.gemm_cycles(1024, 72, 1024, instances=32).total_cycles
+        assert batched < 32 * single
+
+    def test_packed_utilization_bounded(self, mxu):
+        result = mxu.gemm_cycles(1024, 72, 1024, instances=32)
+        assert 0 < result.utilization <= 1.0
+
+    def test_macs_account_for_all_instances(self, mxu):
+        result = mxu.gemm_cycles(16, 128, 256, instances=10)
+        assert result.macs == 10 * 16 * 128 * 256
+
+
+class TestGemmEnergy:
+    def test_energy_components_present(self, mxu):
+        result = mxu.gemm(64, 2048, 2048)
+        assert result.energy.component_total("mxu") > 0
+        assert result.energy.total_dynamic > 0
+        assert result.energy.total_leakage > 0
+
+    def test_bf16_energy_higher(self, mxu):
+        int8 = mxu.gemm(64, 2048, 2048, Precision.INT8)
+        bf16 = mxu.gemm(64, 2048, 2048, Precision.BF16)
+        assert bf16.energy.total > int8.energy.total
+
+    def test_idle_energy_leakage_only(self, mxu):
+        idle = mxu.idle_energy(500.0)
+        assert idle.total_dynamic == 0.0
+        assert idle.total_leakage > 0.0
+
+    def test_leakage_scales_with_core_count(self):
+        small = CIMMXU(config=CIMMXUConfig(grid_rows=8, grid_cols=8))
+        large = CIMMXU(config=CIMMXUConfig(grid_rows=16, grid_cols=16))
+        assert large.leakage_power_w == pytest.approx(4 * small.leakage_power_w)
+
+    def test_dynamic_energy_per_mac_is_9x_lower_than_digital(self, mxu):
+        digital = DigitalMXU()
+        shape = (256, 2048, 2048)
+        cim_result = mxu.gemm(*shape)
+        digital_result = digital.gemm(*shape)
+        ratio = digital_result.energy.total_dynamic / cim_result.energy.total_dynamic
+        assert 7.0 < ratio < 12.0

@@ -1,0 +1,77 @@
+"""Tests for the CIM precision pipeline and the Table II energy report."""
+
+import pytest
+
+from repro.cim.energy import CIMEnergyReport, compare_mxus, macro_energy_report
+from repro.cim.mxu import CIMMXU, CIMMXUConfig
+from repro.cim.precision import PrecisionPipeline
+from repro.common import Precision
+from repro.systolic.systolic_array import DigitalMXU
+
+
+class TestPrecisionPipeline:
+    def setup_method(self):
+        self.pipeline = PrecisionPipeline()
+
+    def test_int8_bypasses_pipeline(self):
+        assert self.pipeline.is_bypassed(Precision.INT8)
+        assert self.pipeline.pipeline_fill_cycles(Precision.INT8) == 0
+        assert self.pipeline.energy_factor(Precision.INT8) == 1.0
+
+    def test_bf16_uses_pipeline(self):
+        assert not self.pipeline.is_bypassed(Precision.BF16)
+        assert self.pipeline.pipeline_fill_cycles(Precision.BF16) == 5
+        assert self.pipeline.energy_factor(Precision.BF16) > 1.0
+
+    def test_throughput_factor_matches_paper(self):
+        # The paper's CIM-MXU keeps the same MACs/cycle in BF16 mode.
+        assert self.pipeline.throughput_factor(Precision.BF16) == 1.0
+
+    def test_mantissa_bits(self):
+        assert self.pipeline.mantissa_bits_loaded(Precision.BF16) == 8
+
+    def test_rejects_negative_depths(self):
+        with pytest.raises(ValueError):
+            PrecisionPipeline(pre_stage_cycles=-1)
+
+
+class TestEnergyReport:
+    def test_digital_report_matches_table2(self):
+        report = macro_energy_report(DigitalMXU())
+        assert report.tops_per_watt == pytest.approx(0.77, rel=0.01)
+        assert report.tops_per_mm2 == pytest.approx(0.648, rel=0.01)
+
+    def test_cim_report_matches_table2(self):
+        report = macro_energy_report(CIMMXU())
+        assert report.tops_per_watt == pytest.approx(7.26, rel=0.01)
+        assert report.tops_per_mm2 == pytest.approx(1.31, rel=0.01)
+
+    def test_report_total_power(self):
+        report = macro_energy_report(CIMMXU())
+        assert report.total_power_w == pytest.approx(
+            report.dynamic_power_w + report.leakage_power_w)
+
+    def test_report_is_dataclass_with_positive_fields(self):
+        report = macro_energy_report(DigitalMXU())
+        assert isinstance(report, CIMEnergyReport)
+        assert report.peak_tops > 0 and report.area_mm2 > 0
+
+
+class TestCompareMxus:
+    def test_table2_rows(self):
+        comparison = compare_mxus(DigitalMXU(), CIMMXU())
+        assert comparison["digital_macs_per_cycle"] == 16384
+        assert comparison["cim_macs_per_cycle"] == 16384
+        assert comparison["energy_efficiency_gain"] == pytest.approx(9.43, rel=0.01)
+        assert comparison["area_efficiency_gain"] == pytest.approx(2.02, rel=0.01)
+
+    def test_area_ratio_near_half(self):
+        comparison = compare_mxus(DigitalMXU(), CIMMXU())
+        assert comparison["cim_area_ratio"] == pytest.approx(0.5, abs=0.1)
+
+    def test_smaller_cim_mxu_keeps_efficiency(self):
+        # Efficiency (TOPS/W) is a per-core property and must not depend on
+        # the grid dimensions.
+        small = CIMMXU(config=CIMMXUConfig(grid_rows=8, grid_cols=8))
+        comparison = compare_mxus(DigitalMXU(), small)
+        assert comparison["energy_efficiency_gain"] == pytest.approx(9.43, rel=0.01)

@@ -1,0 +1,75 @@
+"""Tests for the repro-sim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    exit_code = main(list(argv))
+    captured = capsys.readouterr()
+    return exit_code, captured.out
+
+
+SMALL = ["--batch", "2", "--input-tokens", "64", "--output-tokens", "16",
+         "--resolution", "256", "--steps", "2"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults_match_paper_settings(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.batch == 8
+        assert args.input_tokens == 1024
+        assert args.output_tokens == 512
+        assert args.resolution == 512
+
+    def test_multi_device_options(self):
+        args = build_parser().parse_args(["multi-device", "--devices", "1", "2",
+                                          "--parallelism", "tensor"])
+        assert args.devices == [1, 2]
+        assert args.parallelism == "tensor"
+
+
+class TestCompare:
+    def test_compare_runs_and_prints_table(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "compare", "--design", "cim-default")
+        assert code == 0
+        assert "Baseline TPUv4i vs. cim-default" in out
+        assert "decode layer" in out
+
+    def test_compare_unknown_design_fails(self, capsys):
+        with pytest.raises(SystemExit):
+            main(SMALL + ["compare", "--design", "gpu"])
+
+    def test_compare_rejects_non_llm_model(self):
+        with pytest.raises(SystemExit):
+            main(SMALL + ["--llm", "dit-xl-2", "compare"])
+
+
+class TestMultiDevice:
+    def test_pipeline_parallel(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "--llm", "llama2-7b",
+                            "multi-device", "--design", "design-a", "--devices", "1", "2")
+        assert code == 0
+        assert "tokens/s" in out
+        assert "pipeline parallel" in out
+
+    def test_tensor_parallel(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "--llm", "llama2-7b",
+                            "multi-device", "--design", "design-a", "--devices", "2",
+                            "--parallelism", "tensor")
+        assert code == 0
+        assert "tensor parallel" in out
+
+
+class TestModels:
+    def test_models_listing(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "models")
+        assert code == 0
+        assert "gpt3-30b" in out
+        assert "dit-xl-2" in out
+        assert "min TPUs" in out

@@ -1,0 +1,89 @@
+"""Tests for the TPU configuration and the predefined designs."""
+
+import pytest
+
+from repro.core.config import MXUType, TPUConfig
+from repro.core.designs import (
+    PREDEFINED_DESIGNS,
+    cim_tpu_default,
+    design_a,
+    design_b,
+    make_cim_tpu,
+    tpuv4i_baseline,
+)
+
+
+class TestTPUConfig:
+    def test_baseline_peak_throughput(self):
+        config = tpuv4i_baseline()
+        assert config.macs_per_cycle_per_mxu == 16384
+        assert config.peak_macs_per_cycle == 4 * 16384
+        assert config.peak_tops == pytest.approx(137.6, rel=0.01)
+
+    def test_cim_default_matches_baseline_peak(self):
+        # Table I: 16×8 CIM cores per MXU give the same MACs/cycle as 128×128.
+        assert cim_tpu_default().peak_macs_per_cycle == tpuv4i_baseline().peak_macs_per_cycle
+
+    def test_mxu_description(self):
+        assert "systolic" in tpuv4i_baseline().mxu_description
+        assert "CIM" in cim_tpu_default().mxu_description
+
+    def test_with_updates_creates_copy(self):
+        base = tpuv4i_baseline()
+        updated = base.with_updates(mxu_count=8)
+        assert updated.mxu_count == 8
+        assert base.mxu_count == 4
+
+    def test_table_rows_cover_table1(self):
+        rows = dict(cim_tpu_default().table_rows())
+        assert rows["Vector memory size"] == "16 MB"
+        assert rows["Common memory size"] == "128 MB"
+        assert rows["Main memory size"] == "8 GB"
+        assert rows["Main memory bandwidth"] == "614 GB/s"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TPUConfig(name="")
+        with pytest.raises(ValueError):
+            TPUConfig(mxu_count=0)
+
+
+class TestDesigns:
+    def test_baseline_is_systolic(self):
+        assert tpuv4i_baseline().mxu_type is MXUType.SYSTOLIC
+
+    def test_cim_designs_are_cim(self):
+        for config in (cim_tpu_default(), design_a(), design_b()):
+            assert config.mxu_type is MXUType.CIM
+
+    def test_design_a_dimensions(self):
+        config = design_a()
+        assert config.mxu_count == 4
+        assert (config.cim_grid_rows, config.cim_grid_cols) == (8, 8)
+
+    def test_design_b_dimensions(self):
+        config = design_b()
+        assert config.mxu_count == 8
+        assert (config.cim_grid_rows, config.cim_grid_cols) == (16, 8)
+
+    def test_design_a_has_half_the_baseline_peak(self):
+        assert design_a().peak_macs_per_cycle == tpuv4i_baseline().peak_macs_per_cycle // 2
+
+    def test_design_b_has_twice_the_baseline_peak(self):
+        assert design_b().peak_macs_per_cycle == 2 * tpuv4i_baseline().peak_macs_per_cycle
+
+    def test_make_cim_tpu_naming(self):
+        config = make_cim_tpu(2, 16, 16)
+        assert config.name == "cim-2x16x16"
+        assert config.mxu_count == 2
+
+    def test_predefined_designs_registry(self):
+        assert set(PREDEFINED_DESIGNS) == {"baseline", "cim-default", "design-a", "design-b"}
+
+    def test_designs_share_table1_memory_system(self):
+        baseline = tpuv4i_baseline()
+        for config in PREDEFINED_DESIGNS.values():
+            assert config.vmem_bytes == baseline.vmem_bytes
+            assert config.cmem_bytes == baseline.cmem_bytes
+            assert config.main_memory_bandwidth_gbps == baseline.main_memory_bandwidth_gbps
+            assert config.frequency_ghz == baseline.frequency_ghz

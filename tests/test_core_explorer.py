@@ -1,0 +1,91 @@
+"""Tests for the architecture design-space explorer (Table IV / Fig. 7)."""
+
+import pytest
+
+from repro.core.explorer import (
+    ArchitectureExplorer,
+    DesignPoint,
+    ExplorationRow,
+    TABLE_IV_DESIGN_POINTS,
+)
+from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
+from repro.workloads.dit import DiTConfig
+from repro.workloads.llm import LLMConfig
+
+
+class TestDesignPoints:
+    def test_table_iv_has_nine_points(self):
+        assert len(TABLE_IV_DESIGN_POINTS) == 9
+
+    def test_table_iv_covers_paper_choices(self):
+        dims = {(p.grid_rows, p.grid_cols) for p in TABLE_IV_DESIGN_POINTS}
+        counts = {p.mxu_count for p in TABLE_IV_DESIGN_POINTS}
+        assert dims == {(8, 8), (16, 8), (16, 16)}
+        assert counts == {2, 4, 8}
+
+    def test_label_and_config(self):
+        point = DesignPoint(mxu_count=4, grid_rows=8, grid_cols=8)
+        assert point.label == "4 x 8x8"
+        config = point.to_config()
+        assert config.mxu_count == 4
+        assert config.cim_grid_rows == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignPoint(mxu_count=0, grid_rows=8, grid_cols=8)
+
+
+@pytest.fixture(scope="module")
+def small_exploration():
+    """A reduced exploration (tiny workloads, two design points) for speed."""
+    llm = LLMConfig(name="tiny-explore-llm", num_layers=2, num_heads=8, d_model=1024, d_ff=4096)
+    dit = DiTConfig(name="tiny-explore-dit", depth=2, num_heads=8, d_model=512)
+    explorer = ArchitectureExplorer(
+        llm=llm, dit=dit,
+        llm_settings=LLMInferenceSettings(batch=2, input_tokens=128, output_tokens=32,
+                                          decode_kv_samples=2),
+        dit_settings=DiTInferenceSettings(batch=1, image_resolution=256, sampling_steps=2),
+        design_points=[DesignPoint(4, 16, 8), DesignPoint(2, 8, 8)])
+    return explorer.explore()
+
+
+class TestExploration:
+    def test_rows_cover_baseline_and_points(self, small_exploration):
+        designs = {row.design for row in small_exploration}
+        assert "baseline" in designs
+        assert "4 x 16x8" in designs and "2 x 8x8" in designs
+        workloads = {row.workload for row in small_exploration}
+        assert workloads == {"llm", "dit"}
+
+    def test_baseline_rows_are_unity(self, small_exploration):
+        for row in small_exploration:
+            if row.design == "baseline":
+                assert row.latency_vs_baseline == 1.0
+                assert row.energy_saving_vs_baseline == 1.0
+
+    def test_cim_rows_save_mxu_energy(self, small_exploration):
+        for row in small_exploration:
+            if row.design != "baseline":
+                assert row.energy_saving_vs_baseline > 1.0
+
+    def test_smaller_design_saves_more_energy(self, small_exploration):
+        def energy(design, workload):
+            return next(r.energy_saving_vs_baseline for r in small_exploration
+                        if r.design == design and r.workload == workload)
+        assert energy("2 x 8x8", "llm") > energy("4 x 16x8", "llm") * 0.9
+
+    def test_latency_change_percent(self):
+        row = ExplorationRow(design="x", workload="llm", peak_tops=1.0, latency_seconds=1.0,
+                             mxu_energy_joules=1.0, latency_vs_baseline=1.38,
+                             energy_saving_vs_baseline=27.3)
+        assert row.latency_change_percent == pytest.approx(38.0)
+
+    def test_best_design_respects_latency_window(self, small_exploration):
+        explorer = ArchitectureExplorer()
+        best = explorer.best_design(small_exploration, "llm", max_latency_increase=10.0)
+        assert best.design != "baseline"
+
+    def test_best_design_unknown_workload_raises(self, small_exploration):
+        explorer = ArchitectureExplorer()
+        with pytest.raises(ValueError):
+            explorer.best_design(small_exploration, "vision")

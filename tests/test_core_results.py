@@ -1,0 +1,88 @@
+"""Tests for the result containers."""
+
+import pytest
+
+from repro.core.results import GraphResult, InferenceResult, OperatorResult, StageResult
+from repro.hw.energy import EnergyBudget
+from repro.workloads.operators import LayerCategory, MatMulOp
+
+
+def make_operator_result(name="op", category=LayerCategory.QKV_GEN, seconds=1.0,
+                         mxu_energy=2.0):
+    operator = MatMulOp(name=name, category=category, m=4, k=4, n=4)
+    energy = EnergyBudget()
+    energy.add_dynamic("mxu", mxu_energy)
+    return OperatorResult(operator=operator, cycles=seconds * 1e9, seconds=seconds,
+                          energy=energy, unit="mxu", bound="compute", utilization=0.5)
+
+
+class TestGraphResult:
+    def make_graph_result(self):
+        result = GraphResult(name="layer", tpu_name="baseline")
+        result.operator_results.append(make_operator_result("qkv", LayerCategory.QKV_GEN, 1.0, 2.0))
+        result.operator_results.append(make_operator_result("attn", LayerCategory.ATTENTION, 3.0, 1.0))
+        return result
+
+    def test_totals(self):
+        result = self.make_graph_result()
+        assert result.total_seconds == pytest.approx(4.0)
+        assert result.mxu_energy == pytest.approx(3.0)
+
+    def test_latency_by_category(self):
+        breakdown = self.make_graph_result().latency_by_category()
+        assert breakdown[LayerCategory.QKV_GEN] == pytest.approx(1.0)
+        assert breakdown[LayerCategory.ATTENTION] == pytest.approx(3.0)
+
+    def test_latency_fraction(self):
+        result = self.make_graph_result()
+        assert result.latency_fraction(LayerCategory.ATTENTION) == pytest.approx(0.75)
+        assert result.latency_fraction(LayerCategory.GELU) == 0.0
+
+    def test_category_fractions_sum_to_one(self):
+        fractions = self.make_graph_result().category_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_idle_energy_added_to_total(self):
+        result = self.make_graph_result()
+        result.idle_energy.add_leakage("mxu", 5.0)
+        assert result.mxu_energy == pytest.approx(8.0)
+
+    def test_energy_by_category(self):
+        breakdown = self.make_graph_result().mxu_energy_by_category()
+        assert breakdown[LayerCategory.QKV_GEN] == pytest.approx(2.0)
+
+
+class TestStageAndInference:
+    def make_inference(self, scale=1.0):
+        graph = GraphResult(name="layer", tpu_name="chip")
+        graph.operator_results.append(make_operator_result(seconds=0.5 * scale, mxu_energy=1.0 * scale))
+        result = InferenceResult(model_name="m", tpu_name="chip", items=100.0, item_unit="token")
+        result.stages.append(StageResult(name="prefill", graph=graph, repeat=2.0))
+        result.stages.append(StageResult(name="decode", graph=graph, repeat=4.0))
+        return result
+
+    def test_stage_scaling(self):
+        result = self.make_inference()
+        assert result.stage("prefill").seconds == pytest.approx(1.0)
+        assert result.stage("decode").seconds == pytest.approx(2.0)
+
+    def test_totals_and_throughput(self):
+        result = self.make_inference()
+        assert result.total_seconds == pytest.approx(3.0)
+        assert result.mxu_energy == pytest.approx(6.0)
+        assert result.throughput == pytest.approx(100.0 / 3.0)
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(KeyError):
+            self.make_inference().stage("sampling")
+
+    def test_speedup_and_energy_reduction(self):
+        fast = self.make_inference(scale=1.0)
+        slow = self.make_inference(scale=2.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert fast.mxu_energy_reduction_over(slow) == pytest.approx(2.0)
+
+    def test_stage_repeat_validation(self):
+        graph = GraphResult(name="g", tpu_name="chip")
+        with pytest.raises(ValueError):
+            StageResult(name="bad", graph=graph, repeat=0.0)

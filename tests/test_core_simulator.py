@@ -1,0 +1,103 @@
+"""Tests for the inference simulator."""
+
+import pytest
+
+from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+from repro.workloads.operators import LayerCategory
+
+
+class TestSettings:
+    def test_paper_defaults(self):
+        settings = LLMInferenceSettings()
+        assert settings.batch == 8
+        assert settings.input_tokens == 1024
+        assert settings.output_tokens == 512
+
+    def test_decode_kv_lengths_span_decode_phase(self):
+        settings = LLMInferenceSettings(input_tokens=1000, output_tokens=100, decode_kv_samples=4)
+        lengths = settings.decode_kv_lengths()
+        assert len(lengths) == 4
+        assert all(1000 < kv <= 1100 for kv in lengths)
+        assert lengths == sorted(lengths)
+
+    def test_single_sample_uses_midpoint(self):
+        settings = LLMInferenceSettings(input_tokens=1000, output_tokens=100, decode_kv_samples=1)
+        assert settings.decode_kv_lengths() == [1050]
+
+    def test_dit_defaults(self):
+        settings = DiTInferenceSettings()
+        assert settings.batch == 8
+        assert settings.image_resolution == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LLMInferenceSettings(batch=0)
+        with pytest.raises(ValueError):
+            LLMInferenceSettings(decode_kv_samples=0)
+        with pytest.raises(ValueError):
+            DiTInferenceSettings(sampling_steps=0)
+
+
+class TestLLMSimulation:
+    def test_prefill_layer_result(self, cim_simulator, tiny_llm, tiny_llm_settings):
+        result = cim_simulator.simulate_llm_prefill_layer(tiny_llm, tiny_llm_settings)
+        assert result.total_seconds > 0
+        assert LayerCategory.QKV_GEN in result.latency_by_category()
+
+    def test_decode_layer_uses_256th_token_by_default(self, cim_simulator, tiny_llm,
+                                                      tiny_llm_settings):
+        default = cim_simulator.simulate_llm_decode_layer(tiny_llm, tiny_llm_settings)
+        explicit = cim_simulator.simulate_llm_decode_layer(
+            tiny_llm, tiny_llm_settings, kv_len=tiny_llm_settings.input_tokens + 256)
+        assert default.total_seconds == pytest.approx(explicit.total_seconds)
+
+    def test_decode_layer_latency_grows_with_kv(self, cim_simulator, tiny_llm, tiny_llm_settings):
+        short = cim_simulator.simulate_llm_decode_layer(tiny_llm, tiny_llm_settings, kv_len=64)
+        long = cim_simulator.simulate_llm_decode_layer(tiny_llm, tiny_llm_settings, kv_len=4096)
+        assert long.total_seconds > short.total_seconds
+
+    def test_end_to_end_inference_structure(self, cim_simulator, tiny_llm, tiny_llm_settings):
+        result = cim_simulator.simulate_llm_inference(tiny_llm, tiny_llm_settings)
+        stage_names = [stage.name for stage in result.stages]
+        assert stage_names[0] == "prefill"
+        assert len(stage_names) == 1 + tiny_llm_settings.decode_kv_samples
+        assert result.items == tiny_llm_settings.batch * tiny_llm_settings.output_tokens
+        assert result.throughput > 0
+
+    def test_prefill_repeats_per_layer(self, cim_simulator, tiny_llm, tiny_llm_settings):
+        result = cim_simulator.simulate_llm_inference(tiny_llm, tiny_llm_settings)
+        assert result.stage("prefill").repeat == tiny_llm.num_layers
+
+    def test_decode_dominates_for_long_outputs(self, cim_simulator, tiny_llm):
+        settings = LLMInferenceSettings(batch=2, input_tokens=64, output_tokens=256,
+                                        decode_kv_samples=2)
+        result = cim_simulator.simulate_llm_inference(tiny_llm, settings)
+        decode_seconds = sum(s.seconds for s in result.stages if s.name.startswith("decode"))
+        assert decode_seconds > result.stage("prefill").seconds
+
+
+class TestDiTSimulation:
+    def test_block_result(self, cim_simulator, tiny_dit, tiny_dit_settings):
+        result = cim_simulator.simulate_dit_block(tiny_dit, tiny_dit_settings)
+        assert result.total_seconds > 0
+        assert LayerCategory.CONDITIONING in result.latency_by_category()
+
+    def test_end_to_end_scales_with_steps_and_depth(self, cim_simulator, tiny_dit,
+                                                    tiny_dit_settings):
+        result = cim_simulator.simulate_dit_inference(tiny_dit, tiny_dit_settings)
+        block = cim_simulator.simulate_dit_block(tiny_dit, tiny_dit_settings)
+        expected = block.total_seconds * tiny_dit.depth * tiny_dit_settings.sampling_steps
+        assert result.total_seconds == pytest.approx(expected)
+
+    def test_items_are_images(self, cim_simulator, tiny_dit, tiny_dit_settings):
+        result = cim_simulator.simulate_dit_inference(tiny_dit, tiny_dit_settings)
+        assert result.item_unit == "image"
+        assert result.items == tiny_dit_settings.batch
+
+    def test_default_settings_used_when_omitted(self, tiny_dit):
+        simulator = InferenceSimulator.__new__(InferenceSimulator)  # avoid heavy init twice
+        # Construct properly instead: default settings path exercised below.
+        from repro.core.designs import cim_tpu_default
+        simulator = InferenceSimulator(cim_tpu_default())
+        result = simulator.simulate_dit_inference(tiny_dit)
+        assert result.total_seconds > 0

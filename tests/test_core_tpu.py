@@ -1,0 +1,109 @@
+"""Tests for the chip-level TPU model."""
+
+import pytest
+
+from repro.cim.mxu import CIMMXU
+from repro.core.config import MXUType
+from repro.core.tpu import TPUModel
+from repro.systolic.systolic_array import DigitalMXU
+from repro.workloads.graph import OperatorGraph
+from repro.workloads.operators import (
+    ElementwiseOp,
+    GeLUOp,
+    LayerCategory,
+    LayerNormOp,
+    MatMulOp,
+    SoftmaxOp,
+)
+
+
+class TestConstruction:
+    def test_baseline_builds_digital_mxu(self, baseline_model):
+        assert isinstance(baseline_model.mxu, DigitalMXU)
+        assert baseline_model.config.mxu_type is MXUType.SYSTOLIC
+
+    def test_cim_builds_cim_mxu(self, cim_model):
+        assert isinstance(cim_model.mxu, CIMMXU)
+
+    def test_mxu_area_cim_smaller(self, baseline_model, cim_model):
+        assert cim_model.mxu_area_mm2 < baseline_model.mxu_area_mm2
+
+    def test_cycles_to_seconds(self, baseline_model):
+        assert baseline_model.cycles_to_seconds(1.05e9) == pytest.approx(1.0)
+
+
+class TestRunOperator:
+    def test_matmul_runs_on_mxu(self, baseline_model):
+        op = MatMulOp(name="mm", category=LayerCategory.QKV_GEN, m=256, k=512, n=512)
+        result = baseline_model.run_operator(op)
+        assert result.unit == "mxu"
+        assert result.cycles > 0
+        assert result.seconds == pytest.approx(
+            baseline_model.cycles_to_seconds(result.cycles))
+        assert result.mxu_energy > 0
+
+    def test_softmax_runs_on_vpu(self, baseline_model):
+        op = SoftmaxOp(name="sm", category=LayerCategory.ATTENTION, rows=1024, row_length=256)
+        result = baseline_model.run_operator(op)
+        assert result.unit == "vpu"
+        assert result.mxu_busy_cycles == 0.0
+
+    def test_vector_op_still_charges_mxu_idle_leakage(self, baseline_model):
+        op = SoftmaxOp(name="sm", category=LayerCategory.ATTENTION, rows=4096, row_length=1024)
+        result = baseline_model.run_operator(op)
+        assert result.mxu_energy > 0
+        assert result.energy.component_total("vpu") > 0
+
+    def test_all_vector_op_types_supported(self, baseline_model):
+        ops = [
+            LayerNormOp(name="ln", category=LayerCategory.LAYERNORM, rows=64, hidden_dim=512),
+            GeLUOp(name="g", category=LayerCategory.GELU, elements=4096),
+            ElementwiseOp(name="res", category=LayerCategory.OTHER, elements=4096),
+        ]
+        for op in ops:
+            result = baseline_model.run_operator(op)
+            assert result.cycles > 0
+
+    def test_unsupported_operator_type_rejected(self, baseline_model):
+        class FakeOp:
+            precision = None
+        with pytest.raises(TypeError):
+            baseline_model._run_vector_op(FakeOp())
+
+    def test_memory_bound_gemv_flagged(self, cim_model):
+        op = MatMulOp(name="gemv", category=LayerCategory.FFN1, m=8, k=7168, n=28672)
+        result = cim_model.run_operator(op)
+        assert result.bound == "memory"
+
+    def test_compute_bound_gemm_flagged(self, baseline_model):
+        op = MatMulOp(name="gemm", category=LayerCategory.FFN1, m=8192, k=7168, n=28672)
+        result = baseline_model.run_operator(op)
+        assert result.bound == "compute"
+
+
+class TestRunGraph:
+    def make_graph(self):
+        graph = OperatorGraph(name="mini")
+        graph.add(LayerNormOp(name="ln", category=LayerCategory.LAYERNORM, rows=64, hidden_dim=512))
+        graph.add(MatMulOp(name="mm", category=LayerCategory.QKV_GEN, m=64, k=512, n=1536))
+        graph.add(SoftmaxOp(name="sm", category=LayerCategory.ATTENTION, rows=512, row_length=64))
+        return graph
+
+    def test_graph_totals_are_sums(self, baseline_model):
+        graph = self.make_graph()
+        result = baseline_model.run_graph(graph)
+        assert len(result.operator_results) == 3
+        assert result.total_seconds == pytest.approx(
+            sum(r.seconds for r in result.operator_results))
+
+    def test_graph_energy_includes_all_components(self, baseline_model):
+        result = baseline_model.run_graph(self.make_graph())
+        components = result.total_energy.components
+        assert "mxu" in components
+        assert "vpu" in components
+
+    def test_cim_and_baseline_agree_on_macs(self, baseline_model, cim_model):
+        graph = self.make_graph()
+        base = baseline_model.run_graph(graph)
+        cim = cim_model.run_graph(graph)
+        assert base.total_macs == cim.total_macs

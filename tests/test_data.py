@@ -1,0 +1,86 @@
+"""Tests for the Fig. 1 CIM survey data and the Fig. 2d GPU profile."""
+
+import pytest
+
+from repro.data.cim_survey import (
+    CIM_DESIGN_SURVEY,
+    CIMDesignRecord,
+    performance_evolution,
+    performance_gap_to_accelerators,
+)
+from repro.data.gpu_profile import A100_PCIE_40GB, GPUDeviceModel, profile_model_breakdown
+from repro.workloads.dit import DIT_XL_2
+from repro.workloads.llm import LLAMA2_13B, LLMConfig
+
+
+class TestCIMSurvey:
+    def test_survey_contains_paper_data_points(self):
+        names = {record.reference for record in CIM_DESIGN_SURVEY}
+        assert {"[7]", "[8]", "[9]", "[10]", "[11]", "[4]", "[6]"} <= names
+
+    def test_performance_values_match_fig1(self):
+        by_ref = {r.reference: r for r in CIM_DESIGN_SURVEY}
+        assert by_ref["[7]"].peak_tops == pytest.approx(0.0177)
+        assert by_ref["[11]"].peak_tops == pytest.approx(52.4)
+        assert by_ref["[4]"].peak_tops == pytest.approx(624.0)
+        assert by_ref["[6]"].peak_tops == pytest.approx(275.0)
+
+    def test_cim_performance_evolution_is_monotonic(self):
+        # Fig. 1's storyline: CIM designs have improved steadily over time.
+        series = performance_evolution(cim_only=True)
+        years = [year for year, _ in series]
+        tops = [tops for _, tops in series]
+        assert years == sorted(years)
+        assert tops == sorted(tops)
+
+    def test_performance_gap_still_exists(self):
+        # The paper notes a significant gap between CIM chips and GPUs/TPUs.
+        assert performance_gap_to_accelerators() > 5.0
+
+    def test_area_efficiency_positive(self):
+        for record in CIM_DESIGN_SURVEY:
+            assert record.tops_per_mm2 > 0
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            CIMDesignRecord(name="bad", venue="x", year=2020, peak_tops=-1, area_mm2=1,
+                            technology_nm=7, supports_floating_point=False, is_cim=True,
+                            reference="[x]")
+        with pytest.raises(ValueError):
+            CIMDesignRecord(name="bad", venue="x", year=1990, peak_tops=1, area_mm2=1,
+                            technology_nm=7, supports_floating_point=False, is_cim=True,
+                            reference="[x]")
+
+
+class TestGPUProfile:
+    def test_a100_spec(self):
+        assert A100_PCIE_40GB.peak_tops == 312.0
+        assert A100_PCIE_40GB.memory_bandwidth_gbps == 1555.0
+
+    def test_llama2_breakdown_dominated_by_transformer_layers(self):
+        breakdown = profile_model_breakdown(LLAMA2_13B, batch=1, seq_len=512)
+        # Fig. 2d: Transformer layers account for 98.35 % of Llama2-13B latency.
+        assert breakdown["core_layers_fraction"] > 0.95
+        assert breakdown["pre_process_fraction"] < 0.03
+        assert breakdown["post_process_fraction"] < 0.03
+
+    def test_dit_breakdown_dominated_by_blocks(self):
+        breakdown = profile_model_breakdown(DIT_XL_2, batch=1, image_resolution=512)
+        # Fig. 2d: DiT blocks account for 99.31 % of DiT-XL/2 latency.
+        assert breakdown["core_layers_fraction"] > 0.95
+
+    def test_fractions_sum_to_one(self):
+        breakdown = profile_model_breakdown(LLAMA2_13B, batch=1, seq_len=256)
+        total = (breakdown["pre_process_fraction"] + breakdown["core_layers_fraction"]
+                 + breakdown["post_process_fraction"])
+        assert total == pytest.approx(1.0)
+
+    def test_custom_device(self):
+        small_gpu = GPUDeviceModel(name="small", peak_tops=10.0, memory_bandwidth_gbps=100.0)
+        tiny = LLMConfig(name="profile-tiny", num_layers=4, num_heads=8, d_model=512, d_ff=2048)
+        breakdown = profile_model_breakdown(tiny, device=small_gpu, batch=1, seq_len=64)
+        assert breakdown["total"] > 0
+
+    def test_device_validation(self):
+        with pytest.raises(ValueError):
+            GPUDeviceModel(name="bad", peak_tops=0, memory_bandwidth_gbps=1)

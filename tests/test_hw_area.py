@@ -1,0 +1,58 @@
+"""Tests for the area model."""
+
+import pytest
+
+from repro.hw.area import AreaModel
+from repro.hw.technology import get_node
+
+
+class TestAreaModel:
+    def setup_method(self):
+        self.model = AreaModel()
+
+    def test_digital_mxu_area_matches_calibration(self):
+        # 34.4 TOPS / 0.648 TOPS/mm² ≈ 53 mm² at 22 nm.
+        area = self.model.digital_mxu_area()
+        peak = 2 * 16384 * 1.05e9 / 1e12
+        assert area == pytest.approx(peak / 0.648, rel=1e-6)
+
+    def test_digital_area_scales_with_macs(self):
+        half = self.model.digital_mxu_area(rows=128, cols=64)
+        full = self.model.digital_mxu_area()
+        assert half == pytest.approx(full / 2)
+
+    def test_cim_mxu_area_is_roughly_half_of_digital(self):
+        # The paper states the CIM-MXU reaches the same peak at ~50 % area.
+        ratio = self.model.cim_area_saving_vs_digital()
+        assert 0.4 < ratio < 0.6
+
+    def test_cim_core_area_times_grid_equals_mxu_area(self):
+        core = self.model.cim_core_area()
+        assert self.model.cim_mxu_area(16, 8) == pytest.approx(core * 128)
+
+    def test_cim_mxu_area_scales_with_grid(self):
+        small = self.model.cim_mxu_area(8, 8)
+        large = self.model.cim_mxu_area(16, 16)
+        assert large == pytest.approx(4 * small)
+
+    def test_sram_area_positive_and_linear(self):
+        one_mb = self.model.sram_area(2**20)
+        two_mb = self.model.sram_area(2 * 2**20)
+        assert one_mb > 0
+        assert two_mb == pytest.approx(2 * one_mb)
+
+    def test_sram_area_zero_bytes(self):
+        assert self.model.sram_area(0) == 0.0
+
+    def test_technology_scaling_shrinks_area(self):
+        advanced = AreaModel(technology=get_node("tsmc7"))
+        assert advanced.digital_mxu_area() < self.model.digital_mxu_area()
+        assert advanced.cim_core_area() < self.model.cim_core_area()
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.digital_mxu_area(rows=0)
+        with pytest.raises(ValueError):
+            self.model.cim_mxu_area(grid_rows=-1)
+        with pytest.raises(ValueError):
+            self.model.sram_area(-5)

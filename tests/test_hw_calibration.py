@@ -1,0 +1,68 @@
+"""Tests for the silicon calibration constants and the TPUv4i specification."""
+
+import pytest
+
+from repro.hw.calibration import CalibrationConstants, PAPER_CALIBRATION, TPUSpec, TPUV4I_SPEC
+
+
+class TestCalibrationConstants:
+    def test_paper_energy_efficiency_gain(self):
+        # Table II: 7.26 / 0.77 = 9.43×.
+        assert PAPER_CALIBRATION.cim_energy_efficiency_gain == pytest.approx(9.43, rel=0.01)
+
+    def test_paper_area_efficiency_gain(self):
+        # Table II: 1.31 / 0.648 = 2.02×.
+        assert PAPER_CALIBRATION.cim_area_efficiency_gain == pytest.approx(2.02, rel=0.01)
+
+    def test_leakage_fractions_in_range(self):
+        assert 0.0 <= PAPER_CALIBRATION.digital_leakage_fraction < 1.0
+        assert 0.0 <= PAPER_CALIBRATION.cim_leakage_fraction < 1.0
+
+    def test_rejects_negative_efficiency(self):
+        with pytest.raises(ValueError):
+            CalibrationConstants(digital_tops_per_watt=-1.0)
+
+    def test_rejects_leakage_fraction_of_one(self):
+        with pytest.raises(ValueError):
+            CalibrationConstants(digital_leakage_fraction=1.0)
+
+    def test_bf16_overhead_above_one(self):
+        assert PAPER_CALIBRATION.bf16_energy_overhead >= 1.0
+
+
+class TestTPUSpec:
+    def test_table1_parameters(self):
+        spec = TPUV4I_SPEC
+        assert spec.mxu_count == 4
+        assert spec.systolic_rows == 128 and spec.systolic_cols == 128
+        assert spec.cim_grid_rows == 16 and spec.cim_grid_cols == 8
+        assert spec.cim_core_rows == 128 and spec.cim_core_cols == 256
+        assert spec.vmem_bytes == 16 * 2**20
+        assert spec.cmem_bytes == 128 * 2**20
+        assert spec.main_memory_bytes == 8 * 2**30
+        assert spec.main_memory_bandwidth_gbps == 614.0
+        assert spec.ici_link_bandwidth_gbps == 100.0
+
+    def test_macs_per_cycle_match_between_mxu_flavours(self):
+        # Table II: both MXUs deliver 16384 MACs per cycle.
+        assert TPUV4I_SPEC.systolic_macs_per_cycle == 16384
+        assert TPUV4I_SPEC.cim_macs_per_cycle == 16384
+
+    def test_bandwidth_per_cycle(self):
+        bytes_per_cycle = TPUV4I_SPEC.main_memory_bytes_per_cycle
+        assert bytes_per_cycle == pytest.approx(614e9 / 1.05e9, rel=1e-6)
+
+    def test_ici_bytes_per_cycle(self):
+        assert TPUV4I_SPEC.ici_bytes_per_cycle == pytest.approx(100e9 / 1.05e9, rel=1e-6)
+
+    def test_rejects_non_positive_fields(self):
+        with pytest.raises(ValueError):
+            TPUSpec(frequency_ghz=0.0)
+        with pytest.raises(ValueError):
+            TPUSpec(mxu_count=-4)
+
+    def test_peak_tops_close_to_published_tpuv4i(self):
+        # TPUv4i: 138 TFLOPS BF16 at 1.05 GHz with 4 MXUs of 16384 MACs.
+        tops = 2 * TPUV4I_SPEC.mxu_count * TPUV4I_SPEC.systolic_macs_per_cycle \
+            * TPUV4I_SPEC.frequency_ghz * 1e9 / 1e12
+        assert tops == pytest.approx(137.6, rel=0.01)

@@ -1,0 +1,118 @@
+"""Tests for the energy model and the EnergyBudget accumulator."""
+
+import pytest
+
+from repro.hw.energy import EnergyBudget, EnergyModel, peak_tops
+from repro.hw.technology import get_node
+
+
+class TestPeakTops:
+    def test_reference_value(self):
+        # 16384 MACs/cycle at 1.05 GHz = 34.4 INT8 TOPS.
+        assert peak_tops(16384, 1.05) == pytest.approx(34.4, rel=0.01)
+
+    def test_linear_in_macs(self):
+        assert peak_tops(32768, 1.0) == pytest.approx(2 * peak_tops(16384, 1.0))
+
+
+class TestEnergyBudget:
+    def test_accumulates_by_component(self):
+        budget = EnergyBudget()
+        budget.add_dynamic("mxu", 1.0)
+        budget.add_dynamic("mxu", 2.0)
+        budget.add_leakage("mxu", 0.5)
+        assert budget.component_total("mxu") == pytest.approx(3.5)
+
+    def test_totals(self):
+        budget = EnergyBudget()
+        budget.add_dynamic("mxu", 1.0)
+        budget.add_dynamic("vpu", 2.0)
+        budget.add_leakage("hbm", 3.0)
+        assert budget.total_dynamic == pytest.approx(3.0)
+        assert budget.total_leakage == pytest.approx(3.0)
+        assert budget.total == pytest.approx(6.0)
+        assert budget.components == {"mxu", "vpu", "hbm"}
+
+    def test_merge(self):
+        a, b = EnergyBudget(), EnergyBudget()
+        a.add_dynamic("mxu", 1.0)
+        b.add_dynamic("mxu", 2.0)
+        b.add_leakage("vpu", 1.5)
+        a.merge(b)
+        assert a.component_total("mxu") == pytest.approx(3.0)
+        assert a.component_total("vpu") == pytest.approx(1.5)
+
+    def test_scaled(self):
+        budget = EnergyBudget()
+        budget.add_dynamic("mxu", 2.0)
+        budget.add_leakage("mxu", 1.0)
+        scaled = budget.scaled(3.0)
+        assert scaled.total == pytest.approx(9.0)
+        # The original is untouched.
+        assert budget.total == pytest.approx(3.0)
+
+    def test_rejects_negative_energy(self):
+        budget = EnergyBudget()
+        with pytest.raises(ValueError):
+            budget.add_dynamic("mxu", -1.0)
+        with pytest.raises(ValueError):
+            budget.add_leakage("mxu", -1.0)
+        with pytest.raises(ValueError):
+            budget.scaled(-2.0)
+
+
+class TestEnergyModel:
+    def setup_method(self):
+        self.model = EnergyModel()
+
+    def test_cim_mac_energy_is_about_9x_lower(self):
+        digital = self.model.digital_mac_energy()
+        cim = self.model.cim_mac_energy()
+        assert digital / cim == pytest.approx(
+            (self.model.calibration.cim_tops_per_watt / self.model.calibration.digital_tops_per_watt)
+            * (1 - self.model.calibration.digital_leakage_fraction)
+            / (1 - self.model.calibration.cim_leakage_fraction), rel=1e-6)
+        assert digital > cim
+
+    def test_digital_mac_energy_order_of_magnitude(self):
+        # ~2.6 pJ/MAC at 0.77 TOPS/W; the dynamic part must be below that and
+        # above a tenth of it.
+        energy_pj = self.model.digital_mac_energy() * 1e12
+        assert 0.26 < energy_pj < 2.6
+
+    def test_bf16_costs_more_than_int8(self):
+        assert self.model.digital_mac_energy(16) > self.model.digital_mac_energy(8)
+        assert self.model.cim_mac_energy(16) > self.model.cim_mac_energy(8)
+
+    def test_unsupported_precision_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.digital_mac_energy(4)
+
+    def test_leakage_powers_positive(self):
+        assert self.model.digital_mxu_leakage_power() > 0
+        assert self.model.cim_core_leakage_power() > 0
+
+    def test_cim_core_leakage_is_per_core(self):
+        # 128 cores of the default grid share the MXU leakage budget.
+        total = self.model.cim_core_leakage_power() * 128
+        # The whole CIM-MXU leaks less than the digital MXU (it burns ~9× less
+        # power overall).
+        assert total < self.model.digital_mxu_leakage_power()
+
+    def test_memory_energy_ordering(self):
+        n = 1024.0
+        assert self.model.vmem_access_energy(n) < self.model.cmem_access_energy(n)
+        assert self.model.cmem_access_energy(n) < self.model.hbm_access_energy(n)
+
+    def test_memory_energy_linear_in_bytes(self):
+        assert self.model.hbm_access_energy(2000.0) == pytest.approx(
+            2 * self.model.hbm_access_energy(1000.0))
+
+    def test_technology_scaling_reduces_dynamic_energy(self):
+        scaled = EnergyModel(technology=get_node("tsmc7"))
+        assert scaled.digital_mac_energy() < self.model.digital_mac_energy()
+        assert scaled.vmem_access_energy(100.0) < self.model.vmem_access_energy(100.0)
+
+    def test_hbm_energy_not_scaled_with_node(self):
+        scaled = EnergyModel(technology=get_node("tsmc7"))
+        assert scaled.hbm_access_energy(100.0) == pytest.approx(self.model.hbm_access_energy(100.0))

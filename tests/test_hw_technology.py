@@ -1,0 +1,70 @@
+"""Tests for technology-node scaling."""
+
+import pytest
+
+from repro.hw.technology import (
+    CALIBRATION_NODE,
+    TECHNOLOGY_NODES,
+    TechnologyNode,
+    get_node,
+    scale_area,
+    scale_energy,
+    scale_leakage_density,
+)
+
+
+class TestNodeTable:
+    def test_calibration_node_is_22nm(self):
+        assert CALIBRATION_NODE.feature_nm == 22.0
+        assert CALIBRATION_NODE.energy_factor == 1.0
+        assert CALIBRATION_NODE.area_factor == 1.0
+
+    def test_all_nodes_have_positive_factors(self):
+        for node in TECHNOLOGY_NODES.values():
+            assert node.energy_factor > 0
+            assert node.area_factor > 0
+            assert node.leakage_factor > 0
+            assert node.max_frequency_ghz > 0
+
+    def test_energy_improves_with_scaling(self):
+        ordered = sorted(TECHNOLOGY_NODES.values(), key=lambda n: n.feature_nm, reverse=True)
+        factors = [node.energy_factor for node in ordered]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_area_improves_with_scaling(self):
+        ordered = sorted(TECHNOLOGY_NODES.values(), key=lambda n: n.feature_nm, reverse=True)
+        factors = [node.area_factor for node in ordered]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_get_node_known(self):
+        assert get_node("tsmc7").feature_nm == 7.0
+
+    def test_get_node_unknown_lists_options(self):
+        with pytest.raises(KeyError, match="tsmc22"):
+            get_node("intel4")
+
+
+class TestScaling:
+    def test_identity_scaling(self):
+        node = get_node("tsmc22")
+        assert scale_energy(3.0, node, node) == pytest.approx(3.0)
+        assert scale_area(3.0, node, node) == pytest.approx(3.0)
+
+    def test_energy_shrinks_to_7nm(self):
+        scaled = scale_energy(1.0, get_node("tsmc22"), get_node("tsmc7"))
+        assert scaled < 1.0
+
+    def test_round_trip_is_identity(self):
+        a, b = get_node("tsmc22"), get_node("tsmc7")
+        assert scale_energy(scale_energy(2.0, a, b), b, a) == pytest.approx(2.0)
+        assert scale_area(scale_area(2.0, a, b), b, a) == pytest.approx(2.0)
+
+    def test_leakage_density_rises_at_advanced_nodes(self):
+        scaled = scale_leakage_density(1.0, get_node("tsmc22"), get_node("tsmc7"))
+        assert scaled > 1.0
+
+    def test_validation_rejects_bad_node(self):
+        with pytest.raises(ValueError):
+            TechnologyNode("bad", -1.0, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            TechnologyNode("bad", 10.0, 0.0, 1.0, 1.0, 1.0)

@@ -1,0 +1,199 @@
+"""Integration tests checking the paper's headline claims end to end.
+
+These tests run the actual evaluation configurations of the paper (GPT-3-30B
+layer at batch 8, DiT-XL/2 block at 512×512) on the baseline TPUv4i model and
+on the CIM-based TPU and assert the *direction and rough magnitude* of every
+headline result.  Exact numbers are recorded in EXPERIMENTS.md; here we pin
+the behaviour so a regression in any substrate is caught.
+"""
+
+import pytest
+
+from repro.analysis.breakdown import overall_comparison
+from repro.cim.energy import compare_mxus
+from repro.core.designs import cim_tpu_default, design_a, design_b, make_cim_tpu, tpuv4i_baseline
+from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+from repro.core.tpu import TPUModel
+from repro.parallel.multi_device import MultiTPUSystem
+from repro.workloads.dit import DIT_XL_2
+from repro.workloads.llm import GPT3_30B
+from repro.workloads.operators import LayerCategory
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                decode_kv_samples=2)
+
+
+@pytest.fixture(scope="module")
+def dit_settings():
+    return DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=10)
+
+
+@pytest.fixture(scope="module")
+def baseline_sim():
+    return InferenceSimulator(tpuv4i_baseline())
+
+
+@pytest.fixture(scope="module")
+def cim_sim():
+    return InferenceSimulator(cim_tpu_default())
+
+
+class TestTableII:
+    def test_mxu_comparison(self, baseline_simulator, cim_simulator):
+        comparison = compare_mxus(TPUModel(tpuv4i_baseline()).mxu, TPUModel(cim_tpu_default()).mxu)
+        assert comparison["digital_macs_per_cycle"] == comparison["cim_macs_per_cycle"] == 16384
+        assert comparison["energy_efficiency_gain"] == pytest.approx(9.43, rel=0.02)
+        assert comparison["area_efficiency_gain"] == pytest.approx(2.02, rel=0.02)
+        # §IV-A: same peak performance with only ~50 % of the area.
+        assert comparison["cim_area_ratio"] == pytest.approx(0.5, abs=0.1)
+
+
+class TestFig6LLMPrefill:
+    def test_latency_roughly_equal(self, baseline_sim, cim_sim, settings):
+        base = baseline_sim.simulate_llm_prefill_layer(GPT3_30B, settings)
+        cim = cim_sim.simulate_llm_prefill_layer(GPT3_30B, settings)
+        change = overall_comparison(base, cim)["latency_change_percent"]
+        # Paper: +2.43 %; we accept anything within ±10 %.
+        assert abs(change) < 10.0
+
+    def test_energy_reduction_near_9x(self, baseline_sim, cim_sim, settings):
+        base = baseline_sim.simulate_llm_prefill_layer(GPT3_30B, settings)
+        cim = cim_sim.simulate_llm_prefill_layer(GPT3_30B, settings)
+        factor = overall_comparison(base, cim)["mxu_energy_reduction_factor"]
+        # Paper: 9.21×.
+        assert 7.0 < factor < 12.0
+
+    def test_gemm_layers_dominate_prefill(self, baseline_sim, settings):
+        base = baseline_sim.simulate_llm_prefill_layer(GPT3_30B, settings)
+        gemm_fraction = sum(base.latency_fraction(c) for c in (
+            LayerCategory.QKV_GEN, LayerCategory.PROJECTION, LayerCategory.FFN1,
+            LayerCategory.FFN2))
+        # Paper: 84.9 %.
+        assert gemm_fraction > 0.75
+
+    def test_prefill_is_compute_bound(self, baseline_sim, settings):
+        base = baseline_sim.simulate_llm_prefill_layer(GPT3_30B, settings)
+        matmul_results = [r for r in base.operator_results if r.unit == "mxu"]
+        compute_bound = [r for r in matmul_results if r.bound == "compute"]
+        assert len(compute_bound) >= len(matmul_results) - 2
+
+
+class TestFig6LLMDecode:
+    def test_latency_reduction_around_30_percent(self, baseline_sim, cim_sim, settings):
+        base = baseline_sim.simulate_llm_decode_layer(GPT3_30B, settings)
+        cim = cim_sim.simulate_llm_decode_layer(GPT3_30B, settings)
+        change = overall_comparison(base, cim)["latency_change_percent"]
+        # Paper: −29.9 %; accept a −20 % to −50 % window.
+        assert -50.0 < change < -20.0
+
+    def test_energy_reduction_above_prefill(self, baseline_sim, cim_sim, settings):
+        prefill_factor = overall_comparison(
+            baseline_sim.simulate_llm_prefill_layer(GPT3_30B, settings),
+            cim_sim.simulate_llm_prefill_layer(GPT3_30B, settings))["mxu_energy_reduction_factor"]
+        decode_factor = overall_comparison(
+            baseline_sim.simulate_llm_decode_layer(GPT3_30B, settings),
+            cim_sim.simulate_llm_decode_layer(GPT3_30B, settings))["mxu_energy_reduction_factor"]
+        # Paper: 13.4× for decode vs 9.21× for prefill.
+        assert decode_factor > prefill_factor
+        assert 10.0 < decode_factor < 20.0
+
+    def test_attention_is_about_a_third_of_baseline_decode(self, baseline_sim, settings):
+        base = baseline_sim.simulate_llm_decode_layer(GPT3_30B, settings)
+        # Paper: 33.7 %.
+        assert 0.25 < base.latency_fraction(LayerCategory.ATTENTION) < 0.50
+
+    def test_gemv_attention_layers_accelerated(self, baseline_sim, cim_sim, settings):
+        base = baseline_sim.simulate_llm_decode_layer(GPT3_30B, settings)
+        cim = cim_sim.simulate_llm_decode_layer(GPT3_30B, settings)
+        base_attn = base.latency_by_category()[LayerCategory.ATTENTION]
+        cim_attn = cim.latency_by_category()[LayerCategory.ATTENTION]
+        # Paper: 72.7 % reduction on the attention GEMV layers.
+        assert (base_attn - cim_attn) / base_attn > 0.5
+
+
+class TestFig6DiT:
+    def test_latency_reduction_modest(self, baseline_sim, cim_sim, dit_settings):
+        base = baseline_sim.simulate_dit_block(DIT_XL_2, dit_settings)
+        cim = cim_sim.simulate_dit_block(DIT_XL_2, dit_settings)
+        change = overall_comparison(base, cim)["latency_change_percent"]
+        # Paper: −6.67 %; accept −20 % to +5 %.
+        assert -20.0 < change < 5.0
+
+    def test_energy_reduction_around_10x(self, baseline_sim, cim_sim, dit_settings):
+        base = baseline_sim.simulate_dit_block(DIT_XL_2, dit_settings)
+        cim = cim_sim.simulate_dit_block(DIT_XL_2, dit_settings)
+        factor = overall_comparison(base, cim)["mxu_energy_reduction_factor"]
+        # Paper: 10.4×.
+        assert 7.0 < factor < 14.0
+
+    def test_attention_and_gemm_are_the_bottlenecks(self, baseline_sim, dit_settings):
+        base = baseline_sim.simulate_dit_block(DIT_XL_2, dit_settings)
+        attention = base.latency_fraction(LayerCategory.ATTENTION)
+        gemm = sum(base.latency_fraction(c) for c in (
+            LayerCategory.QKV_GEN, LayerCategory.PROJECTION, LayerCategory.FFN1,
+            LayerCategory.FFN2))
+        # Paper: Softmax 36.9 % (inside Attention here) and GEMM 35.65 %.
+        assert attention > 0.25
+        assert gemm > 0.25
+
+
+class TestFig7Exploration:
+    def test_smaller_cim_mxus_save_more_energy_on_llm(self, settings):
+        baseline = InferenceSimulator(tpuv4i_baseline()).simulate_llm_inference(GPT3_30B, settings)
+        small = InferenceSimulator(make_cim_tpu(2, 8, 8)).simulate_llm_inference(GPT3_30B, settings)
+        default = InferenceSimulator(cim_tpu_default()).simulate_llm_inference(GPT3_30B, settings)
+        assert baseline.mxu_energy / small.mxu_energy > baseline.mxu_energy / default.mxu_energy
+
+    def test_llm_latency_insensitive_to_peak_throughput(self, settings):
+        # Memory-bound decode: quadrupling the CIM-MXU peak gives only a small
+        # latency improvement (paper: 2.5 % between 8×16×8 and 8×16×16).
+        medium = InferenceSimulator(make_cim_tpu(8, 16, 8)).simulate_llm_inference(GPT3_30B, settings)
+        large = InferenceSimulator(make_cim_tpu(8, 16, 16)).simulate_llm_inference(GPT3_30B, settings)
+        improvement = (medium.total_seconds - large.total_seconds) / medium.total_seconds
+        assert improvement < 0.10
+        assert large.mxu_energy > medium.mxu_energy
+
+    def test_dit_latency_scales_with_peak_throughput(self, dit_settings):
+        # Compute-bound DiT: more/larger CIM-MXUs reduce latency (paper: −33.8 %
+        # for 8×16×16) while small configurations slow it down (paper: +100 %).
+        baseline = InferenceSimulator(tpuv4i_baseline()).simulate_dit_inference(DIT_XL_2, dit_settings)
+        small = InferenceSimulator(make_cim_tpu(2, 8, 8)).simulate_dit_inference(DIT_XL_2, dit_settings)
+        large = InferenceSimulator(make_cim_tpu(8, 16, 16)).simulate_dit_inference(DIT_XL_2, dit_settings)
+        assert small.total_seconds > baseline.total_seconds
+        assert large.total_seconds < baseline.total_seconds
+
+    def test_design_b_faster_than_design_a_for_dit(self, dit_settings):
+        a = InferenceSimulator(design_a()).simulate_dit_inference(DIT_XL_2, dit_settings)
+        b = InferenceSimulator(design_b()).simulate_dit_inference(DIT_XL_2, dit_settings)
+        assert b.total_seconds < a.total_seconds
+
+
+class TestFig8MultiDevice:
+    def test_design_a_improves_llm_throughput_over_baseline(self, settings):
+        base = [MultiTPUSystem(tpuv4i_baseline(), n).simulate_llm(GPT3_30B, settings).throughput
+                for n in (1, 2, 4)]
+        design = [MultiTPUSystem(design_a(), n).simulate_llm(GPT3_30B, settings).throughput
+                  for n in (1, 2, 4)]
+        # Paper: ~28 % average speedup for Design A.
+        speedups = [d / b for d, b in zip(design, base)]
+        assert all(s > 1.0 for s in speedups)
+
+    def test_design_b_improves_dit_throughput_over_baseline(self, dit_settings):
+        base = MultiTPUSystem(tpuv4i_baseline(), 4).simulate_dit(DIT_XL_2, dit_settings)
+        design = MultiTPUSystem(design_b(), 4).simulate_dit(DIT_XL_2, dit_settings)
+        # Paper: ~33 % throughput improvement for Design B.
+        assert design.throughput / base.throughput > 1.1
+
+    def test_design_a_multi_device_energy_reduction(self, settings):
+        base = MultiTPUSystem(tpuv4i_baseline(), 4).simulate_llm(GPT3_30B, settings)
+        design = MultiTPUSystem(design_a(), 4).simulate_llm(GPT3_30B, settings)
+        # Paper: 24.2× MXU energy reduction for Design A.
+        assert base.mxu_energy_joules / design.mxu_energy_joules > 10.0
+
+    def test_throughput_scales_with_device_count(self, settings):
+        results = [MultiTPUSystem(design_a(), n).simulate_llm(GPT3_30B, settings).throughput
+                   for n in (1, 2, 4)]
+        assert results[2] > results[1] > results[0]

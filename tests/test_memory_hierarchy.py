@@ -1,0 +1,81 @@
+"""Tests for the two-level memory hierarchy with double buffering."""
+
+import pytest
+
+from repro.memory.hierarchy import MemoryHierarchy, TransferRequest
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return MemoryHierarchy()
+
+
+class TestTransferRequest:
+    def test_valid_request(self):
+        request = TransferRequest(1024, "hbm", "cmem")
+        assert request.num_bytes == 1024
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            TransferRequest(1024, "cmem", "cmem")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            TransferRequest(1024, "l2", "cmem")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TransferRequest(-1, "hbm", "cmem")
+
+
+class TestTransfers:
+    def test_hbm_to_cmem_bandwidth_bound(self, hierarchy):
+        num_bytes = 64 * 2**20
+        result = hierarchy.hbm_to_cmem(num_bytes)
+        ideal = num_bytes / hierarchy.main_memory.config.bytes_per_cycle
+        assert result.cycles >= ideal
+
+    def test_cmem_to_vmem_uses_oci(self, hierarchy):
+        num_bytes = 2 * 2**20
+        result = hierarchy.cmem_to_vmem(num_bytes)
+        assert result.cycles >= num_bytes / hierarchy.oci.config.bandwidth_bytes_per_cycle
+
+    def test_hbm_to_vmem_is_pipelined_max_of_hops(self, hierarchy):
+        num_bytes = 8 * 2**20
+        through = hierarchy.hbm_to_vmem(num_bytes).cycles
+        hop1 = hierarchy.hbm_to_cmem(num_bytes).cycles
+        hop2 = hierarchy.cmem_to_vmem(num_bytes).cycles
+        assert through == pytest.approx(max(hop1, hop2))
+
+    def test_transfer_energy_accumulates_components(self, hierarchy):
+        result = hierarchy.hbm_to_vmem(1 << 20)
+        assert result.energy.component_total("hbm") > 0
+        assert result.energy.component_total("cmem") > 0
+        assert result.energy.component_total("vmem") > 0
+
+    def test_vmem_to_cmem_direction(self, hierarchy):
+        result = hierarchy.vmem_to_cmem(1 << 20)
+        assert result.cycles > 0
+
+    def test_strided_transfer_slower(self, hierarchy):
+        num_bytes = 16 * 2**20
+        assert hierarchy.hbm_to_cmem(num_bytes, coalesced=False).cycles > \
+            hierarchy.hbm_to_cmem(num_bytes, coalesced=True).cycles
+
+
+class TestScheduling:
+    def test_double_buffered_latency_is_max(self):
+        assert MemoryHierarchy.overlapped_latency(100, 80) == 100
+        assert MemoryHierarchy.overlapped_latency(80, 100) == 100
+
+    def test_serialised_latency_is_sum(self):
+        assert MemoryHierarchy.overlapped_latency(100, 80, double_buffered=False) == 180
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy.overlapped_latency(-1, 10)
+
+    def test_double_buffer_fits(self, hierarchy):
+        vmem_capacity = hierarchy.vmem.config.capacity_bytes
+        assert hierarchy.double_buffer_fits(hierarchy.vmem, vmem_capacity // 2)
+        assert not hierarchy.double_buffer_fits(hierarchy.vmem, vmem_capacity // 2 + 1)

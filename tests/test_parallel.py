@@ -1,0 +1,157 @@
+"""Tests for tensor / pipeline parallelism and the multi-TPU system."""
+
+import pytest
+
+from repro.core.designs import cim_tpu_default, design_a, tpuv4i_baseline
+from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
+from repro.memory.interconnect import ICILink, RingTopology
+from repro.parallel.multi_device import MultiTPUSystem
+from repro.parallel.pipeline_parallel import (
+    PipelineParallelPlan,
+    PipelineSchedule,
+    build_pipeline_plan,
+)
+from repro.parallel.tensor_parallel import TensorParallelPlan, shard_layer_config
+from repro.workloads.llm import LLMConfig
+from repro.workloads.dit import DiTConfig
+from repro.workloads.transformer import TransformerLayerConfig
+
+
+class TestTensorParallel:
+    def setup_method(self):
+        self.layer = TransformerLayerConfig(d_model=4096, num_heads=32, d_ff=16384)
+
+    def test_shard_divides_heads_and_ffn(self):
+        shard = shard_layer_config(self.layer, 4)
+        assert shard.num_heads == 8
+        assert shard.d_ff == 4096
+        assert shard.d_model == 4096
+
+    def test_degree_one_is_identity(self):
+        assert shard_layer_config(self.layer, 1) is self.layer
+
+    def test_uneven_shard_rejected(self):
+        with pytest.raises(ValueError):
+            shard_layer_config(self.layer, 5)
+
+    def test_allreduce_bytes(self):
+        plan = TensorParallelPlan(degree=4, topology=RingTopology(num_devices=4))
+        assert plan.allreduce_bytes_per_layer(1024, 4096) == 2 * 1024 * 4096
+
+    def test_communication_zero_for_single_device(self):
+        plan = TensorParallelPlan(degree=1, topology=RingTopology(num_devices=1))
+        assert plan.communication_cycles_per_layer(1024, 4096) == 0.0
+
+    def test_communication_grows_with_tokens(self):
+        plan = TensorParallelPlan(degree=4, topology=RingTopology(num_devices=4))
+        assert plan.communication_cycles_per_layer(2048, 4096) > \
+            plan.communication_cycles_per_layer(1024, 4096)
+
+    def test_degree_cannot_exceed_devices(self):
+        with pytest.raises(ValueError):
+            TensorParallelPlan(degree=8, topology=RingTopology(num_devices=4))
+
+
+class TestPipelineParallel:
+    def test_plan_layers_per_stage(self):
+        plan = PipelineParallelPlan(num_stages=4, num_layers=48, micro_batches=8,
+                                    topology=RingTopology(num_devices=4))
+        assert plan.layers_per_stage == 12
+
+    def test_bubble_fraction_shrinks_with_micro_batches(self):
+        ring = RingTopology(num_devices=4)
+        few = PipelineParallelPlan(4, 48, 4, ring).bubble_fraction
+        many = PipelineParallelPlan(4, 48, 32, ring).bubble_fraction
+        assert many < few
+
+    def test_schedule_batch_latency(self):
+        plan = PipelineParallelPlan(4, 48, 8, RingTopology(num_devices=4))
+        schedule = PipelineSchedule(plan=plan, stage_seconds=1.0, hop_seconds=0.1)
+        assert schedule.batch_latency() == pytest.approx((8 + 3) * 1.1)
+
+    def test_decode_step_interval_overlaps_micro_batches(self):
+        plan = PipelineParallelPlan(4, 48, 8, RingTopology(num_devices=4))
+        schedule = PipelineSchedule(plan=plan, stage_seconds=1.0, hop_seconds=0.0)
+        assert schedule.sequential_traversal_latency() == pytest.approx(4.0)
+        assert schedule.decode_step_interval() == pytest.approx(1.0)
+
+    def test_build_plan_clamps_stages_to_layers(self):
+        plan = build_pipeline_plan(num_devices=8, num_layers=4, batch=8,
+                                   topology=RingTopology(num_devices=8))
+        assert plan.num_stages == 4
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            PipelineParallelPlan(8, 4, 1, RingTopology(num_devices=8))
+        with pytest.raises(ValueError):
+            PipelineParallelPlan(4, 48, 0, RingTopology(num_devices=4))
+
+
+@pytest.fixture(scope="module")
+def small_llm():
+    return LLMConfig(name="mt-llm", num_layers=8, num_heads=16, d_model=2048, d_ff=8192)
+
+
+@pytest.fixture(scope="module")
+def small_dit():
+    return DiTConfig(name="mt-dit", depth=8, num_heads=8, d_model=512)
+
+
+@pytest.fixture(scope="module")
+def small_llm_settings():
+    return LLMInferenceSettings(batch=4, input_tokens=128, output_tokens=32, decode_kv_samples=2)
+
+
+@pytest.fixture(scope="module")
+def small_dit_settings():
+    return DiTInferenceSettings(batch=2, image_resolution=256, sampling_steps=4)
+
+
+class TestMultiTPUSystem:
+    def test_llm_throughput_scales_with_devices(self, small_llm, small_llm_settings):
+        results = [MultiTPUSystem(cim_tpu_default(), n).simulate_llm(small_llm, small_llm_settings)
+                   for n in (1, 2, 4)]
+        throughputs = [r.throughput for r in results]
+        assert throughputs[1] > throughputs[0]
+        assert throughputs[2] > throughputs[1]
+
+    def test_dit_throughput_scales_with_devices(self, small_dit, small_dit_settings):
+        one = MultiTPUSystem(cim_tpu_default(), 1).simulate_dit(small_dit, small_dit_settings)
+        four = MultiTPUSystem(cim_tpu_default(), 4).simulate_dit(small_dit, small_dit_settings)
+        assert four.throughput > 2 * one.throughput
+
+    def test_single_device_has_no_communication(self, small_llm, small_llm_settings):
+        result = MultiTPUSystem(cim_tpu_default(), 1).simulate_llm(small_llm, small_llm_settings)
+        assert result.communication_seconds == 0.0
+
+    def test_multi_device_has_communication(self, small_llm, small_llm_settings):
+        result = MultiTPUSystem(cim_tpu_default(), 4).simulate_llm(small_llm, small_llm_settings)
+        assert result.communication_seconds > 0.0
+
+    def test_design_a_beats_baseline_llm_throughput(self, small_llm, small_llm_settings):
+        base = MultiTPUSystem(tpuv4i_baseline(), 4).simulate_llm(small_llm, small_llm_settings)
+        design = MultiTPUSystem(design_a(), 4).simulate_llm(small_llm, small_llm_settings)
+        assert design.throughput > base.throughput
+        assert design.mxu_energy_joules < base.mxu_energy_joules
+
+    def test_energy_independent_of_device_count(self, small_llm, small_llm_settings):
+        # The same total work is done regardless of how many devices share it.
+        one = MultiTPUSystem(cim_tpu_default(), 1).simulate_llm(small_llm, small_llm_settings)
+        four = MultiTPUSystem(cim_tpu_default(), 4).simulate_llm(small_llm, small_llm_settings)
+        assert four.mxu_energy_joules == pytest.approx(one.mxu_energy_joules, rel=1e-6)
+
+    def test_energy_per_item(self, small_llm, small_llm_settings):
+        result = MultiTPUSystem(cim_tpu_default(), 2).simulate_llm(small_llm, small_llm_settings)
+        assert result.energy_per_item == pytest.approx(
+            result.mxu_energy_joules / result.items_per_group)
+
+    def test_custom_link(self, small_llm, small_llm_settings):
+        slow_link = ICILink(bandwidth_gbps=10.0)
+        fast = MultiTPUSystem(cim_tpu_default(), 4).simulate_llm(small_llm, small_llm_settings)
+        slow = MultiTPUSystem(cim_tpu_default(), 4, link=slow_link).simulate_llm(
+            small_llm, small_llm_settings)
+        assert slow.communication_seconds > fast.communication_seconds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiTPUSystem(cim_tpu_default(), 0)

@@ -1,0 +1,61 @@
+"""Tests for the tensor-parallel serving mode of MultiTPUSystem."""
+
+import pytest
+
+from repro.core.designs import cim_tpu_default
+from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
+from repro.parallel.multi_device import MultiTPUSystem
+from repro.workloads.dit import DiTConfig
+from repro.workloads.llm import LLMConfig
+
+
+@pytest.fixture(scope="module")
+def llm():
+    return LLMConfig(name="tp-llm", num_layers=8, num_heads=16, d_model=2048, d_ff=8192)
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return LLMInferenceSettings(batch=4, input_tokens=128, output_tokens=32, decode_kv_samples=2)
+
+
+class TestTensorParallelLLM:
+    def test_tensor_mode_produces_result(self, llm, settings):
+        system = MultiTPUSystem(cim_tpu_default(), 4, parallelism="tensor")
+        result = system.simulate_llm(llm, settings)
+        assert result.throughput > 0
+        assert result.communication_seconds > 0
+
+    def test_tensor_mode_single_device_equals_pipeline(self, llm, settings):
+        tensor = MultiTPUSystem(cim_tpu_default(), 1, parallelism="tensor").simulate_llm(llm, settings)
+        pipeline = MultiTPUSystem(cim_tpu_default(), 1, parallelism="pipeline").simulate_llm(llm, settings)
+        assert tensor.stage_occupancy_seconds == pytest.approx(pipeline.stage_occupancy_seconds)
+
+    def test_tensor_mode_throughput_improves_with_devices(self, llm, settings):
+        one = MultiTPUSystem(cim_tpu_default(), 1, parallelism="tensor").simulate_llm(llm, settings)
+        four = MultiTPUSystem(cim_tpu_default(), 4, parallelism="tensor").simulate_llm(llm, settings)
+        assert four.throughput > one.throughput
+
+    def test_tensor_mode_pays_allreduce_communication(self, llm, settings):
+        tensor = MultiTPUSystem(cim_tpu_default(), 4, parallelism="tensor").simulate_llm(llm, settings)
+        pipeline = MultiTPUSystem(cim_tpu_default(), 4, parallelism="pipeline").simulate_llm(llm, settings)
+        # Two all-reduces per layer per token are far costlier than one
+        # activation hop per stage boundary.
+        assert tensor.communication_seconds > pipeline.communication_seconds
+
+    def test_uneven_shard_rejected(self, settings):
+        odd = LLMConfig(name="odd-llm", num_layers=4, num_heads=6, d_model=768, d_ff=3072)
+        system = MultiTPUSystem(cim_tpu_default(), 4, parallelism="tensor")
+        with pytest.raises(ValueError):
+            system.simulate_llm(odd, settings)
+
+    def test_unknown_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTPUSystem(cim_tpu_default(), 2, parallelism="expert")
+
+    def test_dit_rejects_tensor_mode(self, settings):
+        system = MultiTPUSystem(cim_tpu_default(), 2, parallelism="tensor")
+        dit = DiTConfig(name="tp-dit", depth=4, num_heads=4, d_model=256)
+        with pytest.raises(ValueError):
+            system.simulate_dit(dit, DiTInferenceSettings(batch=1, image_resolution=256,
+                                                          sampling_steps=1))

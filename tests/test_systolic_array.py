@@ -1,0 +1,83 @@
+"""Tests for the DigitalMXU component model."""
+
+import pytest
+
+from repro.common import Precision
+from repro.systolic.systolic_array import DigitalMXU, SystolicArrayConfig
+
+
+@pytest.fixture(scope="module")
+def mxu():
+    return DigitalMXU()
+
+
+class TestConfig:
+    def test_defaults_match_tpuv4i(self):
+        config = SystolicArrayConfig()
+        assert config.rows == 128 and config.cols == 128
+        assert config.macs_per_cycle == 16384
+
+    def test_peak_tops(self):
+        config = SystolicArrayConfig()
+        assert config.peak_tops == pytest.approx(34.4, rel=0.01)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(rows=0)
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(frequency_ghz=-1)
+
+
+class TestGemm:
+    def test_table2_energy_efficiency(self, mxu):
+        # Table II: the digital MXU sustains 0.77 TOPS/W at INT8.
+        assert mxu.energy_efficiency_tops_per_watt() == pytest.approx(0.77, rel=0.01)
+
+    def test_table2_area_efficiency(self, mxu):
+        # Table II: 0.648 TOPS/mm².
+        assert mxu.area_efficiency_tops_per_mm2() == pytest.approx(0.648, rel=0.01)
+
+    def test_result_fields_consistent(self, mxu):
+        result = mxu.gemm(256, 512, 512)
+        assert result.macs == 256 * 512 * 512
+        assert result.cycles > 0
+        assert 0 < result.utilization <= 1
+        assert result.energy.component_total("mxu") > 0
+        assert result.weight_bytes == 512 * 512
+        assert result.input_bytes == 256 * 512
+        assert result.output_bytes == 256 * 512 * 4
+
+    def test_stationary_weights_faster_than_dynamic(self, mxu):
+        stationary = mxu.gemm(8, 2048, 2048, stationary_weights=True)
+        dynamic = mxu.gemm(8, 2048, 2048, stationary_weights=False)
+        assert stationary.cycles < dynamic.cycles
+
+    def test_bf16_same_cycles_more_energy(self, mxu):
+        int8 = mxu.gemm(128, 1024, 1024, Precision.INT8)
+        bf16 = mxu.gemm(128, 1024, 1024, Precision.BF16)
+        assert bf16.cycles == int8.cycles
+        assert bf16.energy.total > int8.energy.total
+
+    def test_instances_scale_cycles_linearly(self, mxu):
+        one = mxu.gemm(64, 128, 1024, stationary_weights=False, instances=1)
+        four = mxu.gemm(64, 128, 1024, stationary_weights=False, instances=4)
+        assert four.cycles == 4 * one.cycles
+        assert four.macs == 4 * one.macs
+
+    def test_instances_must_be_positive(self, mxu):
+        with pytest.raises(ValueError):
+            mxu.gemm(64, 128, 128, instances=0)
+
+    def test_idle_energy_is_leakage_only(self, mxu):
+        idle = mxu.idle_energy(1000.0)
+        assert idle.total_dynamic == 0.0
+        assert idle.total_leakage > 0.0
+
+    def test_idle_energy_rejects_negative(self, mxu):
+        with pytest.raises(ValueError):
+            mxu.idle_energy(-1.0)
+
+    def test_leakage_power_scales_with_array_size(self):
+        small = DigitalMXU(config=SystolicArrayConfig(rows=64, cols=64))
+        large = DigitalMXU(config=SystolicArrayConfig(rows=128, cols=128))
+        assert large.leakage_power_w == pytest.approx(4 * small.leakage_power_w)

@@ -1,0 +1,78 @@
+"""Tests for the SCALE-Sim compatible front end."""
+
+import pytest
+
+from repro.systolic.dataflows import Dataflow
+from repro.systolic.scalesim import (
+    GemmLayerSpec,
+    ScaleSimConfig,
+    run_scale_sim,
+    transformer_gemm_topology,
+)
+
+
+class TestTopologyGeneration:
+    def test_transformer_topology_has_four_gemms(self):
+        topology = transformer_gemm_topology(batch=8, seq_len=128, d_model=512, d_ff=2048)
+        assert len(topology) == 4
+        names = [layer.name for layer in topology]
+        assert any("qkv" in name for name in names)
+        assert any("ffn2" in name for name in names)
+
+    def test_topology_dimensions(self):
+        topology = transformer_gemm_topology(batch=2, seq_len=16, d_model=64, d_ff=256)
+        qkv = topology[0]
+        assert qkv.m == 32 and qkv.k == 64 and qkv.n == 192
+
+    def test_layer_spec_validation(self):
+        with pytest.raises(ValueError):
+            GemmLayerSpec("bad", 0, 10, 10)
+
+
+class TestRunScaleSim:
+    def setup_method(self):
+        self.config = ScaleSimConfig()
+        self.topology = transformer_gemm_topology(batch=2, seq_len=64, d_model=256, d_ff=1024)
+
+    def test_report_has_one_row_per_layer(self):
+        report = run_scale_sim(self.config, self.topology)
+        assert len(report.layers) == len(self.topology)
+
+    def test_total_cycles_is_sum_of_layers(self):
+        report = run_scale_sim(self.config, self.topology)
+        assert report.total_cycles == sum(layer.total_cycles for layer in report.layers)
+
+    def test_utilization_bounds(self):
+        report = run_scale_sim(self.config, self.topology)
+        for layer in report.layers:
+            assert 0.0 < layer.overall_utilization <= 1.0
+            assert 0.0 < layer.mapping_efficiency <= 1.0
+
+    def test_stalls_do_not_exceed_total(self):
+        report = run_scale_sim(self.config, self.topology)
+        for layer in report.layers:
+            assert 0 <= layer.stall_cycles <= layer.total_cycles
+
+    def test_sram_traffic_positive(self):
+        report = run_scale_sim(self.config, self.topology)
+        for layer in report.layers:
+            assert layer.sram_ifmap_reads > 0
+            assert layer.sram_filter_reads > 0
+            assert layer.sram_ofmap_writes > 0
+
+    def test_empty_topology_gives_empty_report(self):
+        report = run_scale_sim(self.config, [])
+        assert report.total_cycles == 0
+        assert report.average_utilization == 0.0
+
+    def test_output_stationary_dataflow_runs(self):
+        config = ScaleSimConfig(dataflow=Dataflow.OUTPUT_STATIONARY)
+        report = run_scale_sim(config, self.topology)
+        assert report.total_cycles > 0
+
+    def test_bigger_array_is_not_slower_for_large_gemm(self):
+        big = ScaleSimConfig(array_rows=256, array_cols=256)
+        large_gemm = [GemmLayerSpec("big", 4096, 4096, 4096)]
+        small_report = run_scale_sim(self.config, large_gemm)
+        big_report = run_scale_sim(big, large_gemm)
+        assert big_report.total_cycles <= small_report.total_cycles

@@ -1,0 +1,89 @@
+"""Tests for the vector-operator cost models (softmax, layernorm, activations)."""
+
+import pytest
+
+from repro.vector.activations import elementwise_op_counts, gelu_tanh_op_counts
+from repro.vector.layernorm import layernorm_op_counts
+from repro.vector.softmax import DIV_OPS, EXP_OPS, softmax_op_counts
+
+
+class TestSoftmax:
+    def test_total_ops_formula(self):
+        cost = softmax_op_counts(rows=1, row_length=10)
+        expected = 10 * (1 + EXP_OPS + 1 + 1) + 10 * (EXP_OPS + 1) + DIV_OPS
+        assert cost.total_ops == expected
+
+    def test_linear_in_rows(self):
+        one = softmax_op_counts(1, 256)
+        many = softmax_op_counts(64, 256)
+        assert many.total_ops == 64 * one.total_ops
+
+    def test_elements(self):
+        cost = softmax_op_counts(8, 128)
+        assert cost.elements == 1024
+
+    def test_traffic_scales_with_element_bytes(self):
+        int8 = softmax_op_counts(8, 128, element_bytes=1)
+        bf16 = softmax_op_counts(8, 128, element_bytes=2)
+        assert bf16.input_bytes == 2 * int8.input_bytes
+
+    def test_exp_dominates_cost(self):
+        cost = softmax_op_counts(1, 1000)
+        assert cost.ops_per_element > 2 * EXP_OPS * 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            softmax_op_counts(0, 10)
+        with pytest.raises(ValueError):
+            softmax_op_counts(10, 10, element_bytes=0)
+
+
+class TestLayerNorm:
+    def test_linear_in_rows(self):
+        one = layernorm_op_counts(1, 512)
+        many = layernorm_op_counts(32, 512)
+        assert many.total_ops == 32 * one.total_ops
+
+    def test_affine_costs_more(self):
+        plain = layernorm_op_counts(4, 512, elementwise_affine=False)
+        affine = layernorm_op_counts(4, 512, elementwise_affine=True)
+        assert affine.total_ops > plain.total_ops
+
+    def test_cheaper_than_softmax_per_element(self):
+        ln = layernorm_op_counts(8, 1024)
+        sm = softmax_op_counts(8, 1024)
+        assert ln.ops_per_element < sm.ops_per_element
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layernorm_op_counts(1, 0)
+
+
+class TestActivations:
+    def test_gelu_ops_per_element_constant(self):
+        small = gelu_tanh_op_counts(100)
+        large = gelu_tanh_op_counts(10000)
+        assert small.ops_per_element == large.ops_per_element
+
+    def test_gelu_linear_in_elements(self):
+        assert gelu_tanh_op_counts(2000).total_ops == 2 * gelu_tanh_op_counts(1000).total_ops
+
+    def test_gelu_traffic(self):
+        cost = gelu_tanh_op_counts(1000, element_bytes=2)
+        assert cost.input_bytes == 2000
+        assert cost.output_bytes == 2000
+
+    def test_elementwise_operand_traffic(self):
+        residual = elementwise_op_counts("residual", 1000, operands=2)
+        assert residual.input_bytes == 2000
+        assert residual.output_bytes == 1000
+
+    def test_elementwise_ops_per_element(self):
+        modulate = elementwise_op_counts("modulate", 1000, ops_per_element=2.0, operands=3)
+        assert modulate.total_ops == 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gelu_tanh_op_counts(0)
+        with pytest.raises(ValueError):
+            elementwise_op_counts("bad", 10, ops_per_element=0)

@@ -1,0 +1,69 @@
+"""Tests for the vector processing unit component model."""
+
+import pytest
+
+from repro.vector.vpu import VectorUnit, VPUConfig
+
+
+class TestConfig:
+    def test_default_width_matches_table1(self):
+        config = VPUConfig()
+        assert config.lanes == 8 * 128
+
+    def test_ops_per_cycle(self):
+        config = VPUConfig(lanes=1024, alus_per_lane=4, efficiency=0.5)
+        assert config.ops_per_cycle == pytest.approx(2048)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VPUConfig(lanes=0)
+        with pytest.raises(ValueError):
+            VPUConfig(efficiency=0.0)
+        with pytest.raises(ValueError):
+            VPUConfig(alus_per_lane=0)
+        with pytest.raises(ValueError):
+            VPUConfig(leakage_power_w=-1.0)
+
+
+class TestExecution:
+    def setup_method(self):
+        self.vpu = VectorUnit()
+
+    def test_cycles_include_launch_overhead(self):
+        result = self.vpu.execute(total_ops=0, input_bytes=0, output_bytes=0)
+        assert result.cycles == self.vpu.config.launch_overhead_cycles
+
+    def test_cycles_scale_with_ops(self):
+        small = self.vpu.execute(10_000, 0, 0)
+        large = self.vpu.execute(1_000_000, 0, 0)
+        assert large.cycles > small.cycles
+
+    def test_energy_has_dynamic_and_leakage(self):
+        result = self.vpu.execute(100_000, 1000, 1000)
+        assert result.energy.total_dynamic > 0
+        assert result.energy.total_leakage > 0
+        assert result.energy.component_total("vpu") == pytest.approx(result.energy.total)
+
+    def test_traffic_reported(self):
+        result = self.vpu.execute(1000, 256, 128)
+        assert result.total_operand_bytes == 384
+
+    def test_idle_energy_leakage_only(self):
+        idle = self.vpu.idle_energy(1_000_000)
+        assert idle.total_dynamic == 0.0
+        assert idle.total_leakage > 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            self.vpu.execute(-1, 0, 0)
+        with pytest.raises(ValueError):
+            self.vpu.idle_energy(-1)
+
+    def test_throughput_is_realistic_for_softmax(self):
+        # A 131k-row × 1024 softmax (the DiT attention softmax) must take on
+        # the order of a millisecond, not microseconds or seconds.
+        from repro.vector.softmax import softmax_op_counts
+        cost = softmax_op_counts(8 * 16 * 1024, 1024)
+        result = self.vpu.execute(cost.total_ops, cost.input_bytes, cost.output_bytes)
+        seconds = result.cycles / (self.vpu.config.frequency_ghz * 1e9)
+        assert 1e-4 < seconds < 1e-2

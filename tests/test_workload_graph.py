@@ -1,0 +1,100 @@
+"""Tests for the operator graph container."""
+
+import pytest
+
+from repro.workloads.graph import OperatorGraph
+from repro.workloads.operators import LayerCategory, MatMulOp, SoftmaxOp
+
+
+def make_matmul(name="mm", category=LayerCategory.QKV_GEN):
+    return MatMulOp(name=name, category=category, m=4, k=8, n=16)
+
+
+def make_softmax(name="sm"):
+    return SoftmaxOp(name=name, category=LayerCategory.ATTENTION, rows=4, row_length=16)
+
+
+class TestGraphConstruction:
+    def test_add_returns_index(self):
+        graph = OperatorGraph(name="g")
+        assert graph.add(make_matmul()) == 0
+        assert graph.add(make_softmax()) == 1
+        assert len(graph) == 2
+
+    def test_default_dependency_is_chain(self):
+        graph = OperatorGraph(name="g")
+        graph.add(make_matmul("a"))
+        graph.add(make_matmul("b"))
+        assert graph.predecessors(0) == []
+        assert graph.predecessors(1) == [0]
+
+    def test_explicit_dependencies(self):
+        graph = OperatorGraph(name="g")
+        graph.add(make_matmul("a"))
+        graph.add(make_matmul("b"))
+        graph.add(make_matmul("c"), depends_on=[0])
+        assert graph.predecessors(2) == [0]
+
+    def test_invalid_dependency_rejected(self):
+        graph = OperatorGraph(name="g")
+        graph.add(make_matmul("a"))
+        with pytest.raises(ValueError):
+            graph.add(make_matmul("b"), depends_on=[5])
+
+    def test_predecessors_out_of_range(self):
+        graph = OperatorGraph(name="g")
+        with pytest.raises(IndexError):
+            graph.predecessors(0)
+
+    def test_extend_shifts_dependencies(self):
+        a = OperatorGraph(name="a")
+        a.add(make_matmul("a0"))
+        b = OperatorGraph(name="b")
+        b.add(make_matmul("b0"))
+        b.add(make_matmul("b1"), depends_on=[0])
+        a.extend(b)
+        assert len(a) == 3
+        assert a.predecessors(2) == [1]
+
+
+class TestGraphSummaries:
+    def make_graph(self):
+        graph = OperatorGraph(name="g")
+        graph.add(make_matmul("a", LayerCategory.QKV_GEN))
+        graph.add(make_softmax())
+        graph.add(make_matmul("b", LayerCategory.FFN1))
+        return graph
+
+    def test_matmul_and_vector_split(self):
+        graph = self.make_graph()
+        assert len(graph.matmul_operators) == 2
+        assert len(graph.vector_operators) == 1
+
+    def test_total_macs(self):
+        graph = self.make_graph()
+        assert graph.total_macs == 2 * 4 * 8 * 16
+
+    def test_categories_in_first_appearance_order(self):
+        graph = self.make_graph()
+        assert graph.categories() == [LayerCategory.QKV_GEN, LayerCategory.ATTENTION,
+                                      LayerCategory.FFN1]
+
+    def test_by_category_groups(self):
+        grouped = self.make_graph().by_category()
+        assert len(grouped[LayerCategory.QKV_GEN]) == 1
+        assert len(grouped[LayerCategory.ATTENTION]) == 1
+
+    def test_scaled_repeats_operators(self):
+        graph = self.make_graph()
+        expanded = graph.scaled(3)
+        assert len(expanded) == 3 * len(graph)
+        assert expanded.total_macs == 3 * graph.total_macs
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            self.make_graph().scaled(0)
+
+    def test_iteration_order(self):
+        graph = self.make_graph()
+        names = [op.name for op in graph]
+        assert names == ["a", "sm", "b"]

@@ -1,0 +1,143 @@
+"""Tests for the LLM / DiT model configurations and whole-model graph builders."""
+
+import pytest
+
+from repro.common import Precision
+from repro.workloads.dit import DIT_XL_2, DiTConfig, build_dit_block, build_dit_model_graph
+from repro.workloads.llm import (
+    GPT3_30B,
+    GPT3_175B,
+    LLAMA2_13B,
+    LLMConfig,
+    build_llm_layer,
+    build_llm_model_graph,
+)
+from repro.workloads.operators import LayerCategory
+from repro.workloads.registry import MODEL_REGISTRY, get_model, register_model
+
+
+class TestLLMConfigs:
+    def test_gpt3_30b_matches_table3(self):
+        assert GPT3_30B.num_layers == 48
+        assert GPT3_30B.num_heads == 56
+        assert GPT3_30B.d_model == 7168
+
+    def test_gpt3_30b_parameter_count(self):
+        # Roughly 30 billion parameters.
+        assert 25e9 < GPT3_30B.approximate_parameters < 35e9
+
+    def test_gpt3_175b_parameter_count(self):
+        assert 150e9 < GPT3_175B.approximate_parameters < 200e9
+
+    def test_llama2_13b_parameter_count(self):
+        assert 10e9 < LLAMA2_13B.approximate_parameters < 16e9
+
+    def test_kv_cache_bytes(self):
+        per_layer = 2 * 8 * 1024 * 7168  # 2 tensors × batch × tokens × d_model, INT8
+        assert GPT3_30B.kv_cache_bytes(batch=8, seq_len=1024) == 48 * per_layer
+
+    def test_layer_config_head_dim(self):
+        assert GPT3_30B.layer_config().resolved_head_dim == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LLMConfig(name="bad", num_layers=0, num_heads=1, d_model=64, d_ff=256)
+
+
+class TestDiTConfigs:
+    def test_dit_xl2_matches_table3(self):
+        assert DIT_XL_2.depth == 28
+        assert DIT_XL_2.num_heads == 16
+        assert DIT_XL_2.d_model == 1152
+
+    def test_tokens_for_512_resolution(self):
+        assert DIT_XL_2.tokens_for_resolution(512) == 1024
+
+    def test_tokens_for_256_resolution(self):
+        assert DIT_XL_2.tokens_for_resolution(256) == 256
+
+    def test_head_dim(self):
+        assert DIT_XL_2.head_dim == 72
+
+    def test_d_ff(self):
+        assert DIT_XL_2.d_ff == 4 * 1152
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiTConfig(name="bad", depth=0, num_heads=4, d_model=128)
+        with pytest.raises(ValueError):
+            DIT_XL_2.tokens_for_resolution(-1)
+
+
+class TestLLMGraphs:
+    def test_stage_dispatch(self):
+        prefill = build_llm_layer(GPT3_30B, "prefill", batch=1, seq_len=32)
+        decode = build_llm_layer(GPT3_30B, "decode", batch=1, seq_len=32, kv_len=64)
+        assert prefill.total_macs > decode.total_macs
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            build_llm_layer(GPT3_30B, "train", batch=1, seq_len=32)
+
+    def test_model_graph_has_embedding_and_head(self, tiny_llm):
+        graph = build_llm_model_graph(tiny_llm, "prefill", batch=1, seq_len=32)
+        categories = {op.category for op in graph}
+        assert LayerCategory.EMBEDDING in categories
+        assert LayerCategory.PREDICTION_HEAD in categories
+
+    def test_model_graph_layer_count(self, tiny_llm):
+        layer = build_llm_layer(tiny_llm, "prefill", batch=1, seq_len=32)
+        model = build_llm_model_graph(tiny_llm, "prefill", batch=1, seq_len=32)
+        # embedding + layers + final LN + lm head
+        assert len(model) == 1 + tiny_llm.num_layers * len(layer) + 2
+
+
+class TestDiTGraphs:
+    def test_block_contains_conditioning(self, tiny_dit):
+        graph = build_dit_block(tiny_dit, batch=1, image_resolution=256)
+        assert any(op.category is LayerCategory.CONDITIONING for op in graph)
+
+    def test_block_attention_head_dim(self):
+        graph = build_dit_block(DIT_XL_2, batch=1, image_resolution=512)
+        qk = next(op for op in graph.matmul_operators
+                  if op.category is LayerCategory.ATTENTION and op.k == 72)
+        assert qk.m == 1024 and qk.n == 1024
+        assert qk.batch == 16
+
+    def test_model_graph_has_patchify_and_final_linear(self, tiny_dit):
+        graph = build_dit_model_graph(tiny_dit, batch=1, image_resolution=256)
+        assert any(op.category is LayerCategory.EMBEDDING for op in graph)
+        assert any(op.category is LayerCategory.PREDICTION_HEAD for op in graph)
+
+    def test_precision_propagates(self, tiny_dit):
+        graph = build_dit_block(tiny_dit, batch=1, image_resolution=256,
+                                precision=Precision.BF16)
+        assert all(op.precision is Precision.BF16 for op in graph)
+
+    def test_validation(self, tiny_dit):
+        with pytest.raises(ValueError):
+            build_dit_block(tiny_dit, batch=0)
+
+
+class TestRegistry:
+    def test_paper_models_registered(self):
+        assert "gpt3-30b" in MODEL_REGISTRY
+        assert "dit-xl-2" in MODEL_REGISTRY
+        assert "llama2-13b" in MODEL_REGISTRY
+
+    def test_get_model(self):
+        assert get_model("gpt3-30b") is GPT3_30B
+
+    def test_unknown_model_lists_options(self):
+        with pytest.raises(KeyError, match="gpt3-30b"):
+            get_model("gpt5")
+
+    def test_register_and_overwrite(self):
+        custom = LLMConfig(name="custom-test-model", num_layers=2, num_heads=2,
+                           d_model=64, d_ff=256)
+        register_model(custom)
+        assert get_model("custom-test-model") is custom
+        with pytest.raises(ValueError):
+            register_model(custom)
+        register_model(custom, overwrite=True)
+        del MODEL_REGISTRY["custom-test-model"]

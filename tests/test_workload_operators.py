@@ -1,0 +1,115 @@
+"""Tests for the workload operator definitions."""
+
+import pytest
+
+from repro.common import Precision
+from repro.workloads.operators import (
+    ElementwiseOp,
+    GeLUOp,
+    LayerCategory,
+    LayerNormOp,
+    MatMulOp,
+    OperandSource,
+    SoftmaxOp,
+)
+
+
+class TestMatMulOp:
+    def make(self, **kwargs):
+        defaults = dict(name="mm", category=LayerCategory.QKV_GEN, m=16, k=32, n=64)
+        defaults.update(kwargs)
+        return MatMulOp(**defaults)
+
+    def test_macs_and_flops(self):
+        op = self.make(batch=2)
+        assert op.macs == 2 * 16 * 32 * 64
+        assert op.flops == 2 * op.macs
+
+    def test_stationary_weight_bytes_counted_once(self):
+        op = self.make(batch=4, stationary_weights=True)
+        assert op.weight_bytes == 32 * 64
+
+    def test_dynamic_weight_bytes_counted_per_instance(self):
+        op = self.make(batch=4, stationary_weights=False)
+        assert op.weight_bytes == 4 * 32 * 64
+
+    def test_precision_changes_byte_counts(self):
+        int8 = self.make(precision=Precision.INT8)
+        bf16 = self.make(precision=Precision.BF16)
+        assert bf16.weight_bytes == 2 * int8.weight_bytes
+        assert bf16.input_bytes == 2 * int8.input_bytes
+
+    def test_output_bytes_use_accumulator_width(self):
+        op = self.make()
+        assert op.output_bytes == 16 * 64 * 4
+
+    def test_gemv_detection(self):
+        assert self.make(m=1).is_gemv_like
+        assert self.make(m=8).is_gemv_like
+        assert not self.make(m=128).is_gemv_like
+
+    def test_arithmetic_intensity_positive(self):
+        assert self.make().arithmetic_intensity > 0
+
+    def test_is_matmul_flag(self):
+        assert self.make().is_matmul
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(m=0)
+        with pytest.raises(ValueError):
+            self.make(batch=0)
+        with pytest.raises(ValueError):
+            MatMulOp(name="", category=LayerCategory.QKV_GEN, m=1, k=1, n=1)
+
+    def test_default_operand_sources(self):
+        op = self.make()
+        assert op.weight_source is OperandSource.HBM
+        assert op.activation_source is OperandSource.CMEM
+
+
+class TestVectorOps:
+    def test_softmax_elements(self):
+        op = SoftmaxOp(name="sm", category=LayerCategory.ATTENTION, rows=10, row_length=20)
+        assert op.elements == 200
+        assert op.input_bytes == 200
+        assert not op.is_matmul
+
+    def test_layernorm_elements(self):
+        op = LayerNormOp(name="ln", category=LayerCategory.LAYERNORM, rows=4, hidden_dim=128)
+        assert op.elements == 512
+
+    def test_gelu_bytes(self):
+        op = GeLUOp(name="g", category=LayerCategory.GELU, elements=100,
+                    precision=Precision.BF16)
+        assert op.input_bytes == 200
+
+    def test_elementwise_operand_count(self):
+        op = ElementwiseOp(name="res", category=LayerCategory.OTHER, elements=50, operands=3)
+        assert op.input_bytes == 150
+        assert op.output_bytes == 50
+
+    def test_elementwise_flops_rounding(self):
+        op = ElementwiseOp(name="mod", category=LayerCategory.CONDITIONING, elements=10,
+                           ops_per_element=2.5)
+        assert op.flops == 25
+
+    def test_vector_op_weight_bytes_zero(self):
+        op = SoftmaxOp(name="sm", category=LayerCategory.ATTENTION, rows=1, row_length=2)
+        assert op.weight_bytes == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftmaxOp(name="sm", category=LayerCategory.ATTENTION, rows=0, row_length=2)
+        with pytest.raises(ValueError):
+            GeLUOp(name="g", category=LayerCategory.GELU, elements=0)
+        with pytest.raises(ValueError):
+            ElementwiseOp(name="e", category=LayerCategory.OTHER, elements=5, operands=0)
+
+
+class TestLayerCategory:
+    def test_fig6_categories_present(self):
+        labels = {category.value for category in LayerCategory}
+        for expected in ("QKV Gen", "Attention", "Proj.", "FFN1", "FFN2",
+                         "LayerNorm", "GeLU", "Conditioning"):
+            assert expected in labels

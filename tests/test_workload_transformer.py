@@ -1,0 +1,119 @@
+"""Tests for the Transformer layer builders (prefill and decode)."""
+
+import pytest
+
+from repro.common import Precision
+from repro.workloads.operators import LayerCategory, MatMulOp, SoftmaxOp
+from repro.workloads.transformer import (
+    TransformerLayerConfig,
+    build_decode_layer,
+    build_prefill_layer,
+)
+
+
+@pytest.fixture(scope="module")
+def layer_config():
+    return TransformerLayerConfig(d_model=512, num_heads=8, d_ff=2048)
+
+
+class TestLayerConfig:
+    def test_head_dim_derived(self, layer_config):
+        assert layer_config.resolved_head_dim == 64
+
+    def test_qkv_output_dim(self, layer_config):
+        assert layer_config.qkv_output_dim == 3 * 512
+
+    def test_explicit_head_dim(self):
+        config = TransformerLayerConfig(d_model=100, num_heads=3, d_ff=400, head_dim=32)
+        assert config.resolved_head_dim == 32
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ValueError):
+            TransformerLayerConfig(d_model=100, num_heads=3, d_ff=400)
+
+    def test_weight_bytes_per_layer(self, layer_config):
+        expected = 512 * 3 * 512 + 512 * 512 + 512 * 2048 + 2048 * 512
+        assert layer_config.weight_bytes_per_layer == expected
+
+    def test_gated_ffn_has_more_weights(self):
+        plain = TransformerLayerConfig(d_model=512, num_heads=8, d_ff=2048)
+        gated = TransformerLayerConfig(d_model=512, num_heads=8, d_ff=2048, gated_ffn=True)
+        assert gated.weight_bytes_per_layer > plain.weight_bytes_per_layer
+
+
+class TestPrefillLayer:
+    def test_contains_expected_categories(self, layer_config):
+        graph = build_prefill_layer(layer_config, batch=2, seq_len=64)
+        categories = {op.category for op in graph}
+        for expected in (LayerCategory.QKV_GEN, LayerCategory.ATTENTION, LayerCategory.PROJECTION,
+                         LayerCategory.FFN1, LayerCategory.FFN2, LayerCategory.LAYERNORM,
+                         LayerCategory.GELU):
+            assert expected in categories
+
+    def test_qkv_dimensions(self, layer_config):
+        graph = build_prefill_layer(layer_config, batch=2, seq_len=64)
+        qkv = next(op for op in graph.matmul_operators if op.category is LayerCategory.QKV_GEN)
+        assert qkv.m == 128 and qkv.k == 512 and qkv.n == 1536
+
+    def test_attention_matmuls_are_batched_and_dynamic(self, layer_config):
+        graph = build_prefill_layer(layer_config, batch=2, seq_len=64)
+        attention = [op for op in graph.matmul_operators if op.category is LayerCategory.ATTENTION]
+        assert len(attention) == 2
+        for op in attention:
+            assert op.batch == 2 * 8
+            assert not op.stationary_weights
+
+    def test_softmax_shape(self, layer_config):
+        graph = build_prefill_layer(layer_config, batch=2, seq_len=64)
+        softmax = next(op for op in graph if isinstance(op, SoftmaxOp))
+        assert softmax.rows == 2 * 8 * 64
+        assert softmax.row_length == 64
+
+    def test_total_macs_scale_with_seq_len(self, layer_config):
+        short = build_prefill_layer(layer_config, batch=1, seq_len=32).total_macs
+        long = build_prefill_layer(layer_config, batch=1, seq_len=64).total_macs
+        assert long > 2 * short  # attention grows quadratically
+
+    def test_precision_propagates(self, layer_config):
+        graph = build_prefill_layer(layer_config, batch=1, seq_len=16, precision=Precision.BF16)
+        assert all(op.precision is Precision.BF16 for op in graph)
+
+    def test_validation(self, layer_config):
+        with pytest.raises(ValueError):
+            build_prefill_layer(layer_config, batch=0, seq_len=16)
+
+
+class TestDecodeLayer:
+    def test_dense_matmuls_are_gemv_shaped(self, layer_config):
+        graph = build_decode_layer(layer_config, batch=4, kv_len=256)
+        qkv = next(op for op in graph.matmul_operators if op.category is LayerCategory.QKV_GEN)
+        assert qkv.m == 4  # one token per sequence
+
+    def test_attention_uses_kv_length(self, layer_config):
+        graph = build_decode_layer(layer_config, batch=4, kv_len=256)
+        qk = next(op for op in graph.matmul_operators
+                  if op.category is LayerCategory.ATTENTION and op.n == 256)
+        assert qk.m == 1 and qk.k == 64
+        sv = next(op for op in graph.matmul_operators
+                  if op.category is LayerCategory.ATTENTION and op.k == 256)
+        assert sv.n == 64
+
+    def test_kv_cache_update_present(self, layer_config):
+        graph = build_decode_layer(layer_config, batch=4, kv_len=256)
+        assert any("kv_cache_update" in op.name for op in graph)
+
+    def test_decode_macs_much_smaller_than_prefill(self, layer_config):
+        prefill = build_prefill_layer(layer_config, batch=4, seq_len=256).total_macs
+        decode = build_decode_layer(layer_config, batch=4, kv_len=256).total_macs
+        assert decode < prefill / 50
+
+    def test_gated_ffn_adds_gate_multiply(self):
+        config = TransformerLayerConfig(d_model=512, num_heads=8, d_ff=2048, gated_ffn=True)
+        graph = build_decode_layer(config, batch=1, kv_len=16)
+        assert any("gate_mul" in op.name for op in graph)
+        ffn1 = next(op for op in graph.matmul_operators if op.category is LayerCategory.FFN1)
+        assert ffn1.n == 2 * 2048
+
+    def test_validation(self, layer_config):
+        with pytest.raises(ValueError):
+            build_decode_layer(layer_config, batch=1, kv_len=0)
