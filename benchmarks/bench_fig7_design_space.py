@@ -20,14 +20,22 @@ from _harness import emit_report, factor, percent
 
 from repro.core.explorer import ArchitectureExplorer
 from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
+from repro.sweep.engine import SweepEngine
 
 
 @pytest.fixture(scope="module")
-def exploration_rows():
+def sweep_engine():
+    """One engine for the whole module, so repeated points never re-simulate."""
+    return SweepEngine()
+
+
+@pytest.fixture(scope="module")
+def exploration_rows(sweep_engine):
     explorer = ArchitectureExplorer(
         llm_settings=LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
                                           decode_kv_samples=4),
-        dit_settings=DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50))
+        dit_settings=DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50),
+        engine=sweep_engine)
     return explorer.explore()
 
 
@@ -51,12 +59,13 @@ def _emit_workload_panel(rows, workload: str) -> None:
 
 
 def test_fig7_exploration(benchmark, exploration_rows):
-    """Time one exploration point and emit both Fig. 7 panels."""
+    """Time one uncached exploration point and emit both Fig. 7 panels."""
     explorer = ArchitectureExplorer(
         llm_settings=LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
                                           decode_kv_samples=2),
         dit_settings=DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=10))
-    benchmark(explorer._run_workloads, explorer.design_points[0].to_config())
+    first_design_points = explorer.sweep_points()[2:4]  # first non-baseline design
+    benchmark(lambda: SweepEngine().sweep(first_design_points))
 
     _emit_workload_panel(exploration_rows, "llm")
     _emit_workload_panel(exploration_rows, "dit")

@@ -17,10 +17,19 @@ from _harness import emit_report, factor
 from repro.core.designs import design_a, design_b, tpuv4i_baseline
 from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
 from repro.parallel.multi_device import MultiTPUSystem
+from repro.sweep.engine import SweepEngine
+from repro.sweep.grid import SweepPoint
 from repro.workloads.dit import DIT_XL_2
 from repro.workloads.llm import GPT3_30B
 
 DEVICE_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def sweep_engine():
+    """One engine for both panels: per-layer graphs are shared across device
+    counts and workload panels through its content-addressed cache."""
+    return SweepEngine()
 
 
 @pytest.fixture(scope="module")
@@ -34,17 +43,19 @@ def dit_settings():
     return DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50)
 
 
-def _sweep(configs, simulate):
+def _sweep(engine, configs, model, settings):
     results = {}
     for label, config in configs.items():
-        results[label] = [simulate(MultiTPUSystem(config, n)) for n in DEVICE_COUNTS]
+        points = [SweepPoint(design=label, config=config, model=model,
+                             settings=settings, devices=n) for n in DEVICE_COUNTS]
+        results[label] = engine.sweep(points)
     return results
 
 
-def test_fig8_llm_throughput(benchmark, llm_settings):
+def test_fig8_llm_throughput(benchmark, sweep_engine, llm_settings):
     """LLM panel of Fig. 8: tokens/s for baseline, Design A and Design B."""
     configs = {"baseline": tpuv4i_baseline(), "design-a": design_a(), "design-b": design_b()}
-    results = _sweep(configs, lambda system: system.simulate_llm(GPT3_30B, llm_settings))
+    results = _sweep(sweep_engine, configs, GPT3_30B, llm_settings)
     benchmark(lambda: MultiTPUSystem(design_a(), 4).simulate_llm(GPT3_30B, llm_settings))
 
     rows = []
@@ -70,10 +81,10 @@ def test_fig8_llm_throughput(benchmark, llm_settings):
         assert series[2].throughput > series[1].throughput > series[0].throughput
 
 
-def test_fig8_dit_throughput(benchmark, dit_settings):
+def test_fig8_dit_throughput(benchmark, sweep_engine, dit_settings):
     """DiT panel of Fig. 8: images/s for baseline, Design A and Design B."""
     configs = {"baseline": tpuv4i_baseline(), "design-a": design_a(), "design-b": design_b()}
-    results = _sweep(configs, lambda system: system.simulate_dit(DIT_XL_2, dit_settings))
+    results = _sweep(sweep_engine, configs, DIT_XL_2, dit_settings)
     benchmark(lambda: MultiTPUSystem(design_b(), 4).simulate_dit(DIT_XL_2, dit_settings))
 
     rows = []

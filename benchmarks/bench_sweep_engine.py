@@ -1,0 +1,75 @@
+"""Sweep-engine wall-time: serial vs. parallel fan-out vs. cached re-sweep.
+
+Times the Table IV exploration grid (baseline + nine design points on LLM and
+DiT inference, 20 points) through the three execution modes of the
+:class:`~repro.sweep.engine.SweepEngine` and reports the wall-clock of each,
+plus the cache statistics that explain them.  The cached re-sweep must do
+zero new graph simulations and the parallel rows must equal the serial rows
+bit-for-bit — the same invariants the tier-1 tests pin, asserted here on the
+paper-sized grid.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _harness import emit_report, factor
+
+from repro.core.explorer import ArchitectureExplorer
+from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
+from repro.sweep.engine import SweepEngine
+
+PARALLEL_WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def sweep_points():
+    explorer = ArchitectureExplorer(
+        llm_settings=LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                          decode_kv_samples=4),
+        dit_settings=DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50))
+    return explorer.sweep_points()
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_sweep_engine_modes(benchmark, sweep_points):
+    """Compare serial, parallel and cached sweeps over the Table IV grid."""
+    serial_engine = SweepEngine()
+    serial_rows, serial_seconds = _timed(lambda: serial_engine.sweep(sweep_points))
+    serial_sims = serial_engine.stats.simulations
+
+    parallel_engine = SweepEngine()
+    parallel_rows, parallel_seconds = _timed(
+        lambda: parallel_engine.sweep(sweep_points, workers=PARALLEL_WORKERS))
+
+    cached_rows, cached_seconds = _timed(lambda: serial_engine.sweep(sweep_points))
+
+    emit_report(
+        "sweep_engine_modes",
+        ["mode", "wall time", "graph simulations", "vs serial"],
+        [["serial", f"{serial_seconds * 1e3:.1f} ms", serial_sims, factor(1.0)],
+         [f"parallel (workers={PARALLEL_WORKERS})", f"{parallel_seconds * 1e3:.1f} ms",
+          parallel_engine.stats.simulations,
+          factor(serial_seconds / parallel_seconds if parallel_seconds else 0.0)],
+         ["cached re-sweep", f"{cached_seconds * 1e3:.1f} ms", 0,
+          factor(serial_seconds / cached_seconds if cached_seconds else 0.0)]],
+        title=f"Sweep engine wall-time over {len(sweep_points)} Table IV points")
+
+    # Parallel fan-out returns the exact serial rows, in order.
+    assert parallel_rows == serial_rows
+    # The cached re-sweep returns the same rows with zero new simulations.
+    assert cached_rows == serial_rows
+    assert serial_engine.stats.simulations == serial_sims
+    assert serial_engine.stats.point_hits >= len(sweep_points)
+    # Serving a full sweep from cache must beat simulating it comfortably.
+    assert cached_seconds < serial_seconds / 5
+
+    # Steady-state figure of merit: one fully cached re-sweep.
+    benchmark(serial_engine.sweep, sweep_points)

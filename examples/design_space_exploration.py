@@ -13,15 +13,19 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ArchitectureExplorer, DiTInferenceSettings, LLMInferenceSettings
+from repro import ArchitectureExplorer, DiTInferenceSettings, LLMInferenceSettings, SweepEngine
 from repro.analysis.report import format_table
 
 
 def main() -> None:
+    # The explorer is a thin client of the sweep engine; sharing an engine
+    # across explorations (or passing workers=N) reuses its simulation caches.
+    engine = SweepEngine()
     explorer = ArchitectureExplorer(
         llm_settings=LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
                                           decode_kv_samples=4),
-        dit_settings=DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50))
+        dit_settings=DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50),
+        engine=engine)
     rows = explorer.explore()
 
     for workload in ("llm", "dit"):
@@ -50,6 +54,9 @@ def main() -> None:
     print(f"Selected DiT design (paper: Design B, 8 x 16x8): {best_dit.design} "
           f"({best_dit.latency_change_percent:+.1f}% latency, "
           f"{best_dit.energy_saving_vs_baseline:.1f}x energy saving)")
+    stats = engine.stats
+    print(f"(sweep engine: {stats.simulations} graph simulations, "
+          f"{stats.graph_hits} graph-cache hits)")
 
 
 if __name__ == "__main__":

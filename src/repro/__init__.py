@@ -36,6 +36,14 @@ from repro.core.results import GraphResult, InferenceResult, OperatorResult, Sta
 from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
 from repro.core.tpu import TPUModel
 from repro.parallel.multi_device import MultiDeviceResult, MultiTPUSystem
+from repro.sweep import (
+    SweepEngine,
+    SweepGrid,
+    SweepPoint,
+    SweepResult,
+    default_grid,
+    make_point,
+)
 from repro.workloads.dit import DIT_XL_2, DiTConfig
 from repro.workloads.llm import GPT3_30B, GPT3_175B, LLAMA2_7B, LLAMA2_13B, LLMConfig
 from repro.workloads.registry import MODEL_REGISTRY, get_model
@@ -66,6 +74,12 @@ __all__ = [
     "TPUModel",
     "MultiTPUSystem",
     "MultiDeviceResult",
+    "SweepEngine",
+    "SweepGrid",
+    "SweepPoint",
+    "SweepResult",
+    "default_grid",
+    "make_point",
     "DiTConfig",
     "DIT_XL_2",
     "LLMConfig",

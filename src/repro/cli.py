@@ -1,20 +1,30 @@
 """Command-line interface for the CIM-TPU simulator.
 
-Four subcommands cover the everyday uses of the library without writing any
+Five subcommands cover the everyday uses of the library without writing any
 Python:
 
 ``repro-sim compare``
     Fig. 6-style comparison of the baseline TPUv4i and a CIM design on one
     LLM layer (prefill + decode) and one DiT block.
 ``repro-sim explore``
-    The Table IV / Fig. 7 design-space sweep.
+    The Table IV / Fig. 7 design-space sweep (a thin client of the sweep
+    engine; honours the global ``--llm`` model selection).
 ``repro-sim multi-device``
     Fig. 8-style multi-TPU throughput scaling.
+``repro-sim sweep``
+    Free-form scenario sweeps over the full grid of (design × model ×
+    precision × batch × device count) points, powered by the memoised
+    :class:`~repro.sweep.engine.SweepEngine`.  Supports ``--workers`` for
+    multiprocessing fan-out and ``--json`` / ``--csv`` structured export;
+    by default it widens the paper's Table IV grid to every registered
+    model (GPT-3-30B/175B, Llama-2-7B/13B, DiT-XL/2).
 ``repro-sim models``
     List the registered model configurations and their memory footprints.
 
-Run ``python -m repro.cli --help`` (or ``repro-sim --help`` once installed)
-for the full option set.
+Global options (``--batch``, ``--input-tokens``, ``--output-tokens``,
+``--resolution``, ``--steps``, ``--llm``) set the workload scenario; each
+subcommand adds its own switches.  Run ``python -m repro.cli --help`` (or
+``repro-sim --help`` once installed) for the full option set.
 """
 
 from __future__ import annotations
@@ -26,10 +36,13 @@ from typing import Sequence
 from repro.analysis.breakdown import overall_comparison
 from repro.analysis.capacity import dit_footprint, llm_footprint, plan_capacity
 from repro.analysis.report import format_table
+from repro.common import Precision
 from repro.core.designs import PREDEFINED_DESIGNS, tpuv4i_baseline
 from repro.core.explorer import ArchitectureExplorer
 from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
-from repro.parallel.multi_device import MultiTPUSystem
+from repro.sweep.engine import SweepEngine
+from repro.sweep.export import write_csv, write_json
+from repro.sweep.grid import SweepGrid, SweepPoint
 from repro.workloads.dit import DIT_XL_2, DiTConfig
 from repro.workloads.llm import GPT3_30B, LLMConfig
 from repro.workloads.registry import MODEL_REGISTRY, get_model
@@ -90,8 +103,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     """Run the Table IV / Fig. 7 design-space exploration."""
-    explorer = ArchitectureExplorer(llm_settings=_llm_settings(args),
-                                    dit_settings=_dit_settings(args))
+    llm = get_model(args.llm)
+    if not isinstance(llm, LLMConfig):
+        raise SystemExit(f"'{args.llm}' is not an LLM")
+    explorer = ArchitectureExplorer(llm=llm,
+                                    llm_settings=_llm_settings(args),
+                                    dit_settings=_dit_settings(args),
+                                    workers=args.workers)
     rows = explorer.explore()
     table_rows = [[row.design, row.workload, f"{row.peak_tops:.0f}",
                    f"{row.latency_seconds * 1e3:.1f} ms",
@@ -104,21 +122,78 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 
 def cmd_multi_device(args: argparse.Namespace) -> int:
-    """Simulate multi-TPU serving throughput."""
+    """Simulate multi-TPU serving throughput (a sweep over the device axis)."""
     config = _design_config(args.design)
     llm = get_model(args.llm)
     if not isinstance(llm, LLMConfig):
         raise SystemExit(f"'{args.llm}' is not an LLM")
     settings = _llm_settings(args)
-    rows = []
-    for devices in args.devices:
-        system = MultiTPUSystem(config, devices, parallelism=args.parallelism)
-        result = system.simulate_llm(llm, settings)
-        rows.append([devices, f"{result.throughput:.1f} tokens/s",
-                     f"{result.communication_seconds * 1e3:.1f} ms",
-                     f"{result.energy_per_item * 1e3:.2f} mJ/token"])
+    engine = SweepEngine()
+    points = [SweepPoint(design=args.design, config=config, model=llm, settings=settings,
+                         devices=devices, parallelism=args.parallelism)
+              for devices in args.devices]
+    results = engine.sweep(points, workers=args.workers)
+    rows = [[result.devices, f"{result.throughput:.1f} tokens/s",
+             f"{result.communication_seconds * 1e3:.1f} ms",
+             f"{result.energy_per_item * 1e3:.2f} mJ/token"] for result in results]
     print(format_table(["TPUs", "throughput", "ICI time per group", "MXU energy"],
                        rows, title=f"{llm.name} on {args.design} ({args.parallelism} parallel)"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep the generalized scenario grid and optionally export the rows."""
+    designs = {name: _design_config(name) for name in args.designs}
+    models = list(args.models)
+    resolved = {}
+    for name in models:
+        try:
+            resolved[name] = get_model(name)
+        except KeyError as error:
+            raise SystemExit(error.args[0]) from None
+    if args.parallelism == "tensor" and max(args.devices) > 1:
+        # Tensor parallelism is only modelled for LLMs; drop DiT models up
+        # front instead of aborting mid-sweep on the first DiT point.
+        dropped = [name for name in models if isinstance(resolved[name], DiTConfig)]
+        models = [name for name in models if name not in dropped]
+        if dropped:
+            print("note: skipping DiT models under tensor parallelism "
+                  f"({', '.join(dropped)}); only LLM sharding is modelled")
+        if not models:
+            raise SystemExit("tensor parallelism is only modelled for LLM workloads; "
+                             "add an LLM model or use --parallelism pipeline")
+    grid = SweepGrid(
+        designs=designs, models=models,
+        precisions=tuple(Precision(p) for p in args.precisions),
+        batches=tuple(args.batches), device_counts=tuple(args.devices),
+        parallelism=args.parallelism,
+        input_tokens=args.input_tokens, output_tokens=args.output_tokens,
+        decode_kv_samples=2,
+        image_resolution=args.resolution, sampling_steps=args.steps)
+    engine = SweepEngine()
+    try:
+        results = engine.sweep(grid, workers=args.workers)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+    table_rows = [[result.design, result.workload, result.precision, result.batch,
+                   result.devices, result.scenario,
+                   f"{result.latency_seconds * 1e3:.1f} ms",
+                   f"{result.throughput:.2f} {result.item_unit}s/s",
+                   f"{result.mxu_energy_joules:.2f} J"] for result in results]
+    print(format_table(["design", "model", "precision", "batch", "TPUs", "scenario",
+                        "latency", "throughput", "MXU energy"],
+                       table_rows, title="Scenario sweep"))
+    stats = engine.stats
+    print(f"{len(results)} points evaluated with {stats.simulations} graph simulations "
+          f"({stats.graph_hits} graph-cache hits, {stats.point_hits} repeated points)")
+    try:
+        if args.json:
+            print(f"wrote JSON rows to {write_json(results, args.json)}")
+        if args.csv:
+            print(f"wrote CSV rows to {write_csv(results, args.csv)}")
+    except OSError as error:
+        raise SystemExit(f"cannot write results: {error}")
     return 0
 
 
@@ -168,13 +243,42 @@ def build_parser() -> argparse.ArgumentParser:
     compare.set_defaults(func=cmd_compare)
 
     explore = subparsers.add_parser("explore", help="Table IV / Fig. 7 design-space sweep")
+    explore.add_argument("--workers", type=int, default=None,
+                         help="worker processes for the sweep (default: serial)")
     explore.set_defaults(func=cmd_explore)
 
     multi = subparsers.add_parser("multi-device", help="Fig. 8 multi-TPU throughput")
     multi.add_argument("--design", default="design-a")
     multi.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4])
     multi.add_argument("--parallelism", choices=("pipeline", "tensor"), default="pipeline")
+    multi.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the sweep (default: serial)")
     multi.set_defaults(func=cmd_multi_device)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="generalized scenario sweep (designs x models x settings)",
+        description="Evaluate a grid of (design x model x precision x batch x devices) "
+                    "points with the memoised sweep engine and optionally export the "
+                    "structured rows to JSON/CSV.")
+    sweep.add_argument("--designs", nargs="+", default=sorted(PREDEFINED_DESIGNS),
+                       help="designs to sweep (default: all predefined designs)")
+    sweep.add_argument("--models", nargs="+", default=sorted(MODEL_REGISTRY),
+                       help="models to sweep (default: every registered model)")
+    sweep.add_argument("--precisions", nargs="+", choices=[p.value for p in Precision],
+                       default=[p.value for p in Precision],
+                       help="numeric precisions (default: all)")
+    sweep.add_argument("--batches", type=int, nargs="+", default=[1, 8],
+                       help="batch sizes (default: 1 8)")
+    sweep.add_argument("--devices", type=int, nargs="+", default=[1],
+                       help="device counts (default: 1)")
+    sweep.add_argument("--parallelism", choices=("pipeline", "tensor"), default="pipeline")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the sweep (default: serial)")
+    sweep.add_argument("--json", metavar="PATH", default=None,
+                       help="write the result rows to PATH as JSON")
+    sweep.add_argument("--csv", metavar="PATH", default=None,
+                       help="write the result rows to PATH as CSV")
+    sweep.set_defaults(func=cmd_sweep)
 
     models = subparsers.add_parser("models", help="list models and capacity plans")
     models.set_defaults(func=cmd_models)

@@ -14,8 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import TPUConfig
 from repro.core.designs import make_cim_tpu, tpuv4i_baseline
-from repro.core.results import InferenceResult
-from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
 from repro.workloads.dit import DIT_XL_2, DiTConfig
 from repro.workloads.llm import GPT3_30B, LLMConfig
 
@@ -70,48 +69,63 @@ class ExplorationRow:
 
 @dataclass
 class ArchitectureExplorer:
-    """Sweeps CIM-MXU design choices over LLM and DiT inference."""
+    """Sweeps CIM-MXU design choices over LLM and DiT inference.
+
+    Since the sweep subsystem landed the explorer is a thin client of
+    :class:`~repro.sweep.engine.SweepEngine`: it enumerates the baseline plus
+    its design points on both workloads as sweep points, lets the engine
+    evaluate them (memoised, optionally in parallel via ``workers``), and
+    post-processes the structured rows into the Table IV ratios.
+    """
 
     llm: LLMConfig = GPT3_30B
     dit: DiTConfig = DIT_XL_2
     llm_settings: LLMInferenceSettings = field(default_factory=LLMInferenceSettings)
     dit_settings: DiTInferenceSettings = field(default_factory=DiTInferenceSettings)
     design_points: list[DesignPoint] = field(default_factory=lambda: list(TABLE_IV_DESIGN_POINTS))
+    #: Optional shared engine; a private one is created per ``explore()`` call
+    #: otherwise.  Sharing an engine across explorations (or with other sweep
+    #: clients) shares its simulation caches.
+    engine: "SweepEngine | None" = None
+    #: Worker processes for the sweep (``None`` = serial).
+    workers: int | None = None
 
-    def _run_workloads(self, config: TPUConfig) -> dict[str, InferenceResult]:
-        simulator = InferenceSimulator(config)
-        return {
-            "llm": simulator.simulate_llm_inference(self.llm, self.llm_settings),
-            "dit": simulator.simulate_dit_inference(self.dit, self.dit_settings),
-        }
+    def sweep_points(self) -> "list[SweepPoint]":
+        """The explorer's scenario grid: (baseline + design points) × workloads."""
+        from repro.sweep.grid import SweepPoint
+
+        designs = [("baseline", tpuv4i_baseline())]
+        designs += [(point.label, point.to_config()) for point in self.design_points]
+        points: list[SweepPoint] = []
+        for label, config in designs:
+            points.append(SweepPoint(design=label, config=config,
+                                     model=self.llm, settings=self.llm_settings))
+            points.append(SweepPoint(design=label, config=config,
+                                     model=self.dit, settings=self.dit_settings))
+        return points
 
     def explore(self) -> list[ExplorationRow]:
         """Evaluate the baseline and every design point on both workloads."""
-        baseline_config = tpuv4i_baseline()
-        baseline_results = self._run_workloads(baseline_config)
+        from repro.sweep.engine import SweepEngine
 
+        engine = self.engine if self.engine is not None else SweepEngine()
+        results = engine.sweep(self.sweep_points(), workers=self.workers)
+
+        baselines = {result.kind: result for result in results
+                     if result.design == "baseline"}
         rows: list[ExplorationRow] = []
-        for workload, result in baseline_results.items():
+        for result in results:
+            baseline = baselines[result.kind]
             rows.append(ExplorationRow(
-                design="baseline", workload=workload,
-                peak_tops=baseline_config.peak_tops,
-                latency_seconds=result.total_seconds,
-                mxu_energy_joules=result.mxu_energy,
-                latency_vs_baseline=1.0,
-                energy_saving_vs_baseline=1.0))
-
-        for point in self.design_points:
-            config = point.to_config()
-            results = self._run_workloads(config)
-            for workload, result in results.items():
-                baseline = baseline_results[workload]
-                rows.append(ExplorationRow(
-                    design=point.label, workload=workload,
-                    peak_tops=config.peak_tops,
-                    latency_seconds=result.total_seconds,
-                    mxu_energy_joules=result.mxu_energy,
-                    latency_vs_baseline=result.total_seconds / baseline.total_seconds,
-                    energy_saving_vs_baseline=baseline.mxu_energy / result.mxu_energy))
+                design=result.design, workload=result.kind,
+                peak_tops=result.peak_tops,
+                latency_seconds=result.latency_seconds,
+                mxu_energy_joules=result.mxu_energy_joules,
+                latency_vs_baseline=(1.0 if result.design == "baseline" else
+                                     result.latency_seconds / baseline.latency_seconds),
+                energy_saving_vs_baseline=(1.0 if result.design == "baseline" else
+                                           baseline.mxu_energy_joules
+                                           / result.mxu_energy_joules)))
         return rows
 
     # --------------------------------------------------------------- optima

@@ -76,7 +76,12 @@ class InferenceSimulator:
 
     # ------------------------------------------------------------- primitives
     def run_graph(self, graph: OperatorGraph) -> GraphResult:
-        """Evaluate an arbitrary operator graph on the configured TPU."""
+        """Evaluate an arbitrary operator graph on the configured TPU.
+
+        Every ``simulate_*`` helper funnels graph execution through this
+        method, so subclasses can intercept it — the sweep engine's caching
+        simulator memoises here.
+        """
         return self.model.run_graph(graph)
 
     # ------------------------------------------------------------------- LLM
@@ -85,7 +90,7 @@ class InferenceSimulator:
         """One Transformer layer processing the whole prompt (Fig. 6 left)."""
         graph = build_llm_layer(llm, "prefill", settings.batch, settings.input_tokens,
                                 precision=settings.precision)
-        return self.model.run_graph(graph)
+        return self.run_graph(graph)
 
     def simulate_llm_decode_layer(self, llm: LLMConfig, settings: LLMInferenceSettings,
                                   kv_len: int | None = None) -> GraphResult:
@@ -97,7 +102,7 @@ class InferenceSimulator:
         effective_kv = kv_len if kv_len is not None else settings.input_tokens + 256
         graph = build_llm_layer(llm, "decode", settings.batch, settings.input_tokens,
                                 kv_len=effective_kv, precision=settings.precision)
-        return self.model.run_graph(graph)
+        return self.run_graph(graph)
 
     def simulate_llm_inference(self, llm: LLMConfig,
                                settings: LLMInferenceSettings | None = None) -> InferenceResult:
@@ -128,7 +133,7 @@ class InferenceSimulator:
         """One DiT block at the configured resolution (Fig. 6 right)."""
         graph = build_dit_block(dit, settings.batch, settings.image_resolution,
                                 precision=settings.precision)
-        return self.model.run_graph(graph)
+        return self.run_graph(graph)
 
     def simulate_dit_inference(self, dit: DiTConfig,
                                settings: DiTInferenceSettings | None = None) -> InferenceResult:

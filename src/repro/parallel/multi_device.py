@@ -72,6 +72,10 @@ class MultiTPUSystem:
     num_devices: int
     link: ICILink = field(default_factory=ICILink)
     parallelism: str = "pipeline"
+    #: Optional externally owned simulator (e.g. the sweep engine's caching
+    #: simulator, so per-layer graphs are shared across device counts).  Must
+    #: be configured with the same ``tpu_config`` as the system.
+    simulator: InferenceSimulator | None = None
 
     def __post_init__(self) -> None:
         if self.num_devices <= 0:
@@ -79,8 +83,13 @@ class MultiTPUSystem:
         if self.parallelism not in ("pipeline", "tensor"):
             raise ValueError(f"unknown parallelism '{self.parallelism}' "
                              "(expected 'pipeline' or 'tensor')")
+        if self.simulator is not None and self.simulator.tpu_config != self.tpu_config:
+            raise ValueError("injected simulator is configured for "
+                             f"'{self.simulator.tpu_config.name}', not "
+                             f"'{self.tpu_config.name}'")
         self.topology = RingTopology(num_devices=self.num_devices, link=self.link)
-        self._simulator = InferenceSimulator(self.tpu_config)
+        self._simulator = (self.simulator if self.simulator is not None
+                           else InferenceSimulator(self.tpu_config))
 
     # ------------------------------------------------------------------ LLM
     def simulate_llm(self, llm: LLMConfig,

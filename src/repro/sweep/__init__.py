@@ -1,0 +1,44 @@
+"""Parallel, memoised scenario-sweep engine.
+
+The sweep package generalises the paper's evaluation grids — Table IV /
+Fig. 7's design-space exploration and Fig. 8's multi-TPU scaling — into one
+subsystem: describe a grid of (TPU design × model × inference settings ×
+precision × batch × device count) points, hand it to a
+:class:`~repro.sweep.engine.SweepEngine`, and get structured, exportable
+result rows back.  Repeated work is de-duplicated by content-addressed
+caching and independent points can fan out over worker processes.
+
+Typical usage::
+
+    from repro.sweep import SweepEngine, default_grid, to_csv
+
+    engine = SweepEngine()
+    rows = engine.sweep(default_grid(), workers=4)
+    print(to_csv(rows))
+"""
+
+from repro.sweep.cache import CacheStats, CachingInferenceSimulator, ResultCache
+from repro.sweep.engine import SweepEngine, SweepResult, SweepStats, point_key
+from repro.sweep.export import to_csv, to_json, write_csv, write_json
+from repro.sweep.fingerprint import canonicalize, fingerprint
+from repro.sweep.grid import SweepGrid, SweepPoint, default_grid, make_point
+
+__all__ = [
+    "CacheStats",
+    "CachingInferenceSimulator",
+    "ResultCache",
+    "SweepEngine",
+    "SweepResult",
+    "SweepStats",
+    "point_key",
+    "to_csv",
+    "to_json",
+    "write_csv",
+    "write_json",
+    "canonicalize",
+    "fingerprint",
+    "SweepGrid",
+    "SweepPoint",
+    "default_grid",
+    "make_point",
+]

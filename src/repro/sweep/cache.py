@@ -1,0 +1,129 @@
+"""Content-addressed result caches and the caching inference simulator.
+
+Two cache levels back the sweep engine:
+
+* a **graph cache** mapping ``fingerprint(TPUConfig, OperatorGraph)`` to the
+  simulated :class:`~repro.core.results.GraphResult` — the unit of actual
+  simulation work.  Every graph evaluation in a sweep flows through it, so
+  e.g. the TPUv4i baseline prefill layer is simulated once no matter how many
+  sweep points, device counts or report tables reference it;
+* a **point cache** mapping a whole sweep point's fingerprint to its finished
+  :class:`~repro.sweep.engine.SweepResult` row, so re-running a sweep (or a
+  sweep whose grid repeats a point) does no simulation at all.
+
+Both are instances of :class:`ResultCache`, which counts hits and misses so
+tests and benchmarks can assert "the cached re-sweep simulated nothing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.core.config import TPUConfig
+from repro.core.results import GraphResult
+from repro.core.simulator import InferenceSimulator
+from repro.sweep.fingerprint import fingerprint
+from repro.workloads.graph import OperatorGraph
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counters."""
+        return CacheStats(hits=self.hits, misses=self.misses)
+
+
+class ResultCache:
+    """A content-addressed store with hit/miss accounting.
+
+    Keys are fingerprint strings (see :mod:`repro.sweep.fingerprint`); values
+    are whatever the caller computes.  ``misses`` therefore counts exactly the
+    number of times the compute function actually ran.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, Any] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Any:
+        """Return the cached value for ``key`` (KeyError if absent)."""
+        return self._entries[key]
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        if key in self._entries:
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        value = compute()
+        self._entries[key] = value
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a value without touching the hit/miss counters.
+
+        Used to merge entries computed elsewhere (e.g. in a worker process);
+        those simulations are accounted for by the worker, not re-counted here.
+        """
+        self._entries[key] = value
+
+    def merge(self, entries: Iterable[tuple[str, Any]]) -> None:
+        """Merge externally computed ``(key, value)`` entries into the cache."""
+        for key, value in entries:
+            self._entries[key] = value
+
+    def entries(self) -> dict[str, Any]:
+        """A shallow copy of the stored entries (for shipping to a merger)."""
+        return dict(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.stats = CacheStats()
+
+
+class CachingInferenceSimulator(InferenceSimulator):
+    """An :class:`InferenceSimulator` that memoises graph evaluations.
+
+    Every ``simulate_*`` helper of the base class funnels graph execution
+    through :meth:`run_graph`, so overriding it here is sufficient to memoise
+    end-to-end LLM inference, DiT sampling and the multi-device models alike.
+    The cache may be shared between simulators of *different* chips: the key
+    covers the full :class:`TPUConfig`, so entries never collide.
+    """
+
+    def __init__(self, tpu_config: TPUConfig, cache: ResultCache | None = None) -> None:
+        super().__init__(tpu_config)
+        self.cache = cache if cache is not None else ResultCache()
+        self._config_key = fingerprint(tpu_config)
+
+    def graph_key(self, graph: OperatorGraph) -> str:
+        """The content key of running ``graph`` on this simulator's chip."""
+        return fingerprint(self._config_key, graph)
+
+    def run_graph(self, graph: OperatorGraph) -> GraphResult:
+        """Evaluate a graph, serving repeats from the shared cache."""
+        return self.cache.get_or_compute(self.graph_key(graph),
+                                         lambda: self.model.run_graph(graph))

@@ -1,0 +1,262 @@
+"""The sweep engine: memoised, optionally parallel scenario-grid evaluation.
+
+:class:`SweepEngine` evaluates arbitrary collections of
+:class:`~repro.sweep.grid.SweepPoint` objects and returns one structured
+:class:`SweepResult` row per point, in input order.  Three properties make it
+the substrate for every sweep-shaped study in the repository (Table IV /
+Fig. 7 exploration, Fig. 8 multi-TPU scaling, the widened ``repro-sim sweep``
+scenario space):
+
+* **content-addressed caching** — graph simulations are memoised on a
+  deterministic hash of the chip configuration plus the operator graph, and
+  whole points on a hash of the full point description, so repeated points
+  (e.g. the shared TPUv4i baseline) simulate once and a re-sweep simulates
+  nothing;
+* **parallel fan-out** — ``workers > 1`` distributes uncached points over a
+  ``multiprocessing`` pool, grouped by chip configuration so graph sharing
+  survives the process boundary; results are re-assembled in input order and
+  are identical (bit-for-bit) to a serial sweep;
+* **structured results** — rows are plain frozen dataclasses exportable to
+  JSON/CSV via :mod:`repro.sweep.export`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+from repro.core.config import TPUConfig
+from repro.parallel.multi_device import MultiTPUSystem
+from repro.sweep.cache import CachingInferenceSimulator, ResultCache
+from repro.sweep.fingerprint import fingerprint
+from repro.sweep.grid import SweepGrid, SweepPoint
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Structured outcome of one sweep point."""
+
+    design: str
+    workload: str
+    kind: str                      # "llm" or "dit"
+    precision: str                 # "int8" or "bf16"
+    batch: int
+    devices: int
+    parallelism: str
+    scenario: str
+    peak_tops: float               # per-chip peak INT8 throughput
+    #: Seconds of one request group on the chip.  For ``devices > 1`` this is
+    #: the *bottleneck pipeline stage's* occupancy plus its ICI hop (the
+    #: steady-state throughput reciprocal, as in Fig. 8) — not the end-to-end
+    #: latency of a single group through all stages, so it shrinks with the
+    #: device count.  Compare across the device axis via ``throughput``.
+    latency_seconds: float
+    throughput: float              # items per second at steady state
+    items: float                   # items produced per request group
+    item_unit: str                 # "token" or "image"
+    mxu_energy_joules: float       # summed over all devices
+    total_energy_joules: float     # summed over all devices
+    communication_seconds: float   # ICI time per request group (0 on one chip)
+    cache_key: str                 # content fingerprint of the point
+
+    @property
+    def energy_per_item(self) -> float:
+        """MXU energy per produced item (J/token or J/image)."""
+        return self.mxu_energy_joules / self.items if self.items else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form used by the JSON/CSV exporters."""
+        return asdict(self)
+
+
+@dataclass
+class SweepStats:
+    """Aggregate cache statistics of a sweep engine."""
+
+    point_hits: int = 0
+    point_misses: int = 0
+    graph_hits: int = 0
+    graph_misses: int = 0
+
+    @property
+    def simulations(self) -> int:
+        """Graph simulations actually performed on behalf of the engine."""
+        return self.graph_misses
+
+
+def point_key(point: SweepPoint) -> str:
+    """Deterministic content fingerprint of a sweep point."""
+    return fingerprint("sweep-point/v1", point.design, point.config, point.model,
+                       point.settings, point.devices, point.parallelism)
+
+
+def _compute_result(point: SweepPoint, simulator: CachingInferenceSimulator,
+                    key: str) -> SweepResult:
+    """Simulate one point with the given (caching) simulator."""
+    if point.devices == 1:
+        if point.kind == "llm":
+            inference = simulator.simulate_llm_inference(point.model, point.settings)
+        else:
+            inference = simulator.simulate_dit_inference(point.model, point.settings)
+        latency = inference.total_seconds
+        throughput = inference.throughput
+        items = inference.items
+        item_unit = inference.item_unit
+        mxu_energy = inference.mxu_energy
+        total_energy = inference.total_energy
+        communication = 0.0
+    else:
+        system = MultiTPUSystem(point.config, point.devices,
+                                parallelism=point.parallelism, simulator=simulator)
+        if point.kind == "llm":
+            deployed = system.simulate_llm(point.model, point.settings)
+        else:
+            deployed = system.simulate_dit(point.model, point.settings)
+        latency = deployed.stage_occupancy_seconds + deployed.communication_seconds
+        throughput = deployed.throughput
+        items = deployed.items_per_group
+        item_unit = deployed.item_unit
+        mxu_energy = deployed.mxu_energy_joules
+        total_energy = deployed.total_energy_joules
+        communication = deployed.communication_seconds
+
+    return SweepResult(
+        design=point.design, workload=point.workload, kind=point.kind,
+        precision=point.precision.value, batch=point.batch,
+        devices=point.devices, parallelism=point.parallelism,
+        scenario=point.scenario, peak_tops=point.config.peak_tops,
+        latency_seconds=latency, throughput=throughput,
+        items=items, item_unit=item_unit,
+        mxu_energy_joules=mxu_energy, total_energy_joules=total_energy,
+        communication_seconds=communication, cache_key=key)
+
+
+def _worker_evaluate_group(tasks: Sequence[tuple[str, SweepPoint]],
+                           ) -> tuple[list[tuple[str, SweepResult]],
+                                      list[tuple[str, object]], int, int]:
+    """Pool worker: simulate a group of points sharing one local graph cache.
+
+    The engine groups points by chip configuration before dispatch, so the
+    graphs that points share (per-layer graphs across a device axis, repeated
+    settings on one design) are simulated once per worker task rather than
+    once per point.  Returns the result rows, the graph-cache entries
+    produced (so the parent engine can absorb them) and the worker's graph
+    hit/miss counts (so the parent's statistics reflect work done remotely).
+    """
+    cache = ResultCache()
+    simulators: dict[str, CachingInferenceSimulator] = {}
+    rows: list[tuple[str, SweepResult]] = []
+    for key, point in tasks:
+        config_key = fingerprint(point.config)
+        simulator = simulators.get(config_key)
+        if simulator is None:
+            simulator = CachingInferenceSimulator(point.config, cache)
+            simulators[config_key] = simulator
+        rows.append((key, _compute_result(point, simulator, key)))
+    return rows, list(cache.entries().items()), cache.stats.hits, cache.stats.misses
+
+
+class SweepEngine:
+    """Evaluates sweep grids with content-addressed caching and fan-out."""
+
+    def __init__(self, workers: int | None = None) -> None:
+        #: Default worker count for :meth:`sweep` (``None``/``0``/``1`` = serial).
+        self.workers = workers
+        self.graph_cache = ResultCache()
+        self.point_cache = ResultCache()
+        self._simulators: dict[str, CachingInferenceSimulator] = {}
+        self._remote_graph_hits = 0
+        self._remote_graph_misses = 0
+
+    # -------------------------------------------------------------- evaluate
+    def evaluate(self, point: SweepPoint) -> SweepResult:
+        """Evaluate one sweep point (served from the point cache on repeats)."""
+        key = point_key(point)
+        return self.point_cache.get_or_compute(
+            key, lambda: _compute_result(point, self._simulator_for(point.config), key))
+
+    def sweep(self, points: SweepGrid | Iterable[SweepPoint],
+              workers: int | None = None) -> list[SweepResult]:
+        """Evaluate every point; rows come back in input order.
+
+        With ``workers > 1`` the uncached points are distributed over a
+        process pool (one task per distinct chip configuration); the result
+        rows are nevertheless identical to a serial sweep, point for point.
+        """
+        resolved = list(points)
+        keys = [point_key(point) for point in resolved]
+        workers = workers if workers is not None else self.workers
+        prefetched: dict[str, SweepResult] = {}
+        if workers is not None and workers > 1:
+            prefetched = self._parallel_prefetch(resolved, keys, workers)
+
+        rows: list[SweepResult] = []
+        for point, key in zip(resolved, keys):
+            if key in prefetched:
+                rows.append(self.point_cache.get_or_compute(
+                    key, lambda key=key: prefetched[key]))
+            else:
+                rows.append(self.point_cache.get_or_compute(
+                    key, lambda point=point, key=key: _compute_result(
+                        point, self._simulator_for(point.config), key)))
+        return rows
+
+    # --------------------------------------------------------------- helpers
+    def _parallel_prefetch(self, points: Sequence[SweepPoint], keys: Sequence[str],
+                           workers: int) -> dict[str, SweepResult]:
+        """Simulate the unique uncached points in a process pool.
+
+        Points are grouped by chip configuration and each group is one pool
+        task: worker processes cannot see the parent's graph cache, so
+        points that share graphs (which in practice means points on the same
+        chip) must travel together to be simulated once.  The fan-out is
+        therefore across distinct designs — the axis the exploration grids
+        are widest in.
+        """
+        pending: dict[str, SweepPoint] = {}
+        for key, point in zip(keys, points):
+            if key not in self.point_cache and key not in pending:
+                pending[key] = point
+        if not pending:
+            return {}
+        groups: dict[str, list[tuple[str, SweepPoint]]] = {}
+        for key, point in pending.items():
+            groups.setdefault(fingerprint(point.config), []).append((key, point))
+        prefetched: dict[str, SweepResult] = {}
+        with multiprocessing.Pool(processes=min(workers, len(groups))) as pool:
+            outcomes = pool.map(_worker_evaluate_group, list(groups.values()))
+        for rows, graph_entries, graph_hits, graph_misses in outcomes:
+            self.graph_cache.merge(graph_entries)
+            self._remote_graph_hits += graph_hits
+            self._remote_graph_misses += graph_misses
+            for key, row in rows:
+                prefetched[key] = row
+        return prefetched
+
+    def _simulator_for(self, config: TPUConfig) -> CachingInferenceSimulator:
+        """A caching simulator for the chip, shared across points."""
+        key = fingerprint(config)
+        simulator = self._simulators.get(key)
+        if simulator is None:
+            simulator = CachingInferenceSimulator(config, self.graph_cache)
+            self._simulators[key] = simulator
+        return simulator
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def stats(self) -> SweepStats:
+        """Combined local + worker cache statistics of the engine."""
+        return SweepStats(
+            point_hits=self.point_cache.stats.hits,
+            point_misses=self.point_cache.stats.misses,
+            graph_hits=self.graph_cache.stats.hits + self._remote_graph_hits,
+            graph_misses=self.graph_cache.stats.misses + self._remote_graph_misses)
+
+    def clear_caches(self) -> None:
+        """Drop every cached simulation and reset the statistics."""
+        self.graph_cache.clear()
+        self.point_cache.clear()
+        self._simulators.clear()
+        self._remote_graph_hits = 0
+        self._remote_graph_misses = 0

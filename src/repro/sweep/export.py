@@ -1,0 +1,52 @@
+"""Deterministic JSON/CSV export of sweep result rows.
+
+Both encoders are byte-deterministic for equal inputs (fixed field order,
+``repr``-faithful float formatting), so "a parallel sweep equals a serial
+sweep" can be asserted on the exported bytes, and exported artefacts diff
+cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+import pathlib
+from typing import Iterable, Sequence
+
+from repro.sweep.engine import SweepResult
+
+#: Column order of both export formats (the dataclass field order).
+FIELDNAMES: tuple[str, ...] = tuple(
+    field.name for field in dataclasses.fields(SweepResult))
+
+
+def to_json(results: Iterable[SweepResult], indent: int | None = 2) -> str:
+    """Encode rows as a JSON array of objects (stable key order)."""
+    payload = [row.to_dict() for row in results]
+    return json.dumps(payload, indent=indent)
+
+
+def to_csv(results: Iterable[SweepResult]) -> str:
+    """Encode rows as CSV with a header row."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=FIELDNAMES, lineterminator="\n")
+    writer.writeheader()
+    for row in results:
+        writer.writerow(row.to_dict())
+    return buffer.getvalue()
+
+
+def write_json(results: Sequence[SweepResult], path: str | pathlib.Path) -> pathlib.Path:
+    """Write the JSON encoding to ``path`` and return the path."""
+    path = pathlib.Path(path)
+    path.write_text(to_json(results) + "\n", encoding="utf-8")
+    return path
+
+
+def write_csv(results: Sequence[SweepResult], path: str | pathlib.Path) -> pathlib.Path:
+    """Write the CSV encoding to ``path`` and return the path."""
+    path = pathlib.Path(path)
+    path.write_text(to_csv(results), encoding="utf-8")
+    return path

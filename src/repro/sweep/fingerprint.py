@@ -1,0 +1,66 @@
+"""Deterministic content fingerprints for sweep memoisation.
+
+The sweep engine memoises simulation results by *content*, not by object
+identity: two sweep points that describe the same chip running the same
+operator graph must map to the same cache entry, in the same process, in a
+worker process, or in a later run.  That rules out Python's built-in
+``hash()`` (salted per process for strings) and ``id()``-based schemes.
+
+Instead every cacheable object — a :class:`~repro.core.config.TPUConfig`, an
+:class:`~repro.workloads.graph.OperatorGraph`, a settings dataclass — is
+reduced to a canonical JSON-serialisable structure (dataclasses become
+``[class name, [field, value] ...]`` lists, enums become their class and
+value) and the SHA-256 digest of its compact JSON encoding is the key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-serialisable structure.
+
+    Supported inputs are the building blocks of the simulator's value types:
+    primitives, enums, (frozen) dataclasses, and lists/tuples/dicts thereof.
+    Dict keys are sorted so insertion order never leaks into the fingerprint.
+
+    Raises
+    ------
+    TypeError
+        If ``obj`` (or something nested inside it) is not canonicalisable.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr() round-trips floats exactly and is stable across platforms.
+        return ["float", repr(obj)]
+    if isinstance(obj, enum.Enum):
+        return ["enum", type(obj).__name__, obj.value]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = [[f.name, canonicalize(getattr(obj, f.name))]
+                  for f in dataclasses.fields(obj)]
+        return ["dataclass", type(obj).__name__, fields]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonicalize(item) for item in obj]]
+    if isinstance(obj, dict):
+        items = sorted(((str(key), canonicalize(value)) for key, value in obj.items()),
+                       key=lambda pair: pair[0])
+        return ["map", [[key, value] for key, value in items]]
+    raise TypeError(f"cannot fingerprint object of type {type(obj).__name__}")
+
+
+def fingerprint(*objs: Any) -> str:
+    """SHA-256 hex digest of the canonical form of the given objects.
+
+    Multiple arguments are fingerprinted as a tuple, so ``fingerprint(a, b)``
+    differs from ``fingerprint((a, b), ())`` only in spelling, and
+    ``fingerprint(config, graph)`` is the one true key of a simulation.
+    """
+    canonical = canonicalize(list(objs))
+    encoded = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

@@ -1,0 +1,171 @@
+"""Sweep points and grids: the scenario space the engine evaluates.
+
+A :class:`SweepPoint` is one fully specified evaluation: a TPU design, a
+generative model, the inference settings (batch, precision, token counts or
+image resolution), and optionally a multi-device deployment (device count and
+parallelism strategy).  A :class:`SweepGrid` is the cartesian product the
+paper's evaluation sections are built from — Table IV / Fig. 7 is
+(9 CIM designs + baseline) × (GPT-3-30B, DiT-XL/2); Fig. 8 adds the device
+axis — widened here to every registered model, both numeric precisions and
+multiple batch sizes, as the roadmap's scenario-diversity goal demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping, Sequence
+
+from repro.common import Precision
+from repro.core.config import TPUConfig
+from repro.core.designs import PREDEFINED_DESIGNS
+from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
+from repro.workloads.dit import DiTConfig
+from repro.workloads.llm import LLMConfig
+from repro.workloads.registry import MODEL_REGISTRY, get_model
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (design × model × settings × deployment) evaluation."""
+
+    design: str
+    config: TPUConfig
+    model: LLMConfig | DiTConfig
+    settings: LLMInferenceSettings | DiTInferenceSettings
+    devices: int = 1
+    parallelism: str = "pipeline"
+
+    def __post_init__(self) -> None:
+        if not self.design:
+            raise ValueError("sweep point needs a design label")
+        if self.devices <= 0:
+            raise ValueError("devices must be positive")
+        if self.parallelism not in ("pipeline", "tensor"):
+            raise ValueError(f"unknown parallelism '{self.parallelism}' "
+                             "(expected 'pipeline' or 'tensor')")
+        if isinstance(self.model, LLMConfig) != isinstance(self.settings, LLMInferenceSettings):
+            raise ValueError(
+                f"model '{self.model.name}' and settings type "
+                f"{type(self.settings).__name__} do not match")
+
+    @property
+    def kind(self) -> str:
+        """Workload family: ``"llm"`` or ``"dit"``."""
+        return "llm" if isinstance(self.model, LLMConfig) else "dit"
+
+    @property
+    def workload(self) -> str:
+        """Model name of the point."""
+        return self.model.name
+
+    @property
+    def precision(self) -> Precision:
+        """Numeric precision of the point."""
+        return self.settings.precision
+
+    @property
+    def batch(self) -> int:
+        """Batch size of the point."""
+        return self.settings.batch
+
+    @property
+    def scenario(self) -> str:
+        """Human-readable settings summary used in tables and exports."""
+        if isinstance(self.settings, LLMInferenceSettings):
+            return (f"in={self.settings.input_tokens} out={self.settings.output_tokens}")
+        return (f"{self.settings.image_resolution}px steps={self.settings.sampling_steps}")
+
+
+def make_point(design: str, config: TPUConfig, model: LLMConfig | DiTConfig,
+               precision: Precision = Precision.INT8, batch: int = 8, *,
+               input_tokens: int = 1024, output_tokens: int = 512,
+               decode_kv_samples: int = 4, image_resolution: int = 512,
+               sampling_steps: int = 50, devices: int = 1,
+               parallelism: str = "pipeline") -> SweepPoint:
+    """Build a sweep point with the settings type matching the model kind."""
+    settings: LLMInferenceSettings | DiTInferenceSettings
+    if isinstance(model, LLMConfig):
+        settings = LLMInferenceSettings(batch=batch, input_tokens=input_tokens,
+                                        output_tokens=output_tokens, precision=precision,
+                                        decode_kv_samples=decode_kv_samples)
+    else:
+        settings = DiTInferenceSettings(batch=batch, image_resolution=image_resolution,
+                                        sampling_steps=sampling_steps, precision=precision)
+    return SweepPoint(design=design, config=config, model=model, settings=settings,
+                      devices=devices, parallelism=parallelism)
+
+
+@dataclass
+class SweepGrid:
+    """A cartesian scenario grid expanded into an ordered list of points.
+
+    The expansion order is deterministic (designs, then models, then
+    precisions, batches and device counts), which is what makes serial and
+    parallel sweeps comparable row-for-row.
+    """
+
+    designs: Mapping[str, TPUConfig] = field(
+        default_factory=lambda: dict(PREDEFINED_DESIGNS))
+    models: Sequence[str] = field(default_factory=lambda: sorted(MODEL_REGISTRY))
+    precisions: Sequence[Precision] = (Precision.INT8,)
+    batches: Sequence[int] = (8,)
+    device_counts: Sequence[int] = (1,)
+    parallelism: str = "pipeline"
+    # LLM scenario knobs.
+    input_tokens: int = 1024
+    output_tokens: int = 512
+    decode_kv_samples: int = 4
+    # DiT scenario knobs.
+    image_resolution: int = 512
+    sampling_steps: int = 50
+
+    def __post_init__(self) -> None:
+        if not self.designs:
+            raise ValueError("sweep grid needs at least one design")
+        if not self.models:
+            raise ValueError("sweep grid needs at least one model")
+        for attr in ("precisions", "batches", "device_counts"):
+            if not getattr(self, attr):
+                raise ValueError(f"sweep grid needs at least one entry in '{attr}'")
+
+    def points(self) -> list[SweepPoint]:
+        """Expand the grid into its ordered list of sweep points."""
+        return list(self)
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        for design, config in self.designs.items():
+            for model_name in self.models:
+                model = get_model(model_name)
+                for precision in self.precisions:
+                    for batch in self.batches:
+                        for devices in self.device_counts:
+                            yield make_point(
+                                design, config, model, precision, batch,
+                                input_tokens=self.input_tokens,
+                                output_tokens=self.output_tokens,
+                                decode_kv_samples=self.decode_kv_samples,
+                                image_resolution=self.image_resolution,
+                                sampling_steps=self.sampling_steps,
+                                devices=devices, parallelism=self.parallelism)
+
+    def __len__(self) -> int:
+        return (len(self.designs) * len(self.models) * len(self.precisions)
+                * len(self.batches) * len(self.device_counts))
+
+    def with_updates(self, **kwargs: object) -> "SweepGrid":
+        """Return a copy of the grid with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def default_grid(**overrides: object) -> SweepGrid:
+    """The default scenario space: every registered model on every predefined
+    design, at INT8 and BF16, across small and serving batch sizes.
+
+    This widens the paper's Table IV grid (GPT-3-30B and DiT-XL/2 only, INT8,
+    batch 8) to the full model registry — GPT-3-175B, Llama-2-7B/13B and
+    DiT-XL/2 included — which is the scenario space the ``repro-sim sweep``
+    subcommand explores.  BF16 is the 16-bit format the chip model supports
+    (the CIM macro loads 8-bit mantissas either way).
+    """
+    grid = SweepGrid(precisions=(Precision.INT8, Precision.BF16), batches=(1, 8))
+    return grid.with_updates(**overrides) if overrides else grid

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/golden/table_iv.json`` from the current model.
+
+Run this only when a change *intentionally* shifts the reproduction's
+numbers; the diff of the golden file then documents exactly what moved::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.explorer import ArchitectureExplorer
+from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "table_iv.json"
+
+
+def main() -> None:
+    explorer = ArchitectureExplorer(
+        llm_settings=LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                          decode_kv_samples=4),
+        dit_settings=DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50))
+    rows = explorer.explore()
+    golden = {
+        "description": "Table IV / Fig. 7 exploration at paper settings "
+                       "(GPT-3-30B 1024+512 tokens batch 8, DiT-XL/2 512px 50 steps, INT8)",
+        "rows": [
+            {"design": row.design, "workload": row.workload, "peak_tops": row.peak_tops,
+             "latency_seconds": row.latency_seconds,
+             "mxu_energy_joules": row.mxu_energy_joules,
+             "latency_vs_baseline": row.latency_vs_baseline,
+             "energy_saving_vs_baseline": row.energy_saving_vs_baseline}
+            for row in rows
+        ],
+        "best_design": {
+            workload: {"design": best.design,
+                       "latency_vs_baseline": best.latency_vs_baseline,
+                       "energy_saving_vs_baseline": best.energy_saving_vs_baseline}
+            for workload, best in (
+                ("llm", explorer.best_design(rows, "llm", max_latency_increase=0.25)),
+                ("dit", explorer.best_design(rows, "dit", max_latency_increase=0.25)))
+        },
+    }
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH} ({len(golden['rows'])} rows)")
+
+
+if __name__ == "__main__":
+    main()

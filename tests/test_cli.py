@@ -50,6 +50,93 @@ class TestCompare:
             main(SMALL + ["--llm", "dit-xl-2", "compare"])
 
 
+class TestExplore:
+    def test_explore_runs_and_prints_table(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "explore")
+        assert code == 0
+        assert "design-space exploration" in out
+        assert "baseline" in out
+
+    def test_explore_honours_global_llm_flag(self, capsys):
+        """Regression: ``--llm`` used to be silently ignored by ``explore``."""
+        _, default_out = run_cli(capsys, *SMALL, "--llm", "gpt3-30b", "explore")
+        _, llama_out = run_cli(capsys, *SMALL, "--llm", "llama2-7b", "explore")
+        assert default_out != llama_out  # a different model gives different latencies
+
+    def test_explore_rejects_non_llm_model(self):
+        with pytest.raises(SystemExit, match="not an LLM"):
+            main(SMALL + ["--llm", "dit-xl-2", "explore"])
+
+    def test_explore_with_workers(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "explore", "--workers", "2")
+        assert code == 0
+        assert "design-space exploration" in out
+
+
+class TestSweep:
+    def test_sweep_runs_and_reports_cache_stats(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "sweep", "--models", "gpt3-30b", "dit-xl-2",
+                            "--designs", "baseline", "design-a",
+                            "--precisions", "int8", "--batches", "2")
+        assert code == 0
+        assert "Scenario sweep" in out
+        assert "graph simulations" in out
+        assert "dit-xl-2" in out
+
+    def test_sweep_exports_json_and_csv(self, capsys, tmp_path):
+        json_path = tmp_path / "rows.json"
+        csv_path = tmp_path / "rows.csv"
+        code, out = run_cli(capsys, *SMALL, "sweep", "--models", "gpt3-30b",
+                            "--designs", "baseline", "--precisions", "int8",
+                            "--batches", "2", "--json", str(json_path),
+                            "--csv", str(csv_path))
+        assert code == 0
+        assert json_path.exists() and csv_path.exists()
+        assert "latency_seconds" in json_path.read_text()
+        assert csv_path.read_text().startswith("design,")
+
+    def test_sweep_multi_device_axis(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "sweep", "--models", "llama2-7b",
+                            "--designs", "design-a", "--precisions", "int8",
+                            "--batches", "2", "--devices", "1", "2")
+        assert code == 0
+        assert out.count("llama2-7b") >= 2
+
+    def test_sweep_tensor_parallelism_skips_dit_models(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "sweep", "--models", "llama2-7b", "dit-xl-2",
+                            "--designs", "design-a", "--precisions", "int8",
+                            "--batches", "2", "--devices", "2", "--parallelism", "tensor")
+        assert code == 0
+        assert "skipping DiT models" in out
+        assert "llama2-7b" in out
+
+    def test_sweep_tensor_parallelism_with_only_dit_fails(self):
+        with pytest.raises(SystemExit, match="only modelled for LLM"):
+            main(SMALL + ["sweep", "--models", "dit-xl-2", "--designs", "design-a",
+                          "--precisions", "int8", "--batches", "2",
+                          "--devices", "2", "--parallelism", "tensor"])
+
+    def test_sweep_unwritable_export_path_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot write results"):
+            main(SMALL + ["sweep", "--models", "gpt3-30b", "--designs", "baseline",
+                          "--precisions", "int8", "--batches", "2",
+                          "--json", str(tmp_path / "missing-dir" / "rows.json")])
+
+    def test_sweep_unknown_design_fails(self):
+        with pytest.raises(SystemExit, match="unknown design"):
+            main(SMALL + ["sweep", "--designs", "gpu"])
+
+    def test_sweep_unknown_model_fails(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(SMALL + ["sweep", "--models", "gpt5"])
+
+    def test_sweep_parser_defaults_cover_registry(self):
+        args = build_parser().parse_args(["sweep"])
+        assert "gpt3-175b" in args.models and "dit-xl-2" in args.models
+        assert set(args.precisions) == {"int8", "bf16"}
+        assert args.batches == [1, 8]
+
+
 class TestMultiDevice:
     def test_pipeline_parallel(self, capsys):
         code, out = run_cli(capsys, *SMALL, "--llm", "llama2-7b",

@@ -1,0 +1,86 @@
+"""Golden regression tests for the Table IV / Fig. 7 exploration.
+
+The expected values live in ``tests/golden/table_iv.json`` and were produced
+by the explorer at the paper's evaluation settings (GPT-3-30B with batch 8,
+1024 input / 512 output tokens; DiT-XL/2 at 512×512 with 50 sampling steps;
+INT8).  Any refactor of the simulator, the mapping engine or the sweep
+subsystem that shifts these numbers — latencies, MXU energies, the relative
+ratios, or which design the trade-off rule selects — fails here first, which
+is what lets the rest of the codebase move fast.
+
+If a change *intentionally* alters the model's numbers, regenerate the golden
+file with ``PYTHONPATH=src python tests/golden/regenerate.py`` and justify the
+drift in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.explorer import ArchitectureExplorer
+from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "table_iv.json"
+
+#: Relative tolerance of the float comparisons.  Tight enough to catch any
+#: genuine modelling drift, loose enough to absorb platform-level float noise
+#: (there should be none: the model is pure Python arithmetic).
+RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return ArchitectureExplorer(
+        llm_settings=LLMInferenceSettings(batch=8, input_tokens=1024, output_tokens=512,
+                                          decode_kv_samples=4),
+        dit_settings=DiTInferenceSettings(batch=8, image_resolution=512, sampling_steps=50))
+
+
+@pytest.fixture(scope="module")
+def rows(explorer):
+    return explorer.explore()
+
+
+class TestGoldenRows:
+    def test_row_set_matches(self, golden, rows):
+        expected = {(row["design"], row["workload"]) for row in golden["rows"]}
+        actual = {(row.design, row.workload) for row in rows}
+        assert actual == expected
+        assert len(rows) == len(golden["rows"])
+
+    def test_every_row_value_pinned(self, golden, rows):
+        actual = {(row.design, row.workload): row for row in rows}
+        for expected in golden["rows"]:
+            row = actual[(expected["design"], expected["workload"])]
+            for field in ("peak_tops", "latency_seconds", "mxu_energy_joules",
+                          "latency_vs_baseline", "energy_saving_vs_baseline"):
+                assert getattr(row, field) == pytest.approx(expected[field], rel=RTOL), (
+                    f"{expected['design']}/{expected['workload']}: {field} drifted "
+                    f"from the golden value {expected[field]!r}")
+
+
+class TestGoldenSelections:
+    @pytest.mark.parametrize("workload", ["llm", "dit"])
+    def test_best_design_selection_pinned(self, golden, explorer, rows, workload):
+        expected = golden["best_design"][workload]
+        best = explorer.best_design(rows, workload, max_latency_increase=0.25)
+        assert best.design == expected["design"]
+        assert best.latency_vs_baseline == pytest.approx(
+            expected["latency_vs_baseline"], rel=RTOL)
+        assert best.energy_saving_vs_baseline == pytest.approx(
+            expected["energy_saving_vs_baseline"], rel=RTOL)
+
+    def test_selected_designs_bracket_paper_trends(self, golden):
+        """The LLM pick trades latency for energy; the DiT pick is fast."""
+        llm = golden["best_design"]["llm"]
+        dit = golden["best_design"]["dit"]
+        assert llm["energy_saving_vs_baseline"] > dit["energy_saving_vs_baseline"]
+        assert dit["latency_vs_baseline"] < 1.0

@@ -1,0 +1,276 @@
+"""Tests for the sweep engine: grids, caching invariants and parallel fan-out.
+
+The headline invariants pinned here:
+
+* a sweep with ``workers=4`` reproduces the serial rows exactly (and
+  byte-identically once exported);
+* repeated points (the shared TPUv4i baseline) simulate once;
+* a cached re-sweep performs zero new graph simulations;
+* single- and multi-device evaluations match the direct simulator paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import Precision
+from repro.core.designs import design_a, tpuv4i_baseline
+from repro.core.explorer import ArchitectureExplorer, DesignPoint
+from repro.core.simulator import (
+    DiTInferenceSettings,
+    InferenceSimulator,
+    LLMInferenceSettings,
+)
+from repro.parallel.multi_device import MultiTPUSystem
+from repro.sweep.cache import CachingInferenceSimulator, ResultCache
+from repro.sweep.engine import SweepEngine, point_key
+from repro.sweep.export import to_csv, to_json
+from repro.sweep.grid import SweepGrid, SweepPoint, default_grid, make_point
+from repro.workloads.dit import DIT_XL_2, DiTConfig
+from repro.workloads.llm import GPT3_30B, LLMConfig
+
+TINY_LLM = LLMConfig(name="sweep-tiny-llm", num_layers=2, num_heads=8, d_model=512, d_ff=2048,
+                     vocab_size=1000)
+TINY_DIT = DiTConfig(name="sweep-tiny-dit", depth=2, num_heads=4, d_model=256)
+
+
+def tiny_points(designs=None):
+    """A small mixed LLM/DiT point list over the given designs."""
+    designs = designs if designs is not None else [("baseline", tpuv4i_baseline()),
+                                                   ("design-a", design_a())]
+    points = []
+    for label, config in designs:
+        points.append(make_point(label, config, TINY_LLM, batch=2, input_tokens=64,
+                                 output_tokens=16, decode_kv_samples=2))
+        points.append(make_point(label, config, TINY_DIT, batch=1, image_resolution=256,
+                                 sampling_steps=2))
+    return points
+
+
+class TestGrid:
+    def test_expansion_size_and_order(self):
+        grid = SweepGrid(designs={"baseline": tpuv4i_baseline(), "design-a": design_a()},
+                         models=["gpt3-30b", "dit-xl-2"],
+                         precisions=(Precision.INT8, Precision.BF16), batches=(1, 8))
+        points = grid.points()
+        assert len(points) == len(grid) == 16
+        # designs vary slowest, then models, precisions, batches.
+        assert [p.design for p in points[:8]] == ["baseline"] * 8
+        assert points[0].batch == 1 and points[1].batch == 8
+        assert points[0].precision is Precision.INT8
+        assert points[2].precision is Precision.BF16
+
+    def test_default_grid_covers_registry_and_precisions(self):
+        grid = default_grid()
+        points = grid.points()
+        assert {p.workload for p in points} >= {"gpt3-30b", "gpt3-175b", "llama2-7b",
+                                                "llama2-13b", "dit-xl-2"}
+        assert {p.precision for p in points} == {Precision.INT8, Precision.BF16}
+        assert {p.batch for p in points} == {1, 8}
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            SweepGrid(models=[])
+        with pytest.raises(ValueError):
+            SweepGrid(batches=())
+
+    def test_point_settings_type_must_match_model(self):
+        with pytest.raises(ValueError):
+            SweepPoint(design="x", config=tpuv4i_baseline(), model=TINY_LLM,
+                       settings=DiTInferenceSettings(batch=1, image_resolution=256,
+                                                     sampling_steps=2))
+
+    def test_point_validation(self):
+        with pytest.raises(ValueError):
+            make_point("x", tpuv4i_baseline(), TINY_LLM, devices=0)
+        with pytest.raises(ValueError):
+            make_point("x", tpuv4i_baseline(), TINY_LLM, parallelism="data")
+
+
+class TestCachingSimulator:
+    def test_repeat_graphs_simulate_once(self):
+        cache = ResultCache()
+        simulator = CachingInferenceSimulator(tpuv4i_baseline(), cache)
+        first = simulator.simulate_llm_prefill_layer(
+            TINY_LLM, LLMInferenceSettings(batch=2, input_tokens=64, output_tokens=16))
+        second = simulator.simulate_llm_prefill_layer(
+            TINY_LLM, LLMInferenceSettings(batch=2, input_tokens=64, output_tokens=16))
+        assert first is second
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_matches_uncached_simulator(self):
+        settings = LLMInferenceSettings(batch=2, input_tokens=64, output_tokens=16,
+                                        decode_kv_samples=2)
+        cached = CachingInferenceSimulator(tpuv4i_baseline())
+        plain = InferenceSimulator(tpuv4i_baseline())
+        assert (cached.simulate_llm_inference(TINY_LLM, settings).total_seconds
+                == plain.simulate_llm_inference(TINY_LLM, settings).total_seconds)
+
+    def test_cache_shared_across_chips_never_collides(self):
+        cache = ResultCache()
+        settings = DiTInferenceSettings(batch=1, image_resolution=256, sampling_steps=2)
+        baseline = CachingInferenceSimulator(tpuv4i_baseline(), cache)
+        cim = CachingInferenceSimulator(design_a(), cache)
+        a = baseline.simulate_dit_block(TINY_DIT, settings)
+        b = cim.simulate_dit_block(TINY_DIT, settings)
+        assert a.total_seconds != b.total_seconds
+        assert cache.stats.misses == 2
+
+
+class TestEngineCaching:
+    def test_repeated_baseline_point_simulates_once(self):
+        engine = SweepEngine()
+        baseline_point = tiny_points()[0]
+        rows = engine.sweep([baseline_point, baseline_point, baseline_point])
+        assert rows[0] == rows[1] == rows[2]
+        assert engine.stats.point_misses == 1
+        assert engine.stats.point_hits == 2
+
+    def test_cached_resweep_performs_zero_new_simulations(self):
+        engine = SweepEngine()
+        points = tiny_points()
+        first = engine.sweep(points)
+        simulations_before = engine.stats.simulations
+        assert simulations_before > 0
+        second = engine.sweep(points)
+        assert second == first
+        assert engine.stats.simulations == simulations_before
+        assert engine.stats.point_hits == len(points)
+
+    def test_evaluate_matches_sweep_row(self):
+        engine = SweepEngine()
+        point = tiny_points()[1]
+        assert engine.evaluate(point) == SweepEngine().sweep([point])[0]
+
+    def test_result_metadata(self):
+        row = SweepEngine().evaluate(tiny_points()[0])
+        assert row.design == "baseline"
+        assert row.workload == "sweep-tiny-llm"
+        assert row.kind == "llm" and row.item_unit == "token"
+        assert row.precision == "int8" and row.batch == 2
+        assert row.items == 2 * 16
+        assert row.latency_seconds > 0 and row.mxu_energy_joules > 0
+        assert row.throughput == pytest.approx(row.items / row.latency_seconds)
+        assert row.cache_key == point_key(tiny_points()[0])
+
+
+class TestParallelSweep:
+    def test_parallel_rows_identical_to_serial(self):
+        points = tiny_points()
+        serial = SweepEngine().sweep(points)
+        parallel = SweepEngine().sweep(points, workers=4)
+        assert parallel == serial
+        assert to_json(parallel).encode() == to_json(serial).encode()
+        assert to_csv(parallel).encode() == to_csv(serial).encode()
+
+    def test_parallel_resweep_hits_point_cache(self):
+        engine = SweepEngine()
+        points = tiny_points()
+        first = engine.sweep(points, workers=2)
+        simulations = engine.stats.simulations
+        second = engine.sweep(points, workers=2)
+        assert second == first
+        assert engine.stats.simulations == simulations
+
+    def test_workers_one_is_serial(self):
+        points = tiny_points()
+        assert SweepEngine().sweep(points, workers=1) == SweepEngine().sweep(points)
+
+    def test_engine_default_workers_used(self):
+        points = tiny_points()[:2]
+        engine = SweepEngine(workers=2)
+        assert engine.sweep(points) == SweepEngine().sweep(points)
+
+
+class TestTableIVParity:
+    """workers=4 reproduces the exact serial Table IV exploration rows."""
+
+    @pytest.fixture(scope="class")
+    def explorer_kwargs(self):
+        return dict(
+            llm=TINY_LLM, dit=TINY_DIT,
+            llm_settings=LLMInferenceSettings(batch=2, input_tokens=64, output_tokens=16,
+                                              decode_kv_samples=2),
+            dit_settings=DiTInferenceSettings(batch=1, image_resolution=256,
+                                              sampling_steps=2))
+
+    def test_workers4_matches_serial_rows(self, explorer_kwargs):
+        serial = ArchitectureExplorer(**explorer_kwargs).explore()
+        parallel = ArchitectureExplorer(**explorer_kwargs, workers=4).explore()
+        assert parallel == serial
+        assert len(serial) == 2 * (1 + 9)  # baseline + Table IV points, both workloads
+
+    def test_shared_engine_reuses_points_across_explorations(self, explorer_kwargs):
+        engine = SweepEngine()
+        first = ArchitectureExplorer(**explorer_kwargs, engine=engine).explore()
+        simulations = engine.stats.simulations
+        second = ArchitectureExplorer(**explorer_kwargs, engine=engine).explore()
+        assert second == first
+        assert engine.stats.simulations == simulations
+
+
+class TestMultiDevicePoints:
+    def test_multi_device_point_matches_direct_system(self):
+        settings = LLMInferenceSettings(batch=2, input_tokens=64, output_tokens=16,
+                                        decode_kv_samples=2)
+        point = SweepPoint(design="design-a", config=design_a(), model=TINY_LLM,
+                           settings=settings, devices=2)
+        row = SweepEngine().evaluate(point)
+        direct = MultiTPUSystem(design_a(), 2).simulate_llm(TINY_LLM, settings)
+        assert row.throughput == direct.throughput
+        assert row.communication_seconds == direct.communication_seconds
+        assert row.mxu_energy_joules == direct.mxu_energy_joules
+
+    def test_device_axis_shares_per_layer_graphs(self):
+        engine = SweepEngine()
+        settings = LLMInferenceSettings(batch=2, input_tokens=64, output_tokens=16,
+                                        decode_kv_samples=2)
+        points = [SweepPoint(design="design-a", config=design_a(), model=TINY_LLM,
+                             settings=settings, devices=n) for n in (1, 2, 4)]
+        engine.sweep(points)
+        # The per-layer graphs are identical across device counts, so only the
+        # first point simulates; the others are pure cache hits.
+        assert engine.stats.simulations == 3  # prefill + 2 decode KV samples
+        assert engine.stats.graph_hits >= 6
+
+    def test_parallel_device_axis_simulates_like_serial(self):
+        """Pool tasks are grouped by chip config, so fan-out keeps graph sharing."""
+        settings = LLMInferenceSettings(batch=2, input_tokens=64, output_tokens=16,
+                                        decode_kv_samples=2)
+        points = [SweepPoint(design="design-a", config=design_a(), model=TINY_LLM,
+                             settings=settings, devices=n) for n in (1, 2, 4)]
+        serial_engine, parallel_engine = SweepEngine(), SweepEngine()
+        serial_rows = serial_engine.sweep(points)
+        parallel_rows = parallel_engine.sweep(points, workers=3)
+        assert parallel_rows == serial_rows
+        assert parallel_engine.stats.simulations == serial_engine.stats.simulations == 3
+
+    def test_injected_simulator_config_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTPUSystem(design_a(), 2,
+                           simulator=InferenceSimulator(tpuv4i_baseline()))
+
+    def test_tensor_parallel_dit_point_raises(self):
+        point = SweepPoint(design="design-a", config=design_a(), model=TINY_DIT,
+                           settings=DiTInferenceSettings(batch=1, image_resolution=256,
+                                                         sampling_steps=2),
+                           devices=2, parallelism="tensor")
+        with pytest.raises(ValueError):
+            SweepEngine().evaluate(point)
+
+
+class TestErrorPaths:
+    def test_get_model_unknown_name_raises_keyerror(self):
+        from repro.workloads.registry import get_model
+        with pytest.raises(KeyError, match="registered models"):
+            get_model("gpt-neo-x")
+
+    def test_design_config_unknown_name_exits(self):
+        from repro.cli import _design_config
+        with pytest.raises(SystemExit, match="unknown design"):
+            _design_config("gpu")
+
+    def test_best_design_empty_candidates_raises(self):
+        explorer = ArchitectureExplorer()
+        with pytest.raises(ValueError, match="no exploration rows"):
+            explorer.best_design([], "llm")

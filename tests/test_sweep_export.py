@@ -1,0 +1,60 @@
+"""Tests for the JSON/CSV exporters of sweep results."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.designs import tpuv4i_baseline
+from repro.sweep.engine import SweepEngine
+from repro.sweep.export import FIELDNAMES, to_csv, to_json, write_csv, write_json
+from repro.sweep.grid import make_point
+from repro.workloads.dit import DiTConfig
+from repro.workloads.llm import LLMConfig
+
+TINY_LLM = LLMConfig(name="export-tiny-llm", num_layers=2, num_heads=8, d_model=512,
+                     d_ff=2048, vocab_size=1000)
+TINY_DIT = DiTConfig(name="export-tiny-dit", depth=2, num_heads=4, d_model=256)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    points = [
+        make_point("baseline", tpuv4i_baseline(), TINY_LLM, batch=2, input_tokens=64,
+                   output_tokens=16, decode_kv_samples=2),
+        make_point("baseline", tpuv4i_baseline(), TINY_DIT, batch=1, image_resolution=256,
+                   sampling_steps=2),
+    ]
+    return SweepEngine().sweep(points)
+
+
+class TestJson:
+    def test_round_trip_preserves_values(self, rows):
+        decoded = json.loads(to_json(rows))
+        assert len(decoded) == len(rows)
+        assert decoded[0]["design"] == "baseline"
+        assert decoded[0]["latency_seconds"] == rows[0].latency_seconds
+        assert set(decoded[0]) == set(FIELDNAMES)
+
+    def test_deterministic_bytes(self, rows):
+        assert to_json(rows) == to_json(list(rows))
+
+    def test_write_json(self, rows, tmp_path):
+        path = write_json(rows, tmp_path / "rows.json")
+        assert json.loads(path.read_text())[1]["kind"] == "dit"
+
+
+class TestCsv:
+    def test_header_and_row_count(self, rows):
+        parsed = list(csv.DictReader(io.StringIO(to_csv(rows))))
+        assert len(parsed) == len(rows)
+        assert list(parsed[0]) == list(FIELDNAMES)
+        assert parsed[0]["workload"] == "export-tiny-llm"
+        assert float(parsed[0]["throughput"]) == pytest.approx(rows[0].throughput)
+
+    def test_write_csv(self, rows, tmp_path):
+        path = write_csv(rows, tmp_path / "rows.csv")
+        assert path.read_text().startswith(",".join(FIELDNAMES))

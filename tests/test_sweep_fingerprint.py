@@ -1,0 +1,108 @@
+"""Tests for the content-fingerprint layer of the sweep engine.
+
+The cache keys must be pure functions of value content: identical across
+object identities, across repeated runs, and — critically for the
+multiprocessing fan-out — across Python processes with different hash seeds.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.common import Precision
+from repro.core.designs import cim_tpu_default, design_a, tpuv4i_baseline
+from repro.core.simulator import LLMInferenceSettings
+from repro.sweep.engine import point_key
+from repro.sweep.fingerprint import canonicalize, fingerprint
+from repro.sweep.grid import make_point
+from repro.workloads.llm import GPT3_30B, build_llm_layer
+
+#: A snippet that recomputes reference fingerprints in a fresh interpreter.
+_SUBPROCESS_SNIPPET = """
+from repro.core.designs import tpuv4i_baseline
+from repro.core.simulator import LLMInferenceSettings
+from repro.sweep.engine import point_key
+from repro.sweep.fingerprint import fingerprint
+from repro.sweep.grid import make_point
+from repro.workloads.llm import GPT3_30B, build_llm_layer
+
+graph = build_llm_layer(GPT3_30B, "prefill", 2, 64)
+print(fingerprint(tpuv4i_baseline(), graph))
+print(point_key(make_point("baseline", tpuv4i_baseline(), GPT3_30B, batch=2,
+                           input_tokens=64, output_tokens=16)))
+"""
+
+
+def _reference_keys() -> tuple[str, str]:
+    graph = build_llm_layer(GPT3_30B, "prefill", 2, 64)
+    graph_fp = fingerprint(tpuv4i_baseline(), graph)
+    key = point_key(make_point("baseline", tpuv4i_baseline(), GPT3_30B, batch=2,
+                               input_tokens=64, output_tokens=16))
+    return graph_fp, key
+
+
+class TestCanonicalize:
+    def test_primitives_pass_through(self):
+        assert canonicalize(3) == 3
+        assert canonicalize("x") == "x"
+        assert canonicalize(None) is None
+        assert canonicalize(True) is True
+
+    def test_floats_use_exact_repr(self):
+        assert canonicalize(0.1) == ["float", "0.1"]
+
+    def test_enum_and_dataclass_forms(self):
+        assert canonicalize(Precision.INT8) == ["enum", "Precision", "int8"]
+        form = canonicalize(LLMInferenceSettings(batch=2, input_tokens=8, output_tokens=4))
+        assert form[0] == "dataclass" and form[1] == "LLMInferenceSettings"
+
+    def test_dict_keys_are_order_insensitive(self):
+        assert canonicalize({"b": 1, "a": 2}) == canonicalize({"a": 2, "b": 1})
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+
+class TestFingerprint:
+    def test_equal_content_equal_key(self):
+        assert fingerprint(tpuv4i_baseline()) == fingerprint(tpuv4i_baseline())
+        graph_a = build_llm_layer(GPT3_30B, "prefill", 2, 64)
+        graph_b = build_llm_layer(GPT3_30B, "prefill", 2, 64)
+        assert fingerprint(graph_a) == fingerprint(graph_b)
+
+    def test_different_configs_differ(self):
+        keys = {fingerprint(config) for config in
+                (tpuv4i_baseline(), cim_tpu_default(), design_a())}
+        assert len(keys) == 3
+
+    def test_different_graphs_differ(self):
+        prefill = build_llm_layer(GPT3_30B, "prefill", 2, 64)
+        decode = build_llm_layer(GPT3_30B, "decode", 2, 64)
+        assert fingerprint(prefill) != fingerprint(decode)
+
+    def test_argument_packing_matters(self):
+        assert fingerprint(1, 2) != fingerprint((1, 2))
+
+    def test_point_key_covers_design_label(self):
+        base = make_point("baseline", tpuv4i_baseline(), GPT3_30B, batch=2,
+                          input_tokens=64, output_tokens=16)
+        renamed = make_point("other-label", tpuv4i_baseline(), GPT3_30B, batch=2,
+                             input_tokens=64, output_tokens=16)
+        assert point_key(base) != point_key(renamed)
+
+    def test_determinism_across_processes(self):
+        """Keys survive process boundaries and hash-seed randomisation."""
+        graph_fp, key = _reference_keys()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        for seed in ("0", "424242"):
+            env["PYTHONHASHSEED"] = seed
+            output = subprocess.run(
+                [sys.executable, "-c", _SUBPROCESS_SNIPPET], env=env,
+                capture_output=True, text=True, check=True).stdout.split()
+            assert output == [graph_fp, key]
