@@ -1,0 +1,71 @@
+"""Scenario-pipeline report: the registered scenarios on baseline vs. Design A.
+
+Exercises the generic scenario path end to end — the paper's two workloads
+plus the MoE (Mixtral-8x7B) and chat-serving scenarios the registry opened up
+— on the TPUv4i baseline and the LLM-optimised CIM design, and reports the
+per-scenario latency, steady-state throughput and MXU energy saving.  The
+table lands in ``reports/scenario_pipeline.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import emit_report, factor
+
+from repro.core.designs import design_a, tpuv4i_baseline
+from repro.sweep.engine import SweepEngine
+from repro.sweep.grid import make_point
+from repro.workloads.registry import get_model
+
+#: (model, scenario) pairs covering every registered scenario family.
+SCENARIO_MATRIX: list[tuple[str, str]] = [
+    ("gpt3-30b", "llm-serving"),
+    ("dit-xl-2", "dit-sampling"),
+    ("mixtral-8x7b", "moe-serving"),
+    ("llama2-7b", "chat-serving"),
+]
+
+
+@pytest.fixture(scope="module")
+def scenario_points():
+    designs = [("baseline", tpuv4i_baseline()), ("design-a", design_a())]
+    return [make_point(label, config, get_model(model), scenario=scenario)
+            for label, config in designs
+            for model, scenario in SCENARIO_MATRIX]
+
+
+def test_scenario_pipeline_report(benchmark, scenario_points):
+    """Every registered scenario runs through the one generic pipeline."""
+    engine = SweepEngine()
+    rows = engine.sweep(scenario_points)
+
+    baselines = {(row.workload, row.scenario): row for row in rows
+                 if row.design == "baseline"}
+    table = []
+    for row in rows:
+        base = baselines[(row.workload, row.scenario)]
+        table.append([
+            row.design, row.workload, row.scenario, row.settings_summary,
+            f"{row.latency_seconds * 1e3:.1f} ms",
+            f"{row.throughput:.2f} {row.item_unit}s/s",
+            factor(base.mxu_energy_joules / row.mxu_energy_joules
+                   if row.mxu_energy_joules else 0.0)])
+    emit_report(
+        "scenario_pipeline",
+        ["design", "model", "scenario", "settings", "latency", "throughput",
+         "MXU energy saving"],
+        table,
+        title="Registered scenarios on baseline TPUv4i vs. Design A")
+
+    # Every scenario family produced a row on both designs.
+    assert len(rows) == 2 * len(SCENARIO_MATRIX)
+    assert all(row.latency_seconds > 0 and row.mxu_energy_joules > 0 for row in rows)
+    # The CIM design must save MXU energy on every scenario, as in Fig. 7.
+    for row in rows:
+        if row.design != "baseline":
+            base = baselines[(row.workload, row.scenario)]
+            assert row.mxu_energy_joules < base.mxu_energy_joules
+
+    # Steady-state figure of merit: one fully cached re-sweep of the matrix.
+    benchmark(engine.sweep, scenario_points)

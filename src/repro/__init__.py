@@ -35,6 +35,12 @@ from repro.core.explorer import ArchitectureExplorer, DesignPoint, ExplorationRo
 from repro.core.results import GraphResult, InferenceResult, OperatorResult, StageResult
 from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
 from repro.core.tpu import TPUModel
+from repro.core.units import (
+    ExecutionUnit,
+    ExecutionUnitRegistry,
+    UnitCost,
+    UnsupportedOperatorError,
+)
 from repro.parallel.multi_device import MultiDeviceResult, MultiTPUSystem
 from repro.sweep import (
     SweepEngine,
@@ -44,9 +50,20 @@ from repro.sweep import (
     default_grid,
     make_point,
 )
+from repro.workloads.chat import ChatServingSettings, RequestClass
 from repro.workloads.dit import DIT_XL_2, DiTConfig
 from repro.workloads.llm import GPT3_30B, GPT3_175B, LLAMA2_7B, LLAMA2_13B, LLMConfig
-from repro.workloads.registry import MODEL_REGISTRY, get_model
+from repro.workloads.moe import MIXTRAL_8X7B, MoEConfig
+from repro.workloads.registry import (
+    MODEL_REGISTRY,
+    SCENARIO_REGISTRY,
+    get_model,
+    get_scenario,
+    register_model,
+    register_scenario,
+    scenario_for,
+)
+from repro.workloads.scenario import Scenario, ScenarioSpec, ScenarioStage
 
 __version__ = "0.1.0"
 
@@ -71,7 +88,16 @@ __all__ = [
     "InferenceSimulator",
     "LLMInferenceSettings",
     "DiTInferenceSettings",
+    "ChatServingSettings",
+    "RequestClass",
     "TPUModel",
+    "ExecutionUnit",
+    "ExecutionUnitRegistry",
+    "UnitCost",
+    "UnsupportedOperatorError",
+    "Scenario",
+    "ScenarioSpec",
+    "ScenarioStage",
     "MultiTPUSystem",
     "MultiDeviceResult",
     "SweepEngine",
@@ -87,7 +113,14 @@ __all__ = [
     "GPT3_175B",
     "LLAMA2_7B",
     "LLAMA2_13B",
+    "MoEConfig",
+    "MIXTRAL_8X7B",
     "MODEL_REGISTRY",
+    "SCENARIO_REGISTRY",
     "get_model",
+    "get_scenario",
+    "register_model",
+    "register_scenario",
+    "scenario_for",
     "__version__",
 ]

@@ -18,6 +18,7 @@ from repro.common import Precision, ceil_div
 from repro.core.config import TPUConfig
 from repro.workloads.dit import DiTConfig
 from repro.workloads.llm import LLMConfig
+from repro.workloads.moe import MoEConfig
 
 
 @dataclass(frozen=True)
@@ -56,7 +57,16 @@ def llm_footprint(model: LLMConfig, batch: int, context_tokens: int,
     if batch <= 0 or context_tokens <= 0:
         raise ValueError("batch and context_tokens must be positive")
     layer = model.layer_config()
-    weight_bytes = (model.num_layers * layer.weight_bytes_per_layer
+    if isinstance(model, MoEConfig):
+        # Every expert's weights must be resident even though only top_k are
+        # active per token — the capacity pressure that makes MoE serving a
+        # multi-device problem.
+        attn = (layer.d_model * layer.qkv_output_dim
+                + layer.num_heads * layer.resolved_head_dim * layer.d_model)
+        per_layer = attn + model.expert_weight_bytes_per_layer
+    else:
+        per_layer = layer.weight_bytes_per_layer
+    weight_bytes = (model.num_layers * per_layer
                     + 2 * model.vocab_size * model.d_model) * precision.bytes
     kv_bytes = model.kv_cache_bytes(batch, context_tokens, precision)
     tokens = batch * context_tokens

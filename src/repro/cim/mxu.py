@@ -30,6 +30,7 @@ from repro.cim.macro import CIMMacro, CIMMacroConfig
 from repro.hw.area import AreaModel
 from repro.hw.energy import EnergyBudget, EnergyModel
 from repro.systolic.systolic_array import MXUComputeResult
+from repro.workloads.operators import MatMulOp
 
 
 @dataclass(frozen=True)
@@ -137,6 +138,11 @@ class CIMMXU:
     def macs_per_cycle(self) -> int:
         """Peak MAC throughput of this MXU."""
         return self.config.macs_per_cycle
+
+    @staticmethod
+    def supported_operator_types() -> tuple[type, ...]:
+        """Capability declaration consumed by the execution-unit registry."""
+        return (MatMulOp,)
 
     @property
     def area_mm2(self) -> float:

@@ -13,13 +13,17 @@ Python:
     Fig. 8-style multi-TPU throughput scaling.
 ``repro-sim sweep``
     Free-form scenario sweeps over the full grid of (design × model ×
-    precision × batch × device count) points, powered by the memoised
-    :class:`~repro.sweep.engine.SweepEngine`.  Supports ``--workers`` for
-    multiprocessing fan-out and ``--json`` / ``--csv`` structured export;
-    by default it widens the paper's Table IV grid to every registered
-    model (GPT-3-30B/175B, Llama-2-7B/13B, DiT-XL/2).
+    scenario × precision × batch × device count) points, powered by the
+    memoised :class:`~repro.sweep.engine.SweepEngine`.  Supports
+    ``--scenarios`` to pick registered scenarios (default: each model's
+    own), ``--workers`` for multiprocessing fan-out and ``--json`` /
+    ``--csv`` structured export; by default it widens the paper's Table IV
+    grid to every registered model (GPT-3-30B/175B, Llama-2-7B/13B,
+    Mixtral-8x7B, DiT-XL/2).
 ``repro-sim models``
     List the registered model configurations and their memory footprints.
+``repro-sim scenarios``
+    List the registered inference scenarios and their capabilities.
 
 Global options (``--batch``, ``--input-tokens``, ``--output-tokens``,
 ``--resolution``, ``--steps``, ``--llm``) set the workload scenario; each
@@ -45,7 +49,14 @@ from repro.sweep.export import write_csv, write_json
 from repro.sweep.grid import SweepGrid, SweepPoint
 from repro.workloads.dit import DIT_XL_2, DiTConfig
 from repro.workloads.llm import GPT3_30B, LLMConfig
-from repro.workloads.registry import MODEL_REGISTRY, get_model
+from repro.workloads.moe import MoEConfig
+from repro.workloads.registry import (
+    MODEL_REGISTRY,
+    SCENARIO_REGISTRY,
+    get_model,
+    get_scenario,
+    scenario_for,
+)
 
 
 def _design_config(name: str):
@@ -151,19 +162,46 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             resolved[name] = get_model(name)
         except KeyError as error:
             raise SystemExit(error.args[0]) from None
+    scenarios = list(args.scenarios) if args.scenarios else None
     if args.parallelism == "tensor" and max(args.devices) > 1:
-        # Tensor parallelism is only modelled for LLMs; drop DiT models up
-        # front instead of aborting mid-sweep on the first DiT point.
-        dropped = [name for name in models if isinstance(resolved[name], DiTConfig)]
+        # Tensor parallelism needs a scenario with a sharding model; drop
+        # incompatible models/scenarios up front instead of aborting
+        # mid-sweep on the first incompatible point.
+        if scenarios is not None:
+            scenarios = [name for name in scenarios
+                         if get_scenario(name).tensor_parallel is not None]
+
+        max_devices = max(args.devices)
+
+        def tensor_capable(name: str) -> bool:
+            model = resolved[name]
+            specs = ([scenario_for(model)] if scenarios is None
+                     else [get_scenario(s) for s in scenarios if get_scenario(s).supports(model)])
+            for spec in specs:
+                if spec.tensor_parallel is None:
+                    continue
+                try:
+                    spec.tensor_parallel.shard(model, max_devices)
+                except ValueError:
+                    continue
+                return True
+            return False
+
+        dropped = [name for name in models if not tensor_capable(name)]
         models = [name for name in models if name not in dropped]
-        if dropped:
+        dropped_dit = [name for name in dropped if isinstance(resolved[name], DiTConfig)]
+        dropped_other = [name for name in dropped if name not in dropped_dit]
+        if dropped_dit:
             print("note: skipping DiT models under tensor parallelism "
-                  f"({', '.join(dropped)}); only LLM sharding is modelled")
+                  f"({', '.join(dropped_dit)}); only LLM sharding is modelled")
+        if dropped_other:
+            print("note: skipping models without a tensor-parallel scenario "
+                  f"({', '.join(dropped_other)})")
         if not models:
             raise SystemExit("tensor parallelism is only modelled for LLM workloads; "
                              "add an LLM model or use --parallelism pipeline")
     grid = SweepGrid(
-        designs=designs, models=models,
+        designs=designs, models=models, scenarios=scenarios,
         precisions=tuple(Precision(p) for p in args.precisions),
         batches=tuple(args.batches), device_counts=tuple(args.devices),
         parallelism=args.parallelism,
@@ -176,13 +214,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(str(error))
 
-    table_rows = [[result.design, result.workload, result.precision, result.batch,
-                   result.devices, result.scenario,
+    table_rows = [[result.design, result.workload, result.scenario, result.precision,
+                   result.batch, result.devices, result.settings_summary,
                    f"{result.latency_seconds * 1e3:.1f} ms",
                    f"{result.throughput:.2f} {result.item_unit}s/s",
                    f"{result.mxu_energy_joules:.2f} J"] for result in results]
-    print(format_table(["design", "model", "precision", "batch", "TPUs", "scenario",
-                        "latency", "throughput", "MXU energy"],
+    print(format_table(["design", "model", "scenario", "precision", "batch", "TPUs",
+                        "settings", "latency", "throughput", "MXU energy"],
                        table_rows, title="Scenario sweep"))
     stats = engine.stats
     print(f"{len(results)} points evaluated with {stats.simulations} graph simulations "
@@ -206,18 +244,35 @@ def cmd_models(args: argparse.Namespace) -> int:
         if isinstance(model, LLMConfig):
             footprint = llm_footprint(model, batch=args.batch,
                                       context_tokens=args.input_tokens + args.output_tokens)
-            kind = "LLM"
+            kind = "MoE" if isinstance(model, MoEConfig) else "LLM"
         elif isinstance(model, DiTConfig):
             footprint = dit_footprint(model, batch=args.batch, image_resolution=args.resolution)
             kind = "DiT"
-        else:  # pragma: no cover - registry only holds the two kinds
+        else:  # pragma: no cover - registry only holds the known kinds
             continue
         plan = plan_capacity(footprint, tpu)
-        rows.append([name, kind, f"{footprint.total_gib:.1f} GiB",
+        rows.append([name, kind, scenario_for(model).name, f"{footprint.total_gib:.1f} GiB",
                      plan.min_devices, plan.suggested_parallelism])
-    print(format_table(["model", "kind", "footprint", "min TPUs", "suggested parallelism"],
+    print(format_table(["model", "kind", "default scenario", "footprint", "min TPUs",
+                        "suggested parallelism"],
                        rows, title="Registered models (batch "
                                    f"{args.batch}, {args.input_tokens}+{args.output_tokens} tokens)"))
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the registered inference scenarios and their capabilities."""
+    del args  # no options; present for the uniform subcommand signature
+    rows = []
+    for name in sorted(SCENARIO_REGISTRY):
+        spec = SCENARIO_REGISTRY[name]
+        models = ", ".join(sorted(m for m, cfg in MODEL_REGISTRY.items()
+                                  if spec.supports(cfg)))
+        rows.append([name, spec.model_type.__name__,
+                     "yes" if spec.tensor_parallel is not None else "no",
+                     models, spec.description])
+    print(format_table(["scenario", "model type", "tensor-parallel", "models", "description"],
+                       rows, title="Registered scenarios"))
     return 0
 
 
@@ -264,6 +319,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="designs to sweep (default: all predefined designs)")
     sweep.add_argument("--models", nargs="+", default=sorted(MODEL_REGISTRY),
                        help="models to sweep (default: every registered model)")
+    sweep.add_argument("--scenarios", nargs="+", choices=sorted(SCENARIO_REGISTRY),
+                       default=None,
+                       help="scenarios to sweep; incompatible model/scenario pairs are "
+                            "skipped (default: each model's default scenario)")
     sweep.add_argument("--precisions", nargs="+", choices=[p.value for p in Precision],
                        default=[p.value for p in Precision],
                        help="numeric precisions (default: all)")
@@ -282,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     models = subparsers.add_parser("models", help="list models and capacity plans")
     models.set_defaults(func=cmd_models)
+
+    scenarios = subparsers.add_parser("scenarios",
+                                      help="list registered inference scenarios")
+    scenarios.set_defaults(func=cmd_scenarios)
     return parser
 
 

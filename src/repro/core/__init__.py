@@ -10,6 +10,14 @@ design-space explorer behind Table IV / Fig. 7.
 from repro.core.config import MXUType, TPUConfig
 from repro.core.results import OperatorResult, GraphResult, StageResult, InferenceResult
 from repro.core.tpu import TPUModel
+from repro.core.units import (
+    ExecutionUnit,
+    ExecutionUnitRegistry,
+    MatrixExecutionUnit,
+    UnitCost,
+    UnsupportedOperatorError,
+    VectorExecutionUnit,
+)
 from repro.core.simulator import InferenceSimulator, LLMInferenceSettings, DiTInferenceSettings
 from repro.core.designs import (
     tpuv4i_baseline,
@@ -29,6 +37,12 @@ __all__ = [
     "StageResult",
     "InferenceResult",
     "TPUModel",
+    "ExecutionUnit",
+    "ExecutionUnitRegistry",
+    "MatrixExecutionUnit",
+    "VectorExecutionUnit",
+    "UnitCost",
+    "UnsupportedOperatorError",
     "InferenceSimulator",
     "LLMInferenceSettings",
     "DiTInferenceSettings",

@@ -1,4 +1,4 @@
-"""Inference simulator: run generative-model workloads on a TPU model.
+"""Inference simulator: run generative-model scenarios on a TPU model.
 
 The simulator reproduces the paper's evaluation methodology:
 
@@ -11,64 +11,41 @@ The simulator reproduces the paper's evaluation methodology:
   sampled at several KV-cache lengths to capture its growth.
 * **DiT block / end-to-end** — one DiT-XL/2 block at 512×512 (Fig. 6) and the
   full sampling loop (blocks × depth × diffusion steps) for Fig. 7/8.
+
+End-to-end execution is generic: every workload (LLM serving, DiT sampling,
+MoE, chat-serving mixes, anything registered in
+:mod:`repro.workloads.registry`) declares a
+:class:`~repro.workloads.scenario.Scenario` — a list of stages, each an
+operator graph plus a repeat factor — and :meth:`InferenceSimulator.run_scenario`
+executes any of them.  The ``simulate_llm_inference`` / ``simulate_dit_inference``
+methods remain as thin, named clients of that pipeline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Any
 
-from repro.common import Precision
 from repro.core.config import TPUConfig
 from repro.core.results import GraphResult, InferenceResult, StageResult
 from repro.core.tpu import TPUModel
-from repro.workloads.dit import DiTConfig, build_dit_block
-from repro.workloads.llm import LLMConfig, build_llm_layer
+from repro.workloads.dit import DiTConfig, build_dit_block, build_dit_sampling_scenario
+from repro.workloads.llm import LLMConfig, build_llm_layer, build_llm_serving_scenario
 from repro.workloads.graph import OperatorGraph
+from repro.workloads.scenario import (
+    DiTInferenceSettings,
+    LLMInferenceSettings,
+    Scenario,
+)
 
-
-@dataclass(frozen=True)
-class LLMInferenceSettings:
-    """Evaluation settings for LLM inference (paper defaults)."""
-
-    batch: int = 8
-    input_tokens: int = 1024
-    output_tokens: int = 512
-    precision: Precision = Precision.INT8
-    #: Number of KV-cache lengths at which the decode layer is evaluated; the
-    #: decode phase cost is the average of these samples times the token count.
-    decode_kv_samples: int = 4
-
-    def __post_init__(self) -> None:
-        if self.batch <= 0 or self.input_tokens <= 0 or self.output_tokens <= 0:
-            raise ValueError("batch, input_tokens and output_tokens must be positive")
-        if self.decode_kv_samples <= 0:
-            raise ValueError("decode_kv_samples must be positive")
-
-    def decode_kv_lengths(self) -> list[int]:
-        """Representative KV-cache lengths spanning the decode phase."""
-        samples = min(self.decode_kv_samples, self.output_tokens)
-        if samples == 1:
-            return [self.input_tokens + self.output_tokens // 2]
-        step = self.output_tokens / samples
-        return [int(self.input_tokens + step * (i + 0.5)) for i in range(samples)]
-
-
-@dataclass(frozen=True)
-class DiTInferenceSettings:
-    """Evaluation settings for DiT inference (paper defaults)."""
-
-    batch: int = 8
-    image_resolution: int = 512
-    sampling_steps: int = 50
-    precision: Precision = Precision.INT8
-
-    def __post_init__(self) -> None:
-        if self.batch <= 0 or self.image_resolution <= 0 or self.sampling_steps <= 0:
-            raise ValueError("batch, image_resolution and sampling_steps must be positive")
+__all__ = [
+    "DiTInferenceSettings",
+    "InferenceSimulator",
+    "LLMInferenceSettings",
+]
 
 
 class InferenceSimulator:
-    """Drives a :class:`TPUModel` over generative-model workloads."""
+    """Drives a :class:`TPUModel` over generative-model scenarios."""
 
     def __init__(self, tpu_config: TPUConfig) -> None:
         self.tpu_config = tpu_config
@@ -78,11 +55,47 @@ class InferenceSimulator:
     def run_graph(self, graph: OperatorGraph) -> GraphResult:
         """Evaluate an arbitrary operator graph on the configured TPU.
 
-        Every ``simulate_*`` helper funnels graph execution through this
-        method, so subclasses can intercept it — the sweep engine's caching
-        simulator memoises here.
+        Every scenario stage funnels graph execution through this method, so
+        subclasses can intercept it — the sweep engine's caching simulator
+        memoises here.
         """
         return self.model.run_graph(graph)
+
+    def run_scenario(self, scenario: Scenario) -> InferenceResult:
+        """Execute a declarative scenario: every stage's graph, repeated.
+
+        This is the single generic end-to-end path; anything that can
+        describe itself as a :class:`~repro.workloads.scenario.Scenario`
+        (via the scenario registry or ad hoc) runs here.
+        """
+        result = InferenceResult(model_name=scenario.model_name,
+                                 tpu_name=self.tpu_config.name,
+                                 items=scenario.items, item_unit=scenario.item_unit)
+        for stage in scenario.stages:
+            result.stages.append(StageResult(
+                name=stage.name,
+                graph=self.run_graph(stage.graph),
+                repeat=stage.repeats_per_unit * scenario.pipeline_units))
+        return result
+
+    def simulate(self, model: Any, settings: Any = None,
+                 scenario: str | None = None) -> InferenceResult:
+        """Run a model under a registered scenario (default: by model type).
+
+        ``scenario`` names an entry of the scenario registry; when omitted
+        the model's default scenario is used (LLM serving for LLMs, the
+        sampling loop for DiT, the MoE scenario for MoE models, ...).  When
+        ``settings`` is omitted the scenario's paper-default settings apply.
+        """
+        from repro.workloads.registry import get_scenario, scenario_for
+
+        spec = get_scenario(scenario) if scenario is not None else scenario_for(model)
+        if settings is None:
+            from repro.workloads.scenario import ScenarioKnobs
+
+            settings = spec.make_settings(ScenarioKnobs())
+        spec.check(model, settings)
+        return self.run_scenario(spec.build(model, settings))
 
     # ------------------------------------------------------------------- LLM
     def simulate_llm_prefill_layer(self, llm: LLMConfig,
@@ -108,24 +121,7 @@ class InferenceSimulator:
                                settings: LLMInferenceSettings | None = None) -> InferenceResult:
         """End-to-end LLM inference: prefill plus the full decode phase."""
         settings = settings if settings is not None else LLMInferenceSettings()
-        result = InferenceResult(model_name=llm.name, tpu_name=self.tpu_config.name,
-                                 items=float(settings.batch * settings.output_tokens),
-                                 item_unit="token")
-
-        prefill = self.simulate_llm_prefill_layer(llm, settings)
-        result.stages.append(StageResult(name="prefill", graph=prefill,
-                                         repeat=float(llm.num_layers)))
-
-        kv_lengths = settings.decode_kv_lengths()
-        tokens_per_sample = settings.output_tokens / len(kv_lengths)
-        for index, kv_len in enumerate(kv_lengths):
-            decode = self.simulate_llm_decode_layer(llm, settings, kv_len=kv_len)
-            result.stages.append(StageResult(
-                name=f"decode[kv={kv_len}]" if len(kv_lengths) > 1 else "decode",
-                graph=decode,
-                repeat=float(llm.num_layers) * tokens_per_sample))
-            del index
-        return result
+        return self.run_scenario(build_llm_serving_scenario(llm, settings))
 
     # ------------------------------------------------------------------- DiT
     def simulate_dit_block(self, dit: DiTConfig,
@@ -139,10 +135,4 @@ class InferenceSimulator:
                                settings: DiTInferenceSettings | None = None) -> InferenceResult:
         """End-to-end DiT sampling: blocks × depth × diffusion steps."""
         settings = settings if settings is not None else DiTInferenceSettings()
-        result = InferenceResult(model_name=dit.name, tpu_name=self.tpu_config.name,
-                                 items=float(settings.batch), item_unit="image")
-        block = self.simulate_dit_block(dit, settings)
-        result.stages.append(StageResult(
-            name="dit_blocks", graph=block,
-            repeat=float(dit.depth * settings.sampling_steps)))
-        return result
+        return self.run_scenario(build_dit_sampling_scenario(dit, settings))

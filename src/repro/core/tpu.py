@@ -3,12 +3,14 @@
 A :class:`TPUModel` is constructed from a :class:`repro.core.config.TPUConfig`
 and exposes two entry points: :meth:`TPUModel.run_operator` evaluates a single
 operator and :meth:`TPUModel.run_graph` evaluates an operator graph (a
-Transformer layer, DiT block or whole model).  Energy accounting follows the
-paper's convention: per-operator results include the dynamic energy and the
-busy-time leakage of the units doing the work *and* the idle leakage of the
-units waiting (e.g. the MXUs leak while the VPU computes a Softmax), so that
-the per-category MXU energy bars of Fig. 6 add up to the chip totals used in
-Fig. 7/8.
+Transformer layer, DiT block or whole model).  Operators are routed through
+the chip's :class:`~repro.core.units.ExecutionUnitRegistry`, which also owns
+the paper's energy convention: per-operator results include the dynamic energy
+and the busy-time leakage of the unit doing the work *and* the idle leakage of
+every other registered unit (e.g. the MXUs leak while the VPU computes a
+Softmax), so that the per-category MXU energy bars of Fig. 6 add up to the
+chip totals used in Fig. 7/8.  New operator types and execution units can be
+registered on :attr:`TPUModel.units` without modifying this module.
 """
 
 from __future__ import annotations
@@ -17,6 +19,11 @@ from repro.cim.macro import CIMMacroConfig
 from repro.cim.mxu import CIMMXU, CIMMXUConfig
 from repro.core.config import MXUType, TPUConfig
 from repro.core.results import GraphResult, OperatorResult
+from repro.core.units import (
+    ExecutionUnitRegistry,
+    MatrixExecutionUnit,
+    VectorExecutionUnit,
+)
 from repro.hw.area import AreaModel
 from repro.hw.calibration import PAPER_CALIBRATION, TPUSpec
 from repro.hw.energy import EnergyModel
@@ -27,19 +34,9 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.interconnect import OCIConfig
 from repro.memory.sram import SRAMConfig
 from repro.systolic.systolic_array import DigitalMXU, SystolicArrayConfig
-from repro.vector.layernorm import layernorm_op_counts
-from repro.vector.softmax import softmax_op_counts
-from repro.vector.activations import elementwise_op_counts, gelu_tanh_op_counts
 from repro.vector.vpu import VectorUnit, VPUConfig
 from repro.workloads.graph import OperatorGraph
-from repro.workloads.operators import (
-    ElementwiseOp,
-    GeLUOp,
-    LayerNormOp,
-    MatMulOp,
-    Operator,
-    SoftmaxOp,
-)
+from repro.workloads.operators import Operator
 
 
 class TPUModel:
@@ -87,6 +84,24 @@ class TPUModel:
             mxu_template=self.mxu, mxu_count=config.mxu_count,
             hierarchy=self.hierarchy, vpu=self.vpu,
             schedule=config.schedule, objective=objective)
+        self.units = self._build_units()
+
+    def _build_units(self) -> ExecutionUnitRegistry:
+        """Assemble the chip's execution units and their dispatch registry.
+
+        The built-in units claim operators via their capability declarations
+        (``supported_operator_types`` on the wrapped component models), so no
+        operator types are pinned here; callers extend the chip by
+        registering further units — or pinning operator types to existing
+        ones — on the returned registry.
+        """
+        registry = ExecutionUnitRegistry()
+        registry.register_unit(MatrixExecutionUnit(
+            engine=self.engine, template=self.mxu, count=self.config.mxu_count))
+        registry.register_unit(VectorExecutionUnit(
+            vpu=self.vpu, hierarchy=self.hierarchy,
+            double_buffering=self.config.schedule.double_buffering))
+        return registry
 
     # ----------------------------------------------------------- construction
     def _build_mxu(self) -> DigitalMXU | CIMMXU:
@@ -125,80 +140,15 @@ class TPUModel:
 
     # --------------------------------------------------------------- operators
     def run_operator(self, operator: Operator) -> OperatorResult:
-        """Evaluate one operator on this chip."""
-        if isinstance(operator, MatMulOp):
-            return self._run_matmul(operator)
-        return self._run_vector_op(operator)
+        """Evaluate one operator on this chip.
 
-    def _run_matmul(self, op: MatMulOp) -> OperatorResult:
-        mapping = self.engine.map_matmul(op)
-        energy = mapping.energy
-
-        # Idle leakage: MXUs not used by the mapping, and the stall time of
-        # the used MXUs when the operator is memory-bound, plus the idle VPU.
-        used = mapping.candidate.mxu_count
-        idle_mxu_cycles = (self.config.mxu_count * mapping.total_cycles
-                           - used * mapping.mxu_busy_cycles)
-        if idle_mxu_cycles > 0:
-            energy.merge(self.mxu.idle_energy(idle_mxu_cycles))
-        energy.merge(self.vpu.idle_energy(mapping.total_cycles))
-
-        return OperatorResult(
-            operator=op,
-            cycles=mapping.total_cycles,
-            seconds=self.cycles_to_seconds(mapping.total_cycles),
-            energy=energy,
-            unit="mxu",
-            bound=mapping.bound,
-            utilization=mapping.utilization,
-            mxu_busy_cycles=mapping.mxu_busy_cycles,
-        )
-
-    def _vector_cost(self, op: Operator) -> tuple[int, int, int]:
-        """Scalar-op count and traffic of a vector operator."""
-        if not isinstance(op, (SoftmaxOp, LayerNormOp, GeLUOp, ElementwiseOp)):
-            raise TypeError(f"unsupported vector operator type: {type(op).__name__}")
-        element_bytes = op.precision.bytes
-        if isinstance(op, SoftmaxOp):
-            cost = softmax_op_counts(op.rows, op.row_length, element_bytes)
-            return cost.total_ops, cost.input_bytes, cost.output_bytes
-        if isinstance(op, LayerNormOp):
-            cost = layernorm_op_counts(op.rows, op.hidden_dim, element_bytes)
-            return cost.total_ops, cost.input_bytes, cost.output_bytes
-        if isinstance(op, GeLUOp):
-            cost = gelu_tanh_op_counts(op.elements, element_bytes)
-            return cost.total_ops, cost.input_bytes, cost.output_bytes
-        if isinstance(op, ElementwiseOp):
-            cost = elementwise_op_counts(op.name, op.elements, op.ops_per_element,
-                                         op.operands, element_bytes)
-            return cost.total_ops, cost.input_bytes, cost.output_bytes
-        raise TypeError(f"unsupported vector operator type: {type(op).__name__}")
-
-    def _run_vector_op(self, op: Operator) -> OperatorResult:
-        total_ops, input_bytes, output_bytes = self._vector_cost(op)
-        vpu_result = self.vpu.execute(total_ops, input_bytes, output_bytes)
-        transfer = self.hierarchy.cmem_to_vmem(input_bytes + output_bytes)
-        if self.config.schedule.double_buffering:
-            cycles = max(vpu_result.cycles, transfer.cycles)
-        else:
-            cycles = vpu_result.cycles + transfer.cycles
-
-        energy = vpu_result.energy
-        energy.merge(transfer.energy)
-        # Matrix units leak while the vector unit works.
-        energy.merge(self.mxu.idle_energy(self.config.mxu_count * cycles))
-
-        bound = "compute" if vpu_result.cycles >= transfer.cycles else "memory"
-        return OperatorResult(
-            operator=op,
-            cycles=cycles,
-            seconds=self.cycles_to_seconds(cycles),
-            energy=energy,
-            unit="vpu",
-            bound=bound,
-            utilization=0.0,
-            mxu_busy_cycles=0.0,
-        )
+        Raises
+        ------
+        repro.core.units.UnsupportedOperatorError
+            If no registered execution unit can run the operator; the error
+            lists the registered operator types.
+        """
+        return self.units.run(operator, self.cycles_to_seconds)
 
     # ------------------------------------------------------------------ graphs
     def run_graph(self, graph: OperatorGraph) -> GraphResult:

@@ -15,7 +15,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.hw.energy import EnergyBudget
-from repro.mapping.mapspace import MappingCandidate, PartitionDim, enumerate_candidates
+from repro.mapping.mapspace import MappingCandidate, enumerate_candidates
 from repro.mapping.schedule import ScheduleOptions, overlapped_operator_latency
 from repro.mapping.tiling import choose_vmem_tiling, Tiling
 from repro.memory.hierarchy import MemoryHierarchy

@@ -9,9 +9,8 @@ fits before it is scheduled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.common import ceil_div
 
 
 @dataclass(frozen=True)

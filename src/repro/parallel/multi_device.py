@@ -8,11 +8,21 @@ flight to keep every pipeline stage busy, so steady-state throughput is set by
 the bottleneck stage:  the layers it owns plus the ICI hop.  MXU energy is
 accumulated over all devices, which is how the paper reports the 24.2× /
 6.34× multi-device energy reductions.
+
+The deployment model is scenario-generic: any
+:class:`~repro.workloads.scenario.Scenario` carries the pipeline-sliceable
+unit count and per-group activation hops the ring model needs, so
+:meth:`MultiTPUSystem.simulate_scenario` serves every registered workload —
+LLM serving, DiT sampling, MoE, chat mixes — through one code path.  Tensor
+parallelism uses the scenario spec's
+:class:`~repro.workloads.scenario.TensorParallelSpec` (sharded model +
+all-reduce volumes); scenarios without one reject the combination.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.common import ceil_div
 from repro.core.config import TPUConfig
@@ -21,6 +31,7 @@ from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMIn
 from repro.memory.interconnect import ICILink, RingTopology
 from repro.workloads.dit import DiTConfig
 from repro.workloads.llm import LLMConfig
+from repro.workloads.scenario import Scenario, ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -62,10 +73,12 @@ class MultiTPUSystem:
     ``parallelism`` selects how the model is spread over the ring:
 
     * ``"pipeline"`` (default, the paper's Fig. 8 configuration) — contiguous
-      layer slices per device, activations hop between neighbours.
+      slices of the scenario's pipeline units per device, activations hop
+      between neighbours.
     * ``"tensor"`` — every device holds a Megatron-style shard of every layer
       (heads and FFN inner dimension divided), with two all-reduces of the
-      activations per layer.  Only supported for LLM workloads.
+      activations per layer.  Only supported for scenarios whose spec
+      declares a :class:`~repro.workloads.scenario.TensorParallelSpec`.
     """
 
     tpu_config: TPUConfig
@@ -91,136 +104,106 @@ class MultiTPUSystem:
         self._simulator = (self.simulator if self.simulator is not None
                            else InferenceSimulator(self.tpu_config))
 
-    # ------------------------------------------------------------------ LLM
-    def simulate_llm(self, llm: LLMConfig,
-                     settings: LLMInferenceSettings | None = None) -> MultiDeviceResult:
-        """Steady-state LLM serving throughput on the ring."""
-        settings = settings if settings is not None else LLMInferenceSettings()
+    # -------------------------------------------------------------- scenarios
+    def simulate_scenario(self, spec: ScenarioSpec, model: Any,
+                          settings: Any) -> MultiDeviceResult:
+        """Steady-state throughput of any registered scenario on the ring."""
+        spec.check(model, settings)
         if self.parallelism == "tensor" and self.num_devices > 1:
-            return self._simulate_llm_tensor_parallel(llm, settings)
-        layers_per_stage = ceil_div(llm.num_layers, self.num_devices)
+            return self._simulate_tensor_parallel(spec, model, settings)
+        return self._simulate_pipeline(spec.build(model, settings))
 
-        prefill = self._simulator.simulate_llm_prefill_layer(llm, settings)
-        decode_layers = [self._simulator.simulate_llm_decode_layer(llm, settings, kv_len=kv)
-                         for kv in settings.decode_kv_lengths()]
-        decode_layer_seconds = sum(g.total_seconds for g in decode_layers) / len(decode_layers)
-        decode_layer_mxu_energy = sum(g.mxu_energy for g in decode_layers) / len(decode_layers)
-        decode_layer_total_energy = (sum(g.total_energy.total for g in decode_layers)
-                                     / len(decode_layers))
+    def _simulate_pipeline(self, scenario: Scenario) -> MultiDeviceResult:
+        """Pipeline parallelism: each device owns ``ceil(units / devices)``
+        of the scenario's sliceable units; one activation hop per boundary."""
+        units_per_device = ceil_div(scenario.pipeline_units, self.num_devices)
 
-        stage_seconds = layers_per_stage * (
-            prefill.total_seconds + settings.output_tokens * decode_layer_seconds)
+        stage_seconds = 0.0
+        mxu_energy = 0.0
+        total_energy = 0.0
+        for stage in scenario.stages:
+            graph = self._simulator.run_graph(stage.graph)
+            stage_seconds += stage.repeats_per_unit * units_per_device * graph.total_seconds
+            full_repeat = stage.repeats_per_unit * scenario.pipeline_units
+            mxu_energy += full_repeat * graph.mxu_energy
+            total_energy += full_repeat * graph.total_energy.total
 
-        # One activation hop per stage boundary, for the prompt once and for
-        # every generated token.
-        hop_bytes_prefill = settings.batch * settings.input_tokens * llm.d_model * settings.precision.bytes
-        hop_bytes_decode = settings.batch * llm.d_model * settings.precision.bytes
         hops = 0.0
         if self.num_devices > 1:
-            hops = self._hop_seconds(hop_bytes_prefill) + settings.output_tokens * self._hop_seconds(hop_bytes_decode)
-
-        mxu_energy = llm.num_layers * (
-            prefill.mxu_energy + settings.output_tokens * decode_layer_mxu_energy)
-        total_energy = llm.num_layers * (
-            prefill.total_energy.total + settings.output_tokens * decode_layer_total_energy)
+            hops = sum(hop.count * self._hop_seconds(hop.bytes) for hop in scenario.hops)
 
         return MultiDeviceResult(
-            model_name=llm.name,
+            model_name=scenario.model_name,
             tpu_name=self.tpu_config.name,
             num_devices=self.num_devices,
             stage_occupancy_seconds=stage_seconds,
             communication_seconds=hops,
-            items_per_group=float(settings.batch * settings.output_tokens),
-            item_unit="token",
+            items_per_group=scenario.items,
+            item_unit=scenario.item_unit,
             mxu_energy_joules=mxu_energy,
             total_energy_joules=total_energy,
         )
 
-    def _simulate_llm_tensor_parallel(self, llm: LLMConfig,
-                                      settings: LLMInferenceSettings) -> MultiDeviceResult:
-        """Tensor-parallel LLM serving: every layer sharded across the ring."""
-        degree = self.num_devices
-        if llm.num_heads % degree != 0 or llm.d_ff % degree != 0:
+    def _simulate_tensor_parallel(self, spec: ScenarioSpec, model: Any,
+                                  settings: Any) -> MultiDeviceResult:
+        """Tensor parallelism: every device runs a shard of every unit."""
+        if spec.tensor_parallel is None:
             raise ValueError(
-                f"cannot shard {llm.name} (heads={llm.num_heads}, d_ff={llm.d_ff}) "
-                f"over {degree} devices evenly")
-        shard = LLMConfig(
-            name=f"{llm.name}-tp{degree}", num_layers=llm.num_layers,
-            num_heads=llm.num_heads // degree, d_model=llm.d_model,
-            d_ff=llm.d_ff // degree, vocab_size=llm.vocab_size, gated_ffn=llm.gated_ffn,
-            head_dim=llm.layer_config().resolved_head_dim)
+                f"tensor parallelism is not modelled for scenario '{spec.name}'; "
+                "use parallelism='pipeline'")
+        degree = self.num_devices
+        shard = spec.tensor_parallel.shard(model, degree)
+        scenario = spec.build(shard, settings)
 
-        prefill = self._simulator.simulate_llm_prefill_layer(shard, settings)
-        decode_layers = [self._simulator.simulate_llm_decode_layer(shard, settings, kv_len=kv)
-                         for kv in settings.decode_kv_lengths()]
-        decode_seconds = sum(g.total_seconds for g in decode_layers) / len(decode_layers)
-        decode_mxu_energy = sum(g.mxu_energy for g in decode_layers) / len(decode_layers)
-        decode_total_energy = (sum(g.total_energy.total for g in decode_layers)
-                               / len(decode_layers))
+        occupancy = 0.0
+        mxu_energy = 0.0
+        total_energy = 0.0
+        for stage in scenario.stages:
+            graph = self._simulator.run_graph(stage.graph)
+            full_repeat = stage.repeats_per_unit * scenario.pipeline_units
+            occupancy += full_repeat * graph.total_seconds
+            mxu_energy += degree * full_repeat * graph.mxu_energy
+            total_energy += degree * full_repeat * graph.total_energy.total
 
-        # Two all-reduces of the activations per layer (after attention and
-        # after the FFN), for the prompt once and for every generated token.
-        prefill_tokens = settings.batch * settings.input_tokens
-        decode_tokens = settings.batch
-        prefill_comm = 2 * self._all_reduce_seconds(
-            prefill_tokens * llm.d_model * settings.precision.bytes)
-        decode_comm = 2 * self._all_reduce_seconds(
-            decode_tokens * llm.d_model * settings.precision.bytes)
-
-        occupancy = llm.num_layers * (
-            prefill.total_seconds + settings.output_tokens * decode_seconds)
-        communication = llm.num_layers * (
-            prefill_comm + settings.output_tokens * decode_comm)
-        mxu_energy = degree * llm.num_layers * (
-            prefill.mxu_energy + settings.output_tokens * decode_mxu_energy)
-        total_energy = degree * llm.num_layers * (
-            prefill.total_energy.total + settings.output_tokens * decode_total_energy)
+        communication = sum(
+            hop.count * self._all_reduce_seconds(hop.bytes)
+            for hop in spec.tensor_parallel.all_reduce_hops(model, settings))
 
         return MultiDeviceResult(
-            model_name=llm.name,
+            model_name=getattr(model, "name", scenario.model_name),
             tpu_name=self.tpu_config.name,
             num_devices=self.num_devices,
             stage_occupancy_seconds=occupancy,
             communication_seconds=communication,
-            items_per_group=float(settings.batch * settings.output_tokens),
-            item_unit="token",
+            items_per_group=scenario.items,
+            item_unit=scenario.item_unit,
             mxu_energy_joules=mxu_energy,
             total_energy_joules=total_energy,
         )
 
-    # ------------------------------------------------------------------ DiT
+    # ------------------------------------------------------------------ named
+    def simulate_llm(self, llm: LLMConfig,
+                     settings: LLMInferenceSettings | None = None) -> MultiDeviceResult:
+        """Steady-state LLM serving throughput on the ring.
+
+        Resolves the model's default scenario, so an MoE configuration runs
+        its expert layers here without any further wiring.
+        """
+        from repro.workloads.registry import scenario_for
+
+        settings = settings if settings is not None else LLMInferenceSettings()
+        return self.simulate_scenario(scenario_for(llm), llm, settings)
+
     def simulate_dit(self, dit: DiTConfig,
                      settings: DiTInferenceSettings | None = None) -> MultiDeviceResult:
         """Steady-state DiT sampling throughput on the ring."""
+        from repro.workloads.registry import scenario_for
+
         settings = settings if settings is not None else DiTInferenceSettings()
         if self.parallelism == "tensor" and self.num_devices > 1:
             raise ValueError("tensor parallelism is only modelled for LLM workloads; "
                              "use parallelism='pipeline' for DiT")
-        blocks_per_stage = ceil_div(dit.depth, self.num_devices)
-
-        block = self._simulator.simulate_dit_block(dit, settings)
-        stage_seconds = settings.sampling_steps * blocks_per_stage * block.total_seconds
-
-        tokens = dit.tokens_for_resolution(settings.image_resolution)
-        hop_bytes = settings.batch * tokens * dit.d_model * settings.precision.bytes
-        hops = 0.0
-        if self.num_devices > 1:
-            hops = settings.sampling_steps * self._hop_seconds(hop_bytes)
-
-        mxu_energy = settings.sampling_steps * dit.depth * block.mxu_energy
-        total_energy = settings.sampling_steps * dit.depth * block.total_energy.total
-
-        return MultiDeviceResult(
-            model_name=dit.name,
-            tpu_name=self.tpu_config.name,
-            num_devices=self.num_devices,
-            stage_occupancy_seconds=stage_seconds,
-            communication_seconds=hops,
-            items_per_group=float(settings.batch),
-            item_unit="image",
-            mxu_energy_joules=mxu_energy,
-            total_energy_joules=total_energy,
-        )
+        return self.simulate_scenario(scenario_for(dit), dit, settings)
 
     # ------------------------------------------------------------ internals
     def _hop_seconds(self, num_bytes: float) -> float:

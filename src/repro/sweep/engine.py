@@ -44,7 +44,8 @@ class SweepResult:
     batch: int
     devices: int
     parallelism: str
-    scenario: str
+    scenario: str                  # registered scenario name (e.g. "llm-serving")
+    settings_summary: str          # human-readable settings (e.g. "in=1024 out=512")
     peak_tops: float               # per-chip peak INT8 throughput
     #: Seconds of one request group on the chip.  For ``devices > 1`` this is
     #: the *bottleneck pipeline stage's* occupancy plus its ICI hop (the
@@ -87,18 +88,21 @@ class SweepStats:
 
 def point_key(point: SweepPoint) -> str:
     """Deterministic content fingerprint of a sweep point."""
-    return fingerprint("sweep-point/v1", point.design, point.config, point.model,
-                       point.settings, point.devices, point.parallelism)
+    return fingerprint("sweep-point/v2", point.design, point.config, point.model,
+                       point.scenario, point.settings, point.devices, point.parallelism)
 
 
 def _compute_result(point: SweepPoint, simulator: CachingInferenceSimulator,
                     key: str) -> SweepResult:
-    """Simulate one point with the given (caching) simulator."""
+    """Simulate one point with the given (caching) simulator.
+
+    The point's registered scenario drives the whole evaluation, so any
+    workload family — LLM serving, DiT sampling, MoE, chat mixes, anything
+    registered later — flows through this one path.
+    """
+    spec = point.spec
     if point.devices == 1:
-        if point.kind == "llm":
-            inference = simulator.simulate_llm_inference(point.model, point.settings)
-        else:
-            inference = simulator.simulate_dit_inference(point.model, point.settings)
+        inference = simulator.run_scenario(spec.build(point.model, point.settings))
         latency = inference.total_seconds
         throughput = inference.throughput
         items = inference.items
@@ -109,10 +113,7 @@ def _compute_result(point: SweepPoint, simulator: CachingInferenceSimulator,
     else:
         system = MultiTPUSystem(point.config, point.devices,
                                 parallelism=point.parallelism, simulator=simulator)
-        if point.kind == "llm":
-            deployed = system.simulate_llm(point.model, point.settings)
-        else:
-            deployed = system.simulate_dit(point.model, point.settings)
+        deployed = system.simulate_scenario(spec, point.model, point.settings)
         latency = deployed.stage_occupancy_seconds + deployed.communication_seconds
         throughput = deployed.throughput
         items = deployed.items_per_group
@@ -125,7 +126,8 @@ def _compute_result(point: SweepPoint, simulator: CachingInferenceSimulator,
         design=point.design, workload=point.workload, kind=point.kind,
         precision=point.precision.value, batch=point.batch,
         devices=point.devices, parallelism=point.parallelism,
-        scenario=point.scenario, peak_tops=point.config.peak_tops,
+        scenario=point.scenario, settings_summary=point.settings_summary,
+        peak_tops=point.config.peak_tops,
         latency_seconds=latency, throughput=throughput,
         items=items, item_unit=item_unit,
         mxu_energy_joules=mxu_energy, total_energy_joules=total_energy,

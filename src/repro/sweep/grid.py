@@ -1,13 +1,14 @@
 """Sweep points and grids: the scenario space the engine evaluates.
 
 A :class:`SweepPoint` is one fully specified evaluation: a TPU design, a
-generative model, the inference settings (batch, precision, token counts or
-image resolution), and optionally a multi-device deployment (device count and
-parallelism strategy).  A :class:`SweepGrid` is the cartesian product the
-paper's evaluation sections are built from — Table IV / Fig. 7 is
-(9 CIM designs + baseline) × (GPT-3-30B, DiT-XL/2); Fig. 8 adds the device
-axis — widened here to every registered model, both numeric precisions and
-multiple batch sizes, as the roadmap's scenario-diversity goal demands.
+generative model, a registered scenario, the inference settings (batch,
+precision, token counts or image resolution), and optionally a multi-device
+deployment (device count and parallelism strategy).  A :class:`SweepGrid` is
+the cartesian product the paper's evaluation sections are built from —
+Table IV / Fig. 7 is (9 CIM designs + baseline) × (GPT-3-30B, DiT-XL/2);
+Fig. 8 adds the device axis — widened here to every registered model, both
+numeric precisions, multiple batch sizes and every registered scenario, as
+the roadmap's scenario-diversity goal demands.
 """
 
 from __future__ import annotations
@@ -18,22 +19,33 @@ from typing import Iterator, Mapping, Sequence
 from repro.common import Precision
 from repro.core.config import TPUConfig
 from repro.core.designs import PREDEFINED_DESIGNS
-from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
 from repro.workloads.dit import DiTConfig
 from repro.workloads.llm import LLMConfig
-from repro.workloads.registry import MODEL_REGISTRY, get_model
+from repro.workloads.registry import (
+    MODEL_REGISTRY,
+    get_model,
+    get_scenario,
+    scenario_for,
+)
+from repro.workloads.scenario import ScenarioKnobs
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (design × model × settings × deployment) evaluation."""
+    """One (design × model × scenario × settings × deployment) evaluation.
+
+    ``scenario`` names an entry of the scenario registry; an empty string
+    (the default) resolves to the model's default scenario, so pre-scenario
+    call sites keep working unchanged.
+    """
 
     design: str
     config: TPUConfig
-    model: LLMConfig | DiTConfig
-    settings: LLMInferenceSettings | DiTInferenceSettings
+    model: object
+    settings: object
     devices: int = 1
     parallelism: str = "pipeline"
+    scenario: str = ""
 
     def __post_init__(self) -> None:
         if not self.design:
@@ -43,10 +55,16 @@ class SweepPoint:
         if self.parallelism not in ("pipeline", "tensor"):
             raise ValueError(f"unknown parallelism '{self.parallelism}' "
                              "(expected 'pipeline' or 'tensor')")
-        if isinstance(self.model, LLMConfig) != isinstance(self.settings, LLMInferenceSettings):
-            raise ValueError(
-                f"model '{self.model.name}' and settings type "
-                f"{type(self.settings).__name__} do not match")
+        spec = (get_scenario(self.scenario) if self.scenario
+                else scenario_for(self.model))
+        if not self.scenario:
+            object.__setattr__(self, "scenario", spec.name)
+        spec.check(self.model, self.settings)
+
+    @property
+    def spec(self):
+        """The resolved scenario spec of the point."""
+        return get_scenario(self.scenario)
 
     @property
     def kind(self) -> str:
@@ -69,11 +87,9 @@ class SweepPoint:
         return self.settings.batch
 
     @property
-    def scenario(self) -> str:
+    def settings_summary(self) -> str:
         """Human-readable settings summary used in tables and exports."""
-        if isinstance(self.settings, LLMInferenceSettings):
-            return (f"in={self.settings.input_tokens} out={self.settings.output_tokens}")
-        return (f"{self.settings.image_resolution}px steps={self.settings.sampling_steps}")
+        return self.spec.summarize(self.settings)
 
 
 def make_point(design: str, config: TPUConfig, model: LLMConfig | DiTConfig,
@@ -81,32 +97,35 @@ def make_point(design: str, config: TPUConfig, model: LLMConfig | DiTConfig,
                input_tokens: int = 1024, output_tokens: int = 512,
                decode_kv_samples: int = 4, image_resolution: int = 512,
                sampling_steps: int = 50, devices: int = 1,
-               parallelism: str = "pipeline") -> SweepPoint:
-    """Build a sweep point with the settings type matching the model kind."""
-    settings: LLMInferenceSettings | DiTInferenceSettings
-    if isinstance(model, LLMConfig):
-        settings = LLMInferenceSettings(batch=batch, input_tokens=input_tokens,
-                                        output_tokens=output_tokens, precision=precision,
-                                        decode_kv_samples=decode_kv_samples)
-    else:
-        settings = DiTInferenceSettings(batch=batch, image_resolution=image_resolution,
-                                        sampling_steps=sampling_steps, precision=precision)
-    return SweepPoint(design=design, config=config, model=model, settings=settings,
-                      devices=devices, parallelism=parallelism)
+               parallelism: str = "pipeline", scenario: str = "") -> SweepPoint:
+    """Build a sweep point whose settings come from the scenario's knob adapter."""
+    spec = get_scenario(scenario) if scenario else scenario_for(model)
+    knobs = ScenarioKnobs(batch=batch, precision=precision,
+                          input_tokens=input_tokens, output_tokens=output_tokens,
+                          decode_kv_samples=decode_kv_samples,
+                          image_resolution=image_resolution,
+                          sampling_steps=sampling_steps)
+    return SweepPoint(design=design, config=config, model=model,
+                      settings=spec.make_settings(knobs),
+                      devices=devices, parallelism=parallelism, scenario=spec.name)
 
 
 @dataclass
 class SweepGrid:
     """A cartesian scenario grid expanded into an ordered list of points.
 
-    The expansion order is deterministic (designs, then models, then
+    The expansion order is deterministic (designs, then models, scenarios,
     precisions, batches and device counts), which is what makes serial and
-    parallel sweeps comparable row-for-row.
+    parallel sweeps comparable row-for-row.  ``scenarios`` of ``None`` runs
+    each model under its default scenario; an explicit tuple runs every
+    listed scenario whose capability covers the model (incompatible pairs
+    are skipped, so e.g. ``chat-serving`` quietly passes over DiT models).
     """
 
     designs: Mapping[str, TPUConfig] = field(
         default_factory=lambda: dict(PREDEFINED_DESIGNS))
     models: Sequence[str] = field(default_factory=lambda: sorted(MODEL_REGISTRY))
+    scenarios: Sequence[str] | None = None
     precisions: Sequence[Precision] = (Precision.INT8,)
     batches: Sequence[int] = (8,)
     device_counts: Sequence[int] = (1,)
@@ -124,9 +143,17 @@ class SweepGrid:
             raise ValueError("sweep grid needs at least one design")
         if not self.models:
             raise ValueError("sweep grid needs at least one model")
+        if self.scenarios is not None and not self.scenarios:
+            raise ValueError("scenarios must be None (defaults) or non-empty")
         for attr in ("precisions", "batches", "device_counts"):
             if not getattr(self, attr):
                 raise ValueError(f"sweep grid needs at least one entry in '{attr}'")
+
+    def scenarios_for(self, model: LLMConfig | DiTConfig) -> list[str]:
+        """The scenario names this grid runs the model under."""
+        if self.scenarios is None:
+            return [scenario_for(model).name]
+        return [name for name in self.scenarios if get_scenario(name).supports(model)]
 
     def points(self) -> list[SweepPoint]:
         """Expand the grid into its ordered list of sweep points."""
@@ -136,20 +163,24 @@ class SweepGrid:
         for design, config in self.designs.items():
             for model_name in self.models:
                 model = get_model(model_name)
-                for precision in self.precisions:
-                    for batch in self.batches:
-                        for devices in self.device_counts:
-                            yield make_point(
-                                design, config, model, precision, batch,
-                                input_tokens=self.input_tokens,
-                                output_tokens=self.output_tokens,
-                                decode_kv_samples=self.decode_kv_samples,
-                                image_resolution=self.image_resolution,
-                                sampling_steps=self.sampling_steps,
-                                devices=devices, parallelism=self.parallelism)
+                for scenario in self.scenarios_for(model):
+                    for precision in self.precisions:
+                        for batch in self.batches:
+                            for devices in self.device_counts:
+                                yield make_point(
+                                    design, config, model, precision, batch,
+                                    input_tokens=self.input_tokens,
+                                    output_tokens=self.output_tokens,
+                                    decode_kv_samples=self.decode_kv_samples,
+                                    image_resolution=self.image_resolution,
+                                    sampling_steps=self.sampling_steps,
+                                    devices=devices, parallelism=self.parallelism,
+                                    scenario=scenario)
 
     def __len__(self) -> int:
-        return (len(self.designs) * len(self.models) * len(self.precisions)
+        model_scenarios = sum(len(self.scenarios_for(get_model(name)))
+                              for name in self.models)
+        return (len(self.designs) * model_scenarios * len(self.precisions)
                 * len(self.batches) * len(self.device_counts))
 
     def with_updates(self, **kwargs: object) -> "SweepGrid":
@@ -162,10 +193,10 @@ def default_grid(**overrides: object) -> SweepGrid:
     design, at INT8 and BF16, across small and serving batch sizes.
 
     This widens the paper's Table IV grid (GPT-3-30B and DiT-XL/2 only, INT8,
-    batch 8) to the full model registry — GPT-3-175B, Llama-2-7B/13B and
-    DiT-XL/2 included — which is the scenario space the ``repro-sim sweep``
-    subcommand explores.  BF16 is the 16-bit format the chip model supports
-    (the CIM macro loads 8-bit mantissas either way).
+    batch 8) to the full model registry — GPT-3-175B, Llama-2-7B/13B,
+    Mixtral-8x7B and DiT-XL/2 included — which is the scenario space the
+    ``repro-sim sweep`` subcommand explores.  BF16 is the 16-bit format the
+    chip model supports (the CIM macro loads 8-bit mantissas either way).
     """
     grid = SweepGrid(precisions=(Precision.INT8, Precision.BF16), batches=(1, 8))
     return grid.with_updates(**overrides) if overrides else grid

@@ -14,6 +14,7 @@ from repro.common import Precision
 from repro.hw.area import AreaModel
 from repro.hw.energy import EnergyBudget, EnergyModel
 from repro.systolic.dataflows import Dataflow, SystolicCycleBreakdown, systolic_gemm_cycles
+from repro.workloads.operators import MatMulOp
 
 
 @dataclass(frozen=True)
@@ -99,6 +100,11 @@ class DigitalMXU:
     def macs_per_cycle(self) -> int:
         """Peak MAC throughput of this MXU."""
         return self.config.macs_per_cycle
+
+    @staticmethod
+    def supported_operator_types() -> tuple[type, ...]:
+        """Capability declaration consumed by the execution-unit registry."""
+        return (MatMulOp,)
 
     @property
     def area_mm2(self) -> float:

@@ -11,11 +11,21 @@ from repro.vector.vpu import VPUConfig, VectorUnit, VectorOpResult
 from repro.vector.softmax import softmax_op_counts, SoftmaxCost
 from repro.vector.layernorm import layernorm_op_counts, LayerNormCost
 from repro.vector.activations import gelu_tanh_op_counts, ActivationCost, elementwise_op_counts
+from repro.vector.costs import (
+    VectorOpCost,
+    register_vector_cost,
+    registered_vector_operator_types,
+    vector_cost,
+)
 
 __all__ = [
     "VPUConfig",
     "VectorUnit",
     "VectorOpResult",
+    "VectorOpCost",
+    "register_vector_cost",
+    "registered_vector_operator_types",
+    "vector_cost",
     "softmax_op_counts",
     "SoftmaxCost",
     "layernorm_op_counts",

@@ -75,6 +75,18 @@ class VectorUnit:
         """Short descriptor used in reports."""
         return f"vpu-{self.config.lanes}"
 
+    @staticmethod
+    def supported_operator_types() -> tuple[type, ...]:
+        """Capability declaration consumed by the execution-unit registry.
+
+        The VPU can run any operator with a registered vector cost model, so
+        the declaration is live: operator types registered after the chip was
+        built (e.g. the MoE gating operator) are picked up automatically.
+        """
+        from repro.vector.costs import registered_vector_operator_types
+
+        return registered_vector_operator_types()
+
     def execute(self, total_ops: int, input_bytes: int, output_bytes: int) -> VectorOpResult:
         """Run an operator described by its scalar-op count and traffic."""
         if total_ops < 0 or input_bytes < 0 or output_bytes < 0:

@@ -24,7 +24,26 @@ from repro.workloads.graph import OperatorGraph
 from repro.workloads.transformer import TransformerLayerConfig, build_prefill_layer, build_decode_layer
 from repro.workloads.llm import LLMConfig, GPT3_30B, GPT3_175B, LLAMA2_7B, LLAMA2_13B, build_llm_model_graph
 from repro.workloads.dit import DiTConfig, DIT_XL_2, build_dit_block, build_dit_model_graph
-from repro.workloads.registry import MODEL_REGISTRY, get_model
+from repro.workloads.moe import GatingOp, MIXTRAL_8X7B, MoEConfig, build_moe_layer
+from repro.workloads.chat import ChatServingSettings, RequestClass
+from repro.workloads.scenario import (
+    PipelineHop,
+    Scenario,
+    ScenarioKnobs,
+    ScenarioSpec,
+    ScenarioStage,
+    TensorParallelSpec,
+)
+from repro.workloads.registry import (
+    MODEL_REGISTRY,
+    SCENARIO_REGISTRY,
+    get_model,
+    get_scenario,
+    register_model,
+    register_scenario,
+    scenario_for,
+    scenarios_supporting,
+)
 
 __all__ = [
     "LayerCategory",
@@ -49,6 +68,24 @@ __all__ = [
     "DIT_XL_2",
     "build_dit_block",
     "build_dit_model_graph",
+    "GatingOp",
+    "MoEConfig",
+    "MIXTRAL_8X7B",
+    "build_moe_layer",
+    "ChatServingSettings",
+    "RequestClass",
+    "PipelineHop",
+    "Scenario",
+    "ScenarioKnobs",
+    "ScenarioSpec",
+    "ScenarioStage",
+    "TensorParallelSpec",
     "MODEL_REGISTRY",
+    "SCENARIO_REGISTRY",
     "get_model",
+    "get_scenario",
+    "register_model",
+    "register_scenario",
+    "scenario_for",
+    "scenarios_supporting",
 ]

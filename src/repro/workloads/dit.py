@@ -24,6 +24,14 @@ from repro.workloads.operators import (
     OperandSource,
     SoftmaxOp,
 )
+from repro.workloads.scenario import (
+    DiTInferenceSettings,
+    PipelineHop,
+    Scenario,
+    ScenarioKnobs,
+    ScenarioSpec,
+    ScenarioStage,
+)
 from repro.workloads.transformer import TransformerLayerConfig
 
 
@@ -192,3 +200,38 @@ def build_dit_model_graph(config: DiTConfig, batch: int, image_resolution: int =
                             precision=precision, elements=tokens * 2 * patch_elems,
                             ops_per_element=1.0, operands=1))
     return graph
+
+
+# ------------------------------------------------------------------ scenario
+def build_dit_sampling_scenario(config: DiTConfig,
+                                settings: DiTInferenceSettings) -> Scenario:
+    """The paper's DiT scenario: the full sampling loop (blocks × steps)."""
+    block = build_dit_block(config, settings.batch, settings.image_resolution,
+                            settings.precision)
+    tokens = config.tokens_for_resolution(settings.image_resolution)
+    hop_bytes = settings.batch * tokens * config.d_model * settings.precision.bytes
+    return Scenario(
+        name="dit-sampling",
+        model_name=config.name,
+        stages=(ScenarioStage(name="dit_blocks", graph=block,
+                              repeats_per_unit=float(settings.sampling_steps)),),
+        items=float(settings.batch),
+        item_unit="image",
+        pipeline_units=config.depth,
+        hops=(PipelineHop(bytes=hop_bytes, count=float(settings.sampling_steps)),))
+
+
+def _dit_settings_from_knobs(knobs: ScenarioKnobs) -> DiTInferenceSettings:
+    return DiTInferenceSettings(
+        batch=knobs.batch, image_resolution=knobs.image_resolution,
+        sampling_steps=knobs.sampling_steps, precision=knobs.precision)
+
+
+#: Spec of the default DiT scenario (registered in ``workloads.registry``).
+DIT_SAMPLING_SCENARIO = ScenarioSpec(
+    name="dit-sampling",
+    description="the full diffusion sampling loop (blocks x depth x steps)",
+    model_type=DiTConfig,
+    settings_type=DiTInferenceSettings,
+    build=build_dit_sampling_scenario,
+    make_settings=_dit_settings_from_knobs)

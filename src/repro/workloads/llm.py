@@ -19,6 +19,16 @@ from repro.workloads.operators import (
     MatMulOp,
     OperandSource,
 )
+from repro.workloads.scenario import (
+    LLMInferenceSettings,
+    PipelineHop,
+    Scenario,
+    ScenarioKnobs,
+    ScenarioSpec,
+    TensorParallelSpec,
+    activation_hops,
+    llm_serving_stages,
+)
 from repro.workloads.transformer import TransformerLayerConfig, build_decode_layer, build_prefill_layer
 
 
@@ -62,6 +72,17 @@ class LLMConfig:
         head_dim = self.layer_config().resolved_head_dim
         per_layer = 2 * batch * seq_len * self.num_heads * head_dim * precision.bytes
         return self.num_layers * per_layer
+
+    def build_layer(self, stage: str, batch: int, seq_len: int,
+                    kv_len: int | None = None,
+                    precision: Precision = Precision.INT8) -> OperatorGraph:
+        """Layer-graph builder hook the LLM-shaped scenarios dispatch through.
+
+        Subclasses with a different layer architecture (e.g.
+        :class:`~repro.workloads.moe.MoEConfig`) override this, so generic
+        scenarios such as chat-serving always price the model's real layers.
+        """
+        return build_llm_layer(self, stage, batch, seq_len, kv_len, precision)
 
 
 #: GPT-3 30B as configured in Table III of the paper.
@@ -135,3 +156,85 @@ def build_llm_model_graph(config: LLMConfig, stage: str, batch: int, seq_len: in
                        precision=precision, m=tokens, k=config.d_model, n=config.vocab_size,
                        stationary_weights=True, weight_source=OperandSource.HBM))
     return graph
+
+
+# ------------------------------------------------------------------ scenario
+def build_llm_serving_scenario(config: LLMConfig,
+                               settings: LLMInferenceSettings) -> Scenario:
+    """The paper's serving scenario: prefill plus the KV-sampled decode phase.
+
+    Layer graphs come from the model's ``build_layer`` hook, so LLMConfig
+    subclasses with a different layer architecture serve their real layers.
+    """
+    return Scenario(
+        name="llm-serving",
+        model_name=config.name,
+        stages=llm_serving_stages(config, settings, config.build_layer),
+        items=float(settings.batch * settings.output_tokens),
+        item_unit="token",
+        pipeline_units=config.num_layers,
+        hops=activation_hops(config.d_model, settings))
+
+
+def tensor_shard_llm(llm: LLMConfig, degree: int) -> LLMConfig:
+    """A Megatron-style ``degree``-way shard of the model (heads and FFN split).
+
+    Raises
+    ------
+    ValueError
+        If heads or the FFN inner dimension do not divide evenly, or the
+        model is not a plain dense LLM (expert sharding is not modelled, and
+        downcasting an MoE model to a dense shard would silently drop its
+        router/gating/expert operators).
+    """
+    if degree == 1:
+        return llm
+    if type(llm) is not LLMConfig:
+        raise ValueError(
+            f"cannot tensor-shard {llm.name}: sharding is only modelled for dense "
+            f"LLMConfig models, not {type(llm).__name__}")
+    if llm.num_heads % degree != 0 or llm.d_ff % degree != 0:
+        raise ValueError(
+            f"cannot shard {llm.name} (heads={llm.num_heads}, d_ff={llm.d_ff}) "
+            f"over {degree} devices evenly")
+    return LLMConfig(
+        name=f"{llm.name}-tp{degree}", num_layers=llm.num_layers,
+        num_heads=llm.num_heads // degree, d_model=llm.d_model,
+        d_ff=llm.d_ff // degree, vocab_size=llm.vocab_size, gated_ffn=llm.gated_ffn,
+        head_dim=llm.layer_config().resolved_head_dim)
+
+
+def llm_all_reduce_hops(llm: LLMConfig,
+                        settings: LLMInferenceSettings) -> tuple[PipelineHop, ...]:
+    """Activation volumes all-reduced per request group under tensor parallelism.
+
+    Two all-reduces of the layer activations per layer (after attention and
+    after the FFN), for the whole prompt once and for every generated token.
+    """
+    element_bytes = settings.precision.bytes
+    layers = float(llm.num_layers)
+    return (
+        PipelineHop(bytes=settings.batch * settings.input_tokens * llm.d_model * element_bytes,
+                    count=2.0 * layers),
+        PipelineHop(bytes=settings.batch * llm.d_model * element_bytes,
+                    count=2.0 * layers * settings.output_tokens),
+    )
+
+
+def llm_settings_from_knobs(knobs: ScenarioKnobs) -> LLMInferenceSettings:
+    return LLMInferenceSettings(
+        batch=knobs.batch, input_tokens=knobs.input_tokens,
+        output_tokens=knobs.output_tokens, precision=knobs.precision,
+        decode_kv_samples=knobs.decode_kv_samples)
+
+
+#: Spec of the default LLM scenario (registered in ``workloads.registry``).
+LLM_SERVING_SCENARIO = ScenarioSpec(
+    name="llm-serving",
+    description="prefill of the whole prompt plus the KV-sampled decode phase",
+    model_type=LLMConfig,
+    settings_type=LLMInferenceSettings,
+    build=build_llm_serving_scenario,
+    make_settings=llm_settings_from_knobs,
+    tensor_parallel=TensorParallelSpec(shard=tensor_shard_llm,
+                                       all_reduce_hops=llm_all_reduce_hops))

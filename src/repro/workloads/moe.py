@@ -1,0 +1,231 @@
+"""Mixture-of-Experts Transformer workloads (e.g. Mixtral-8x7B).
+
+An MoE layer keeps the attention half of a dense Transformer layer but
+replaces the FFN with ``num_experts`` expert FFNs behind a learned router:
+each token's activations are scored against every expert (a small matmul),
+the scores pass through a softmax + top-k selection — modelled by the
+:class:`GatingOp` vector operator — and the token is processed by its
+``top_k`` experts, whose outputs are combined by the gate weights.
+
+This module is also the worked example of the two open registries: it
+registers a brand-new operator type (:class:`GatingOp`) purely through the
+vector cost registry — no edit to ``repro.core`` — and a brand-new scenario
+(``moe-serving``) purely through the scenario registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import Precision, ceil_div
+from repro.vector.costs import VectorOpCost, register_vector_cost
+from repro.vector.softmax import softmax_op_counts
+from repro.workloads.graph import OperatorGraph
+from repro.workloads.llm import LLMConfig, llm_settings_from_knobs
+from repro.workloads.operators import (
+    ElementwiseOp,
+    GeLUOp,
+    LayerCategory,
+    MatMulOp,
+    OperandSource,
+    Operator,
+)
+from repro.workloads.scenario import (
+    LLMInferenceSettings,
+    Scenario,
+    ScenarioSpec,
+    activation_hops,
+    llm_serving_stages,
+)
+from repro.workloads.transformer import append_attention_block
+
+
+# ------------------------------------------------------------------ operator
+@dataclass(frozen=True)
+class GatingOp(Operator):
+    """Expert gating: row-wise softmax over expert scores plus top-k select."""
+
+    rows: int = 1
+    num_experts: int = 1
+    top_k: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rows <= 0 or self.num_experts <= 0:
+            raise ValueError(f"gating '{self.name}' dimensions must be positive")
+        if not 1 <= self.top_k <= self.num_experts:
+            raise ValueError(
+                f"gating '{self.name}' top_k must be in [1, num_experts]")
+
+    @property
+    def elements(self) -> int:
+        """Expert scores normalised per invocation."""
+        return self.rows * self.num_experts
+
+    @property
+    def flops(self) -> int:
+        """Scalar operations (detailed count lives in the cost model)."""
+        return self.elements
+
+    @property
+    def input_bytes(self) -> int:
+        return self.elements * self.precision.bytes
+
+    @property
+    def output_bytes(self) -> int:
+        # Per selected expert: one gate weight plus one int32 routing index.
+        return self.rows * self.top_k * (self.precision.bytes + 4)
+
+
+def _gating_cost(op: GatingOp) -> VectorOpCost:
+    """Softmax over the expert axis plus ``top_k`` selection passes."""
+    smx = softmax_op_counts(op.rows, op.num_experts, op.precision.bytes)
+    selection_ops = op.rows * op.num_experts * op.top_k
+    return VectorOpCost(total_ops=smx.total_ops + selection_ops,
+                        input_bytes=op.input_bytes,
+                        output_bytes=op.output_bytes)
+
+
+register_vector_cost(GatingOp, _gating_cost)
+
+
+# -------------------------------------------------------------------- config
+@dataclass(frozen=True)
+class MoEConfig(LLMConfig):
+    """A decoder-only LLM whose FFN is a mixture of experts.
+
+    ``d_ff`` is the *per-expert* FFN inner dimension (Mixtral-8x7B: 14336).
+    """
+
+    num_experts: int = 8
+    top_k: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_experts <= 0:
+            raise ValueError("num_experts must be positive")
+        if not 1 <= self.top_k <= self.num_experts:
+            raise ValueError("top_k must be in [1, num_experts]")
+
+    @property
+    def expert_weight_bytes_per_layer(self) -> int:
+        """INT8 weight footprint of one layer's experts plus the router."""
+        if self.gated_ffn:
+            per_expert = self.d_model * 2 * self.d_ff + self.d_ff * self.d_model
+        else:
+            per_expert = self.d_model * self.d_ff + self.d_ff * self.d_model
+        return self.num_experts * per_expert + self.d_model * self.num_experts
+
+    @property
+    def approximate_parameters(self) -> int:
+        """Parameter count with every expert (not just the active ones)."""
+        layer = self.layer_config()
+        attn = (layer.d_model * layer.qkv_output_dim
+                + layer.num_heads * layer.resolved_head_dim * layer.d_model)
+        embeddings = 2 * self.vocab_size * self.d_model
+        return self.num_layers * (attn + self.expert_weight_bytes_per_layer) + embeddings
+
+    def build_layer(self, stage: str, batch: int, seq_len: int,
+                    kv_len: int | None = None,
+                    precision: Precision = Precision.INT8) -> "OperatorGraph":
+        """MoE layer-graph hook: router + gating + expert FFNs."""
+        return build_moe_layer(self, stage, batch, seq_len, kv_len, precision)
+
+
+#: Mixtral 8x7B (Jiang et al., 2024): 8 experts, 2 active per token.
+MIXTRAL_8X7B = MoEConfig(name="mixtral-8x7b", num_layers=32, num_heads=32,
+                         d_model=4096, d_ff=14336, vocab_size=32000,
+                         gated_ffn=True, num_experts=8, top_k=2)
+
+
+# --------------------------------------------------------------------- graph
+def build_moe_layer(config: MoEConfig, stage: str, batch: int, seq_len: int,
+                    kv_len: int | None = None,
+                    precision: Precision = Precision.INT8) -> OperatorGraph:
+    """Build one MoE Transformer layer in the given inference stage.
+
+    The attention half matches the dense layer builders exactly; the FFN half
+    is router → gating → expert FFNs (a batched matmul over the experts, each
+    processing its share of the ``top_k``-dispatched tokens) → weighted
+    combine.
+    """
+    if stage not in ("prefill", "decode"):
+        raise ValueError(f"unknown stage '{stage}' (expected 'prefill' or 'decode')")
+    if batch <= 0 or seq_len <= 0:
+        raise ValueError("batch and seq_len must be positive")
+    layer = config.layer_config()
+    d_model = config.d_model
+    name = f"{config.name}_{stage}"
+    graph = OperatorGraph(name=name)
+
+    if stage == "prefill":
+        tokens = batch * seq_len
+        query_len, effective_kv = seq_len, seq_len
+    else:
+        tokens = batch  # one new token per sequence
+        query_len = 1
+        effective_kv = kv_len if kv_len is not None else seq_len
+
+    # Attention half — the exact operator shapes of the dense layer builders.
+    append_attention_block(graph, layer, batch, query_len, effective_kv, precision,
+                           name, kv_cache_update=(stage == "decode"))
+
+    # MoE half: router scores, gating, expert FFNs, weighted combine.
+    graph.add(MatMulOp(name=f"{name}_router", category=LayerCategory.ROUTING,
+                       precision=precision, m=tokens, k=d_model, n=config.num_experts,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(GatingOp(name=f"{name}_gating", category=LayerCategory.ROUTING,
+                       precision=precision, rows=tokens,
+                       num_experts=config.num_experts, top_k=config.top_k))
+    # Perfectly balanced routing: each expert processes its share of the
+    # top_k-dispatched tokens; instances share no operands (distinct weights).
+    tokens_per_expert = ceil_div(tokens * config.top_k, config.num_experts)
+    dispatched = tokens * config.top_k
+    ffn1_out = 2 * config.d_ff if config.gated_ffn else config.d_ff
+    graph.add(MatMulOp(name=f"{name}_expert_ffn1", category=LayerCategory.FFN1,
+                       precision=precision, m=tokens_per_expert, k=d_model, n=ffn1_out,
+                       batch=config.num_experts,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(GeLUOp(name=f"{name}_expert_act", category=LayerCategory.GELU,
+                     precision=precision, elements=dispatched * config.d_ff))
+    if config.gated_ffn:
+        graph.add(ElementwiseOp(name=f"{name}_expert_gate_mul", category=LayerCategory.GELU,
+                                precision=precision, elements=dispatched * config.d_ff,
+                                ops_per_element=1.0, operands=2))
+    graph.add(MatMulOp(name=f"{name}_expert_ffn2", category=LayerCategory.FFN2,
+                       precision=precision, m=tokens_per_expert, k=config.d_ff, n=d_model,
+                       batch=config.num_experts,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(ElementwiseOp(name=f"{name}_expert_combine", category=LayerCategory.ROUTING,
+                            precision=precision, elements=tokens * d_model,
+                            ops_per_element=2.0 * config.top_k,
+                            operands=config.top_k + 1))
+    graph.add(ElementwiseOp(name=f"{name}_residual2", category=LayerCategory.OTHER,
+                            precision=precision, elements=tokens * d_model))
+    return graph
+
+
+# ------------------------------------------------------------------ scenario
+def build_moe_serving_scenario(config: MoEConfig,
+                               settings: LLMInferenceSettings) -> Scenario:
+    """MoE serving: the LLM serving shape over the MoE layer graph."""
+    return Scenario(
+        name="moe-serving",
+        model_name=config.name,
+        stages=llm_serving_stages(config, settings, config.build_layer),
+        items=float(settings.batch * settings.output_tokens),
+        item_unit="token",
+        pipeline_units=config.num_layers,
+        hops=activation_hops(config.d_model, settings))
+
+
+#: Spec of the MoE scenario (registered in ``workloads.registry``).  Expert
+#: (tensor) sharding is not modelled, so the spec declares no tensor-parallel
+#: capability and the multi-device model rejects the combination.
+MOE_SERVING_SCENARIO = ScenarioSpec(
+    name="moe-serving",
+    description="prefill + KV-sampled decode over mixture-of-experts layers",
+    model_type=MoEConfig,
+    settings_type=LLMInferenceSettings,
+    build=build_moe_serving_scenario,
+    make_settings=llm_settings_from_knobs)

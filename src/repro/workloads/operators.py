@@ -26,6 +26,7 @@ class LayerCategory(enum.Enum):
     FFN2 = "FFN2"
     LAYERNORM = "LayerNorm"
     GELU = "GeLU"
+    ROUTING = "Routing"
     CONDITIONING = "Conditioning"
     EMBEDDING = "Embedding"
     PREDICTION_HEAD = "Prediction Head"

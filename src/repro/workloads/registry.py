@@ -1,9 +1,36 @@
-"""Registry of the generative models known to the simulator."""
+"""Registries of the models and scenarios known to the simulator.
+
+Two open registries make the workload space extensible without touching the
+simulation core:
+
+* the **model registry** maps names to architecture configurations
+  (:class:`~repro.workloads.llm.LLMConfig`,
+  :class:`~repro.workloads.dit.DiTConfig`,
+  :class:`~repro.workloads.moe.MoEConfig`, ...);
+* the **scenario registry** maps names to
+  :class:`~repro.workloads.scenario.ScenarioSpec` entries — declarative
+  end-to-end inference shapes the generic
+  :meth:`~repro.core.simulator.InferenceSimulator.run_scenario` pipeline
+  executes.  Each model type declares a *default* scenario, which is what
+  sweep grids and the CLI fall back to when none is named.
+"""
 
 from __future__ import annotations
 
-from repro.workloads.dit import DIT_XL_2, DiTConfig
-from repro.workloads.llm import GPT3_30B, GPT3_175B, LLAMA2_7B, LLAMA2_13B, LLMConfig
+from typing import Any
+
+from repro.workloads.chat import CHAT_SERVING_SCENARIO
+from repro.workloads.dit import DIT_SAMPLING_SCENARIO, DIT_XL_2, DiTConfig
+from repro.workloads.llm import (
+    GPT3_30B,
+    GPT3_175B,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLM_SERVING_SCENARIO,
+    LLMConfig,
+)
+from repro.workloads.moe import MIXTRAL_8X7B, MOE_SERVING_SCENARIO, MoEConfig
+from repro.workloads.scenario import ScenarioSpec
 
 #: All model configurations addressable by name.
 MODEL_REGISTRY: dict[str, LLMConfig | DiTConfig] = {
@@ -12,6 +39,7 @@ MODEL_REGISTRY: dict[str, LLMConfig | DiTConfig] = {
     LLAMA2_7B.name: LLAMA2_7B,
     LLAMA2_13B.name: LLAMA2_13B,
     DIT_XL_2.name: DIT_XL_2,
+    MIXTRAL_8X7B.name: MIXTRAL_8X7B,
 }
 
 
@@ -41,3 +69,82 @@ def register_model(config: LLMConfig | DiTConfig, overwrite: bool = False) -> No
     if config.name in MODEL_REGISTRY and not overwrite:
         raise ValueError(f"model '{config.name}' is already registered")
     MODEL_REGISTRY[config.name] = config
+
+
+# ------------------------------------------------------------------ scenarios
+#: All scenario specs addressable by name.
+SCENARIO_REGISTRY: dict[str, ScenarioSpec] = {}
+
+#: Model type -> name of its default scenario (most specific type wins).
+_DEFAULT_SCENARIOS: dict[type, str] = {}
+
+
+def register_scenario(spec: ScenarioSpec, default_for: tuple[type, ...] = (),
+                      overwrite: bool = False) -> None:
+    """Add a scenario spec; optionally make it the default for model types.
+
+    Raises
+    ------
+    ValueError
+        If a scenario of the same name (or a default for one of the given
+        types) exists and ``overwrite`` is not set.
+    """
+    if spec.name in SCENARIO_REGISTRY and not overwrite:
+        raise ValueError(f"scenario '{spec.name}' is already registered")
+    for model_type in default_for:
+        existing = _DEFAULT_SCENARIOS.get(model_type)
+        if existing is not None and existing != spec.name and not overwrite:
+            raise ValueError(
+                f"model type '{model_type.__name__}' already defaults to "
+                f"scenario '{existing}'")
+    SCENARIO_REGISTRY[spec.name] = spec
+    for model_type in default_for:
+        _DEFAULT_SCENARIOS[model_type] = spec.name
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario spec by name.
+
+    Raises
+    ------
+    KeyError
+        If the scenario is unknown; the error lists the registered names.
+    """
+    try:
+        return SCENARIO_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_REGISTRY))
+        raise KeyError(
+            f"unknown scenario '{name}'; registered scenarios: {known}") from None
+
+
+def scenario_for(model: Any) -> ScenarioSpec:
+    """The default scenario spec of a model, by its most specific type.
+
+    Walks the model's MRO so e.g. an :class:`~repro.workloads.moe.MoEConfig`
+    resolves to ``moe-serving`` even though it is also an ``LLMConfig``.
+
+    Raises
+    ------
+    KeyError
+        If no registered default covers the model's type.
+    """
+    for base in type(model).__mro__:
+        name = _DEFAULT_SCENARIOS.get(base)
+        if name is not None:
+            return SCENARIO_REGISTRY[name]
+    known = ", ".join(sorted(t.__name__ for t in _DEFAULT_SCENARIOS))
+    raise KeyError(
+        f"no default scenario for model type '{type(model).__name__}' "
+        f"(types with defaults: {known})")
+
+
+def scenarios_supporting(model: Any) -> tuple[ScenarioSpec, ...]:
+    """Every registered scenario whose capability covers the model."""
+    return tuple(spec for spec in SCENARIO_REGISTRY.values() if spec.supports(model))
+
+
+register_scenario(LLM_SERVING_SCENARIO, default_for=(LLMConfig,))
+register_scenario(DIT_SAMPLING_SCENARIO, default_for=(DiTConfig,))
+register_scenario(MOE_SERVING_SCENARIO, default_for=(MoEConfig,))
+register_scenario(CHAT_SERVING_SCENARIO)

@@ -1,0 +1,251 @@
+"""Declarative inference scenarios: stages, deployment hops and specs.
+
+The simulator used to grow one bespoke ``simulate_*`` method per workload
+shape.  This module replaces that with a declarative pipeline: a workload
+emits a :class:`Scenario` — a list of :class:`ScenarioStage` objects (operator
+graph + repeat factor, e.g. one per KV-cache sample of the decode phase) plus
+the deployment metadata multi-device models need (pipeline-sliceable unit
+count, activation hops) — and one generic executor
+(:meth:`repro.core.simulator.InferenceSimulator.run_scenario`) runs any of
+them.  A :class:`ScenarioSpec` packages the builder with its settings type and
+capability declaration so registries, the sweep grid and the CLI can fan out
+over scenarios without knowing their internals.
+
+The evaluation settings dataclasses live here too (they are workload-level
+concepts); :mod:`repro.core.simulator` re-exports them for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common import Precision
+from repro.workloads.graph import OperatorGraph
+
+
+# ------------------------------------------------------------------ settings
+@dataclass(frozen=True)
+class LLMInferenceSettings:
+    """Evaluation settings for LLM inference (paper defaults)."""
+
+    batch: int = 8
+    input_tokens: int = 1024
+    output_tokens: int = 512
+    precision: Precision = Precision.INT8
+    #: Number of KV-cache lengths at which the decode layer is evaluated; the
+    #: decode phase cost is the average of these samples times the token count.
+    decode_kv_samples: int = 4
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or self.input_tokens <= 0 or self.output_tokens <= 0:
+            raise ValueError("batch, input_tokens and output_tokens must be positive")
+        if self.decode_kv_samples <= 0:
+            raise ValueError("decode_kv_samples must be positive")
+
+    def decode_kv_lengths(self) -> list[int]:
+        """Representative KV-cache lengths spanning the decode phase."""
+        samples = min(self.decode_kv_samples, self.output_tokens)
+        if samples == 1:
+            return [self.input_tokens + self.output_tokens // 2]
+        step = self.output_tokens / samples
+        return [int(self.input_tokens + step * (i + 0.5)) for i in range(samples)]
+
+    def summary(self) -> str:
+        """Human-readable settings summary used in tables and exports."""
+        return f"in={self.input_tokens} out={self.output_tokens}"
+
+
+@dataclass(frozen=True)
+class DiTInferenceSettings:
+    """Evaluation settings for DiT inference (paper defaults)."""
+
+    batch: int = 8
+    image_resolution: int = 512
+    sampling_steps: int = 50
+    precision: Precision = Precision.INT8
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or self.image_resolution <= 0 or self.sampling_steps <= 0:
+            raise ValueError("batch, image_resolution and sampling_steps must be positive")
+
+    def summary(self) -> str:
+        """Human-readable settings summary used in tables and exports."""
+        return f"{self.image_resolution}px steps={self.sampling_steps}"
+
+
+@dataclass(frozen=True)
+class ScenarioKnobs:
+    """The flat knob set sweep grids and the CLI expose.
+
+    Every scenario's ``make_settings`` hook receives one of these and picks
+    the knobs it understands, so a single grid definition can drive scenarios
+    with entirely different settings types.
+    """
+
+    batch: int = 8
+    precision: Precision = Precision.INT8
+    input_tokens: int = 1024
+    output_tokens: int = 512
+    decode_kv_samples: int = 4
+    image_resolution: int = 512
+    sampling_steps: int = 50
+
+
+# ------------------------------------------------------------------ scenario
+@dataclass(frozen=True)
+class ScenarioStage:
+    """One stage of a scenario: an operator graph and how often it repeats.
+
+    ``repeats_per_unit`` counts executions per pipeline-sliceable unit of the
+    scenario (a Transformer layer, a DiT block): 1.0 for an LLM prefill
+    stage, ``tokens_per_kv_sample`` for a decode stage, ``sampling_steps``
+    for the DiT block stage.  The single-chip repeat factor is
+    ``repeats_per_unit × scenario.pipeline_units``; a pipeline-parallel
+    deployment over ``d`` devices scales it by ``ceil(units / d)`` instead,
+    which is what makes the multi-device model generic.
+    """
+
+    name: str
+    graph: OperatorGraph
+    repeats_per_unit: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.repeats_per_unit <= 0:
+            raise ValueError("repeats_per_unit must be positive")
+
+
+@dataclass(frozen=True)
+class PipelineHop:
+    """Activation traffic crossing a pipeline-stage boundary."""
+
+    bytes: float
+    count: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0 or self.count < 0:
+            raise ValueError("hop bytes and count must be non-negative")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified inference scenario, ready for generic execution."""
+
+    name: str
+    model_name: str
+    stages: tuple[ScenarioStage, ...]
+    #: Items produced per request group (generated tokens, images) and their
+    #: unit, used to convert latency into throughput.
+    items: float = 1.0
+    item_unit: str = "token"
+    #: Number of pipeline-sliceable units (layers/blocks) the stages span.
+    pipeline_units: int = 1
+    #: Per-group activation hops across each pipeline-stage boundary.
+    hops: tuple[PipelineHop, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError(f"scenario '{self.name}' needs at least one stage")
+        if self.items <= 0:
+            raise ValueError("items must be positive")
+        if self.pipeline_units <= 0:
+            raise ValueError("pipeline_units must be positive")
+
+
+# ---------------------------------------------------------------------- spec
+@dataclass(frozen=True)
+class TensorParallelSpec:
+    """How a scenario's model shards under tensor parallelism.
+
+    ``shard`` returns the per-device model of a ``degree``-way shard;
+    ``all_reduce_hops`` returns the activation volumes all-reduced per request
+    group (bytes × count), which the multi-device model prices on its ring.
+    """
+
+    shard: Callable[[Any, int], Any]
+    all_reduce_hops: Callable[[Any, Any], "tuple[PipelineHop, ...]"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario family: capability, settings and builder."""
+
+    name: str
+    description: str
+    #: Model configuration class this scenario accepts (capability).
+    model_type: type
+    #: Settings dataclass the builder expects.
+    settings_type: type
+    #: ``build(model, settings) -> Scenario``.
+    build: Callable[[Any, Any], Scenario]
+    #: ``make_settings(knobs) -> settings`` — adapt grid/CLI knobs.
+    make_settings: Callable[[ScenarioKnobs], Any]
+    #: Tensor-parallel sharding model, if the scenario supports one.
+    tensor_parallel: TensorParallelSpec | None = None
+
+    def supports(self, model: Any) -> bool:
+        """Capability check: whether the scenario can run this model."""
+        return isinstance(model, self.model_type)
+
+    def check(self, model: Any, settings: Any) -> None:
+        """Validate a (model, settings) pair against this spec.
+
+        Raises
+        ------
+        ValueError
+            If the model or settings type does not match the spec.
+        """
+        if not self.supports(model):
+            raise ValueError(
+                f"scenario '{self.name}' expects a {self.model_type.__name__} model, "
+                f"got {type(model).__name__} '{getattr(model, 'name', model)}'")
+        if not isinstance(settings, self.settings_type):
+            raise ValueError(
+                f"model '{getattr(model, 'name', model)}' and settings type "
+                f"{type(settings).__name__} do not match scenario '{self.name}' "
+                f"(expected {self.settings_type.__name__})")
+
+    def summarize(self, settings: Any) -> str:
+        """Human-readable settings summary for tables and exports."""
+        summary = getattr(settings, "summary", None)
+        return summary() if callable(summary) else str(settings)
+
+
+# ------------------------------------------------------------ shared builders
+def llm_serving_stages(model: Any, settings: LLMInferenceSettings,
+                       build_layer: Callable[..., OperatorGraph],
+                       ) -> tuple[ScenarioStage, ...]:
+    """Prefill + KV-sampled decode stages shared by the LLM-shaped scenarios.
+
+    ``build_layer(stage, batch, seq_len, kv_len, precision)`` produces one
+    layer graph; the KV-sampling policy (``settings.decode_kv_lengths``)
+    turns the decode phase into one stage per sampled cache length, each
+    weighted by its share of the generated tokens.
+    """
+    stages = [ScenarioStage(
+        name="prefill",
+        graph=build_layer("prefill", settings.batch, settings.input_tokens, None,
+                          settings.precision))]
+    kv_lengths = settings.decode_kv_lengths()
+    tokens_per_sample = settings.output_tokens / len(kv_lengths)
+    for kv_len in kv_lengths:
+        stages.append(ScenarioStage(
+            name=f"decode[kv={kv_len}]" if len(kv_lengths) > 1 else "decode",
+            graph=build_layer("decode", settings.batch, settings.input_tokens, kv_len,
+                              settings.precision),
+            repeats_per_unit=tokens_per_sample))
+    return tuple(stages)
+
+
+def activation_hops(d_model: int, settings: LLMInferenceSettings,
+                    ) -> tuple[PipelineHop, ...]:
+    """Pipeline-boundary hops of an LLM-shaped scenario.
+
+    One hop of the whole prompt's activations, then one per generated token.
+    """
+    element_bytes = settings.precision.bytes
+    return (
+        PipelineHop(bytes=settings.batch * settings.input_tokens * d_model * element_bytes),
+        PipelineHop(bytes=settings.batch * d_model * element_bytes,
+                    count=float(settings.output_tokens)),
+    )

@@ -90,9 +90,15 @@ class TransformerLayerConfig:
         return attn + ffn
 
 
-def _attention_ops(graph: OperatorGraph, config: TransformerLayerConfig, batch: int,
-                   query_len: int, kv_len: int, precision: Precision, prefix: str) -> None:
-    """Append the attention score/softmax/value operators to the graph."""
+def append_attention_ops(graph: OperatorGraph, config: TransformerLayerConfig, batch: int,
+                         query_len: int, kv_len: int, precision: Precision,
+                         prefix: str) -> None:
+    """Append the attention score/softmax/value operators to the graph.
+
+    Public so layer builders outside this module (e.g. the MoE layer, whose
+    attention half is a standard Transformer) can reuse the exact operator
+    shapes the paper's layer analysis uses.
+    """
     head_dim = config.resolved_head_dim
     instances = batch * config.num_heads
     graph.add(MatMulOp(
@@ -108,6 +114,41 @@ def _attention_ops(graph: OperatorGraph, config: TransformerLayerConfig, batch: 
         m=query_len, k=kv_len, n=head_dim, batch=instances,
         stationary_weights=False, weight_source=OperandSource.CMEM,
         activation_source=OperandSource.CMEM))
+
+
+def append_attention_block(graph: OperatorGraph, config: TransformerLayerConfig,
+                           batch: int, query_len: int, kv_len: int,
+                           precision: Precision, prefix: str,
+                           kv_cache_update: bool = False) -> None:
+    """Append the full attention half of a Transformer layer.
+
+    Covers input LayerNorm, QKV generation, (optionally) the KV-cache
+    update of a decode step, the attention matmuls/Softmax, the output
+    projection, the residual addition and the pre-FFN LayerNorm.  Shared by
+    the dense prefill/decode builders and the MoE layer builder so the
+    attention operator shapes stay identical across every layer family.
+    """
+    tokens = batch * query_len
+    d_model = config.d_model
+    graph.add(LayerNormOp(name=f"{prefix}_ln1", category=LayerCategory.LAYERNORM,
+                          precision=precision, rows=tokens, hidden_dim=d_model))
+    graph.add(MatMulOp(name=f"{prefix}_qkv", category=LayerCategory.QKV_GEN,
+                       precision=precision, m=tokens, k=d_model, n=config.qkv_output_dim,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    if kv_cache_update:
+        graph.add(ElementwiseOp(name=f"{prefix}_kv_cache_update", category=LayerCategory.OTHER,
+                                precision=precision,
+                                elements=2 * batch * config.num_heads * config.resolved_head_dim,
+                                ops_per_element=1.0, operands=1))
+    append_attention_ops(graph, config, batch, query_len, kv_len, precision, prefix)
+    graph.add(MatMulOp(name=f"{prefix}_proj", category=LayerCategory.PROJECTION,
+                       precision=precision,
+                       m=tokens, k=config.num_heads * config.resolved_head_dim, n=d_model,
+                       stationary_weights=True, weight_source=OperandSource.HBM))
+    graph.add(ElementwiseOp(name=f"{prefix}_residual1", category=LayerCategory.OTHER,
+                            precision=precision, elements=tokens * d_model))
+    graph.add(LayerNormOp(name=f"{prefix}_ln2", category=LayerCategory.LAYERNORM,
+                          precision=precision, rows=tokens, hidden_dim=d_model))
 
 
 def _ffn_ops(graph: OperatorGraph, config: TransformerLayerConfig, tokens: int,
@@ -142,25 +183,11 @@ def build_prefill_layer(config: TransformerLayerConfig, batch: int, seq_len: int
     if batch <= 0 or seq_len <= 0:
         raise ValueError("batch and seq_len must be positive")
     tokens = batch * seq_len
-    d_model = config.d_model
     graph = OperatorGraph(name=name)
-
-    graph.add(LayerNormOp(name=f"{name}_ln1", category=LayerCategory.LAYERNORM,
-                          precision=precision, rows=tokens, hidden_dim=d_model))
-    graph.add(MatMulOp(name=f"{name}_qkv", category=LayerCategory.QKV_GEN, precision=precision,
-                       m=tokens, k=d_model, n=config.qkv_output_dim,
-                       stationary_weights=True, weight_source=OperandSource.HBM))
-    _attention_ops(graph, config, batch, seq_len, seq_len, precision, name)
-    graph.add(MatMulOp(name=f"{name}_proj", category=LayerCategory.PROJECTION, precision=precision,
-                       m=tokens, k=config.num_heads * config.resolved_head_dim, n=d_model,
-                       stationary_weights=True, weight_source=OperandSource.HBM))
-    graph.add(ElementwiseOp(name=f"{name}_residual1", category=LayerCategory.OTHER,
-                            precision=precision, elements=tokens * d_model))
-    graph.add(LayerNormOp(name=f"{name}_ln2", category=LayerCategory.LAYERNORM,
-                          precision=precision, rows=tokens, hidden_dim=d_model))
+    append_attention_block(graph, config, batch, seq_len, seq_len, precision, name)
     _ffn_ops(graph, config, tokens, precision, name)
     graph.add(ElementwiseOp(name=f"{name}_residual2", category=LayerCategory.OTHER,
-                            precision=precision, elements=tokens * d_model))
+                            precision=precision, elements=tokens * config.d_model))
     return graph
 
 
@@ -175,27 +202,10 @@ def build_decode_layer(config: TransformerLayerConfig, batch: int, kv_len: int,
     if batch <= 0 or kv_len <= 0:
         raise ValueError("batch and kv_len must be positive")
     tokens = batch  # one new token per sequence
-    d_model = config.d_model
     graph = OperatorGraph(name=name)
-
-    graph.add(LayerNormOp(name=f"{name}_ln1", category=LayerCategory.LAYERNORM,
-                          precision=precision, rows=tokens, hidden_dim=d_model))
-    graph.add(MatMulOp(name=f"{name}_qkv", category=LayerCategory.QKV_GEN, precision=precision,
-                       m=tokens, k=d_model, n=config.qkv_output_dim,
-                       stationary_weights=True, weight_source=OperandSource.HBM))
-    graph.add(ElementwiseOp(name=f"{name}_kv_cache_update", category=LayerCategory.OTHER,
-                            precision=precision,
-                            elements=2 * batch * config.num_heads * config.resolved_head_dim,
-                            ops_per_element=1.0, operands=1))
-    _attention_ops(graph, config, batch, 1, kv_len, precision, name)
-    graph.add(MatMulOp(name=f"{name}_proj", category=LayerCategory.PROJECTION, precision=precision,
-                       m=tokens, k=config.num_heads * config.resolved_head_dim, n=d_model,
-                       stationary_weights=True, weight_source=OperandSource.HBM))
-    graph.add(ElementwiseOp(name=f"{name}_residual1", category=LayerCategory.OTHER,
-                            precision=precision, elements=tokens * d_model))
-    graph.add(LayerNormOp(name=f"{name}_ln2", category=LayerCategory.LAYERNORM,
-                          precision=precision, rows=tokens, hidden_dim=d_model))
+    append_attention_block(graph, config, batch, 1, kv_len, precision, name,
+                           kv_cache_update=True)
     _ffn_ops(graph, config, tokens, precision, name)
     graph.add(ElementwiseOp(name=f"{name}_residual2", category=LayerCategory.OTHER,
-                            precision=precision, elements=tokens * d_model))
+                            precision=precision, elements=tokens * config.d_model))
     return graph

@@ -132,9 +132,53 @@ class TestSweep:
 
     def test_sweep_parser_defaults_cover_registry(self):
         args = build_parser().parse_args(["sweep"])
-        assert "gpt3-175b" in args.models and "dit-xl-2" in args.models
+        assert "gpt3-175b" in args.models and "mixtral-8x7b" in args.models
+        assert "dit-xl-2" in args.models
         assert set(args.precisions) == {"int8", "bf16"}
         assert args.batches == [1, 8]
+        assert args.scenarios is None  # default: per-model scenarios
+
+    def test_sweep_explicit_scenarios(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "sweep", "--models", "llama2-7b", "dit-xl-2",
+                            "--designs", "design-a", "--precisions", "int8",
+                            "--batches", "2",
+                            "--scenarios", "chat-serving", "dit-sampling")
+        assert code == 0
+        assert "chat-serving" in out
+        assert "dit-sampling" in out
+
+    def test_sweep_moe_model_uses_moe_scenario(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "sweep", "--models", "mixtral-8x7b",
+                            "--designs", "design-a", "--precisions", "int8",
+                            "--batches", "2")
+        assert code == 0
+        assert "moe-serving" in out
+
+    def test_sweep_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(SMALL + ["sweep", "--scenarios", "training"])
+
+    def test_sweep_tensor_parallelism_skips_moe_models(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "sweep", "--models", "mixtral-8x7b",
+                            "llama2-7b", "--designs", "design-a",
+                            "--precisions", "int8", "--batches", "2",
+                            "--devices", "2", "--parallelism", "tensor")
+        assert code == 0
+        assert "without a tensor-parallel scenario" in out
+        assert "llama2-7b" in out
+
+    def test_sweep_tensor_parallelism_skips_unshardable_scenarios(self, capsys):
+        # chat-serving declares tensor support, but an MoE model cannot be
+        # sharded, so the shard probe drops it instead of aborting mid-sweep.
+        code, out = run_cli(capsys, *SMALL, "sweep", "--models", "mixtral-8x7b",
+                            "llama2-7b", "--designs", "design-a",
+                            "--precisions", "int8", "--batches", "2",
+                            "--scenarios", "chat-serving",
+                            "--devices", "2", "--parallelism", "tensor")
+        assert code == 0
+        assert "without a tensor-parallel scenario" in out
+        assert "mixtral-8x7b" in out
+        assert "chat-serving" in out
 
 
 class TestMultiDevice:
@@ -160,3 +204,19 @@ class TestModels:
         assert "gpt3-30b" in out
         assert "dit-xl-2" in out
         assert "min TPUs" in out
+
+    def test_models_listing_includes_moe(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "models")
+        assert code == 0
+        assert "mixtral-8x7b" in out
+        assert "MoE" in out
+        assert "default scenario" in out
+
+
+class TestScenarios:
+    def test_scenarios_listing(self, capsys):
+        code, out = run_cli(capsys, "scenarios")
+        assert code == 0
+        for name in ("llm-serving", "dit-sampling", "moe-serving", "chat-serving"):
+            assert name in out
+        assert "tensor-parallel" in out

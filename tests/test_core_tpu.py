@@ -4,7 +4,7 @@ import pytest
 
 from repro.cim.mxu import CIMMXU
 from repro.core.config import MXUType
-from repro.core.tpu import TPUModel
+from repro.core.units import UnsupportedOperatorError
 from repro.systolic.systolic_array import DigitalMXU
 from repro.workloads.graph import OperatorGraph
 from repro.workloads.operators import (
@@ -66,9 +66,10 @@ class TestRunOperator:
 
     def test_unsupported_operator_type_rejected(self, baseline_model):
         class FakeOp:
+            name = "fake"
             precision = None
-        with pytest.raises(TypeError):
-            baseline_model._run_vector_op(FakeOp())
+        with pytest.raises(UnsupportedOperatorError, match="registered operator types"):
+            baseline_model.run_operator(FakeOp())
 
     def test_memory_bound_gemv_flagged(self, cim_model):
         op = MatMulOp(name="gemv", category=LayerCategory.FFN1, m=8, k=7168, n=28672)

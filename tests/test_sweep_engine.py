@@ -15,7 +15,7 @@ import pytest
 
 from repro.common import Precision
 from repro.core.designs import design_a, tpuv4i_baseline
-from repro.core.explorer import ArchitectureExplorer, DesignPoint
+from repro.core.explorer import ArchitectureExplorer
 from repro.core.simulator import (
     DiTInferenceSettings,
     InferenceSimulator,
@@ -26,8 +26,8 @@ from repro.sweep.cache import CachingInferenceSimulator, ResultCache
 from repro.sweep.engine import SweepEngine, point_key
 from repro.sweep.export import to_csv, to_json
 from repro.sweep.grid import SweepGrid, SweepPoint, default_grid, make_point
-from repro.workloads.dit import DIT_XL_2, DiTConfig
-from repro.workloads.llm import GPT3_30B, LLMConfig
+from repro.workloads.dit import DiTConfig
+from repro.workloads.llm import LLMConfig
 
 TINY_LLM = LLMConfig(name="sweep-tiny-llm", num_layers=2, num_heads=8, d_model=512, d_ff=2048,
                      vocab_size=1000)

@@ -1,0 +1,257 @@
+"""Tests for the declarative scenario pipeline and the scenario registry.
+
+Pins the refactor's contract: the generic ``run_scenario`` path reproduces
+the legacy ``simulate_*`` results exactly, the registry resolves default
+scenarios by most-specific model type, and the two new scenarios (MoE,
+chat-serving) run end to end — single chip, sweep engine, multi-device —
+and appear in the structured exports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import design_a, tpuv4i_baseline
+from repro.core.simulator import InferenceSimulator, LLMInferenceSettings
+from repro.parallel.multi_device import MultiTPUSystem
+from repro.sweep.engine import SweepEngine
+from repro.sweep.export import to_csv, to_json
+from repro.sweep.grid import SweepGrid, SweepPoint, make_point
+from repro.workloads.chat import (
+    CHAT_SERVING_SCENARIO,
+    ChatServingSettings,
+    RequestClass,
+    build_chat_serving_scenario,
+)
+from repro.workloads.llm import LLMConfig, build_llm_serving_scenario
+from repro.workloads.moe import MIXTRAL_8X7B, MoEConfig, build_moe_layer
+from repro.workloads.registry import (
+    SCENARIO_REGISTRY,
+    get_scenario,
+    scenario_for,
+    scenarios_supporting,
+)
+
+TINY_MOE = MoEConfig(name="tiny-moe", num_layers=2, num_heads=8, d_model=512,
+                     d_ff=1024, vocab_size=1000, num_experts=4, top_k=2)
+
+TINY_MIX = ChatServingSettings(
+    batch=2,
+    request_classes=(RequestClass(input_tokens=32, output_tokens=8, weight=1.0),
+                     RequestClass(input_tokens=128, output_tokens=16, weight=1.0)),
+    decode_kv_samples=2)
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return InferenceSimulator(design_a())
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        assert {"llm-serving", "dit-sampling", "moe-serving",
+                "chat-serving"} <= set(SCENARIO_REGISTRY)
+
+    def test_default_resolution_is_most_specific(self, tiny_llm, tiny_dit):
+        assert scenario_for(tiny_llm).name == "llm-serving"
+        assert scenario_for(tiny_dit).name == "dit-sampling"
+        # MoEConfig is an LLMConfig, but its own default wins.
+        assert scenario_for(TINY_MOE).name == "moe-serving"
+        assert scenario_for(MIXTRAL_8X7B).name == "moe-serving"
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="registered scenarios"):
+            get_scenario("training")
+
+    def test_capability_filtering(self, tiny_llm, tiny_dit):
+        llm_names = {spec.name for spec in scenarios_supporting(tiny_llm)}
+        assert {"llm-serving", "chat-serving"} <= llm_names
+        assert "dit-sampling" not in llm_names
+        assert "moe-serving" not in llm_names
+        moe_names = {spec.name for spec in scenarios_supporting(TINY_MOE)}
+        assert {"llm-serving", "chat-serving", "moe-serving"} <= moe_names
+        assert {spec.name for spec in scenarios_supporting(tiny_dit)} == {"dit-sampling"}
+
+    def test_spec_check_rejects_mismatches(self, tiny_llm, tiny_dit):
+        spec = get_scenario("llm-serving")
+        with pytest.raises(ValueError, match="expects a LLMConfig"):
+            spec.check(tiny_dit, LLMInferenceSettings())
+        with pytest.raises(ValueError, match="do not match"):
+            spec.check(tiny_llm, TINY_MIX)
+
+
+class TestGenericPipeline:
+    def test_run_scenario_equals_legacy_llm_path(self, simulator, tiny_llm,
+                                                 tiny_llm_settings):
+        scenario = build_llm_serving_scenario(tiny_llm, tiny_llm_settings)
+        via_scenario = simulator.run_scenario(scenario)
+        legacy = simulator.simulate_llm_inference(tiny_llm, tiny_llm_settings)
+        assert via_scenario.total_seconds == legacy.total_seconds
+        assert via_scenario.mxu_energy == legacy.mxu_energy
+        assert [s.name for s in via_scenario.stages] == [s.name for s in legacy.stages]
+
+    def test_stage_repeats_scale_with_layers(self, simulator, tiny_llm,
+                                             tiny_llm_settings):
+        result = simulator.simulate_llm_inference(tiny_llm, tiny_llm_settings)
+        assert result.stage("prefill").repeat == tiny_llm.num_layers
+        decode_repeats = sum(s.repeat for s in result.stages
+                             if s.name.startswith("decode"))
+        assert decode_repeats == pytest.approx(
+            tiny_llm.num_layers * tiny_llm_settings.output_tokens)
+
+    def test_simulate_resolves_default_scenario(self, simulator, tiny_llm,
+                                                tiny_llm_settings):
+        by_name = simulator.simulate(tiny_llm, tiny_llm_settings, scenario="llm-serving")
+        by_default = simulator.simulate(tiny_llm, tiny_llm_settings)
+        assert by_name.total_seconds == by_default.total_seconds
+
+    def test_simulate_default_settings(self, simulator, tiny_dit):
+        result = simulator.simulate(tiny_dit)
+        assert result.total_seconds > 0
+        assert result.item_unit == "image"
+
+
+class TestMoEScenario:
+    def test_moe_layer_contains_router_and_gating(self):
+        graph = build_moe_layer(TINY_MOE, "prefill", batch=2, seq_len=32)
+        names = [op.name for op in graph]
+        assert any("router" in name for name in names)
+        assert any("gating" in name for name in names)
+        assert any("expert_ffn1" in name for name in names)
+
+    def test_moe_costs_less_than_dense_equivalent(self, simulator,
+                                                  tiny_llm_settings):
+        # A dense model with every expert's FFN active per token.
+        dense = LLMConfig(name="tiny-dense", num_layers=2, num_heads=8, d_model=512,
+                          d_ff=TINY_MOE.num_experts * 1024, vocab_size=1000)
+        moe = simulator.simulate(TINY_MOE, tiny_llm_settings)
+        dense_result = simulator.simulate(dense, tiny_llm_settings)
+        assert moe.total_seconds < dense_result.total_seconds
+
+    def test_moe_end_to_end_through_sweep(self):
+        point = make_point("design-a", design_a(), TINY_MOE, batch=2,
+                           input_tokens=32, output_tokens=8, decode_kv_samples=2)
+        assert point.scenario == "moe-serving"
+        row = SweepEngine().evaluate(point)
+        assert row.scenario == "moe-serving"
+        assert row.kind == "llm" and row.item_unit == "token"
+        assert row.latency_seconds > 0 and row.throughput > 0
+
+    def test_moe_pipeline_parallel(self, tiny_llm_settings):
+        one = MultiTPUSystem(design_a(), 1).simulate_llm(TINY_MOE, tiny_llm_settings)
+        two = MultiTPUSystem(design_a(), 2).simulate_llm(TINY_MOE, tiny_llm_settings)
+        assert two.throughput > one.throughput
+        assert two.mxu_energy_joules == pytest.approx(one.mxu_energy_joules)
+
+    def test_moe_tensor_parallel_rejected(self, tiny_llm_settings):
+        system = MultiTPUSystem(design_a(), 2, parallelism="tensor")
+        with pytest.raises(ValueError, match="not modelled for scenario 'moe-serving'"):
+            system.simulate_llm(TINY_MOE, tiny_llm_settings)
+
+
+class TestChatScenario:
+    def test_stages_cover_every_request_class(self, tiny_llm):
+        scenario = build_chat_serving_scenario(tiny_llm, TINY_MIX)
+        prefills = [s for s in scenario.stages if s.name.startswith("prefill")]
+        assert len(prefills) == len(TINY_MIX.request_classes)
+        # Each class contributes its traffic share of decode tokens.
+        assert scenario.items == pytest.approx(
+            TINY_MIX.batch * TINY_MIX.expected_output_tokens())
+
+    def test_mix_fractions_normalised(self):
+        assert sum(TINY_MIX.fractions()) == pytest.approx(1.0)
+
+    def test_chat_costs_between_pure_classes(self, simulator, tiny_llm):
+        chat = simulator.simulate(tiny_llm, TINY_MIX, scenario="chat-serving")
+        shorter = simulator.simulate_llm_inference(tiny_llm, LLMInferenceSettings(
+            batch=2, input_tokens=32, output_tokens=8, decode_kv_samples=2))
+        longer = simulator.simulate_llm_inference(tiny_llm, LLMInferenceSettings(
+            batch=2, input_tokens=128, output_tokens=16, decode_kv_samples=2))
+        assert shorter.total_seconds < chat.total_seconds < longer.total_seconds
+
+    def test_chat_on_moe_model_uses_expert_layers(self, tiny_llm):
+        moe_scenario = build_chat_serving_scenario(TINY_MOE, TINY_MIX)
+        assert any("gating" in op.name
+                   for stage in moe_scenario.stages for op in stage.graph)
+        dense_scenario = build_chat_serving_scenario(tiny_llm, TINY_MIX)
+        assert not any("gating" in op.name
+                       for stage in dense_scenario.stages for op in stage.graph)
+
+    def test_chat_tensor_on_moe_rejected_not_silently_densified(self):
+        # Regression: tensor sharding must not downcast an MoE model to a
+        # dense LLM (which would silently drop router/gating/expert ops).
+        system = MultiTPUSystem(design_a(), 2, parallelism="tensor")
+        with pytest.raises(ValueError, match="dense"):
+            system.simulate_scenario(CHAT_SERVING_SCENARIO, TINY_MOE, TINY_MIX)
+
+    def test_chat_multi_device_and_tensor(self, tiny_llm):
+        spec = CHAT_SERVING_SCENARIO
+        pipeline = MultiTPUSystem(design_a(), 2).simulate_scenario(
+            spec, tiny_llm, TINY_MIX)
+        tensor = MultiTPUSystem(design_a(), 2, parallelism="tensor").simulate_scenario(
+            spec, tiny_llm, TINY_MIX)
+        assert pipeline.throughput > 0 and tensor.throughput > 0
+        assert tensor.communication_seconds > pipeline.communication_seconds
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError, match="request class"):
+            ChatServingSettings(request_classes=())
+        with pytest.raises(ValueError):
+            RequestClass(input_tokens=0, output_tokens=8)
+        with pytest.raises(ValueError):
+            RequestClass(input_tokens=8, output_tokens=8, weight=0.0)
+
+
+class TestSweepIntegration:
+    def test_grid_scenario_axis_skips_incompatible_pairs(self, tiny_dit):
+        grid = SweepGrid(designs={"design-a": design_a()},
+                         models=["llama2-7b", "dit-xl-2"],
+                         scenarios=("chat-serving", "dit-sampling"),
+                         batches=(1,))
+        points = grid.points()
+        assert len(points) == len(grid) == 2
+        pairs = {(p.workload, p.scenario) for p in points}
+        assert pairs == {("llama2-7b", "chat-serving"), ("dit-xl-2", "dit-sampling")}
+
+    def test_default_grid_resolves_default_scenarios(self):
+        grid = SweepGrid(designs={"design-a": design_a()}, batches=(1,))
+        scenario_by_model = {p.workload: p.scenario for p in grid.points()}
+        assert scenario_by_model["mixtral-8x7b"] == "moe-serving"
+        assert scenario_by_model["gpt3-30b"] == "llm-serving"
+        assert scenario_by_model["dit-xl-2"] == "dit-sampling"
+
+    def test_new_scenarios_exported_with_settings_summary(self):
+        points = [
+            make_point("design-a", design_a(), TINY_MOE, batch=2, input_tokens=32,
+                       output_tokens=8, decode_kv_samples=2),
+            SweepPoint(design="design-a", config=design_a(), model=TINY_MOE,
+                       settings=TINY_MIX, scenario="chat-serving"),
+        ]
+        rows = SweepEngine().sweep(points)
+        encoded_json = to_json(rows)
+        encoded_csv = to_csv(rows)
+        assert "moe-serving" in encoded_json and "chat-serving" in encoded_json
+        assert "settings_summary" in encoded_json
+        assert "moe-serving" in encoded_csv and "chat-serving" in encoded_csv
+
+    def test_scenario_distinguishes_cache_keys(self, tiny_llm):
+        settings = LLMInferenceSettings(batch=2, input_tokens=32, output_tokens=8,
+                                        decode_kv_samples=2)
+        serving = SweepPoint(design="x", config=design_a(), model=TINY_MOE,
+                             settings=settings, scenario="moe-serving")
+        dense = SweepPoint(design="x", config=design_a(), model=TINY_MOE,
+                           settings=settings, scenario="llm-serving")
+        from repro.sweep.engine import point_key
+
+        assert point_key(serving) != point_key(dense)
+
+    def test_parallel_sweep_covers_new_scenarios(self):
+        points = [
+            make_point("baseline", tpuv4i_baseline(), TINY_MOE, batch=2,
+                       input_tokens=32, output_tokens=8, decode_kv_samples=2),
+            SweepPoint(design="design-a", config=design_a(), model=TINY_MOE,
+                       settings=TINY_MIX, scenario="chat-serving"),
+        ]
+        serial = SweepEngine().sweep(points)
+        parallel = SweepEngine().sweep(points, workers=2)
+        assert parallel == serial

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common import Precision
-from repro.workloads.operators import LayerCategory, MatMulOp, SoftmaxOp
+from repro.workloads.operators import LayerCategory, SoftmaxOp
 from repro.workloads.transformer import (
     TransformerLayerConfig,
     build_decode_layer,
