@@ -1,0 +1,111 @@
+"""Serving-simulator throughput: the perf-trajectory record for serving.
+
+Replays a 10k-request Poisson trace of the default chat mix through the
+continuous-batching engine and measures *simulator* performance — requests
+simulated per wall-clock second and the step-cost cache hit rate that makes
+it possible (repeated (phase, batch, context-bucket) states are dictionary
+lookups; only distinct states touch the analytical model).
+
+Beyond the human-readable table under ``reports/``, the run writes
+``BENCH_serving.json`` at the repository root: the machine-readable record
+CI uploads next to ``BENCH_sweep.json``, so the serving-performance
+trajectory accumulates across revisions.  Pinned invariants: the 10k-request
+trace must finish in under 10 s (the acceptance budget), the cache hit rate
+must stay above 99 %, and two identical runs must agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from _harness import REPORTS_DIR, emit_report
+
+from repro.core.designs import design_a
+from repro.serving.metrics import SLO
+from repro.serving.simulator import ServingSimulator
+from repro.serving.trace import generate_trace
+from repro.workloads.chat import DEFAULT_REQUEST_MIX
+from repro.workloads.llm import GPT3_30B
+
+BENCH_PATH = REPORTS_DIR.parent / "BENCH_serving.json"
+
+NUM_REQUESTS = 10_000
+ARRIVAL_RATE = 32.0
+SEED = 7
+WALL_BUDGET_SECONDS = 10.0
+
+
+def _run():
+    trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, ARRIVAL_RATE,
+                           NUM_REQUESTS, SEED)
+    simulator = ServingSimulator(GPT3_30B, design_a())
+    start = time.perf_counter()
+    report = simulator.run(trace, slo=SLO(ttft_s=1.0, tpot_s=0.1))
+    return report, time.perf_counter() - start, simulator.costs.distinct_states
+
+
+def test_serving_simulator_throughput(benchmark):
+    """10k chat requests: wall-clock, cache behaviour and reproducibility."""
+    report, wall, distinct_states = _run()
+    repeat, repeat_wall, _ = _run()
+
+    emit_report(
+        "serving_throughput",
+        ["quantity", "value"],
+        [["requests simulated", NUM_REQUESTS],
+         ["wall-clock", f"{wall:.2f} s"],
+         ["requests/s simulated", f"{NUM_REQUESTS / wall:.0f}"],
+         ["simulated makespan", f"{report.makespan_s:.0f} s"],
+         ["scheduler steps", report.prefill_steps + report.decode_steps],
+         ["step-cost cache hit rate", f"{report.cost_cache_hit_rate * 100:.2f}%"],
+         ["distinct (phase, batch, bucket) states", distinct_states],
+         ["p99 TTFT", f"{report.ttft.p99_s:.3f} s"],
+         ["p99 e2e", f"{report.e2e.p99_s:.3f} s"],
+         ["devices (auto-planned)", report.devices]],
+        title=f"Serving simulator over {NUM_REQUESTS} chat requests "
+              f"({GPT3_30B.name} on design-a, seed {SEED})")
+
+    BENCH_PATH.write_text(json.dumps({
+        "benchmark": "serving_simulator",
+        "model": GPT3_30B.name,
+        "design": "design-a",
+        "trace": {"kind": "poisson", "num_requests": NUM_REQUESTS,
+                  "arrival_rate": ARRIVAL_RATE, "seed": SEED},
+        "wall_seconds": wall,
+        "requests_per_wall_second": NUM_REQUESTS / wall,
+        "cache_hit_rate": report.cost_cache_hit_rate,
+        "distinct_cost_states": distinct_states,
+        "scheduler_steps": report.prefill_steps + report.decode_steps,
+        "report": report.to_dict(include_requests=False),
+    }, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote serving benchmark record to {BENCH_PATH}")
+
+    # Acceptance budget: 10k requests in under 10 s, by hitting the memo.
+    assert wall < WALL_BUDGET_SECONDS
+    assert report.completed == NUM_REQUESTS
+    assert report.cost_cache_hit_rate > 0.99
+    # Bit-for-bit reproducibility of the simulated outcome.
+    assert repeat.to_dict() == report.to_dict()
+    assert repeat_wall < WALL_BUDGET_SECONDS
+
+    # Steady-state figure of merit for pytest-benchmark comparisons: a
+    # 1k-request replay on a warm simulator-shaped pipeline.
+    small_trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, ARRIVAL_RATE,
+                                 1000, SEED)
+    warm = ServingSimulator(GPT3_30B, design_a())
+    warm.run(small_trace)
+
+    benchmark(warm.run, small_trace)
+
+
+@pytest.mark.parametrize("scheduler", ["fcfs", "shortest-prompt-first",
+                                       "decode-priority"])
+def test_scheduler_policies_complete_the_trace(scheduler):
+    """Every built-in policy finishes a contended 1k-request trace."""
+    trace = generate_trace("bursty", DEFAULT_REQUEST_MIX, 16.0, 1000, SEED)
+    report = ServingSimulator(GPT3_30B, design_a(), scheduler=scheduler).run(trace)
+    assert report.completed + report.rejected == 1000
+    assert report.rejected == 0

@@ -42,6 +42,14 @@ from repro.core.units import (
     UnsupportedOperatorError,
 )
 from repro.parallel.multi_device import MultiDeviceResult, MultiTPUSystem
+from repro.serving import (
+    SLO,
+    Request,
+    ServingReport,
+    ServingSimulator,
+    ServingSpec,
+    generate_trace,
+)
 from repro.sweep import (
     SweepEngine,
     SweepGrid,
@@ -100,6 +108,12 @@ __all__ = [
     "ScenarioStage",
     "MultiTPUSystem",
     "MultiDeviceResult",
+    "SLO",
+    "Request",
+    "ServingReport",
+    "ServingSimulator",
+    "ServingSpec",
+    "generate_trace",
     "SweepEngine",
     "SweepGrid",
     "SweepPoint",

@@ -45,6 +45,24 @@ class ModelFootprint:
         return self.total_bytes / 2**30
 
 
+def llm_weight_bytes(model: LLMConfig, precision: Precision = Precision.INT8) -> int:
+    """Resident weight bytes of an LLM: every layer plus embeddings/LM head.
+
+    For MoE models every expert's weights count even though only ``top_k``
+    are active per token — the capacity pressure that makes MoE serving a
+    multi-device problem.
+    """
+    layer = model.layer_config()
+    if isinstance(model, MoEConfig):
+        attn = (layer.d_model * layer.qkv_output_dim
+                + layer.num_heads * layer.resolved_head_dim * layer.d_model)
+        per_layer = attn + model.expert_weight_bytes_per_layer
+    else:
+        per_layer = layer.weight_bytes_per_layer
+    return (model.num_layers * per_layer
+            + 2 * model.vocab_size * model.d_model) * precision.bytes
+
+
 def llm_footprint(model: LLMConfig, batch: int, context_tokens: int,
                   precision: Precision = Precision.INT8) -> ModelFootprint:
     """Footprint of an LLM serving ``batch`` sequences of ``context_tokens``.
@@ -56,18 +74,7 @@ def llm_footprint(model: LLMConfig, batch: int, context_tokens: int,
     """
     if batch <= 0 or context_tokens <= 0:
         raise ValueError("batch and context_tokens must be positive")
-    layer = model.layer_config()
-    if isinstance(model, MoEConfig):
-        # Every expert's weights must be resident even though only top_k are
-        # active per token — the capacity pressure that makes MoE serving a
-        # multi-device problem.
-        attn = (layer.d_model * layer.qkv_output_dim
-                + layer.num_heads * layer.resolved_head_dim * layer.d_model)
-        per_layer = attn + model.expert_weight_bytes_per_layer
-    else:
-        per_layer = layer.weight_bytes_per_layer
-    weight_bytes = (model.num_layers * per_layer
-                    + 2 * model.vocab_size * model.d_model) * precision.bytes
+    weight_bytes = llm_weight_bytes(model, precision)
     kv_bytes = model.kv_cache_bytes(batch, context_tokens, precision)
     tokens = batch * context_tokens
     activation_bytes = 2 * tokens * (model.d_model + model.d_ff) * precision.bytes
@@ -133,3 +140,26 @@ def plan_capacity(footprint: ModelFootprint, tpu: TPUConfig,
     return CapacityPlan(footprint=footprint, device_memory_bytes=tpu.main_memory_bytes,
                         fits_single_device=fits, min_devices=min_devices,
                         suggested_parallelism=suggestion)
+
+
+def serving_kv_budget(model: LLMConfig, tpu: TPUConfig, *, devices: int = 1,
+                      max_batch: int = 32,
+                      precision: Precision = Precision.INT8,
+                      memory_utilisation: float = 0.9) -> int:
+    """HBM bytes a serving deployment can commit to the KV cache.
+
+    ``devices`` pipeline-parallel chips hold the weights once (layers are
+    partitioned, not replicated), so the budget is the deployment's usable
+    memory minus the resident weights and the decode-step working set of a
+    full batch (one token per running sequence).  Prefill activations are
+    assumed chunked/paged, as production serving stacks do, so they do not
+    reserve budget.  The result may be non-positive — the caller's signal
+    that the model does not fit the deployment at all.
+    """
+    if devices <= 0 or max_batch <= 0:
+        raise ValueError("devices and max_batch must be positive")
+    if not 0 < memory_utilisation <= 1:
+        raise ValueError("memory_utilisation must be in (0, 1]")
+    usable = devices * int(tpu.main_memory_bytes * memory_utilisation)
+    decode_working_set = 2 * max_batch * (model.d_model + model.d_ff) * precision.bytes
+    return usable - llm_weight_bytes(model, precision) - decode_working_set

@@ -20,20 +20,36 @@ Python:
     ``--csv`` structured export; by default it widens the paper's Table IV
     grid to every registered model (GPT-3-30B/175B, Llama-2-7B/13B,
     Mixtral-8x7B, DiT-XL/2).
+``repro-sim serve``
+    Discrete-event serving simulation: replay a seeded request trace
+    (Poisson/bursty/diurnal arrivals over the scenario's request mix, or a
+    JSONL file) through the continuous-batching scheduler and report
+    TTFT/TPOT/e2e percentiles, SLO goodput, utilisation and energy per
+    token.
 ``repro-sim models``
     List the registered model configurations and their memory footprints.
 ``repro-sim scenarios``
     List the registered inference scenarios and their capabilities.
 
 Global options (``--batch``, ``--input-tokens``, ``--output-tokens``,
-``--resolution``, ``--steps``, ``--llm``) set the workload scenario; each
-subcommand adds its own switches.  Run ``python -m repro.cli --help`` (or
-``repro-sim --help`` once installed) for the full option set.
+``--resolution``, ``--steps``, ``--llm``, ``--seed``) set the workload
+scenario; each subcommand adds its own switches.  Run
+``python -m repro.cli --help`` (or ``repro-sim --help`` once installed) for
+the full option set.
+
+**Determinism guarantee:** every subcommand is a pure function of its flags.
+The simulator itself is analytical (RNG-free); the only randomness anywhere
+is the serving-trace generator, which draws from an explicit
+``random.Random`` seeded by the global ``--seed`` flag — so two invocations
+with identical flags produce bit-for-bit identical output, tables and
+exports included.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import Sequence
 
@@ -44,8 +60,17 @@ from repro.common import Precision
 from repro.core.designs import PREDEFINED_DESIGNS, tpuv4i_baseline
 from repro.core.explorer import ArchitectureExplorer
 from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+from repro.serving.metrics import SLO, RequestMetrics
+from repro.serving.scheduler import SCHEDULER_REGISTRY
+from repro.serving.simulator import ServingSimulator
+from repro.serving.trace import (
+    TRACE_REGISTRY,
+    generate_trace,
+    load_trace_jsonl,
+    request_classes_from_settings,
+)
 from repro.sweep.engine import SweepEngine
-from repro.sweep.export import write_csv, write_json
+from repro.sweep.export import fieldnames_of, write_csv, write_json
 from repro.sweep.grid import SweepGrid, SweepPoint
 from repro.workloads.dit import DIT_XL_2, DiTConfig
 from repro.workloads.llm import GPT3_30B, LLMConfig
@@ -57,6 +82,7 @@ from repro.workloads.registry import (
     get_scenario,
     scenario_for,
 )
+from repro.workloads.scenario import ScenarioKnobs
 
 
 def _design_config(name: str):
@@ -200,14 +226,33 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if not models:
             raise SystemExit("tensor parallelism is only modelled for LLM workloads; "
                              "add an LLM model or use --parallelism pipeline")
-    grid = SweepGrid(
-        designs=designs, models=models, scenarios=scenarios,
-        precisions=tuple(Precision(p) for p in args.precisions),
-        batches=tuple(args.batches), device_counts=tuple(args.devices),
-        parallelism=args.parallelism,
-        input_tokens=args.input_tokens, output_tokens=args.output_tokens,
-        decode_kv_samples=2,
-        image_resolution=args.resolution, sampling_steps=args.steps)
+    schedulers = tuple(args.schedulers or ())
+    arrival_rates = tuple(args.arrival_rates or ())
+    if schedulers:
+        serving_capable = [name for name in models
+                           if isinstance(resolved[name], LLMConfig)]
+        skipped = [name for name in models if name not in serving_capable]
+        if skipped:
+            print(f"note: skipping non-LLM models ({', '.join(skipped)}); "
+                  "serving is modelled for LLM workloads")
+        models = serving_capable
+        if not models:
+            raise SystemExit("serving sweeps are only modelled for LLM workloads; "
+                             "add an LLM model or drop --schedulers")
+    try:
+        grid = SweepGrid(
+            designs=designs, models=models, scenarios=scenarios,
+            precisions=tuple(Precision(p) for p in args.precisions),
+            batches=tuple(args.batches), device_counts=tuple(args.devices),
+            parallelism=args.parallelism,
+            input_tokens=args.input_tokens, output_tokens=args.output_tokens,
+            decode_kv_samples=2,
+            image_resolution=args.resolution, sampling_steps=args.steps,
+            schedulers=schedulers, arrival_rates=arrival_rates,
+            serving_trace=args.trace, serving_requests=args.trace_requests,
+            seed=args.seed)
+    except ValueError as error:
+        raise SystemExit(str(error))
     engine = SweepEngine()
     try:
         results = engine.sweep(grid, workers=args.workers)
@@ -230,6 +275,79 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"wrote JSON rows to {write_json(results, args.json)}")
         if args.csv:
             print(f"wrote CSV rows to {write_csv(results, args.csv)}")
+    except OSError as error:
+        raise SystemExit(f"cannot write results: {error}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the discrete-event serving simulator on one model and design."""
+    config = _design_config(args.design)
+    model = get_model(args.llm)
+    if not isinstance(model, LLMConfig):
+        raise SystemExit(f"'{args.llm}' is not an LLM; serving is modelled "
+                         "for LLM workloads")
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as error:
+        raise SystemExit(error.args[0]) from None
+    if not scenario.supports(model):
+        raise SystemExit(f"scenario '{args.scenario}' does not support "
+                         f"model '{model.name}'")
+    precision = Precision(args.precision)
+    settings = scenario.make_settings(ScenarioKnobs(
+        batch=args.batch, precision=precision, input_tokens=args.input_tokens,
+        output_tokens=args.output_tokens))
+    try:
+        if args.trace_file:
+            trace = load_trace_jsonl(args.trace_file)
+        else:
+            trace = generate_trace(args.trace, request_classes_from_settings(settings),
+                                   args.rate, args.requests, args.seed)
+        simulator = ServingSimulator(
+            model, config, scheduler=args.scheduler, precision=precision,
+            max_batch=args.max_batch, bucket_tokens=args.bucket,
+            devices=args.devices)
+        report = simulator.run(trace, slo=SLO(ttft_s=args.slo_ttft,
+                                              tpot_s=args.slo_tpot))
+    except (ValueError, OSError) as error:
+        # Bad trace files, impossible deployments, invalid knobs; scheduler
+        # and trace-kind names are already constrained by argparse choices.
+        raise SystemExit(str(error)) from None
+
+    def row(name: str, summary) -> list[str]:
+        return [name, f"{summary.mean_s * 1e3:.2f} ms", f"{summary.p50_s * 1e3:.2f} ms",
+                f"{summary.p95_s * 1e3:.2f} ms", f"{summary.p99_s * 1e3:.2f} ms",
+                f"{summary.max_s * 1e3:.2f} ms"]
+
+    print(format_table(
+        ["metric", "mean", "p50", "p95", "p99", "max"],
+        [row("TTFT", report.ttft), row("TPOT", report.tpot), row("e2e", report.e2e)],
+        title=f"{model.name} on {args.design} x{report.devices} "
+              f"({report.scheduler}, {args.trace_file or args.trace} trace, "
+              f"seed {args.seed})"))
+    print(f"requests: {report.completed}/{report.num_requests} completed, "
+          f"{report.rejected} rejected; makespan {report.makespan_s:.1f} s, "
+          f"utilisation {report.utilisation * 100:.1f}%")
+    print(f"throughput: {report.tokens_per_second:.1f} tokens/s "
+          f"({report.requests_per_second:.2f} requests/s); "
+          f"energy {report.energy_per_token_joules * 1e3:.3f} mJ/token")
+    print(f"SLO ({report.slo.summary()}): {report.slo_attainment * 100:.1f}% attained, "
+          f"goodput {report.goodput_tokens_per_second:.1f} tokens/s "
+          f"({report.goodput_requests_per_second:.2f} requests/s)")
+    print(f"step-cost cache: {report.cost_cache_hit_rate * 100:.2f}% hit rate "
+          f"({report.cost_cache_misses} distinct (phase, batch, context-bucket) "
+          f"states priced over {report.prefill_steps + report.decode_steps} steps)")
+    try:
+        if args.json:
+            path = pathlib.Path(args.json)
+            path.write_text(json.dumps(report.to_dict(), indent=2) + "\n",
+                            encoding="utf-8")
+            print(f"wrote serving report to {path}")
+        if args.csv:
+            path = write_csv(report.requests, args.csv,
+                             fieldnames=fieldnames_of(RequestMetrics))
+            print(f"wrote per-request metrics to {path}")
     except OSError as error:
         raise SystemExit(f"cannot write results: {error}")
     return 0
@@ -289,6 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--resolution", type=int, default=512, help="DiT image resolution")
     parser.add_argument("--steps", type=int, default=50, help="DiT sampling steps")
     parser.add_argument("--llm", default=GPT3_30B.name, help="LLM model name")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed of the serving-trace RNG (the only source of "
+                             "randomness anywhere): identical flags + identical "
+                             "seed give bit-for-bit identical output (default 0)")
 
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -333,11 +455,66 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--parallelism", choices=("pipeline", "tensor"), default="pipeline")
     sweep.add_argument("--workers", type=int, default=None,
                        help="worker processes for the sweep (default: serial)")
+    sweep.add_argument("--schedulers", nargs="+", choices=sorted(SCHEDULER_REGISTRY),
+                       default=None,
+                       help="serving axis: batching policies to sweep (with "
+                            "--arrival-rates, turns every point into a "
+                            "discrete-event serving run)")
+    sweep.add_argument("--arrival-rates", dest="arrival_rates", type=float, nargs="+",
+                       default=None,
+                       help="serving axis: request arrival rates (requests/s)")
+    sweep.add_argument("--trace", choices=sorted(TRACE_REGISTRY), default="poisson",
+                       help="arrival process of serving sweeps (default poisson)")
+    sweep.add_argument("--trace-requests", dest="trace_requests", type=int, default=200,
+                       help="requests per serving-sweep trace (default 200)")
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="write the result rows to PATH as JSON")
     sweep.add_argument("--csv", metavar="PATH", default=None,
                        help="write the result rows to PATH as CSV")
     sweep.set_defaults(func=cmd_sweep)
+
+    serve = subparsers.add_parser(
+        "serve", help="discrete-event serving simulation with SLO analytics",
+        description="Replay a seeded request trace through the continuous-batching "
+                    "scheduler on one design and report TTFT/TPOT/e2e percentiles, "
+                    "SLO goodput, utilisation and energy per token.  Deterministic: "
+                    "identical flags (including the global --seed) reproduce the "
+                    "run bit for bit.")
+    llm_scenarios = sorted(name for name, spec in SCENARIO_REGISTRY.items()
+                           if issubclass(spec.model_type, LLMConfig))
+    serve.add_argument("--design", default="design-a",
+                       help="one of: " + ", ".join(sorted(PREDEFINED_DESIGNS)))
+    serve.add_argument("--scenario", choices=llm_scenarios, default="chat-serving",
+                       help="scenario supplying the request mix (default chat-serving)")
+    serve.add_argument("--trace", choices=sorted(TRACE_REGISTRY), default="poisson",
+                       help="arrival process (default poisson)")
+    serve.add_argument("--trace-file", metavar="PATH", default=None,
+                       help="replay a JSONL trace instead of generating one")
+    serve.add_argument("--rate", type=float, default=8.0,
+                       help="mean arrival rate in requests/s (default 8)")
+    serve.add_argument("--requests", type=int, default=200,
+                       help="trace length in requests (default 200)")
+    serve.add_argument("--scheduler", choices=sorted(SCHEDULER_REGISTRY),
+                       default="fcfs", help="batching policy (default fcfs)")
+    serve.add_argument("--max-batch", dest="max_batch", type=int, default=32,
+                       help="continuous-batching slot limit (default 32)")
+    serve.add_argument("--bucket", type=int, default=256,
+                       help="context-bucket granularity in tokens for step-cost "
+                            "memoisation (default 256)")
+    serve.add_argument("--devices", type=int, default=None,
+                       help="pipeline-parallel device count (default: smallest "
+                            "deployment whose KV budget admits the largest request)")
+    serve.add_argument("--precision", choices=[p.value for p in Precision],
+                       default=Precision.INT8.value, help="numeric precision")
+    serve.add_argument("--slo-ttft", dest="slo_ttft", type=float, default=1.0,
+                       help="SLO: time to first token in seconds (default 1.0)")
+    serve.add_argument("--slo-tpot", dest="slo_tpot", type=float, default=0.1,
+                       help="SLO: time per output token in seconds (default 0.1)")
+    serve.add_argument("--json", metavar="PATH", default=None,
+                       help="write the full serving report to PATH as JSON")
+    serve.add_argument("--csv", metavar="PATH", default=None,
+                       help="write per-request TTFT/TPOT/e2e rows to PATH as CSV")
+    serve.set_defaults(func=cmd_serve)
 
     models = subparsers.add_parser("models", help="list models and capacity plans")
     models.set_defaults(func=cmd_models)

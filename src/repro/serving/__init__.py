@@ -1,0 +1,81 @@
+"""Discrete-event serving simulator on top of the analytical cost model.
+
+The :mod:`repro.serving` package turns the repository's per-step cost model
+into a deployment study: seeded request traces (Poisson / bursty / diurnal
+arrival processes over the chat request mixes, or JSONL files), a
+continuous-batching scheduler with pluggable policies and KV-cache admission
+control, and SLO analytics (TTFT/TPOT/e2e percentiles, goodput, utilisation,
+energy per token).
+
+Typical usage::
+
+    from repro.serving import (
+        ServingSimulator, SLO, generate_trace,
+    )
+    from repro.core.designs import tpuv4i_baseline
+    from repro.workloads.chat import DEFAULT_REQUEST_MIX
+    from repro.workloads.llm import LLAMA2_7B
+
+    trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, rate=8.0,
+                           num_requests=1000, seed=7)
+    report = ServingSimulator(LLAMA2_7B, tpuv4i_baseline()).run(
+        trace, slo=SLO(ttft_s=0.5, tpot_s=0.05))
+    print(report.ttft.p99_s, report.goodput_requests_per_second)
+"""
+
+from repro.serving.costs import StepCost, StepCostModel
+from repro.serving.metrics import (
+    SLO,
+    LatencySummary,
+    RequestMetrics,
+    ServingReport,
+    percentile,
+)
+from repro.serving.scheduler import (
+    SCHEDULER_REGISTRY,
+    SchedulerPolicy,
+    get_scheduler,
+    register_scheduler,
+)
+from repro.serving.simulator import LiveRequest, ServingSimulator, simulate_serving
+from repro.serving.spec import ServingSpec
+from repro.serving.trace import (
+    TRACE_REGISTRY,
+    Request,
+    bursty_trace,
+    diurnal_trace,
+    generate_trace,
+    load_trace_jsonl,
+    poisson_trace,
+    register_trace,
+    request_classes_from_settings,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "StepCost",
+    "StepCostModel",
+    "SLO",
+    "LatencySummary",
+    "RequestMetrics",
+    "ServingReport",
+    "percentile",
+    "SCHEDULER_REGISTRY",
+    "SchedulerPolicy",
+    "get_scheduler",
+    "register_scheduler",
+    "LiveRequest",
+    "ServingSimulator",
+    "simulate_serving",
+    "ServingSpec",
+    "TRACE_REGISTRY",
+    "Request",
+    "bursty_trace",
+    "diurnal_trace",
+    "generate_trace",
+    "load_trace_jsonl",
+    "poisson_trace",
+    "register_trace",
+    "request_classes_from_settings",
+    "write_trace_jsonl",
+]

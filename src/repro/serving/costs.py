@@ -1,0 +1,96 @@
+"""Per-step serving costs, memoised over the scenario pipeline's simulator.
+
+The discrete-event scheduler needs two primitive costs: one **prefill step**
+(a batch of admitted prompts pushed through every layer of the model) and
+one **decode step** (one token generated for every running request).  Both
+come from the same layer graphs the analytical scenarios price — built via
+the model's ``build_layer`` hook and executed through an
+:class:`~repro.core.simulator.InferenceSimulator`, which in sweeps is the
+memoised :class:`~repro.sweep.cache.CachingInferenceSimulator`.
+
+Context lengths are **bucketed** (rounded up to a configurable granularity)
+before they reach the graph builder, so a 100k-request trace re-prices only
+the distinct ``(phase, batch, context-bucket)`` states it visits; everything
+else is a dictionary lookup.  The memo counts hits and misses so reports can
+state the cache hit rate the <10 s acceptance budget relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import Precision, ceil_div
+from repro.core.simulator import InferenceSimulator
+from repro.sweep.cache import CacheStats
+from repro.workloads.llm import LLMConfig
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """Latency and energy of one scheduler step on the whole model."""
+
+    seconds: float
+    mxu_energy_joules: float
+    total_energy_joules: float
+
+
+class StepCostModel:
+    """Memoised ``(phase, batch, context-bucket) -> StepCost`` pricing.
+
+    One instance serves one ``(model, chip, precision)`` triple; the
+    underlying simulator may additionally share its graph cache with a sweep
+    engine, in which case even the first lookup of a state another sweep
+    point has visited does no simulation work.
+    """
+
+    def __init__(self, model: LLMConfig, simulator: InferenceSimulator,
+                 precision: Precision = Precision.INT8,
+                 bucket_tokens: int = 256) -> None:
+        if bucket_tokens <= 0:
+            raise ValueError("bucket_tokens must be positive")
+        self.model = model
+        self.simulator = simulator
+        self.precision = precision
+        self.bucket_tokens = bucket_tokens
+        self.stats = CacheStats()
+        self._memo: dict[tuple[str, int, int], StepCost] = {}
+
+    def bucket(self, tokens: int) -> int:
+        """Round a token count up to its pricing bucket."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        return ceil_div(tokens, self.bucket_tokens) * self.bucket_tokens
+
+    @property
+    def distinct_states(self) -> int:
+        """Number of distinct (phase, batch, bucket) states priced so far."""
+        return len(self._memo)
+
+    def prefill_cost(self, batch: int, input_tokens: int) -> StepCost:
+        """Cost of prefilling ``batch`` prompts of (bucketed) length."""
+        return self._step("prefill", batch, self.bucket(input_tokens))
+
+    def decode_cost(self, batch: int, context_tokens: int) -> StepCost:
+        """Cost of one decode token for ``batch`` requests at a (bucketed)
+        KV-cache length."""
+        return self._step("decode", batch, self.bucket(context_tokens))
+
+    # --------------------------------------------------------------- internal
+    def _step(self, phase: str, batch: int, bucket: int) -> StepCost:
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        key = (phase, batch, bucket)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        graph = self.model.build_layer(phase, batch, bucket, kv_len=bucket,
+                                       precision=self.precision)
+        result = self.simulator.run_graph(graph)
+        layers = self.model.num_layers
+        cost = StepCost(seconds=result.total_seconds * layers,
+                        mxu_energy_joules=result.mxu_energy * layers,
+                        total_energy_joules=result.total_energy.total * layers)
+        self._memo[key] = cost
+        return cost

@@ -1,0 +1,202 @@
+"""Per-request and aggregate serving metrics.
+
+The serving simulator's output mirrors what a production inference service
+measures: per-request **TTFT** (time to first token), **TPOT** (time per
+output token after the first) and end-to-end latency, aggregated into
+percentile summaries, **goodput** under a latency SLO (the rate of requests
+that met *both* the TTFT and TPOT targets), device utilisation and energy
+per generated token.  Everything is a frozen dataclass with a ``to_dict``
+hook, so reports and per-request rows export through the generic encoders in
+:mod:`repro.sweep.export` exactly like sweep rows do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Deterministic and dependency-free (no numpy): sorts the values and
+    interpolates between the two straddling order statistics, matching
+    numpy's default ("linear") definition.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty or ``q`` is outside [0, 100].
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * (q / 100.0)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A latency service-level objective on serving requests.
+
+    A completed request *meets* the SLO when its TTFT and its TPOT are both
+    within the targets — the standard way LLM serving papers define goodput.
+    """
+
+    ttft_s: float = 1.0
+    tpot_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.ttft_s <= 0 or self.tpot_s <= 0:
+            raise ValueError("SLO targets must be positive")
+
+    def summary(self) -> str:
+        """Human-readable SLO summary used in tables and exports."""
+        return f"ttft<={self.ttft_s * 1e3:.0f}ms tpot<={self.tpot_s * 1e3:.0f}ms"
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Measured timeline of one completed request."""
+
+    request_id: int
+    arrival_s: float
+    input_tokens: int
+    output_tokens: int
+    first_token_s: float
+    finish_s: float
+    ttft_s: float
+    tpot_s: float
+    e2e_s: float
+
+    def __post_init__(self) -> None:
+        if self.first_token_s < self.arrival_s or self.finish_s < self.first_token_s:
+            raise ValueError("request timeline must be ordered "
+                             "(arrival <= first token <= finish)")
+
+    @classmethod
+    def from_times(cls, request_id: int, arrival_s: float, input_tokens: int,
+                   output_tokens: int, first_token_s: float,
+                   finish_s: float) -> "RequestMetrics":
+        """Derive TTFT/TPOT/e2e from the raw event times.
+
+        TPOT averages the decode steps *after* the first token; a
+        single-token request has no decode steps and reports a TPOT of zero.
+        """
+        decode_tokens = output_tokens - 1
+        tpot = (finish_s - first_token_s) / decode_tokens if decode_tokens > 0 else 0.0
+        return cls(request_id=request_id, arrival_s=arrival_s,
+                   input_tokens=input_tokens, output_tokens=output_tokens,
+                   first_token_s=first_token_s, finish_s=finish_s,
+                   ttft_s=first_token_s - arrival_s, tpot_s=tpot,
+                   e2e_s=finish_s - arrival_s)
+
+    def meets(self, slo: SLO) -> bool:
+        """Whether the request met both targets of the SLO."""
+        return self.ttft_s <= slo.ttft_s and self.tpot_s <= slo.tpot_s
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form used by the JSON/CSV exporters."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of one latency distribution (seconds)."""
+
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencySummary":
+        """Summarise a non-empty sequence of latencies."""
+        return cls(mean_s=sum(values) / len(values),
+                   p50_s=percentile(values, 50.0),
+                   p95_s=percentile(values, 95.0),
+                   p99_s=percentile(values, 99.0),
+                   max_s=max(values))
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """The all-zero summary used when no request completed."""
+        return cls(mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0, max_s=0.0)
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate outcome of one simulated serving run."""
+
+    model_name: str
+    tpu_name: str
+    scheduler: str
+    devices: int
+    #: Requests in the trace / completed / rejected at admission (a rejected
+    #: request's KV cache would exceed the device memory even running alone).
+    num_requests: int
+    completed: int
+    rejected: int
+    #: Simulated wall-clock span (first arrival to last completion).
+    makespan_s: float
+    #: Simulated seconds the device spent executing prefill/decode steps.
+    busy_s: float
+    total_tokens: int
+    tokens_per_second: float
+    requests_per_second: float
+    ttft: LatencySummary
+    tpot: LatencySummary
+    e2e: LatencySummary
+    slo: SLO
+    #: Fraction of completed requests meeting the SLO, and the goodput
+    #: (SLO-meeting work per simulated second) it implies.
+    slo_attainment: float
+    goodput_requests_per_second: float
+    goodput_tokens_per_second: float
+    mxu_energy_joules: float
+    total_energy_joules: float
+    energy_per_token_joules: float
+    #: Scheduler step counts: prefill batches and decode step events (each
+    #: decode event advances every running request by a chunk of tokens).
+    prefill_steps: int
+    decode_steps: int
+    #: KV admission accounting: the budget requests reserve against and the
+    #: peak reservation ever committed (never exceeds the budget).
+    kv_budget_bytes: int
+    peak_kv_reserved_bytes: int
+    #: Step-cost cache behaviour: distinct (phase, batch, context-bucket)
+    #: states actually priced vs. step-cost lookups served from the memo.
+    cost_cache_hits: int
+    cost_cache_misses: int
+    requests: tuple[RequestMetrics, ...] = ()
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the makespan the device was executing steps."""
+        return self.busy_s / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def cost_cache_hit_rate(self) -> float:
+        """Fraction of step-cost lookups served from the memo."""
+        lookups = self.cost_cache_hits + self.cost_cache_misses
+        return self.cost_cache_hits / lookups if lookups else 0.0
+
+    def to_dict(self, include_requests: bool = True) -> dict[str, object]:
+        """Plain-dict form (nested summaries inlined) for JSON export."""
+        payload = dataclasses.asdict(self)
+        payload["utilisation"] = self.utilisation
+        payload["cost_cache_hit_rate"] = self.cost_cache_hit_rate
+        if not include_requests:
+            del payload["requests"]
+        else:
+            payload["requests"] = [request.to_dict() for request in self.requests]
+        return payload

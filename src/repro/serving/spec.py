@@ -1,0 +1,49 @@
+"""Compact serving-run description used by sweep grids and the CLI.
+
+:class:`ServingSpec` is deliberately a small frozen dataclass of primitives
+(plus the :class:`~repro.serving.metrics.SLO`): it fingerprints cleanly for
+the sweep engine's content-addressed caches and travels to worker processes
+unchanged.  The model, chip and request mix are *not* part of the spec —
+they come from the sweep point (or CLI flags) it is attached to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.metrics import SLO
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """Everything needed to replay one serving run, minus model and chip."""
+
+    scheduler: str = "fcfs"
+    trace: str = "poisson"
+    arrival_rate: float = 8.0
+    num_requests: int = 200
+    seed: int = 0
+    max_batch: int = 32
+    bucket_tokens: int = 256
+    #: Pipeline-parallel device count; ``None`` auto-plans the smallest
+    #: deployment whose KV budget admits the largest trace request.
+    devices: int | None = None
+    memory_utilisation: float = 0.9
+    slo: SLO = SLO()
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.max_batch <= 0 or self.bucket_tokens <= 0:
+            raise ValueError("max_batch and bucket_tokens must be positive")
+        if self.devices is not None and self.devices <= 0:
+            raise ValueError("devices must be positive (or None to auto-plan)")
+        if not 0 < self.memory_utilisation <= 1:
+            raise ValueError("memory_utilisation must be in (0, 1]")
+
+    def summary(self) -> str:
+        """Human-readable spec summary used in tables and exports."""
+        return (f"{self.trace}@{self.arrival_rate:g}/s {self.scheduler} "
+                f"n={self.num_requests} seed={self.seed}")

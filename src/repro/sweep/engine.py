@@ -39,7 +39,9 @@ class SweepResult:
 
     design: str
     workload: str
-    kind: str                      # "llm" or "dit"
+    #: Workload family tag from the model registry — one of the families in
+    #: :data:`repro.workloads.registry.MODEL_KINDS` ("llm", "moe", "dit").
+    kind: str
     precision: str                 # "int8" or "bf16"
     batch: int
     devices: int
@@ -88,8 +90,9 @@ class SweepStats:
 
 def point_key(point: SweepPoint) -> str:
     """Deterministic content fingerprint of a sweep point."""
-    return fingerprint("sweep-point/v2", point.design, point.config, point.model,
-                       point.scenario, point.settings, point.devices, point.parallelism)
+    return fingerprint("sweep-point/v3", point.design, point.config, point.model,
+                       point.scenario, point.settings, point.devices, point.parallelism,
+                       point.serving)
 
 
 def _compute_result(point: SweepPoint, simulator: CachingInferenceSimulator,
@@ -98,9 +101,32 @@ def _compute_result(point: SweepPoint, simulator: CachingInferenceSimulator,
 
     The point's registered scenario drives the whole evaluation, so any
     workload family — LLM serving, DiT sampling, MoE, chat mixes, anything
-    registered later — flows through this one path.
+    registered later — flows through this one path.  Points carrying a
+    :class:`~repro.serving.spec.ServingSpec` run the discrete-event serving
+    simulator instead, sharing the same memoised graph cache, and map the
+    serving report onto the common row shape (latency = mean end-to-end
+    request latency, throughput = sustained generated tokens per second).
     """
     spec = point.spec
+    if point.serving is not None:
+        # Imported lazily: repro.serving layers on top of repro.sweep, so a
+        # top-level import here would be circular.
+        from repro.serving.simulator import simulate_serving
+
+        report = simulate_serving(point.model, point.config, point.serving,
+                                  point.settings, simulator=simulator)
+        return SweepResult(
+            design=point.design, workload=point.workload, kind=point.kind,
+            precision=point.precision.value, batch=point.batch,
+            devices=report.devices, parallelism=point.parallelism,
+            scenario=point.scenario, settings_summary=point.settings_summary,
+            peak_tops=point.config.peak_tops,
+            latency_seconds=report.e2e.mean_s,
+            throughput=report.tokens_per_second,
+            items=float(report.total_tokens), item_unit="token",
+            mxu_energy_joules=report.mxu_energy_joules,
+            total_energy_joules=report.total_energy_joules,
+            communication_seconds=0.0, cache_key=key)
     if point.devices == 1:
         inference = simulator.run_scenario(spec.build(point.model, point.settings))
         latency = inference.total_seconds

@@ -19,12 +19,14 @@ from typing import Iterator, Mapping, Sequence
 from repro.common import Precision
 from repro.core.config import TPUConfig
 from repro.core.designs import PREDEFINED_DESIGNS
+from repro.serving.spec import ServingSpec
 from repro.workloads.dit import DiTConfig
 from repro.workloads.llm import LLMConfig
 from repro.workloads.registry import (
     MODEL_REGISTRY,
     get_model,
     get_scenario,
+    model_kind,
     scenario_for,
 )
 from repro.workloads.scenario import ScenarioKnobs
@@ -36,7 +38,10 @@ class SweepPoint:
 
     ``scenario`` names an entry of the scenario registry; an empty string
     (the default) resolves to the model's default scenario, so pre-scenario
-    call sites keep working unchanged.
+    call sites keep working unchanged.  An attached ``serving`` spec turns
+    the point into a discrete-event serving run (trace + scheduler + SLO)
+    instead of an analytical request-group evaluation; the scenario then
+    contributes the request mix and precision.
     """
 
     design: str
@@ -46,6 +51,7 @@ class SweepPoint:
     devices: int = 1
     parallelism: str = "pipeline"
     scenario: str = ""
+    serving: ServingSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.design:
@@ -60,6 +66,13 @@ class SweepPoint:
         if not self.scenario:
             object.__setattr__(self, "scenario", spec.name)
         spec.check(self.model, self.settings)
+        if self.serving is not None:
+            if not isinstance(self.model, LLMConfig):
+                raise ValueError("serving sweep points are modelled for LLM "
+                                 f"workloads, not '{self.workload}'")
+            if self.devices != 1:
+                raise ValueError("serving sweep points plan their own deployment; "
+                                 "set devices on the ServingSpec, not the point")
 
     @property
     def spec(self):
@@ -68,8 +81,9 @@ class SweepPoint:
 
     @property
     def kind(self) -> str:
-        """Workload family: ``"llm"`` or ``"dit"``."""
-        return "llm" if isinstance(self.model, LLMConfig) else "dit"
+        """Workload family of the model (see
+        :func:`repro.workloads.registry.model_kind`)."""
+        return model_kind(self.model)
 
     @property
     def workload(self) -> str:
@@ -89,7 +103,10 @@ class SweepPoint:
     @property
     def settings_summary(self) -> str:
         """Human-readable settings summary used in tables and exports."""
-        return self.spec.summarize(self.settings)
+        summary = self.spec.summarize(self.settings)
+        if self.serving is not None:
+            summary = f"{summary} {self.serving.summary()}"
+        return summary
 
 
 def make_point(design: str, config: TPUConfig, model: LLMConfig | DiTConfig,
@@ -97,7 +114,8 @@ def make_point(design: str, config: TPUConfig, model: LLMConfig | DiTConfig,
                input_tokens: int = 1024, output_tokens: int = 512,
                decode_kv_samples: int = 4, image_resolution: int = 512,
                sampling_steps: int = 50, devices: int = 1,
-               parallelism: str = "pipeline", scenario: str = "") -> SweepPoint:
+               parallelism: str = "pipeline", scenario: str = "",
+               serving: ServingSpec | None = None) -> SweepPoint:
     """Build a sweep point whose settings come from the scenario's knob adapter."""
     spec = get_scenario(scenario) if scenario else scenario_for(model)
     knobs = ScenarioKnobs(batch=batch, precision=precision,
@@ -107,7 +125,8 @@ def make_point(design: str, config: TPUConfig, model: LLMConfig | DiTConfig,
                           sampling_steps=sampling_steps)
     return SweepPoint(design=design, config=config, model=model,
                       settings=spec.make_settings(knobs),
-                      devices=devices, parallelism=parallelism, scenario=spec.name)
+                      devices=devices, parallelism=parallelism, scenario=spec.name,
+                      serving=serving)
 
 
 @dataclass
@@ -115,11 +134,22 @@ class SweepGrid:
     """A cartesian scenario grid expanded into an ordered list of points.
 
     The expansion order is deterministic (designs, then models, scenarios,
-    precisions, batches and device counts), which is what makes serial and
-    parallel sweeps comparable row-for-row.  ``scenarios`` of ``None`` runs
-    each model under its default scenario; an explicit tuple runs every
-    listed scenario whose capability covers the model (incompatible pairs
-    are skipped, so e.g. ``chat-serving`` quietly passes over DiT models).
+    precisions, batches, device counts and serving axes), which is what
+    makes serial and parallel sweeps comparable row-for-row.  ``scenarios``
+    of ``None`` runs each model under its default scenario; an explicit
+    tuple runs every listed scenario whose capability covers the model
+    (incompatible pairs are skipped, so e.g. ``chat-serving`` quietly passes
+    over DiT models).
+
+    Setting ``schedulers`` *and* ``arrival_rates`` turns the grid into a
+    **serving grid**: every point carries a
+    :class:`~repro.serving.spec.ServingSpec` crossing the two axes, so one
+    grid answers "which scheduler at which load on which design".  Serving
+    is modelled for LLM workloads; non-LLM models are skipped, the device
+    axis must stay at ``(1,)`` because serving runs plan their own
+    deployment, and the batch axis collapses to its first entry (request
+    concurrency comes from the scheduler, not the settings batch, so extra
+    batch values would only duplicate identical simulations).
     """
 
     designs: Mapping[str, TPUConfig] = field(
@@ -137,6 +167,12 @@ class SweepGrid:
     # DiT scenario knobs.
     image_resolution: int = 512
     sampling_steps: int = 50
+    # Serving axes (both empty = analytical grid, both set = serving grid).
+    schedulers: Sequence[str] = ()
+    arrival_rates: Sequence[float] = ()
+    serving_trace: str = "poisson"
+    serving_requests: int = 200
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if not self.designs:
@@ -148,9 +184,30 @@ class SweepGrid:
         for attr in ("precisions", "batches", "device_counts"):
             if not getattr(self, attr):
                 raise ValueError(f"sweep grid needs at least one entry in '{attr}'")
+        if bool(self.schedulers) != bool(self.arrival_rates):
+            raise ValueError("serving grids need both schedulers and arrival_rates")
+        if self.schedulers and tuple(self.device_counts) != (1,):
+            raise ValueError("serving sweep points plan their own deployment; "
+                             "keep device_counts at (1,)")
+
+    @property
+    def is_serving(self) -> bool:
+        """Whether this grid carries the serving axes."""
+        return bool(self.schedulers)
+
+    def serving_specs(self) -> list[ServingSpec | None]:
+        """The serving axis of the grid (``[None]`` for analytical grids)."""
+        if not self.is_serving:
+            return [None]
+        return [ServingSpec(scheduler=scheduler, trace=self.serving_trace,
+                            arrival_rate=rate, num_requests=self.serving_requests,
+                            seed=self.seed)
+                for scheduler in self.schedulers for rate in self.arrival_rates]
 
     def scenarios_for(self, model: LLMConfig | DiTConfig) -> list[str]:
         """The scenario names this grid runs the model under."""
+        if self.is_serving and not isinstance(model, LLMConfig):
+            return []
         if self.scenarios is None:
             return [scenario_for(model).name]
         return [name for name in self.scenarios if get_scenario(name).supports(model)]
@@ -159,29 +216,36 @@ class SweepGrid:
         """Expand the grid into its ordered list of sweep points."""
         return list(self)
 
+    def _batch_axis(self) -> Sequence[int]:
+        """The effective batch axis (collapsed for serving grids)."""
+        return tuple(self.batches)[:1] if self.is_serving else self.batches
+
     def __iter__(self) -> Iterator[SweepPoint]:
+        serving_specs = self.serving_specs()
         for design, config in self.designs.items():
             for model_name in self.models:
                 model = get_model(model_name)
                 for scenario in self.scenarios_for(model):
                     for precision in self.precisions:
-                        for batch in self.batches:
+                        for batch in self._batch_axis():
                             for devices in self.device_counts:
-                                yield make_point(
-                                    design, config, model, precision, batch,
-                                    input_tokens=self.input_tokens,
-                                    output_tokens=self.output_tokens,
-                                    decode_kv_samples=self.decode_kv_samples,
-                                    image_resolution=self.image_resolution,
-                                    sampling_steps=self.sampling_steps,
-                                    devices=devices, parallelism=self.parallelism,
-                                    scenario=scenario)
+                                for serving in serving_specs:
+                                    yield make_point(
+                                        design, config, model, precision, batch,
+                                        input_tokens=self.input_tokens,
+                                        output_tokens=self.output_tokens,
+                                        decode_kv_samples=self.decode_kv_samples,
+                                        image_resolution=self.image_resolution,
+                                        sampling_steps=self.sampling_steps,
+                                        devices=devices, parallelism=self.parallelism,
+                                        scenario=scenario, serving=serving)
 
     def __len__(self) -> int:
         model_scenarios = sum(len(self.scenarios_for(get_model(name)))
                               for name in self.models)
         return (len(self.designs) * model_scenarios * len(self.precisions)
-                * len(self.batches) * len(self.device_counts))
+                * len(self._batch_axis()) * len(self.device_counts)
+                * len(self.serving_specs()))
 
     def with_updates(self, **kwargs: object) -> "SweepGrid":
         """Return a copy of the grid with the given fields replaced."""

@@ -13,6 +13,7 @@ of the traffic distribution, not of a single canonical request.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.common import Precision
 from repro.workloads.llm import (
@@ -55,6 +56,19 @@ DEFAULT_REQUEST_MIX: tuple[RequestClass, ...] = (
 )
 
 
+def mix_fractions(request_classes: Sequence[RequestClass]) -> tuple[float, ...]:
+    """Traffic share of each request class, normalised to sum to one.
+
+    Shared by the analytical chat-serving scenario (expected per-group cost)
+    and the serving trace generators (sampling weights), so both views of a
+    mix agree on its distribution.
+    """
+    if not request_classes:
+        raise ValueError("a request mix needs at least one class")
+    total = sum(request.weight for request in request_classes)
+    return tuple(request.weight / total for request in request_classes)
+
+
 @dataclass(frozen=True)
 class ChatServingSettings:
     """Evaluation settings for the chat-serving scenario."""
@@ -75,8 +89,7 @@ class ChatServingSettings:
 
     def fractions(self) -> tuple[float, ...]:
         """Traffic share of each request class, normalised to sum to one."""
-        total = sum(request.weight for request in self.request_classes)
-        return tuple(request.weight / total for request in self.request_classes)
+        return mix_fractions(self.request_classes)
 
     def expected_output_tokens(self) -> float:
         """Mean generated tokens per request under the mix."""

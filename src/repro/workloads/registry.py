@@ -144,6 +144,32 @@ def scenarios_supporting(model: Any) -> tuple[ScenarioSpec, ...]:
     return tuple(spec for spec in SCENARIO_REGISTRY.values() if spec.supports(model))
 
 
+#: Model type -> workload-family tag, most specific type first.  Sweep rows
+#: carry the tag in their ``kind`` column; tests assert the two stay in sync.
+MODEL_KINDS: tuple[tuple[type, str], ...] = (
+    (MoEConfig, "moe"),
+    (LLMConfig, "llm"),
+    (DiTConfig, "dit"),
+)
+
+
+def model_kind(model: Any) -> str:
+    """Workload-family tag of a model configuration (``"llm"``, ``"moe"``,
+    ``"dit"``), resolved by its most specific registered type.
+
+    Raises
+    ------
+    TypeError
+        If no registered family covers the model's type.
+    """
+    for model_type, kind in MODEL_KINDS:
+        if isinstance(model, model_type):
+            return kind
+    known = ", ".join(kind for _, kind in MODEL_KINDS)
+    raise TypeError(f"no workload family for model type "
+                    f"'{type(model).__name__}' (families: {known})")
+
+
 register_scenario(LLM_SERVING_SCENARIO, default_for=(LLMConfig,))
 register_scenario(DIT_SAMPLING_SCENARIO, default_for=(DiTConfig,))
 register_scenario(MOE_SERVING_SCENARIO, default_for=(MoEConfig,))

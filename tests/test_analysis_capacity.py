@@ -1,17 +1,20 @@
 """Tests for memory-capacity planning."""
 
 import pytest
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.analysis.capacity import (
     ModelFootprint,
     dit_footprint,
     llm_footprint,
+    llm_weight_bytes,
     plan_capacity,
+    serving_kv_budget,
 )
 from repro.common import Precision
 from repro.core.designs import tpuv4i_baseline
 from repro.workloads.dit import DIT_XL_2
-from repro.workloads.llm import GPT3_30B, LLAMA2_7B
+from repro.workloads.llm import GPT3_30B, LLAMA2_7B, LLMConfig
 
 
 class TestFootprints:
@@ -86,3 +89,85 @@ class TestCapacityPlan:
         footprint = dit_footprint(DIT_XL_2, batch=1)
         with pytest.raises(ValueError):
             plan_capacity(footprint, tpuv4i_baseline(), memory_utilisation=0.0)
+
+
+class TestServingKvBudget:
+    def test_budget_below_usable_memory(self):
+        budget = serving_kv_budget(LLAMA2_7B, tpuv4i_baseline())
+        usable = int(tpuv4i_baseline().main_memory_bytes * 0.9)
+        assert budget < usable
+        assert budget == usable - llm_weight_bytes(LLAMA2_7B) - 2 * 32 * (
+            LLAMA2_7B.d_model + LLAMA2_7B.d_ff)
+
+    def test_non_positive_when_weights_exceed_memory(self):
+        assert serving_kv_budget(GPT3_30B, tpuv4i_baseline(), devices=1) < 0
+
+    def test_devices_widen_the_budget(self):
+        one = serving_kv_budget(LLAMA2_7B, tpuv4i_baseline(), devices=1)
+        four = serving_kv_budget(LLAMA2_7B, tpuv4i_baseline(), devices=4)
+        assert four > one
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            serving_kv_budget(LLAMA2_7B, tpuv4i_baseline(), devices=0)
+        with pytest.raises(ValueError):
+            serving_kv_budget(LLAMA2_7B, tpuv4i_baseline(), memory_utilisation=0.0)
+
+
+# --------------------------------------------------------------- properties
+#: Small-but-varied model shapes for the property tests.
+model_configs = st.builds(
+    LLMConfig,
+    name=st.just("prop-llm"),
+    num_layers=st.integers(min_value=1, max_value=48),
+    num_heads=st.sampled_from([8, 16, 32, 56]),
+    d_model=st.sampled_from([512, 1024, 4096, 7168]),
+    d_ff=st.sampled_from([2048, 8192, 28672]),
+    vocab_size=st.sampled_from([1000, 32000]),
+    head_dim=st.sampled_from([32, 64, 128]),  # decoupled from d_model/num_heads
+)
+
+
+class TestCapacityProperties:
+    @given(model=model_configs,
+           batch=st.integers(min_value=1, max_value=32),
+           shorter=st.integers(min_value=1, max_value=30_000),
+           extra=st.integers(min_value=1, max_value=30_000))
+    @settings(max_examples=60, deadline=None)
+    def test_min_devices_monotone_in_context_length(self, model, batch, shorter, extra):
+        """Growing the context can never shrink the deployment."""
+        tpu = tpuv4i_baseline()
+        small = plan_capacity(llm_footprint(model, batch, shorter), tpu)
+        large = plan_capacity(llm_footprint(model, batch, shorter + extra), tpu)
+        assert large.min_devices >= small.min_devices
+
+    @given(model=model_configs,
+           devices=st.integers(min_value=1, max_value=16),
+           max_batch=st.integers(min_value=1, max_value=64),
+           contexts=st.lists(st.integers(min_value=1, max_value=32768),
+                             min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_admission_never_exceeds_hbm(self, model, devices, max_batch, contexts):
+        """The scheduler's greedy reservation rule keeps every admitted batch
+        (weights + committed KV + decode working set) within device memory."""
+        tpu = tpuv4i_baseline()
+        utilisation = 0.9
+        budget = serving_kv_budget(model, tpu, devices=devices, max_batch=max_batch,
+                                   precision=Precision.INT8,
+                                   memory_utilisation=utilisation)
+        # A non-positive budget means the engine refuses to serve at all.
+        assume(budget > 0)
+        per_token = model.kv_cache_bytes(1, 1)
+        reserved = 0
+        admitted = 0
+        for context in contexts:  # the engine's admission rule, verbatim
+            if admitted >= max_batch:
+                break
+            need = context * per_token
+            if reserved + need > budget:
+                break
+            reserved += need
+            admitted += 1
+        working_set = 2 * max_batch * (model.d_model + model.d_ff)
+        footprint = llm_weight_bytes(model) + reserved + working_set
+        assert footprint <= devices * int(tpu.main_memory_bytes * utilisation)

@@ -181,6 +181,117 @@ class TestSweep:
         assert "chat-serving" in out
 
 
+class TestServe:
+    SERVE = ["--seed", "7", "--llm", "llama2-7b", "--input-tokens", "64",
+             "--output-tokens", "16", "serve", "--scenario", "llm-serving",
+             "--rate", "20", "--requests", "30"]
+
+    def test_serve_runs_and_prints_slo_analytics(self, capsys):
+        code, out = run_cli(capsys, *self.SERVE)
+        assert code == 0
+        assert "TTFT" in out and "TPOT" in out and "p99" in out
+        assert "SLO" in out and "goodput" in out
+        assert "step-cost cache" in out and "hit rate" in out
+
+    def test_serve_is_bit_for_bit_reproducible(self, capsys):
+        _, first = run_cli(capsys, *self.SERVE)
+        _, second = run_cli(capsys, *self.SERVE)
+        assert first == second
+
+    def test_serve_seed_changes_the_run(self, capsys):
+        _, first = run_cli(capsys, *self.SERVE)
+        _, other = run_cli(capsys, "--seed", "8", *self.SERVE[2:])
+        assert first != other
+
+    def test_serve_default_scenario_is_chat_serving(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.scenario == "chat-serving"
+        assert args.scheduler == "fcfs"
+
+    def test_serve_exports_report_and_request_rows(self, capsys, tmp_path):
+        import json as json_module
+
+        json_path = tmp_path / "report.json"
+        csv_path = tmp_path / "requests.csv"
+        code, _ = run_cli(capsys, *self.SERVE, "--json", str(json_path),
+                          "--csv", str(csv_path))
+        assert code == 0
+        report = json_module.loads(json_path.read_text())
+        assert report["completed"] == 30
+        assert "cost_cache_hit_rate" in report and "ttft" in report
+        assert csv_path.read_text().startswith("request_id,")
+
+    def test_serve_replays_jsonl_trace(self, capsys, tmp_path):
+        from repro.serving.trace import generate_trace, write_trace_jsonl
+        from repro.workloads.chat import RequestClass
+
+        trace_path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(generate_trace(
+            "poisson", (RequestClass(input_tokens=64, output_tokens=16),),
+            10.0, 20, 3), trace_path)
+        code, out = run_cli(capsys, "--llm", "llama2-7b", "serve",
+                            "--scenario", "llm-serving",
+                            "--trace-file", str(trace_path))
+        assert code == 0
+        assert "20/20 completed" in out
+
+    def test_serve_scheduler_flag_changes_output(self, capsys):
+        _, fcfs = run_cli(capsys, *self.SERVE, "--rate", "100")
+        _, waves = run_cli(capsys, *self.SERVE, "--rate", "100",
+                           "--scheduler", "decode-priority")
+        assert fcfs != waves
+
+    def test_serve_rejects_non_llm_model(self):
+        with pytest.raises(SystemExit, match="not an LLM"):
+            main(["--llm", "dit-xl-2", "serve"])
+
+    def test_serve_rejects_unsupported_scenario(self):
+        with pytest.raises(SystemExit, match="does not support"):
+            main(["--llm", "llama2-7b", "serve", "--scenario", "moe-serving"])
+
+    def test_serve_rejects_undersized_deployment(self):
+        with pytest.raises(SystemExit, match="does not fit"):
+            main(["--llm", "gpt3-30b", "serve", "--devices", "1"])
+
+    def test_serve_unwritable_export_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot write results"):
+            main(self.SERVE + ["--json", str(tmp_path / "missing" / "report.json")])
+
+
+class TestServingSweep:
+    def test_sweep_serving_axes(self, capsys):
+        code, out = run_cli(capsys, "--seed", "3", *SMALL, "sweep",
+                            "--models", "llama2-7b", "--designs", "baseline",
+                            "--precisions", "int8", "--batches", "2",
+                            "--scenarios", "llm-serving",
+                            "--schedulers", "fcfs", "decode-priority",
+                            "--arrival-rates", "4", "--trace-requests", "20")
+        assert code == 0
+        assert "fcfs" in out and "decode-priority" in out
+        assert "seed=3" in out
+
+    def test_sweep_serving_skips_non_llm_models(self, capsys):
+        code, out = run_cli(capsys, *SMALL, "sweep",
+                            "--models", "llama2-7b", "dit-xl-2",
+                            "--designs", "baseline", "--precisions", "int8",
+                            "--batches", "2", "--schedulers", "fcfs",
+                            "--arrival-rates", "4", "--trace-requests", "10")
+        assert code == 0
+        assert "skipping non-LLM models" in out
+
+    def test_sweep_serving_with_only_dit_fails(self):
+        with pytest.raises(SystemExit, match="only modelled for LLM"):
+            main(SMALL + ["sweep", "--models", "dit-xl-2", "--designs", "baseline",
+                          "--precisions", "int8", "--batches", "2",
+                          "--schedulers", "fcfs", "--arrival-rates", "4"])
+
+    def test_sweep_schedulers_require_rates(self):
+        with pytest.raises(SystemExit, match="schedulers and arrival_rates"):
+            main(SMALL + ["sweep", "--models", "llama2-7b", "--designs", "baseline",
+                          "--precisions", "int8", "--batches", "2",
+                          "--schedulers", "fcfs"])
+
+
 class TestMultiDevice:
     def test_pipeline_parallel(self, capsys):
         code, out = run_cli(capsys, *SMALL, "--llm", "llama2-7b",

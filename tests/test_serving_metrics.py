@@ -1,0 +1,154 @@
+"""Tests for serving metrics: percentiles, SLO goodput and export hooks."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.designs import tpuv4i_baseline
+from repro.serving.metrics import (
+    SLO,
+    LatencySummary,
+    RequestMetrics,
+    percentile,
+)
+from repro.serving.simulator import ServingSimulator
+from repro.serving.trace import generate_trace
+from repro.sweep.export import to_csv, to_json, write_csv
+from repro.workloads.chat import RequestClass
+from repro.workloads.llm import LLMConfig
+
+TINY = LLMConfig(name="metrics-tiny-llm", num_layers=2, num_heads=8, d_model=512,
+                 d_ff=2048, vocab_size=1000)
+MIX = (RequestClass(input_tokens=64, output_tokens=16),)
+
+
+class TestPercentile:
+    def test_median_of_odd_count(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_interpolates_between_order_statistics(self):
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 9.0
+
+    def test_single_value(self):
+        assert percentile([4.2], 99.0) == 4.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150.0)
+
+
+class TestSLO:
+    def test_meets_requires_both_targets(self):
+        metrics = RequestMetrics.from_times(request_id=0, arrival_s=0.0,
+                                            input_tokens=8, output_tokens=5,
+                                            first_token_s=0.5, finish_s=0.9)
+        assert metrics.meets(SLO(ttft_s=1.0, tpot_s=0.2))
+        assert not metrics.meets(SLO(ttft_s=0.4, tpot_s=0.2))
+        assert not metrics.meets(SLO(ttft_s=1.0, tpot_s=0.05))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO(ttft_s=0.0)
+
+
+class TestRequestMetrics:
+    def test_derived_quantities(self):
+        metrics = RequestMetrics.from_times(request_id=3, arrival_s=1.0,
+                                            input_tokens=8, output_tokens=5,
+                                            first_token_s=1.5, finish_s=2.5)
+        assert metrics.ttft_s == pytest.approx(0.5)
+        assert metrics.tpot_s == pytest.approx(1.0 / 4)
+        assert metrics.e2e_s == pytest.approx(1.5)
+
+    def test_single_token_request_has_zero_tpot(self):
+        metrics = RequestMetrics.from_times(request_id=0, arrival_s=0.0,
+                                            input_tokens=8, output_tokens=1,
+                                            first_token_s=0.2, finish_s=0.2)
+        assert metrics.tpot_s == 0.0
+
+    def test_rejects_disordered_timeline(self):
+        with pytest.raises(ValueError, match="ordered"):
+            RequestMetrics.from_times(request_id=0, arrival_s=1.0, input_tokens=8,
+                                      output_tokens=2, first_token_s=0.5, finish_s=2.0)
+
+
+class TestLatencySummary:
+    def test_from_values(self):
+        summary = LatencySummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean_s == pytest.approx(2.5)
+        assert summary.p50_s == pytest.approx(2.5)
+        assert summary.max_s == 4.0
+        assert summary.p95_s <= summary.p99_s <= summary.max_s
+
+    def test_empty(self):
+        assert LatencySummary.empty().p99_s == 0.0
+
+
+@pytest.fixture(scope="module")
+def report():
+    trace = generate_trace("poisson", MIX, 20.0, 40, seed=5)
+    return ServingSimulator(TINY, tpuv4i_baseline()).run(
+        trace, slo=SLO(ttft_s=0.5, tpot_s=0.05))
+
+
+class TestReport:
+    def test_goodput_consistent_with_attainment(self, report):
+        met = [m for m in report.requests if m.meets(report.slo)]
+        assert report.slo_attainment == pytest.approx(len(met) / report.completed)
+        assert report.goodput_requests_per_second == pytest.approx(
+            len(met) / report.makespan_s)
+        assert report.goodput_tokens_per_second <= report.tokens_per_second
+
+    def test_summaries_match_per_request_rows(self, report):
+        assert report.ttft.max_s == max(m.ttft_s for m in report.requests)
+        assert report.e2e.p50_s == percentile([m.e2e_s for m in report.requests], 50.0)
+
+    def test_to_dict_round_trips_through_json(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["completed"] == report.completed
+        assert payload["ttft"]["p99_s"] == report.ttft.p99_s
+        assert payload["cost_cache_hit_rate"] == report.cost_cache_hit_rate
+        assert len(payload["requests"]) == report.completed
+
+    def test_to_dict_can_drop_requests(self, report):
+        assert "requests" not in report.to_dict(include_requests=False)
+
+
+class TestExportIntegration:
+    def test_request_rows_export_to_csv(self, report):
+        parsed = list(csv.DictReader(io.StringIO(to_csv(report.requests))))
+        assert len(parsed) == report.completed
+        assert set(parsed[0]) == {"request_id", "arrival_s", "input_tokens",
+                                  "output_tokens", "first_token_s", "finish_s",
+                                  "ttft_s", "tpot_s", "e2e_s"}
+
+    def test_request_rows_export_to_json(self, report):
+        decoded = json.loads(to_json(report.requests))
+        assert decoded[0]["ttft_s"] == report.requests[0].ttft_s
+
+    def test_write_csv_deterministic(self, report, tmp_path):
+        first = write_csv(report.requests, tmp_path / "a.csv").read_text()
+        second = write_csv(report.requests, tmp_path / "b.csv").read_text()
+        assert first == second
+
+    def test_unexportable_rows_rejected(self):
+        with pytest.raises(TypeError, match="cannot export"):
+            to_json([object()])
+
+    def test_empty_request_rows_keep_their_header(self):
+        """Regression: an all-rejected run must still export the
+        RequestMetrics header, not the sweep-row one."""
+        from repro.sweep.export import fieldnames_of
+
+        header = to_csv((), fieldnames=fieldnames_of(RequestMetrics)).strip()
+        assert header.startswith("request_id,arrival_s,")
+        assert header.endswith(",e2e_s")

@@ -259,6 +259,117 @@ class TestMultiDevicePoints:
             SweepEngine().evaluate(point)
 
 
+class TestModelKinds:
+    def test_kind_matches_the_workload_registry(self):
+        """Every registered model's sweep row carries its registry family tag
+        (regression for the stale '"llm" or "dit"' doc: moe flows through)."""
+        from repro.workloads.registry import MODEL_REGISTRY, get_model, model_kind
+
+        engine = SweepEngine()
+        for name in sorted(MODEL_REGISTRY):
+            model = get_model(name)
+            point = make_point("baseline", tpuv4i_baseline(), model, batch=1,
+                               input_tokens=32, output_tokens=4, decode_kv_samples=1,
+                               image_resolution=256, sampling_steps=1)
+            assert engine.evaluate(point).kind == model_kind(model)
+
+    def test_registry_families_are_exhaustive(self):
+        from repro.workloads.registry import MODEL_KINDS, MODEL_REGISTRY, model_kind
+
+        kinds = {model_kind(model) for model in MODEL_REGISTRY.values()}
+        assert kinds == {"llm", "moe", "dit"}
+        assert kinds <= {kind for _, kind in MODEL_KINDS}
+
+    def test_unknown_model_type_rejected(self):
+        from repro.workloads.registry import model_kind
+
+        with pytest.raises(TypeError, match="no workload family"):
+            model_kind(object())
+
+
+class TestServingPoints:
+    """Sweep points carrying a ServingSpec run the discrete-event simulator."""
+
+    @staticmethod
+    def serving_point(design="baseline", config=None, **overrides):
+        from repro.serving.spec import ServingSpec
+
+        spec = ServingSpec(scheduler=overrides.pop("scheduler", "fcfs"),
+                           arrival_rate=overrides.pop("arrival_rate", 20.0),
+                           num_requests=overrides.pop("num_requests", 20), seed=3)
+        return make_point(design, config if config is not None else tpuv4i_baseline(),
+                          TINY_LLM, batch=2, input_tokens=64, output_tokens=16,
+                          decode_kv_samples=2, serving=spec, **overrides)
+
+    def test_serving_row_shape(self):
+        row = SweepEngine().evaluate(self.serving_point())
+        assert row.scenario == "llm-serving"
+        assert "fcfs" in row.settings_summary and "seed=3" in row.settings_summary
+        assert row.item_unit == "token"
+        assert row.items == 20 * 16  # every request completes
+        assert row.latency_seconds > 0 and row.throughput > 0
+
+    def test_serving_rows_cache_and_reproduce(self):
+        engine = SweepEngine()
+        points = [self.serving_point(), self.serving_point()]
+        rows = engine.sweep(points)
+        assert rows[0] == rows[1]
+        assert engine.stats.point_hits >= 1
+        assert SweepEngine().sweep([self.serving_point()])[0] == rows[0]
+
+    def test_parallel_serving_sweep_matches_serial(self):
+        points = [self.serving_point(),
+                  self.serving_point(design="design-a", config=design_a()),
+                  self.serving_point(scheduler="decode-priority")]
+        serial = SweepEngine().sweep(points)
+        parallel = SweepEngine().sweep(points, workers=2)
+        assert to_json(parallel) == to_json(serial)
+
+    def test_scheduler_changes_the_cache_key(self):
+        assert (point_key(self.serving_point())
+                != point_key(self.serving_point(scheduler="decode-priority")))
+
+    def test_serving_grid_expansion(self):
+        grid = SweepGrid(designs={"baseline": tpuv4i_baseline()},
+                         models=["llama2-7b", "dit-xl-2"],
+                         schedulers=("fcfs", "decode-priority"),
+                         arrival_rates=(2.0, 8.0), serving_requests=10,
+                         input_tokens=32, output_tokens=8)
+        points = grid.points()
+        # DiT is skipped under serving; 1 design x 1 model x 2 x 2 axes.
+        assert len(points) == len(grid) == 4
+        assert {p.serving.scheduler for p in points} == {"fcfs", "decode-priority"}
+        assert {p.serving.arrival_rate for p in points} == {2.0, 8.0}
+
+    def test_serving_grid_collapses_the_batch_axis(self):
+        """Regression: batch does not affect a serving run, so extra batch
+        values must not duplicate identical discrete-event simulations."""
+        grid = SweepGrid(designs={"baseline": tpuv4i_baseline()},
+                         models=["llama2-7b"], batches=(1, 8),
+                         schedulers=("fcfs",), arrival_rates=(4.0,),
+                         serving_requests=10, input_tokens=32, output_tokens=8)
+        assert len(grid.points()) == len(grid) == 1
+
+    def test_serving_grid_validation(self):
+        with pytest.raises(ValueError, match="schedulers and arrival_rates"):
+            SweepGrid(schedulers=("fcfs",))
+        with pytest.raises(ValueError, match="deployment"):
+            SweepGrid(schedulers=("fcfs",), arrival_rates=(2.0,),
+                      device_counts=(1, 2))
+
+    def test_serving_point_rejects_non_llm_and_devices(self):
+        from repro.serving.spec import ServingSpec
+
+        with pytest.raises(ValueError, match="LLM"):
+            make_point("baseline", tpuv4i_baseline(), TINY_DIT, batch=1,
+                       image_resolution=256, sampling_steps=1,
+                       serving=ServingSpec())
+        with pytest.raises(ValueError, match="deployment"):
+            make_point("baseline", tpuv4i_baseline(), TINY_LLM, batch=1,
+                       input_tokens=32, output_tokens=4, devices=2,
+                       serving=ServingSpec())
+
+
 class TestErrorPaths:
     def test_get_model_unknown_name_raises_keyerror(self):
         from repro.workloads.registry import get_model

@@ -134,7 +134,7 @@ class TestMoEScenario:
         assert point.scenario == "moe-serving"
         row = SweepEngine().evaluate(point)
         assert row.scenario == "moe-serving"
-        assert row.kind == "llm" and row.item_unit == "token"
+        assert row.kind == "moe" and row.item_unit == "token"
         assert row.latency_seconds > 0 and row.throughput > 0
 
     def test_moe_pipeline_parallel(self, tiny_llm_settings):
