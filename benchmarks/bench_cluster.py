@@ -1,0 +1,135 @@
+"""Cluster-simulator throughput: the perf-trajectory record for the fleet.
+
+Routes a 5k-request bursty trace of the default chat mix across a
+four-replica fleet (least-outstanding-requests router, queue-depth
+autoscaler) and measures *simulator* performance — requests simulated per
+wall-clock second and the fleet-wide step-cost cache hit rate the shared
+graph cache makes possible.
+
+Beyond the human-readable table under ``reports/``, the run writes
+``BENCH_cluster.json`` at the repository root: the machine-readable record
+CI uploads next to ``BENCH_sweep.json`` / ``BENCH_serving.json`` and the
+benchmark-regression gate (``scripts/check_bench_regression.py``) compares
+against the committed baseline.  Pinned invariants: the 5k-request fleet
+must finish in under 15 s, the fleet cache hit rate must stay above 98 %
+(each replica's step-cost memo pays its own first lookup per state, so the
+fleet rate sits slightly below the single-replica 99 %), and two identical
+runs must agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from _harness import REPORTS_DIR, emit_report
+
+from repro.core.designs import design_a
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.metrics import SLO
+from repro.serving.simulator import ServingSimulator
+from repro.serving.trace import generate_trace
+from repro.sweep.cache import CachingInferenceSimulator
+from repro.workloads.chat import DEFAULT_REQUEST_MIX
+from repro.workloads.llm import GPT3_30B
+
+BENCH_PATH = REPORTS_DIR.parent / "BENCH_cluster.json"
+
+NUM_REQUESTS = 5_000
+ARRIVAL_RATE = 64.0
+REPLICAS = 4
+SEED = 7
+WALL_BUDGET_SECONDS = 15.0
+
+
+def _run():
+    trace = generate_trace("bursty", DEFAULT_REQUEST_MIX, ARRIVAL_RATE,
+                           NUM_REQUESTS, SEED)
+    shared = CachingInferenceSimulator(design_a())
+    replicas = [ServingSimulator(GPT3_30B, design_a(), simulator=shared)
+                for _ in range(REPLICAS)]
+    cluster = ClusterSimulator(replicas, router="least-outstanding-requests",
+                               autoscaler="queue-depth")
+    start = time.perf_counter()
+    report = cluster.run(trace, slo=SLO(ttft_s=1.0, tpot_s=0.1))
+    return report, time.perf_counter() - start
+
+
+def test_cluster_simulator_throughput(benchmark):
+    """5k chat requests over 4 replicas: wall-clock, caching, reproducibility."""
+    report, wall = _run()
+    repeat, repeat_wall = _run()
+
+    emit_report(
+        "cluster_throughput",
+        ["quantity", "value"],
+        [["requests routed", NUM_REQUESTS],
+         ["replicas (configured)", report.fleet_size],
+         ["replicas (peak / mean active)",
+          f"{report.peak_active_replicas} / {report.mean_active_replicas:.2f}"],
+         ["wall-clock", f"{wall:.2f} s"],
+         ["requests/s simulated", f"{NUM_REQUESTS / wall:.0f}"],
+         ["simulated makespan", f"{report.makespan_s:.0f} s"],
+         ["fleet step-cost cache hit rate",
+          f"{report.cost_cache_hit_rate * 100:.2f}%"],
+         ["distinct states priced (fleet)", report.cost_cache_misses],
+         ["p99 TTFT", f"{report.ttft.p99_s:.3f} s"],
+         ["p99 e2e", f"{report.e2e.p99_s:.3f} s"],
+         ["cost per million tokens", f"${report.cost_per_million_tokens_dollars:.3f}"]],
+        title=f"Cluster simulator over {NUM_REQUESTS} chat requests "
+              f"({GPT3_30B.name} on {REPLICAS}x design-a, seed {SEED})")
+
+    BENCH_PATH.write_text(json.dumps({
+        "benchmark": "cluster_simulator",
+        "model": GPT3_30B.name,
+        "design": "design-a",
+        "fleet": {"replicas": REPLICAS, "router": "least-outstanding-requests",
+                  "autoscaler": "queue-depth"},
+        "trace": {"kind": "bursty", "num_requests": NUM_REQUESTS,
+                  "arrival_rate": ARRIVAL_RATE, "seed": SEED},
+        "wall_seconds": wall,
+        "requests_per_wall_second": NUM_REQUESTS / wall,
+        "cache_hit_rate": report.cost_cache_hit_rate,
+        "distinct_cost_states": report.cost_cache_misses,
+        "report": report.to_dict(include_requests=False),
+    }, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote cluster benchmark record to {BENCH_PATH}")
+
+    # Acceptance budget: 5k requests across the fleet in under 15 s.
+    assert wall < WALL_BUDGET_SECONDS
+    assert report.completed == NUM_REQUESTS
+    assert report.cost_cache_hit_rate > 0.98
+    # Bit-for-bit reproducibility of the simulated fleet outcome.
+    assert repeat.to_dict() == report.to_dict()
+    assert repeat_wall < WALL_BUDGET_SECONDS
+
+    # Steady-state figure of merit for pytest-benchmark comparisons: a
+    # 1k-request fleet replay on a warm shared graph cache.
+    small_trace = generate_trace("bursty", DEFAULT_REQUEST_MIX, ARRIVAL_RATE,
+                                 1000, SEED)
+    shared = CachingInferenceSimulator(design_a())
+    replicas = [ServingSimulator(GPT3_30B, design_a(), simulator=shared)
+                for _ in range(REPLICAS)]
+    warm = ClusterSimulator(replicas, router="least-outstanding-requests")
+    warm.run(small_trace)
+
+    def replay():
+        fresh = [ServingSimulator(GPT3_30B, design_a(), simulator=shared)
+                 for _ in range(REPLICAS)]
+        return ClusterSimulator(fresh, router="least-outstanding-requests").run(small_trace)
+
+    benchmark(replay)
+
+
+def test_routers_complete_the_trace():
+    """Every built-in router finishes a contended fleet trace."""
+    from repro.serving.router import ROUTER_REGISTRY
+
+    trace = generate_trace("bursty", DEFAULT_REQUEST_MIX, 32.0, 800, SEED)
+    shared = CachingInferenceSimulator(design_a())
+    for router in sorted(ROUTER_REGISTRY):
+        replicas = [ServingSimulator(GPT3_30B, design_a(), simulator=shared)
+                    for _ in range(3)]
+        report = ClusterSimulator(replicas, router=router).run(trace)
+        assert report.completed + report.rejected == 800
+        assert report.rejected == 0

@@ -7,19 +7,27 @@ plus the cache statistics that explain them.  The cached re-sweep must do
 zero new graph simulations and the parallel rows must equal the serial rows
 bit-for-bit — the same invariants the tier-1 tests pin, asserted here on the
 paper-sized grid.
+
+Beyond the human-readable table under ``reports/``, the run writes
+``BENCH_sweep.json`` at the repository root: the machine-readable wall-time
+record the benchmark-regression gate (``scripts/check_bench_regression.py``)
+compares against the committed baseline.
 """
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
 
-from _harness import emit_report, factor
+from _harness import REPORTS_DIR, emit_report, factor
 
 from repro.core.explorer import ArchitectureExplorer
 from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
 from repro.sweep.engine import SweepEngine
+
+BENCH_PATH = REPORTS_DIR.parent / "BENCH_sweep.json"
 
 PARALLEL_WORKERS = 4
 
@@ -61,6 +69,19 @@ def test_sweep_engine_modes(benchmark, sweep_points):
          ["cached re-sweep", f"{cached_seconds * 1e3:.1f} ms", 0,
           factor(serial_seconds / cached_seconds if cached_seconds else 0.0)]],
         title=f"Sweep engine wall-time over {len(sweep_points)} Table IV points")
+
+    BENCH_PATH.write_text(json.dumps({
+        "benchmark": "sweep_engine_modes",
+        "points": len(sweep_points),
+        "serial_wall_seconds": serial_seconds,
+        "parallel_wall_seconds": parallel_seconds,
+        "parallel_workers": PARALLEL_WORKERS,
+        "cached_wall_seconds": cached_seconds,
+        "graph_simulations": serial_sims,
+        "cached_resweep_simulations": serial_engine.stats.simulations - serial_sims,
+        "parallel_equals_serial": parallel_rows == serial_rows,
+    }, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote sweep benchmark record to {BENCH_PATH}")
 
     # Parallel fan-out returns the exact serial rows, in order.
     assert parallel_rows == serial_rows

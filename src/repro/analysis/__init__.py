@@ -11,9 +11,12 @@ from repro.analysis.breakdown import (
 from repro.analysis.capacity import (
     ModelFootprint,
     CapacityPlan,
+    FleetEvaluation,
+    FleetPlan,
     llm_footprint,
     dit_footprint,
     plan_capacity,
+    plan_fleet,
 )
 from repro.analysis.power import PowerSummary, graph_power_summary, inference_power_summary, mxu_power_ratio
 from repro.analysis.roofline import RooflineModel, RooflinePoint
@@ -28,9 +31,12 @@ __all__ = [
     "ComparisonRow",
     "ModelFootprint",
     "CapacityPlan",
+    "FleetEvaluation",
+    "FleetPlan",
     "llm_footprint",
     "dit_footprint",
     "plan_capacity",
+    "plan_fleet",
     "PowerSummary",
     "graph_power_summary",
     "inference_power_summary",

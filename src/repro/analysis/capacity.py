@@ -12,6 +12,8 @@ of the paper's "tensor parallelism and pipeline parallelism" statement.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass
 
 from repro.common import Precision, ceil_div
@@ -140,6 +142,132 @@ def plan_capacity(footprint: ModelFootprint, tpu: TPUConfig,
     return CapacityPlan(footprint=footprint, device_memory_bytes=tpu.main_memory_bytes,
                         fits_single_device=fits, min_devices=min_devices,
                         suggested_parallelism=suggestion)
+
+
+@dataclass(frozen=True)
+class FleetEvaluation:
+    """Outcome of trying one replica count against the SLO target."""
+
+    replicas: int
+    slo_attainment: float
+    p99_ttft_s: float
+    p99_tpot_s: float
+    goodput_requests_per_second: float
+    goodput_tokens_per_second: float
+    mean_active_replicas: float
+    cost_per_million_tokens_dollars: float
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form used by the JSON/CSV exporters."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """Result of sizing a replica fleet for an SLO at a target request rate."""
+
+    model_name: str
+    tpu_name: str
+    arrival_rate: float
+    attainment_target: float
+    #: Whether any tried fleet met the target, and the smallest replica
+    #: count that did (``None`` when even ``max_replicas`` fell short).
+    met: bool
+    replicas: int | None
+    evaluations: tuple[FleetEvaluation, ...]
+
+
+def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
+               slo=None, request_classes=None, attainment_target: float = 0.95,
+               max_replicas: int = 16, num_requests: int = 400, seed: int = 0,
+               trace_kind: str = "poisson", scheduler: str = "fcfs",
+               router: str = "least-outstanding-requests",
+               autoscaler: str = "fixed", max_batch: int = 32,
+               precision: Precision = Precision.INT8,
+               devices: int | None = None, memory_utilisation: float = 0.9,
+               cost_model=None) -> FleetPlan:
+    """Smallest replica count that meets an SLO at a target request rate.
+
+    Replays one seeded trace (``trace_kind`` arrivals at ``arrival_rate``
+    over the request mix) through fleets of identical replicas, growing the
+    fleet until the SLO attainment reaches ``attainment_target``, and
+    returns the first count that met it together with every evaluation
+    tried — the fleet analogue of :func:`plan_capacity`.  Fleets that
+    cannot even sustain the offered token throughput are skipped up front:
+    the search starts at the capacity lower bound ``ceil(arrival_rate ×
+    mean output tokens / estimated per-replica decode throughput)``, the
+    same estimate the cluster's router acts on.  All fleets share one
+    memoised graph simulator, so the incremental cost of each extra
+    evaluation is the event loop, not re-simulation.
+
+    Raises
+    ------
+    ValueError
+        On a non-positive rate/fleet ceiling or a target outside (0, 1].
+    """
+    # Imported lazily: repro.serving layers on top of repro.analysis, so a
+    # top-level import here would be circular.
+    from repro.serving.cluster import ClusterSimulator, FleetCostModel
+    from repro.serving.metrics import SLO
+    from repro.serving.simulator import ServingSimulator
+    from repro.serving.trace import generate_trace
+    from repro.sweep.cache import CachingInferenceSimulator
+    from repro.workloads.chat import DEFAULT_REQUEST_MIX, mix_fractions
+
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if max_replicas <= 0:
+        raise ValueError("max_replicas must be positive")
+    if not 0 < attainment_target <= 1:
+        raise ValueError("attainment_target must be in (0, 1]")
+    slo = slo if slo is not None else SLO()
+    classes = tuple(request_classes) if request_classes else DEFAULT_REQUEST_MIX
+    cost_model = cost_model if cost_model is not None else FleetCostModel()
+    trace = generate_trace(trace_kind, classes, arrival_rate, num_requests, seed)
+    shared = CachingInferenceSimulator(tpu)
+
+    probe = ServingSimulator(model, tpu, scheduler=scheduler, precision=precision,
+                             max_batch=max_batch, devices=devices,
+                             memory_utilisation=memory_utilisation,
+                             simulator=shared)
+    step = probe.costs.decode_cost(max_batch, probe.costs.bucket_tokens)
+    fractions = mix_fractions(classes)
+    mean_output = sum(fraction * cls.output_tokens
+                      for fraction, cls in zip(fractions, classes))
+    mean_prefill_s = sum(
+        fraction * probe.costs.prefill_cost(1, cls.input_tokens).seconds
+        for fraction, cls in zip(fractions, classes))
+    # Per-replica sustainable request rate: prefill serialises on the engine
+    # while decode shares max_batch slots — the binding one caps the rate.
+    per_replica_rate = min(1.0 / mean_prefill_s,
+                           max_batch / (mean_output * step.seconds))
+    lower_bound = max(1, int(math.ceil(arrival_rate / per_replica_rate)))
+
+    evaluations: list[FleetEvaluation] = []
+    met_at: int | None = None
+    for count in range(min(lower_bound, max_replicas), max_replicas + 1):
+        replicas = [ServingSimulator(
+            model, tpu, scheduler=scheduler, precision=precision,
+            max_batch=max_batch, devices=devices,
+            memory_utilisation=memory_utilisation, simulator=shared)
+            for _ in range(count)]
+        report = ClusterSimulator(replicas, router=router, autoscaler=autoscaler,
+                                  cost_model=cost_model).run(trace, slo=slo)
+        evaluations.append(FleetEvaluation(
+            replicas=count, slo_attainment=report.slo_attainment,
+            p99_ttft_s=report.ttft.p99_s, p99_tpot_s=report.tpot.p99_s,
+            goodput_requests_per_second=report.goodput_requests_per_second,
+            goodput_tokens_per_second=report.goodput_tokens_per_second,
+            mean_active_replicas=report.mean_active_replicas,
+            cost_per_million_tokens_dollars=report.cost_per_million_tokens_dollars))
+        if report.slo_attainment >= attainment_target:
+            met_at = count
+            break
+    return FleetPlan(model_name=model.name, tpu_name=tpu.name,
+                     arrival_rate=arrival_rate,
+                     attainment_target=attainment_target,
+                     met=met_at is not None, replicas=met_at,
+                     evaluations=tuple(evaluations))
 
 
 def serving_kv_budget(model: LLMConfig, tpu: TPUConfig, *, devices: int = 1,

@@ -25,7 +25,15 @@ Python:
     (Poisson/bursty/diurnal arrivals over the scenario's request mix, or a
     JSONL file) through the continuous-batching scheduler and report
     TTFT/TPOT/e2e percentiles, SLO goodput, utilisation and energy per
-    token.
+    token.  ``--replicas N`` lifts the run to a fleet: the trace is routed
+    across N replicas by a registered ``--router`` policy under a
+    registered ``--autoscaler`` policy, and the report adds per-replica
+    breakdowns, the replica-count timeline and cost per million tokens.
+    ``--check-determinism`` runs the simulation twice and fails unless the
+    reports agree bit-for-bit (the CI reproducibility gate).
+``repro-sim fleet``
+    Fleet sizing: the smallest replica count whose SLO attainment reaches
+    a target at a given request rate, with per-fleet goodput and cost.
 ``repro-sim models``
     List the registered model configurations and their memory footprints.
 ``repro-sim scenarios``
@@ -54,13 +62,16 @@ import sys
 from typing import Sequence
 
 from repro.analysis.breakdown import overall_comparison
-from repro.analysis.capacity import dit_footprint, llm_footprint, plan_capacity
+from repro.analysis.capacity import dit_footprint, llm_footprint, plan_capacity, plan_fleet
 from repro.analysis.report import format_table
 from repro.common import Precision
 from repro.core.designs import PREDEFINED_DESIGNS, tpuv4i_baseline
 from repro.core.explorer import ArchitectureExplorer
 from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+from repro.serving.autoscaler import AUTOSCALER_REGISTRY
+from repro.serving.cluster import ClusterSimulator, ReplicaSummary
 from repro.serving.metrics import SLO, RequestMetrics
+from repro.serving.router import ROUTER_REGISTRY
 from repro.serving.scheduler import SCHEDULER_REGISTRY
 from repro.serving.simulator import ServingSimulator
 from repro.serving.trace import (
@@ -69,6 +80,7 @@ from repro.serving.trace import (
     load_trace_jsonl,
     request_classes_from_settings,
 )
+from repro.sweep.cache import CachingInferenceSimulator
 from repro.sweep.engine import SweepEngine
 from repro.sweep.export import fieldnames_of, write_csv, write_json
 from repro.sweep.grid import SweepGrid, SweepPoint
@@ -250,6 +262,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             image_resolution=args.resolution, sampling_steps=args.steps,
             schedulers=schedulers, arrival_rates=arrival_rates,
             serving_trace=args.trace, serving_requests=args.trace_requests,
+            routers=tuple(args.routers or ()),
+            replica_counts=tuple(args.replica_counts or ()),
+            serving_autoscaler=args.autoscaler,
             seed=args.seed)
     except ValueError as error:
         raise SystemExit(str(error))
@@ -280,8 +295,172 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _percentile_table(report, title: str) -> str:
+    """The TTFT/TPOT/e2e percentile grid shared by serve and cluster runs."""
+    def row(name: str, summary) -> list[str]:
+        return [name, f"{summary.mean_s * 1e3:.2f} ms", f"{summary.p50_s * 1e3:.2f} ms",
+                f"{summary.p95_s * 1e3:.2f} ms", f"{summary.p99_s * 1e3:.2f} ms",
+                f"{summary.max_s * 1e3:.2f} ms"]
+
+    return format_table(
+        ["metric", "mean", "p50", "p95", "p99", "max"],
+        [row("TTFT", report.ttft), row("TPOT", report.tpot), row("e2e", report.e2e)],
+        title=title)
+
+
+def _print_serving_report(report, args: argparse.Namespace, model) -> None:
+    """Human-readable output of a single-deployment serving run."""
+    print(_percentile_table(
+        report,
+        title=f"{model.name} on {args.design} x{report.devices} "
+              f"({report.scheduler}, {args.trace_file or args.trace} trace, "
+              f"seed {args.seed})"))
+    print(f"requests: {report.completed}/{report.num_requests} completed, "
+          f"{report.rejected} rejected; makespan {report.makespan_s:.1f} s, "
+          f"utilisation {report.utilisation * 100:.1f}%")
+    print(f"throughput: {report.tokens_per_second:.1f} tokens/s "
+          f"({report.requests_per_second:.2f} requests/s); "
+          f"energy {report.energy_per_token_joules * 1e3:.3f} mJ/token")
+    print(f"SLO ({report.slo.summary()}): {report.slo_attainment * 100:.1f}% attained, "
+          f"goodput {report.goodput_tokens_per_second:.1f} tokens/s "
+          f"({report.goodput_requests_per_second:.2f} requests/s)")
+    print(f"step-cost cache: {report.cost_cache_hit_rate * 100:.2f}% hit rate "
+          f"({report.cost_cache_misses} distinct (phase, batch, context-bucket) "
+          f"states priced over {report.prefill_steps + report.decode_steps} steps)")
+
+
+def _print_cluster_report(report, args: argparse.Namespace, model) -> None:
+    """Human-readable output of a fleet run."""
+    print(_percentile_table(
+        report,
+        title=f"{model.name} on {args.design} x{report.fleet_size} replicas "
+              f"({report.router} router, {report.autoscaler} autoscaler, "
+              f"{args.trace_file or args.trace} trace, seed {args.seed})"))
+    replica_rows = [[r.index, r.tpu_name, r.devices, r.requests_routed, r.completed,
+                     r.rejected, f"{r.active_s:.1f} s",
+                     f"{r.utilisation * 100:.1f}%",
+                     f"{r.tokens_per_second:.1f} tokens/s"]
+                    for r in report.replicas]
+    print(format_table(
+        ["replica", "design", "TPUs", "routed", "completed", "rejected",
+         "active", "utilisation", "throughput"],
+        replica_rows, title="Per-replica breakdown"))
+    print(f"requests: {report.completed}/{report.num_requests} completed, "
+          f"{report.rejected} rejected; makespan {report.makespan_s:.1f} s, "
+          f"fleet utilisation {report.utilisation * 100:.1f}%")
+    print(f"replicas: {report.fleet_size} configured, "
+          f"peak {report.peak_active_replicas} / mean "
+          f"{report.mean_active_replicas:.2f} active "
+          f"({len(report.replica_timeline) - 1} scaling events); "
+          f"total devices {report.total_devices}")
+    print(f"throughput: {report.tokens_per_second:.1f} tokens/s "
+          f"({report.requests_per_second:.2f} requests/s); "
+          f"energy {report.energy_per_token_joules * 1e3:.3f} mJ/token")
+    print(f"SLO ({report.slo.summary()}): {report.slo_attainment * 100:.1f}% attained, "
+          f"goodput {report.goodput_tokens_per_second:.1f} tokens/s "
+          f"({report.goodput_requests_per_second:.2f} requests/s)")
+    print(f"cost: {report.chip_hours:.3f} chip-hours -> "
+          f"${report.cost_per_million_tokens_dollars:.3f} per million tokens")
+    print(f"step-cost cache: {report.cost_cache_hit_rate * 100:.2f}% hit rate "
+          f"across the fleet ({report.cost_cache_misses} distinct states priced)")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the discrete-event serving simulator on one model and design."""
+    """Run the discrete-event serving simulator (one deployment or a fleet)."""
+    config = _design_config(args.design)
+    model = get_model(args.llm)
+    if not isinstance(model, LLMConfig):
+        raise SystemExit(f"'{args.llm}' is not an LLM; serving is modelled "
+                         "for LLM workloads")
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as error:
+        raise SystemExit(error.args[0]) from None
+    if not scenario.supports(model):
+        raise SystemExit(f"scenario '{args.scenario}' does not support "
+                         f"model '{model.name}'")
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be positive")
+    if args.replicas == 1 and (args.router != "round-robin"
+                               or args.autoscaler != "fixed"
+                               or args.min_replicas != 1):
+        print("note: --router/--autoscaler/--min-replicas apply only with "
+              "--replicas > 1; running a single deployment")
+    precision = Precision(args.precision)
+    settings = scenario.make_settings(ScenarioKnobs(
+        batch=args.batch, precision=precision, input_tokens=args.input_tokens,
+        output_tokens=args.output_tokens))
+    slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
+
+    def run_once():
+        """One full serve pipeline: trace, simulator(s), report."""
+        if args.trace_file:
+            trace = load_trace_jsonl(args.trace_file)
+        else:
+            trace = generate_trace(args.trace, request_classes_from_settings(settings),
+                                   args.rate, args.requests, args.seed)
+        if args.replicas > 1:
+            shared = CachingInferenceSimulator(config)
+            replicas = [ServingSimulator(
+                model, config, scheduler=args.scheduler, precision=precision,
+                max_batch=args.max_batch, bucket_tokens=args.bucket,
+                devices=args.devices, simulator=shared)
+                for _ in range(args.replicas)]
+            cluster = ClusterSimulator(replicas, router=args.router,
+                                       autoscaler=args.autoscaler,
+                                       min_replicas=args.min_replicas)
+            return cluster.run(trace, slo=slo)
+        simulator = ServingSimulator(
+            model, config, scheduler=args.scheduler, precision=precision,
+            max_batch=args.max_batch, bucket_tokens=args.bucket,
+            devices=args.devices)
+        return simulator.run(trace, slo=slo)
+
+    try:
+        report = run_once()
+        if args.check_determinism:
+            repeat = run_once()
+            if repeat.to_dict() != report.to_dict():
+                raise SystemExit(
+                    "determinism check FAILED: two identical serve invocations "
+                    "produced different reports")
+    except (ValueError, OSError) as error:
+        # Bad trace files, impossible deployments, invalid knobs; scheduler,
+        # router, autoscaler and trace-kind names are already constrained by
+        # argparse choices.
+        raise SystemExit(str(error)) from None
+
+    if args.replicas > 1:
+        _print_cluster_report(report, args, model)
+    else:
+        _print_serving_report(report, args, model)
+    if args.check_determinism:
+        digest = {metric: getattr(report, metric).p99_s
+                  for metric in ("ttft", "tpot", "e2e")}
+        print("determinism check passed: two runs agree bit-for-bit")
+        print(f"stable p99 digest: {json.dumps(digest)}")
+    try:
+        if args.json:
+            path = pathlib.Path(args.json)
+            path.write_text(json.dumps(report.to_dict(), indent=2) + "\n",
+                            encoding="utf-8")
+            print(f"wrote serving report to {path}")
+        if args.csv:
+            if args.replicas > 1:
+                path = write_csv(report.replicas, args.csv,
+                                 fieldnames=fieldnames_of(ReplicaSummary))
+                print(f"wrote per-replica metrics to {path}")
+            else:
+                path = write_csv(report.requests, args.csv,
+                                 fieldnames=fieldnames_of(RequestMetrics))
+                print(f"wrote per-request metrics to {path}")
+    except OSError as error:
+        raise SystemExit(f"cannot write results: {error}")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Size a replica fleet for an SLO at a target request rate."""
     config = _design_config(args.design)
     model = get_model(args.llm)
     if not isinstance(model, LLMConfig):
@@ -298,59 +477,54 @@ def cmd_serve(args: argparse.Namespace) -> int:
     settings = scenario.make_settings(ScenarioKnobs(
         batch=args.batch, precision=precision, input_tokens=args.input_tokens,
         output_tokens=args.output_tokens))
+    slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
     try:
-        if args.trace_file:
-            trace = load_trace_jsonl(args.trace_file)
-        else:
-            trace = generate_trace(args.trace, request_classes_from_settings(settings),
-                                   args.rate, args.requests, args.seed)
-        simulator = ServingSimulator(
-            model, config, scheduler=args.scheduler, precision=precision,
-            max_batch=args.max_batch, bucket_tokens=args.bucket,
-            devices=args.devices)
-        report = simulator.run(trace, slo=SLO(ttft_s=args.slo_ttft,
-                                              tpot_s=args.slo_tpot))
-    except (ValueError, OSError) as error:
-        # Bad trace files, impossible deployments, invalid knobs; scheduler
-        # and trace-kind names are already constrained by argparse choices.
+        plan = plan_fleet(model, config, arrival_rate=args.rate, slo=slo,
+                          request_classes=request_classes_from_settings(settings),
+                          attainment_target=args.attainment,
+                          max_replicas=args.max_replicas,
+                          num_requests=args.requests, seed=args.seed,
+                          trace_kind=args.trace, scheduler=args.scheduler,
+                          router=args.router, max_batch=args.max_batch,
+                          precision=precision)
+    except ValueError as error:
         raise SystemExit(str(error)) from None
 
-    def row(name: str, summary) -> list[str]:
-        return [name, f"{summary.mean_s * 1e3:.2f} ms", f"{summary.p50_s * 1e3:.2f} ms",
-                f"{summary.p95_s * 1e3:.2f} ms", f"{summary.p99_s * 1e3:.2f} ms",
-                f"{summary.max_s * 1e3:.2f} ms"]
-
+    rows = [[evaluation.replicas,
+             f"{evaluation.slo_attainment * 100:.1f}%",
+             f"{evaluation.p99_ttft_s * 1e3:.0f} ms",
+             f"{evaluation.p99_tpot_s * 1e3:.1f} ms",
+             f"{evaluation.goodput_requests_per_second:.2f} req/s",
+             f"${evaluation.cost_per_million_tokens_dollars:.3f}"]
+            for evaluation in plan.evaluations]
     print(format_table(
-        ["metric", "mean", "p50", "p95", "p99", "max"],
-        [row("TTFT", report.ttft), row("TPOT", report.tpot), row("e2e", report.e2e)],
-        title=f"{model.name} on {args.design} x{report.devices} "
-              f"({report.scheduler}, {args.trace_file or args.trace} trace, "
-              f"seed {args.seed})"))
-    print(f"requests: {report.completed}/{report.num_requests} completed, "
-          f"{report.rejected} rejected; makespan {report.makespan_s:.1f} s, "
-          f"utilisation {report.utilisation * 100:.1f}%")
-    print(f"throughput: {report.tokens_per_second:.1f} tokens/s "
-          f"({report.requests_per_second:.2f} requests/s); "
-          f"energy {report.energy_per_token_joules * 1e3:.3f} mJ/token")
-    print(f"SLO ({report.slo.summary()}): {report.slo_attainment * 100:.1f}% attained, "
-          f"goodput {report.goodput_tokens_per_second:.1f} tokens/s "
-          f"({report.goodput_requests_per_second:.2f} requests/s)")
-    print(f"step-cost cache: {report.cost_cache_hit_rate * 100:.2f}% hit rate "
-          f"({report.cost_cache_misses} distinct (phase, batch, context-bucket) "
-          f"states priced over {report.prefill_steps + report.decode_steps} steps)")
+        ["replicas", "SLO attained", "p99 TTFT", "p99 TPOT", "goodput", "$/Mtok"],
+        rows,
+        title=f"Fleet sizing: {model.name} on {args.design} at {args.rate:g} req/s "
+              f"({slo.summary()}, target {args.attainment * 100:.0f}%)"))
+    if plan.met:
+        chosen = plan.evaluations[-1]
+        print(f"verdict: {plan.replicas} replica(s) meet the SLO target at "
+              f"{args.rate:g} req/s "
+              f"(attainment {chosen.slo_attainment * 100:.1f}%, "
+              f"${chosen.cost_per_million_tokens_dollars:.3f}/Mtok)")
+    else:
+        print(f"verdict: no fleet up to {args.max_replicas} replicas meets the "
+              f"target; best attainment "
+              f"{max(e.slo_attainment for e in plan.evaluations) * 100:.1f}%")
     try:
         if args.json:
             path = pathlib.Path(args.json)
-            path.write_text(json.dumps(report.to_dict(), indent=2) + "\n",
-                            encoding="utf-8")
-            print(f"wrote serving report to {path}")
-        if args.csv:
-            path = write_csv(report.requests, args.csv,
-                             fieldnames=fieldnames_of(RequestMetrics))
-            print(f"wrote per-request metrics to {path}")
+            payload = {"model": plan.model_name, "tpu": plan.tpu_name,
+                       "arrival_rate": plan.arrival_rate,
+                       "attainment_target": plan.attainment_target,
+                       "met": plan.met, "replicas": plan.replicas,
+                       "evaluations": [e.to_dict() for e in plan.evaluations]}
+            path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+            print(f"wrote fleet plan to {path}")
     except OSError as error:
         raise SystemExit(f"cannot write results: {error}")
-    return 0
+    return 0 if plan.met else 1
 
 
 def cmd_models(args: argparse.Namespace) -> int:
@@ -467,6 +641,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arrival process of serving sweeps (default poisson)")
     sweep.add_argument("--trace-requests", dest="trace_requests", type=int, default=200,
                        help="requests per serving-sweep trace (default 200)")
+    sweep.add_argument("--routers", nargs="+", choices=sorted(ROUTER_REGISTRY),
+                       default=None,
+                       help="fleet axis: routing policies to sweep (serving "
+                            "grids only)")
+    sweep.add_argument("--replica-counts", dest="replica_counts", type=int,
+                       nargs="+", default=None,
+                       help="fleet axis: replica counts to sweep (serving "
+                            "grids only)")
+    sweep.add_argument("--autoscaler", choices=sorted(AUTOSCALER_REGISTRY),
+                       default="fixed",
+                       help="autoscaling policy of fleet sweep points "
+                            "(default fixed)")
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="write the result rows to PATH as JSON")
     sweep.add_argument("--csv", metavar="PATH", default=None,
@@ -496,6 +682,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace length in requests (default 200)")
     serve.add_argument("--scheduler", choices=sorted(SCHEDULER_REGISTRY),
                        default="fcfs", help="batching policy (default fcfs)")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="fleet size: >1 routes the trace across a cluster "
+                            "of identical replicas (default 1)")
+    serve.add_argument("--router", choices=sorted(ROUTER_REGISTRY),
+                       default="round-robin",
+                       help="fleet routing policy (default round-robin)")
+    serve.add_argument("--autoscaler", choices=sorted(AUTOSCALER_REGISTRY),
+                       default="fixed",
+                       help="fleet autoscaling policy (default fixed)")
+    serve.add_argument("--min-replicas", dest="min_replicas", type=int, default=1,
+                       help="autoscaler floor of the fleet (default 1)")
+    serve.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                       help="override the global --seed after the subcommand")
+    serve.add_argument("--check-determinism", dest="check_determinism",
+                       action="store_true",
+                       help="run the simulation twice, fail unless the reports "
+                            "agree bit-for-bit, and print a stable p99 digest")
     serve.add_argument("--max-batch", dest="max_batch", type=int, default=32,
                        help="continuous-batching slot limit (default 32)")
     serve.add_argument("--bucket", type=int, default=256,
@@ -515,6 +718,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--csv", metavar="PATH", default=None,
                        help="write per-request TTFT/TPOT/e2e rows to PATH as CSV")
     serve.set_defaults(func=cmd_serve)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="size a replica fleet for an SLO at a target rate",
+        description="Replay one seeded trace through fleets of 1..N replicas "
+                    "and report the smallest replica count whose SLO "
+                    "attainment reaches the target, with per-fleet goodput "
+                    "and cost per million tokens.  Exits non-zero when even "
+                    "the largest fleet falls short.")
+    fleet.add_argument("--design", default="design-a",
+                       help="one of: " + ", ".join(sorted(PREDEFINED_DESIGNS)))
+    fleet.add_argument("--scenario", choices=llm_scenarios, default="chat-serving",
+                       help="scenario supplying the request mix (default chat-serving)")
+    fleet.add_argument("--rate", type=float, required=True,
+                       help="target arrival rate in requests/s")
+    fleet.add_argument("--attainment", type=float, default=0.95,
+                       help="SLO attainment target in (0, 1] (default 0.95)")
+    fleet.add_argument("--max-replicas", dest="max_replicas", type=int, default=16,
+                       help="largest fleet to try (default 16)")
+    fleet.add_argument("--requests", type=int, default=400,
+                       help="trace length in requests (default 400)")
+    fleet.add_argument("--trace", choices=sorted(TRACE_REGISTRY), default="poisson",
+                       help="arrival process (default poisson)")
+    fleet.add_argument("--scheduler", choices=sorted(SCHEDULER_REGISTRY),
+                       default="fcfs", help="batching policy (default fcfs)")
+    fleet.add_argument("--router", choices=sorted(ROUTER_REGISTRY),
+                       default="least-outstanding-requests",
+                       help="fleet routing policy (default "
+                            "least-outstanding-requests)")
+    fleet.add_argument("--max-batch", dest="max_batch", type=int, default=32,
+                       help="continuous-batching slot limit (default 32)")
+    fleet.add_argument("--precision", choices=[p.value for p in Precision],
+                       default=Precision.INT8.value, help="numeric precision")
+    fleet.add_argument("--slo-ttft", dest="slo_ttft", type=float, default=1.0,
+                       help="SLO: time to first token in seconds (default 1.0)")
+    fleet.add_argument("--slo-tpot", dest="slo_tpot", type=float, default=0.1,
+                       help="SLO: time per output token in seconds (default 0.1)")
+    fleet.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                       help="override the global --seed after the subcommand")
+    fleet.add_argument("--json", metavar="PATH", default=None,
+                       help="write the fleet plan to PATH as JSON")
+    fleet.set_defaults(func=cmd_fleet)
 
     models = subparsers.add_parser("models", help="list models and capacity plans")
     models.set_defaults(func=cmd_models)

@@ -4,25 +4,47 @@ The :mod:`repro.serving` package turns the repository's per-step cost model
 into a deployment study: seeded request traces (Poisson / bursty / diurnal
 arrival processes over the chat request mixes, or JSONL files), a
 continuous-batching scheduler with pluggable policies and KV-cache admission
-control, and SLO analytics (TTFT/TPOT/e2e percentiles, goodput, utilisation,
-energy per token).
+control, SLO analytics (TTFT/TPOT/e2e percentiles, goodput, utilisation,
+energy per token) — and, at the fleet layer, a :class:`ClusterSimulator`
+that routes one trace across many replicas behind pluggable router and
+autoscaler policies and prices the fleet (chip-hours, cost per million
+tokens).
 
 Typical usage::
 
     from repro.serving import (
-        ServingSimulator, SLO, generate_trace,
+        ClusterSimulator, ServingSimulator, SLO, generate_trace,
     )
-    from repro.core.designs import tpuv4i_baseline
+    from repro.core.designs import design_a
     from repro.workloads.chat import DEFAULT_REQUEST_MIX
     from repro.workloads.llm import LLAMA2_7B
 
-    trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, rate=8.0,
-                           num_requests=1000, seed=7)
-    report = ServingSimulator(LLAMA2_7B, tpuv4i_baseline()).run(
+    trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, rate=64.0,
+                           num_requests=2000, seed=7)
+    replicas = [ServingSimulator(LLAMA2_7B, design_a()) for _ in range(4)]
+    report = ClusterSimulator(replicas, router="least-kv-pressure",
+                              autoscaler="queue-depth").run(
         trace, slo=SLO(ttft_s=0.5, tpot_s=0.05))
-    print(report.ttft.p99_s, report.goodput_requests_per_second)
+    print(report.ttft.p99_s, report.cost_per_million_tokens_dollars)
 """
 
+from repro.serving.autoscaler import (
+    AUTOSCALER_REGISTRY,
+    AutoscalerPolicy,
+    FleetView,
+    fixed_autoscaler,
+    get_autoscaler,
+    queue_depth_autoscaler,
+    register_autoscaler,
+    utilisation_target_autoscaler,
+)
+from repro.serving.cluster import (
+    ClusterReport,
+    ClusterSimulator,
+    FleetCostModel,
+    ReplicaSummary,
+    simulate_cluster,
+)
 from repro.serving.costs import StepCost, StepCostModel
 from repro.serving.metrics import (
     SLO,
@@ -30,6 +52,14 @@ from repro.serving.metrics import (
     RequestMetrics,
     ServingReport,
     percentile,
+)
+from repro.serving.router import (
+    ROUTER_REGISTRY,
+    ReplicaView,
+    RouterContext,
+    RouterPolicy,
+    get_router,
+    register_router,
 )
 from repro.serving.scheduler import (
     SCHEDULER_REGISTRY,
@@ -53,6 +83,19 @@ from repro.serving.trace import (
 )
 
 __all__ = [
+    "AUTOSCALER_REGISTRY",
+    "AutoscalerPolicy",
+    "FleetView",
+    "fixed_autoscaler",
+    "get_autoscaler",
+    "queue_depth_autoscaler",
+    "register_autoscaler",
+    "utilisation_target_autoscaler",
+    "ClusterReport",
+    "ClusterSimulator",
+    "FleetCostModel",
+    "ReplicaSummary",
+    "simulate_cluster",
     "StepCost",
     "StepCostModel",
     "SLO",
@@ -60,6 +103,12 @@ __all__ = [
     "RequestMetrics",
     "ServingReport",
     "percentile",
+    "ROUTER_REGISTRY",
+    "ReplicaView",
+    "RouterContext",
+    "RouterPolicy",
+    "get_router",
+    "register_router",
     "SCHEDULER_REGISTRY",
     "SchedulerPolicy",
     "get_scheduler",

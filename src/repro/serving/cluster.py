@@ -1,0 +1,548 @@
+"""Multi-replica fleet simulation: routing, autoscaling and fleet economics.
+
+PR 3's :class:`~repro.serving.simulator.ServingSimulator` models one
+deployment — one scheduler, one pipeline-parallel group, one arrival stream.
+Production serving stacks put a *router* and an *autoscaler* in front of many
+such deployments, and that fleet layer is where capacity, cost-per-token and
+tail-latency trade-offs are actually decided.  :class:`ClusterSimulator`
+composes N replicas — possibly heterogeneous in chip design, device count,
+batching limit or scheduler — behind a pluggable
+:class:`~repro.serving.router.RouterPolicy` and
+:class:`~repro.serving.autoscaler.AutoscalerPolicy` and rolls the per-replica
+reports into one frozen :class:`ClusterReport`.
+
+How the fleet is simulated, stated explicitly:
+
+* **Route first, then replay.**  One seeded arrival trace is split across
+  replicas in a deterministic pre-pass: at each arrival the autoscaler is
+  consulted, then the router picks among the routable replicas (active, past
+  cold start, preferring ones whose KV budget fits the request).  Each
+  replica then replays its sub-trace through the full continuous-batching
+  event loop.  Replicas do not interact mid-flight — true for production
+  fleets too, where the router is the only coupling point.
+* **Routing sees estimates, not oracle state.**  The front-end tracks each
+  replica with a queueing estimate shaped like the engine itself: prefill
+  occupies the replica serially (one prompt at a time, priced by the
+  replica's own cost model at the request's bucketed length) and decode
+  occupies one of ``max_batch`` concurrent slots for ``output_tokens``
+  full-batch decode steps.  Heterogeneous replicas therefore attract load
+  proportional to their actual speed, but the router never peeks at event-
+  loop internals a real load balancer could not see.
+* **Autoscaling pays its costs.**  Scale-out suffers the policy's cold-start
+  delay before a replica becomes routable; scale-in is hysteresis-guarded
+  and always releases the highest-indexed replica, so the fleet never flaps
+  and replicas below ``min_replicas`` never drain.  The replica-count
+  timeline is part of the report, and fleet economics (chip-hours and
+  energy → cost per million tokens) are priced from it.
+
+Determinism: the pre-pass and every replica replay are pure functions of the
+trace and the configuration, so a cluster run is bit-for-bit reproducible —
+the acceptance property the CI determinism check pins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common import Precision
+from repro.serving.autoscaler import AutoscalerPolicy, FleetView, get_autoscaler
+from repro.serving.metrics import SLO, LatencySummary, RequestMetrics, ServingReport
+from repro.serving.router import ReplicaView, RouterContext, RouterPolicy, get_router
+from repro.serving.simulator import ServingSimulator
+from repro.serving.spec import ServingSpec
+from repro.serving.trace import Request, generate_trace, request_classes_from_settings
+from repro.sweep.cache import CachingInferenceSimulator
+
+
+@dataclass(frozen=True)
+class FleetCostModel:
+    """Dollar pricing of a fleet run: amortised chip-hours plus energy.
+
+    ``chip_hour_dollars`` amortises capex/hosting per accelerator-hour (a
+    replica with 4 devices active for an hour bills 4 chip-hours);
+    ``energy_dollars_per_kwh`` prices the simulated energy draw.  The
+    defaults are deliberately round placeholders — the point is comparing
+    fleet configurations under one consistent price sheet, not absolute
+    dollar accuracy.
+    """
+
+    chip_hour_dollars: float = 1.50
+    energy_dollars_per_kwh: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.chip_hour_dollars < 0 or self.energy_dollars_per_kwh < 0:
+            raise ValueError("fleet prices must be non-negative")
+
+    def run_dollars(self, chip_hours: float, energy_joules: float) -> float:
+        """Total cost of a run with the given chip-hours and energy."""
+        return (chip_hours * self.chip_hour_dollars
+                + energy_joules / 3.6e6 * self.energy_dollars_per_kwh)
+
+
+@dataclass(frozen=True)
+class ReplicaSummary:
+    """Flat per-replica outcome row (CSV-exportable: no nested fields)."""
+
+    index: int
+    tpu_name: str
+    scheduler: str
+    devices: int
+    #: Simulated seconds the replica was provisioned (activation spans).
+    active_s: float
+    #: Simulated seconds the replica spent executing prefill/decode steps.
+    busy_s: float
+    utilisation: float
+    requests_routed: int
+    completed: int
+    rejected: int
+    total_tokens: int
+    tokens_per_second: float
+    mxu_energy_joules: float
+    total_energy_joules: float
+    kv_budget_bytes: int
+    peak_kv_reserved_bytes: int
+    cost_cache_hits: int
+    cost_cache_misses: int
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form used by the JSON/CSV exporters."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Aggregate outcome of one simulated fleet run."""
+
+    model_name: str
+    router: str
+    autoscaler: str
+    scheduler: str
+    #: Configured fleet ceiling / autoscaler floor / devices across the fleet.
+    fleet_size: int
+    min_replicas: int
+    total_devices: int
+    num_requests: int
+    completed: int
+    rejected: int
+    #: Simulated wall-clock span (first arrival to last completion).
+    makespan_s: float
+    total_tokens: int
+    tokens_per_second: float
+    requests_per_second: float
+    #: Fleet-wide latency distributions over every completed request.
+    ttft: LatencySummary
+    tpot: LatencySummary
+    e2e: LatencySummary
+    slo: SLO
+    slo_attainment: float
+    goodput_requests_per_second: float
+    goodput_tokens_per_second: float
+    mxu_energy_joules: float
+    total_energy_joules: float
+    energy_per_token_joules: float
+    #: Fleet economics: provisioned accelerator-hours and the resulting
+    #: cost per million generated tokens under the run's price sheet.
+    chip_hours: float
+    cost_model: FleetCostModel
+    cost_per_million_tokens_dollars: float
+    #: (time, active replicas) at every change, starting at the first arrival.
+    replica_timeline: tuple[tuple[float, int], ...]
+    peak_active_replicas: int
+    mean_active_replicas: float
+    replicas: tuple[ReplicaSummary, ...]
+    requests: tuple[RequestMetrics, ...] = ()
+
+    @property
+    def utilisation(self) -> float:
+        """Busy fraction of the provisioned chip-time, devices-weighted."""
+        provisioned = sum(r.devices * r.active_s for r in self.replicas)
+        busy = sum(r.devices * r.busy_s for r in self.replicas)
+        return busy / provisioned if provisioned > 0 else 0.0
+
+    @property
+    def cost_cache_hits(self) -> int:
+        """Step-cost memo hits summed over the fleet."""
+        return sum(r.cost_cache_hits for r in self.replicas)
+
+    @property
+    def cost_cache_misses(self) -> int:
+        """Distinct step-cost states priced, summed over the fleet."""
+        return sum(r.cost_cache_misses for r in self.replicas)
+
+    @property
+    def cost_cache_hit_rate(self) -> float:
+        """Fraction of fleet step-cost lookups served from the memos."""
+        lookups = self.cost_cache_hits + self.cost_cache_misses
+        return self.cost_cache_hits / lookups if lookups else 0.0
+
+    def to_dict(self, include_requests: bool = True) -> dict[str, object]:
+        """Plain-dict form (nested summaries inlined) for JSON export."""
+        payload = dataclasses.asdict(self)
+        payload["utilisation"] = self.utilisation
+        payload["cost_cache_hits"] = self.cost_cache_hits
+        payload["cost_cache_misses"] = self.cost_cache_misses
+        payload["cost_cache_hit_rate"] = self.cost_cache_hit_rate
+        payload["replica_timeline"] = [list(entry) for entry in self.replica_timeline]
+        if not include_requests:
+            del payload["requests"]
+        else:
+            payload["requests"] = [request.to_dict() for request in self.requests]
+        return payload
+
+
+class _ReplicaHandle:
+    """Mutable front-end state of one replica during the routing pre-pass."""
+
+    def __init__(self, index: int, replica: ServingSimulator,
+                 trace: Sequence[Request]) -> None:
+        self.index = index
+        self.replica = replica
+        # Plan the deployment against the FULL trace (not the sub-trace the
+        # routing produces), so the budget the router sees is the budget the
+        # replica's replay prices; run() gets it as a per-run override and
+        # the replica object itself is never mutated.
+        self.devices = (replica.devices if replica.devices is not None
+                        else replica.plan_devices(trace))
+        self.kv_budget = replica.kv_budget(self.devices)
+        if self.kv_budget <= 0:
+            raise ValueError(
+                f"replica {index}: {replica.model.name} does not fit "
+                f"{self.devices} x {replica.tpu_config.name}: no KV budget "
+                f"left after weights (use more devices)")
+        step = replica.costs.decode_cost(replica.max_batch,
+                                         replica.costs.bucket_tokens)
+        self._decode_step_s = step.seconds
+        self.service_tokens_per_s = replica.max_batch / step.seconds
+        # Queueing estimate the router acts on: serial prefill occupancy,
+        # max_batch decode slots, and the set of requests still in flight.
+        self._queue: list[tuple[float, int]] = []
+        self._prefill_busy_until = 0.0
+        self._slots = [0.0] * replica.max_batch
+        self.outstanding_tokens = 0
+        self.subtrace: list[Request] = []
+        # Activation bookkeeping.
+        self.active = False
+        self.ready_at = 0.0
+        self.active_since: float | None = None
+        self.deactivated_at: float | None = None
+        self.active_s = 0.0
+
+    # ----------------------------------------------------------- scaling
+    def activate(self, now: float, cold_start_s: float) -> None:
+        self.active = True
+        self.ready_at = now + cold_start_s
+        self.active_since = now
+        self.deactivated_at = None
+
+    def deactivate(self, now: float) -> None:
+        self.active = False
+        if self.active_since is not None:
+            self.active_s += now - self.active_since
+        self.active_since = None
+        self.deactivated_at = now
+
+    def finalize(self, end_s: float, last_finish_s: float | None) -> None:
+        """Close the billing clock at the fleet's end time.
+
+        A replica scaled in while work was still in flight keeps draining
+        (no new requests, but its replay runs to completion), so billing is
+        extended from the final deactivation to its last completion — the
+        instance cannot be released before the drain, and utilisation/cost
+        must account for it.
+        """
+        if self.active and self.active_since is not None:
+            self.active_s += max(0.0, end_s - self.active_since)
+            self.active_since = None
+        elif (self.deactivated_at is not None and last_finish_s is not None
+              and last_finish_s > self.deactivated_at):
+            self.active_s += last_finish_s - self.deactivated_at
+
+    # ------------------------------------------------------------ routing
+    def drain(self, now: float) -> None:
+        while self._queue and self._queue[0][0] <= now:
+            _, tokens = heapq.heappop(self._queue)
+            self.outstanding_tokens -= tokens
+
+    @property
+    def outstanding_requests(self) -> int:
+        return len(self._queue)
+
+    def assign(self, request: Request, now: float) -> None:
+        prefill_s = self.replica.costs.prefill_cost(1, request.input_tokens).seconds
+        prefill_start = max(now, self._prefill_busy_until)
+        self._prefill_busy_until = prefill_start + prefill_s
+        slot_free = heapq.heappop(self._slots)
+        decode_start = max(self._prefill_busy_until, slot_free)
+        finish = decode_start + request.output_tokens * self._decode_step_s
+        heapq.heappush(self._slots, finish)
+        heapq.heappush(self._queue, (finish, request.total_tokens))
+        self.outstanding_tokens += request.total_tokens
+        self.subtrace.append(request)
+
+    def view(self) -> ReplicaView:
+        return ReplicaView(
+            index=self.index, tpu_name=self.replica.tpu_config.name,
+            devices=self.devices, max_batch=self.replica.max_batch,
+            outstanding_requests=self.outstanding_requests,
+            outstanding_tokens=self.outstanding_tokens,
+            service_tokens_per_s=self.service_tokens_per_s,
+            kv_budget_bytes=self.kv_budget,
+            kv_bytes_per_token=self.replica.kv_bytes_per_token)
+
+
+class ClusterSimulator:
+    """Routes one arrival trace across N replica engines and aggregates."""
+
+    def __init__(self, replicas: Sequence[ServingSimulator], *,
+                 router: str | RouterPolicy = "round-robin",
+                 autoscaler: str | AutoscalerPolicy = "fixed",
+                 min_replicas: int = 1,
+                 cost_model: FleetCostModel = FleetCostModel()) -> None:
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("a cluster needs at least one replica")
+        names = {replica.model.name for replica in replicas}
+        if len(names) != 1:
+            raise ValueError("all replicas must serve the same model, got "
+                             + ", ".join(sorted(names)))
+        if not 1 <= min_replicas <= len(replicas):
+            raise ValueError(f"min_replicas must be in [1, {len(replicas)}], "
+                             f"got {min_replicas}")
+        self.replicas = replicas
+        self.router = router if isinstance(router, RouterPolicy) else get_router(router)
+        self.autoscaler = (autoscaler if isinstance(autoscaler, AutoscalerPolicy)
+                           else get_autoscaler(autoscaler))
+        self.min_replicas = min_replicas
+        self.cost_model = cost_model
+
+    # ---------------------------------------------------------------- run
+    def run(self, trace: Sequence[Request], slo: SLO = SLO()) -> ClusterReport:
+        """Route the trace, replay every replica, aggregate the fleet report.
+
+        Raises
+        ------
+        ValueError
+            If the trace is empty or any replica's deployment cannot hold
+            the model's weights.
+        """
+        if not trace:
+            raise ValueError("cluster serving needs a non-empty trace")
+        ordered = sorted(trace, key=lambda r: (r.arrival_s, r.request_id))
+        handles = [_ReplicaHandle(index, replica, ordered)
+                   for index, replica in enumerate(self.replicas)]
+        fleet_size = len(handles)
+        start_s = ordered[0].arrival_s
+
+        scaler_state: dict = {}
+        bootstrap = FleetView(now_s=start_s, fleet_size=fleet_size,
+                              min_replicas=self.min_replicas,
+                              active_count=self.min_replicas,
+                              ready_count=self.min_replicas,
+                              outstanding_requests=0, kv_pressure=0.0,
+                              utilisation=0.0)
+        initial = self._clamp(self.autoscaler.decide(bootstrap, scaler_state))
+        for handle in handles[:initial]:
+            # The initial fleet is provisioned before traffic: no cold start.
+            handle.activate(start_s, 0.0)
+        timeline: list[tuple[float, int]] = [(start_s, initial)]
+
+        routed = 0
+        for request in ordered:
+            now = request.arrival_s
+            active = [h for h in handles if h.active]
+            for handle in active:
+                handle.drain(now)
+            views = {handle.index: handle.view() for handle in active}
+            fleet_view = self._fleet_view(now, fleet_size, active, views)
+            target = self._clamp(self.autoscaler.decide(fleet_view, scaler_state))
+            if target != len(active):
+                self._rescale(handles, active, target, now)
+                active = [h for h in handles if h.active]
+                views = {handle.index: views.get(handle.index) or handle.view()
+                         for handle in active}
+                timeline.append((now, len(active)))
+            ready = [h for h in active if h.ready_at <= now]
+            if not ready:  # every candidate is cold-starting: wait on the
+                ready = [min(active, key=lambda h: (h.ready_at, h.index))]
+            candidates = tuple(views[h.index] for h in ready)
+            fitting = tuple(v for v in candidates if v.fits(request))
+            chosen = self.router.choose(
+                request, fitting or candidates,
+                RouterContext(now_s=now, routed_count=routed, fleet_size=fleet_size))
+            handles[chosen.index].assign(request, now)
+            routed += 1
+
+        reports: list[ServingReport | None] = [
+            handle.replica.run(tuple(handle.subtrace), slo, devices=handle.devices)
+            if handle.subtrace else None
+            for handle in handles]
+
+        end_s = ordered[-1].arrival_s
+        for report in reports:
+            if report is not None and report.requests:
+                end_s = max(end_s, max(m.finish_s for m in report.requests))
+        for handle, report in zip(handles, reports):
+            last_finish = (max(m.finish_s for m in report.requests)
+                           if report is not None and report.requests else None)
+            handle.finalize(end_s, last_finish)
+        return self._report(ordered, handles, reports, timeline, slo,
+                            start_s=start_s, end_s=end_s)
+
+    # ------------------------------------------------------------ internal
+    def _clamp(self, target: int) -> int:
+        return max(self.min_replicas, min(len(self.replicas), target))
+
+    def _fleet_view(self, now: float, fleet_size: int,
+                    active: Sequence[_ReplicaHandle],
+                    views: dict[int, ReplicaView]) -> FleetView:
+        outstanding = sum(h.outstanding_requests for h in active)
+        if active:
+            utilisation = sum(min(1.0, h.outstanding_requests / h.replica.max_batch)
+                              for h in active) / len(active)
+            pressure = sum(views[h.index].kv_pressure for h in active) / len(active)
+        else:  # pragma: no cover - min_replicas >= 1 keeps this unreachable
+            utilisation = pressure = 0.0
+        return FleetView(now_s=now, fleet_size=fleet_size,
+                         min_replicas=self.min_replicas,
+                         active_count=len(active),
+                         ready_count=sum(1 for h in active if h.ready_at <= now),
+                         outstanding_requests=outstanding,
+                         kv_pressure=pressure, utilisation=utilisation)
+
+    def _rescale(self, handles: list[_ReplicaHandle],
+                 active: list[_ReplicaHandle], target: int, now: float) -> None:
+        if target > len(active):
+            for handle in handles:
+                if len(active) >= target:
+                    break
+                if not handle.active:
+                    handle.activate(now, self.autoscaler.cold_start_s)
+                    active.append(handle)
+        else:
+            # Release the highest-indexed replicas first: replica 0 (and
+            # everything below min_replicas) is never drained.
+            for handle in sorted(active, key=lambda h: -h.index):
+                if len(active) <= target:
+                    break
+                handle.deactivate(now)
+                active.remove(handle)
+
+    def _report(self, ordered: Sequence[Request],
+                handles: Sequence[_ReplicaHandle],
+                reports: Sequence[ServingReport | None],
+                timeline: list[tuple[float, int]], slo: SLO, *,
+                start_s: float, end_s: float) -> ClusterReport:
+        finished: list[RequestMetrics] = []
+        completed = rejected = total_tokens = 0
+        mxu_energy = total_energy = 0.0
+        summaries: list[ReplicaSummary] = []
+        for handle, report in zip(handles, reports):
+            if report is not None:
+                finished.extend(report.requests)
+                completed += report.completed
+                rejected += report.rejected
+                total_tokens += report.total_tokens
+                mxu_energy += report.mxu_energy_joules
+                total_energy += report.total_energy_joules
+            busy = report.busy_s if report is not None else 0.0
+            # The drain extension in finalize() covers the final scale-in;
+            # flooring at busy_s additionally covers work spilling across an
+            # intermediate deactivate/reactivate gap, so billed time always
+            # contains the executed time and utilisation stays within [0, 1].
+            active_s = max(handle.active_s, busy)
+            summaries.append(ReplicaSummary(
+                index=handle.index, tpu_name=handle.replica.tpu_config.name,
+                scheduler=handle.replica.policy.name, devices=handle.devices,
+                active_s=active_s, busy_s=busy,
+                utilisation=busy / active_s if active_s > 0 else 0.0,
+                requests_routed=len(handle.subtrace),
+                completed=report.completed if report is not None else 0,
+                rejected=report.rejected if report is not None else 0,
+                total_tokens=report.total_tokens if report is not None else 0,
+                tokens_per_second=(report.total_tokens / active_s
+                                   if report is not None and active_s > 0
+                                   else 0.0),
+                mxu_energy_joules=report.mxu_energy_joules if report is not None else 0.0,
+                total_energy_joules=report.total_energy_joules if report is not None else 0.0,
+                kv_budget_bytes=handle.kv_budget,
+                peak_kv_reserved_bytes=(report.peak_kv_reserved_bytes
+                                        if report is not None else 0),
+                cost_cache_hits=handle.replica.costs.stats.hits,
+                cost_cache_misses=handle.replica.costs.stats.misses))
+
+        finished.sort(key=lambda m: m.request_id)
+        met = [m for m in finished if m.meets(slo)]
+        makespan = end_s - start_s
+        per_second = (1.0 / makespan) if makespan > 0 else 0.0
+        chip_hours = sum(s.devices * s.active_s for s in summaries) / 3600.0
+        dollars = self.cost_model.run_dollars(chip_hours, total_energy)
+        return ClusterReport(
+            model_name=self.replicas[0].model.name,
+            router=self.router.name, autoscaler=self.autoscaler.name,
+            scheduler=self.replicas[0].policy.name,
+            fleet_size=len(handles), min_replicas=self.min_replicas,
+            total_devices=sum(h.devices for h in handles),
+            num_requests=len(ordered), completed=completed, rejected=rejected,
+            makespan_s=makespan, total_tokens=total_tokens,
+            tokens_per_second=total_tokens * per_second,
+            requests_per_second=completed * per_second,
+            ttft=(LatencySummary.from_values([m.ttft_s for m in finished])
+                  if finished else LatencySummary.empty()),
+            tpot=(LatencySummary.from_values([m.tpot_s for m in finished])
+                  if finished else LatencySummary.empty()),
+            e2e=(LatencySummary.from_values([m.e2e_s for m in finished])
+                 if finished else LatencySummary.empty()),
+            slo=slo,
+            slo_attainment=len(met) / len(finished) if finished else 0.0,
+            goodput_requests_per_second=len(met) * per_second,
+            goodput_tokens_per_second=sum(m.output_tokens for m in met) * per_second,
+            mxu_energy_joules=mxu_energy, total_energy_joules=total_energy,
+            energy_per_token_joules=mxu_energy / total_tokens if total_tokens else 0.0,
+            chip_hours=chip_hours, cost_model=self.cost_model,
+            cost_per_million_tokens_dollars=(dollars / (total_tokens / 1e6)
+                                             if total_tokens else 0.0),
+            replica_timeline=tuple(timeline),
+            peak_active_replicas=max(count for _, count in timeline),
+            mean_active_replicas=_time_weighted_mean(timeline, end_s),
+            replicas=tuple(summaries),
+            requests=tuple(finished))
+
+
+def _time_weighted_mean(timeline: Sequence[tuple[float, int]], end_s: float) -> float:
+    """Mean active replica count over [first event, end_s]."""
+    if len(timeline) == 1 or end_s <= timeline[0][0]:
+        return float(timeline[-1][1])
+    area = 0.0
+    for (t0, count), (t1, _) in zip(timeline, timeline[1:]):
+        area += count * (t1 - t0)
+    last_t, last_count = timeline[-1]
+    area += last_count * (end_s - last_t)
+    return area / (end_s - timeline[0][0])
+
+
+def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
+                     simulator=None) -> ClusterReport:
+    """Run one fleet-shaped :class:`ServingSpec` end to end (the sweep entry).
+
+    Builds ``spec.replicas`` homogeneous replicas that share one memoised
+    graph simulator (so the fleet prices each distinct step state once), a
+    router and an autoscaler from the spec's names, and replays the spec's
+    seeded trace through the cluster.
+    """
+    classes = request_classes_from_settings(settings)
+    trace = generate_trace(spec.trace, classes, spec.arrival_rate,
+                           spec.num_requests, spec.seed)
+    shared = simulator if simulator is not None else CachingInferenceSimulator(tpu_config)
+    replicas = [ServingSimulator(
+        model, tpu_config, scheduler=spec.scheduler,
+        precision=getattr(settings, "precision", Precision.INT8),
+        max_batch=spec.max_batch, bucket_tokens=spec.bucket_tokens,
+        devices=spec.devices, memory_utilisation=spec.memory_utilisation,
+        simulator=shared) for _ in range(spec.replicas)]
+    cluster = ClusterSimulator(replicas, router=spec.router,
+                               autoscaler=spec.autoscaler,
+                               min_replicas=spec.min_replicas)
+    return cluster.run(trace, slo=spec.slo)

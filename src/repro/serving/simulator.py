@@ -131,8 +131,14 @@ class ServingSimulator:
         return 1 + ceil_div(shortfall, per_device)
 
     # -------------------------------------------------------------- event loop
-    def run(self, trace: Sequence[Request], slo: SLO = SLO()) -> ServingReport:
+    def run(self, trace: Sequence[Request], slo: SLO = SLO(), *,
+            devices: int | None = None) -> ServingReport:
         """Replay the trace and return the aggregate serving report.
+
+        ``devices`` overrides the deployment for this run only (the cluster
+        layer pins the fleet-planned deployment this way without mutating
+        the replica); by default the constructor's ``devices`` applies, or
+        the smallest deployment admitting the largest trace request.
 
         Raises
         ------
@@ -142,8 +148,12 @@ class ServingSimulator:
         """
         if not trace:
             raise ValueError("serving needs a non-empty trace")
+        if devices is not None and devices <= 0:
+            raise ValueError("devices must be positive (or None)")
         ordered_trace = sorted(trace, key=lambda r: (r.arrival_s, r.request_id))
-        devices = self.devices if self.devices is not None else self.plan_devices(trace)
+        if devices is None:
+            devices = (self.devices if self.devices is not None
+                       else self.plan_devices(trace))
         budget = self.kv_budget(devices)
         if budget <= 0:
             raise ValueError(

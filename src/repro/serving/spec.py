@@ -30,6 +30,13 @@ class ServingSpec:
     devices: int | None = None
     memory_utilisation: float = 0.9
     slo: SLO = SLO()
+    #: Fleet shape: ``replicas == 1`` runs the plain single-deployment
+    #: simulator; ``> 1`` routes the trace across a cluster of identical
+    #: replicas with the named router/autoscaler policies.
+    replicas: int = 1
+    router: str = "round-robin"
+    autoscaler: str = "fixed"
+    min_replicas: int = 1
 
     def __post_init__(self) -> None:
         if self.arrival_rate <= 0:
@@ -42,8 +49,15 @@ class ServingSpec:
             raise ValueError("devices must be positive (or None to auto-plan)")
         if not 0 < self.memory_utilisation <= 1:
             raise ValueError("memory_utilisation must be in (0, 1]")
+        if self.replicas <= 0:
+            raise ValueError("replicas must be positive")
+        if not 1 <= self.min_replicas <= self.replicas:
+            raise ValueError("min_replicas must be in [1, replicas]")
 
     def summary(self) -> str:
         """Human-readable spec summary used in tables and exports."""
-        return (f"{self.trace}@{self.arrival_rate:g}/s {self.scheduler} "
+        base = (f"{self.trace}@{self.arrival_rate:g}/s {self.scheduler} "
                 f"n={self.num_requests} seed={self.seed}")
+        if self.replicas > 1:
+            base += f" x{self.replicas} {self.router}/{self.autoscaler}"
+        return base

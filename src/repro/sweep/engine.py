@@ -90,7 +90,7 @@ class SweepStats:
 
 def point_key(point: SweepPoint) -> str:
     """Deterministic content fingerprint of a sweep point."""
-    return fingerprint("sweep-point/v3", point.design, point.config, point.model,
+    return fingerprint("sweep-point/v4", point.design, point.config, point.model,
                        point.scenario, point.settings, point.devices, point.parallelism,
                        point.serving)
 
@@ -110,15 +110,25 @@ def _compute_result(point: SweepPoint, simulator: CachingInferenceSimulator,
     spec = point.spec
     if point.serving is not None:
         # Imported lazily: repro.serving layers on top of repro.sweep, so a
-        # top-level import here would be circular.
-        from repro.serving.simulator import simulate_serving
+        # top-level import here would be circular.  Fleet-shaped specs run
+        # the cluster simulator; both report types share the row mapping
+        # (latency = mean e2e, throughput = sustained tokens/s).
+        if point.serving.replicas > 1:
+            from repro.serving.cluster import simulate_cluster
 
-        report = simulate_serving(point.model, point.config, point.serving,
-                                  point.settings, simulator=simulator)
+            report = simulate_cluster(point.model, point.config, point.serving,
+                                      point.settings, simulator=simulator)
+            devices = report.total_devices
+        else:
+            from repro.serving.simulator import simulate_serving
+
+            report = simulate_serving(point.model, point.config, point.serving,
+                                      point.settings, simulator=simulator)
+            devices = report.devices
         return SweepResult(
             design=point.design, workload=point.workload, kind=point.kind,
             precision=point.precision.value, batch=point.batch,
-            devices=report.devices, parallelism=point.parallelism,
+            devices=devices, parallelism=point.parallelism,
             scenario=point.scenario, settings_summary=point.settings_summary,
             peak_tops=point.config.peak_tops,
             latency_seconds=report.e2e.mean_s,

@@ -150,6 +150,12 @@ class SweepGrid:
     deployment, and the batch axis collapses to its first entry (request
     concurrency comes from the scheduler, not the settings batch, so extra
     batch values would only duplicate identical simulations).
+
+    A serving grid additionally crosses the **fleet axes**: ``routers`` ×
+    ``replica_counts`` (each under the single ``serving_autoscaler``
+    policy), so one grid also answers "which routing policy at which fleet
+    size".  Both default to the degenerate single-replica fleet and are
+    only meaningful on serving grids.
     """
 
     designs: Mapping[str, TPUConfig] = field(
@@ -172,6 +178,10 @@ class SweepGrid:
     arrival_rates: Sequence[float] = ()
     serving_trace: str = "poisson"
     serving_requests: int = 200
+    # Fleet axes of a serving grid (empty = single-replica, no fleet).
+    routers: Sequence[str] = ()
+    replica_counts: Sequence[int] = ()
+    serving_autoscaler: str = "fixed"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -189,6 +199,11 @@ class SweepGrid:
         if self.schedulers and tuple(self.device_counts) != (1,):
             raise ValueError("serving sweep points plan their own deployment; "
                              "keep device_counts at (1,)")
+        if (self.routers or self.replica_counts) and not self.schedulers:
+            raise ValueError("fleet axes (routers / replica_counts) need a "
+                             "serving grid: set schedulers and arrival_rates")
+        if any(count <= 0 for count in self.replica_counts):
+            raise ValueError("replica_counts must be positive")
 
     @property
     def is_serving(self) -> bool:
@@ -196,13 +211,37 @@ class SweepGrid:
         return bool(self.schedulers)
 
     def serving_specs(self) -> list[ServingSpec | None]:
-        """The serving axis of the grid (``[None]`` for analytical grids)."""
+        """The serving axes of the grid (``[None]`` for analytical grids).
+
+        A replica count of 1 is physically identical under every router and
+        autoscaler (the point runs the plain single-deployment simulator),
+        so such specs are normalised to the default policies and
+        deduplicated — ``routers=(a, b)`` with ``replica_counts=(1, 2)``
+        yields one single-replica spec plus one two-replica spec per router,
+        not duplicate rows.
+        """
         if not self.is_serving:
             return [None]
-        return [ServingSpec(scheduler=scheduler, trace=self.serving_trace,
-                            arrival_rate=rate, num_requests=self.serving_requests,
-                            seed=self.seed)
-                for scheduler in self.schedulers for rate in self.arrival_rates]
+        routers = tuple(self.routers) or ("round-robin",)
+        replica_counts = tuple(self.replica_counts) or (1,)
+        specs: list[ServingSpec] = []
+        seen: set[ServingSpec] = set()
+        for scheduler in self.schedulers:
+            for rate in self.arrival_rates:
+                for router in routers:
+                    for count in replica_counts:
+                        fleet = ({"replicas": count, "router": router,
+                                  "autoscaler": self.serving_autoscaler}
+                                 if count > 1 else {})
+                        spec = ServingSpec(
+                            scheduler=scheduler, trace=self.serving_trace,
+                            arrival_rate=rate,
+                            num_requests=self.serving_requests,
+                            seed=self.seed, **fleet)
+                        if spec not in seen:
+                            seen.add(spec)
+                            specs.append(spec)
+        return specs
 
     def scenarios_for(self, model: LLMConfig | DiTConfig) -> list[str]:
         """The scenario names this grid runs the model under."""

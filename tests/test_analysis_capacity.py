@@ -13,6 +13,7 @@ from repro.analysis.capacity import (
 )
 from repro.common import Precision
 from repro.core.designs import tpuv4i_baseline
+from repro.workloads.chat import RequestClass
 from repro.workloads.dit import DIT_XL_2
 from repro.workloads.llm import GPT3_30B, LLAMA2_7B, LLMConfig
 
@@ -171,3 +172,56 @@ class TestCapacityProperties:
         working_set = 2 * max_batch * (model.d_model + model.d_ff)
         footprint = llm_weight_bytes(model) + reserved + working_set
         assert footprint <= devices * int(tpu.main_memory_bytes * utilisation)
+
+
+class TestPlanFleet:
+    """Fleet sizing: smallest replica count meeting an SLO at a rate."""
+
+    MODEL = LLMConfig(name="fleet-test-llm", num_layers=4, num_heads=16,
+                      d_model=2048, d_ff=8192, vocab_size=32000)
+    MIX = (RequestClass(input_tokens=64, output_tokens=16),)
+
+    def plan(self, **overrides):
+        from repro.analysis.capacity import plan_fleet
+        from repro.serving.metrics import SLO
+
+        kwargs = dict(arrival_rate=10.0, slo=SLO(ttft_s=2.0, tpot_s=0.2),
+                      request_classes=self.MIX, attainment_target=0.9,
+                      max_replicas=6, num_requests=60, seed=3)
+        kwargs.update(overrides)
+        return plan_fleet(self.MODEL, tpuv4i_baseline(), **kwargs)
+
+    def test_easy_load_needs_one_replica(self):
+        plan = self.plan(arrival_rate=2.0)
+        assert plan.met
+        assert plan.replicas == 1
+        assert plan.evaluations[-1].slo_attainment >= 0.9
+
+    def test_plan_records_every_evaluation(self):
+        plan = self.plan()
+        counts = [evaluation.replicas for evaluation in plan.evaluations]
+        assert counts == sorted(counts)
+        assert len(set(counts)) == len(counts)
+        if plan.met:
+            assert plan.replicas == counts[-1]
+
+    def test_impossible_target_reports_unmet(self):
+        from repro.serving.metrics import SLO
+
+        # A TPOT target below one decode step can never be met.
+        plan = self.plan(slo=SLO(ttft_s=1e-6, tpot_s=1e-6), max_replicas=2)
+        assert not plan.met
+        assert plan.replicas is None
+        assert plan.evaluations  # the tried fleets are still reported
+
+    def test_capacity_lower_bound_skips_hopeless_fleets(self):
+        heavy = self.plan(arrival_rate=2000.0, max_replicas=10)
+        assert heavy.evaluations[0].replicas > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="arrival_rate"):
+            self.plan(arrival_rate=0.0)
+        with pytest.raises(ValueError, match="max_replicas"):
+            self.plan(max_replicas=0)
+        with pytest.raises(ValueError, match="attainment_target"):
+            self.plan(attainment_target=1.5)

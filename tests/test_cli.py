@@ -258,6 +258,116 @@ class TestServe:
             main(self.SERVE + ["--json", str(tmp_path / "missing" / "report.json")])
 
 
+class TestServeCluster:
+    CLUSTER = ["--llm", "llama2-7b", "--input-tokens", "64",
+               "--output-tokens", "16", "serve", "--replicas", "3",
+               "--rate", "32", "--requests", "60", "--seed", "7"]
+
+    def test_cluster_run_prints_fleet_analytics(self, capsys):
+        code, out = run_cli(capsys, *self.CLUSTER)
+        assert code == 0
+        assert "x3 replicas" in out and "round-robin router" in out
+        assert "Per-replica breakdown" in out
+        assert "per million tokens" in out
+        assert "peak" in out and "active" in out
+
+    def test_cluster_run_is_bit_for_bit_reproducible(self, capsys):
+        _, first = run_cli(capsys, *self.CLUSTER)
+        _, second = run_cli(capsys, *self.CLUSTER)
+        assert first == second
+
+    def test_router_flag_changes_the_split(self, capsys):
+        _, round_robin = run_cli(capsys, *self.CLUSTER)
+        _, affinity = run_cli(capsys, *self.CLUSTER, "--router",
+                              "session-affinity")
+        assert round_robin != affinity
+
+    def test_autoscaler_flag_reports_scaling(self, capsys):
+        code, out = run_cli(capsys, *self.CLUSTER, "--autoscaler",
+                            "queue-depth", "--rate", "200")
+        assert code == 0
+        assert "queue-depth autoscaler" in out
+
+    def test_check_determinism_passes_and_prints_digest(self, capsys):
+        code, out = run_cli(capsys, *self.CLUSTER, "--check-determinism")
+        assert code == 0
+        assert "determinism check passed" in out
+        assert "stable p99 digest" in out
+
+    def test_check_determinism_single_deployment(self, capsys):
+        code, out = run_cli(capsys, "--llm", "llama2-7b", "--input-tokens",
+                            "64", "--output-tokens", "16", "serve",
+                            "--rate", "16", "--requests", "30", "--seed", "7",
+                            "--check-determinism")
+        assert code == 0
+        assert "determinism check passed" in out
+
+    def test_subcommand_seed_overrides_global(self, capsys):
+        _, sub_seed = run_cli(capsys, *self.CLUSTER)  # --seed 7 after serve
+        _, global_seed = run_cli(capsys, "--seed", "7", *self.CLUSTER[:-2])
+        assert sub_seed == global_seed
+
+    def test_cluster_exports_report_and_replica_rows(self, capsys, tmp_path):
+        import json as json_module
+
+        json_path = tmp_path / "cluster.json"
+        csv_path = tmp_path / "replicas.csv"
+        code, _ = run_cli(capsys, *self.CLUSTER, "--json", str(json_path),
+                          "--csv", str(csv_path))
+        assert code == 0
+        report = json_module.loads(json_path.read_text())
+        assert report["fleet_size"] == 3
+        assert "replica_timeline" in report and "cost_per_million_tokens_dollars" in report
+        text = csv_path.read_text()
+        assert text.startswith("index,")
+        assert text.count("\n") == 4  # header + one row per replica
+
+    def test_min_replicas_validation_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="min_replicas"):
+            main(self.CLUSTER + ["--min-replicas", "5"])
+
+
+class TestFleet:
+    FLEET = ["--llm", "llama2-7b", "--input-tokens", "64",
+             "--output-tokens", "16", "fleet", "--rate", "8",
+             "--requests", "40", "--max-replicas", "4",
+             "--slo-ttft", "2.0", "--slo-tpot", "0.2",
+             "--attainment", "0.8", "--seed", "7"]
+
+    def test_fleet_sizing_prints_verdict(self, capsys):
+        code, out = run_cli(capsys, *self.FLEET)
+        assert code == 0
+        assert "Fleet sizing" in out
+        assert "SLO attained" in out and "$/Mtok" in out
+        assert "verdict:" in out and "meet the SLO target" in out
+
+    def test_fleet_exports_plan(self, capsys, tmp_path):
+        import json as json_module
+
+        path = tmp_path / "plan.json"
+        code, _ = run_cli(capsys, *self.FLEET, "--json", str(path))
+        assert code == 0
+        plan = json_module.loads(path.read_text())
+        assert plan["met"] is True
+        assert plan["evaluations"]
+
+    def test_unmet_target_exits_nonzero(self, capsys):
+        code = main(self.FLEET[:-2] + ["--slo-ttft", "0.000001",
+                                       "--slo-tpot", "0.000001",
+                                       "--max-replicas", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no fleet" in out
+
+    def test_fleet_rejects_non_llm_model(self):
+        with pytest.raises(SystemExit, match="not an LLM"):
+            main(["--llm", "dit-xl-2", "fleet", "--rate", "8"])
+
+    def test_fleet_requires_rate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet"])
+
+
 class TestServingSweep:
     def test_sweep_serving_axes(self, capsys):
         code, out = run_cli(capsys, "--seed", "3", *SMALL, "sweep",
@@ -290,6 +400,24 @@ class TestServingSweep:
             main(SMALL + ["sweep", "--models", "llama2-7b", "--designs", "baseline",
                           "--precisions", "int8", "--batches", "2",
                           "--schedulers", "fcfs"])
+
+    def test_sweep_fleet_axes(self, capsys):
+        code, out = run_cli(capsys, "--seed", "3", *SMALL, "sweep",
+                            "--models", "llama2-7b", "--designs", "baseline",
+                            "--precisions", "int8", "--batches", "2",
+                            "--scenarios", "llm-serving",
+                            "--schedulers", "fcfs", "--arrival-rates", "8",
+                            "--trace-requests", "20",
+                            "--routers", "least-kv-pressure",
+                            "--replica-counts", "1", "2")
+        assert code == 0
+        assert "x2 least-kv-pressure/fixed" in out
+
+    def test_sweep_fleet_axes_require_serving_grid(self):
+        with pytest.raises(SystemExit, match="fleet axes"):
+            main(SMALL + ["sweep", "--models", "llama2-7b", "--designs",
+                          "baseline", "--precisions", "int8", "--batches", "2",
+                          "--routers", "round-robin"])
 
 
 class TestMultiDevice:

@@ -1,0 +1,324 @@
+"""Tests for the multi-replica cluster simulator and its fleet wiring."""
+
+import pytest
+
+from repro.common import Precision
+from repro.core.designs import design_a, design_b, tpuv4i_baseline
+from repro.serving.cluster import (
+    ClusterSimulator,
+    FleetCostModel,
+    simulate_cluster,
+)
+from repro.serving.metrics import SLO
+from repro.serving.simulator import ServingSimulator
+from repro.serving.spec import ServingSpec
+from repro.serving.trace import Request, generate_trace
+from repro.sweep.cache import CachingInferenceSimulator
+from repro.sweep.engine import SweepEngine
+from repro.sweep.export import fieldnames_of, to_csv
+from repro.sweep.grid import SweepGrid, make_point
+from repro.workloads.chat import RequestClass
+from repro.workloads.llm import LLMConfig
+
+#: Small but non-trivial model: weights take a visible bite out of one HBM.
+CLUSTER_LLM = LLMConfig(name="cluster-test-llm", num_layers=4, num_heads=16,
+                        d_model=2048, d_ff=8192, vocab_size=32000)
+
+MIX = (RequestClass(input_tokens=64, output_tokens=32, weight=0.6),
+       RequestClass(input_tokens=256, output_tokens=64, weight=0.4))
+
+
+def make_trace(num_requests=80, rate=50.0, seed=7, kind="poisson"):
+    return generate_trace(kind, MIX, rate, num_requests, seed)
+
+
+def make_cluster(replicas=3, config=None, shared=None, **kwargs):
+    config = config if config is not None else tpuv4i_baseline()
+    engines = [ServingSimulator(CLUSTER_LLM, config, simulator=shared)
+               for _ in range(replicas)]
+    return ClusterSimulator(engines, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def fleet_report():
+    return make_cluster(replicas=3).run(make_trace(),
+                                        slo=SLO(ttft_s=0.5, tpot_s=0.05))
+
+
+class TestValidation:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="at least one replica"):
+            ClusterSimulator([])
+
+    def test_mixed_models_rejected(self):
+        other = LLMConfig(name="other-llm", num_layers=2, num_heads=8,
+                          d_model=1024, d_ff=4096, vocab_size=32000)
+        replicas = [ServingSimulator(CLUSTER_LLM, tpuv4i_baseline()),
+                    ServingSimulator(other, tpuv4i_baseline())]
+        with pytest.raises(ValueError, match="same model"):
+            ClusterSimulator(replicas)
+
+    def test_min_replicas_bounds(self):
+        with pytest.raises(ValueError, match="min_replicas"):
+            make_cluster(replicas=2, min_replicas=3)
+        with pytest.raises(ValueError, match="min_replicas"):
+            make_cluster(replicas=2, min_replicas=0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            make_cluster().run(())
+
+    def test_undersized_replica_deployment_rejected(self):
+        from repro.workloads.llm import GPT3_30B
+
+        replicas = [ServingSimulator(GPT3_30B, tpuv4i_baseline(), devices=1)]
+        with pytest.raises(ValueError, match="replica 0: gpt3-30b does not fit 1 x"):
+            ClusterSimulator(replicas).run(make_trace(num_requests=5))
+
+    def test_unknown_router_and_autoscaler_listed(self):
+        with pytest.raises(KeyError, match="round-robin"):
+            make_cluster(router="nope")
+        with pytest.raises(KeyError, match="queue-depth"):
+            make_cluster(autoscaler="nope")
+
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FleetCostModel(chip_hour_dollars=-1.0)
+
+
+class TestFleetRun:
+    def test_conservation(self, fleet_report):
+        report = fleet_report
+        assert report.num_requests == 80
+        assert report.completed + report.rejected == 80
+        assert sum(r.requests_routed for r in report.replicas) == 80
+        assert sum(r.completed for r in report.replicas) == report.completed
+        assert report.total_tokens == sum(r.total_tokens for r in report.replicas)
+
+    def test_fleet_percentiles_cover_every_request(self, fleet_report):
+        assert len(fleet_report.requests) == fleet_report.completed
+        ids = [m.request_id for m in fleet_report.requests]
+        assert ids == sorted(ids)
+
+    def test_fixed_autoscaler_keeps_whole_fleet(self, fleet_report):
+        start_s, count = fleet_report.replica_timeline[0]
+        assert len(fleet_report.replica_timeline) == 1  # no scaling events
+        assert count == 3
+        assert fleet_report.peak_active_replicas == 3
+        assert fleet_report.mean_active_replicas == pytest.approx(3.0)
+
+    def test_round_robin_spreads_requests(self, fleet_report):
+        routed = [r.requests_routed for r in fleet_report.replicas]
+        assert max(routed) - min(routed) <= 1
+
+    def test_energy_and_cost_accounting(self, fleet_report):
+        report = fleet_report
+        assert report.total_energy_joules > 0
+        assert report.chip_hours > 0
+        assert report.cost_per_million_tokens_dollars > 0
+        expected = report.cost_model.run_dollars(report.chip_hours,
+                                                 report.total_energy_joules)
+        assert report.cost_per_million_tokens_dollars == pytest.approx(
+            expected / (report.total_tokens / 1e6))
+
+    def test_utilisation_bounded(self, fleet_report):
+        assert 0.0 < fleet_report.utilisation <= 1.0
+        for replica in fleet_report.replicas:
+            assert replica.active_s > 0
+
+    def test_bit_for_bit_determinism(self):
+        first = make_cluster(replicas=3, autoscaler="queue-depth",
+                             router="least-kv-pressure").run(make_trace())
+        second = make_cluster(replicas=3, autoscaler="queue-depth",
+                              router="least-kv-pressure").run(make_trace())
+        assert first.to_dict() == second.to_dict()
+
+    def test_single_replica_cluster_matches_plain_serving(self):
+        trace = make_trace()
+        cluster = make_cluster(replicas=1).run(trace)
+        plain = ServingSimulator(CLUSTER_LLM, tpuv4i_baseline()).run(trace)
+        assert cluster.completed == plain.completed
+        assert cluster.ttft.p99_s == plain.ttft.p99_s
+        assert cluster.total_tokens == plain.total_tokens
+
+    def test_heterogeneous_fleet(self):
+        shared_trace = make_trace()
+        replicas = [ServingSimulator(CLUSTER_LLM, tpuv4i_baseline()),
+                    ServingSimulator(CLUSTER_LLM, design_a()),
+                    ServingSimulator(CLUSTER_LLM, design_b(), max_batch=8)]
+        report = ClusterSimulator(replicas,
+                                  router="least-outstanding-requests").run(shared_trace)
+        assert report.completed + report.rejected == len(shared_trace)
+        names = {r.tpu_name for r in report.replicas}
+        assert names == {"tpuv4i-baseline", "design-a", "design-b"}
+
+    def test_to_dict_shapes(self, fleet_report):
+        payload = fleet_report.to_dict()
+        assert payload["router"] == "round-robin"
+        assert len(payload["requests"]) == fleet_report.completed
+        assert payload["replica_timeline"][0][1] == 3
+        slim = fleet_report.to_dict(include_requests=False)
+        assert "requests" not in slim
+
+    def test_replica_rows_export_as_csv(self, fleet_report):
+        text = to_csv(fleet_report.replicas,
+                      fieldnames=fieldnames_of(type(fleet_report.replicas[0])))
+        assert text.startswith("index,")
+        assert text.count("\n") == 4  # header + three replicas
+
+
+class TestAutoscaledRun:
+    def test_cold_start_delays_scale_out(self):
+        # A bursty overload forces scale-out; late replicas are active for
+        # less simulated time than replica 0, which serves from the start.
+        trace = make_trace(num_requests=120, rate=200.0, kind="bursty")
+        report = make_cluster(replicas=3, autoscaler="queue-depth").run(trace)
+        assert report.replica_timeline[0][1] == 1  # starts at min_replicas
+        assert report.peak_active_replicas >= 2
+        actives = [r.active_s for r in report.replicas]
+        assert actives[0] >= max(actives[1:])
+
+    def test_scale_in_drain_is_billed(self):
+        # Scale-out under an opening burst, route one very long decode to
+        # the high-index replica, then let a quiet tail trigger scale-in
+        # while that decode is still draining: the drained work must stay
+        # inside the billed time (utilisation <= 100%, cost covers it).
+        requests = [Request(request_id=i, arrival_s=0.0,
+                            input_tokens=64, output_tokens=32)
+                    for i in range(10)]  # simultaneous burst: forces scale-out
+        # Filler occupies replica 0 so least-outstanding sends the long
+        # decode to the (just warmed-up) replica 1.
+        requests.append(Request(request_id=10, arrival_s=5.9,
+                                input_tokens=64, output_tokens=500))
+        requests.append(Request(request_id=11, arrival_s=6.0,
+                                input_tokens=64, output_tokens=20000))
+        requests.extend(Request(request_id=12 + k, arrival_s=8.0 + 2.0 * k,
+                                input_tokens=64, output_tokens=8)
+                        for k in range(12))
+        report = make_cluster(replicas=2, autoscaler="queue-depth",
+                              router="least-outstanding-requests",
+                              shared=CachingInferenceSimulator(tpuv4i_baseline()),
+                              ).run(tuple(requests))
+        counts = [count for _, count in report.replica_timeline]
+        assert max(counts) == 2
+        assert counts[-1] == 1  # the quiet tail scaled the fleet back in
+        for replica in report.replicas:
+            assert replica.active_s >= replica.busy_s
+            assert 0.0 <= replica.utilisation <= 1.0
+        assert report.chip_hours * 3600.0 >= sum(
+            r.devices * r.busy_s for r in report.replicas)
+
+    def test_mean_active_between_min_and_fleet(self):
+        trace = make_trace(num_requests=120, rate=200.0, kind="bursty")
+        report = make_cluster(replicas=3, autoscaler="queue-depth").run(trace)
+        assert 1.0 <= report.mean_active_replicas <= 3.0
+
+    def test_session_affinity_concentrates_one_session(self):
+        # Every request of one session must land on one replica, however
+        # loaded it is — the KV-reuse contract of the affinity router.
+        requests = tuple(Request(request_id=i, arrival_s=0.05 * i,
+                                 input_tokens=64, output_tokens=8,
+                                 session_id=42)
+                         for i in range(40))
+        report = make_cluster(replicas=4, router="session-affinity",
+                              shared=CachingInferenceSimulator(tpuv4i_baseline()),
+                              ).run(requests)
+        routed = sorted(r.requests_routed for r in report.replicas)
+        assert routed == [0, 0, 0, 40]
+
+    def test_session_affinity_spreads_distinct_sessions(self):
+        requests = tuple(Request(request_id=i, arrival_s=0.05 * i,
+                                 input_tokens=64, output_tokens=8,
+                                 session_id=i)
+                         for i in range(40))
+        report = make_cluster(replicas=4, router="session-affinity",
+                              shared=CachingInferenceSimulator(tpuv4i_baseline()),
+                              ).run(requests)
+        assert sum(1 for r in report.replicas if r.requests_routed > 0) > 1
+
+
+class TestSimulateCluster:
+    SPEC = ServingSpec(scheduler="fcfs", arrival_rate=40.0, num_requests=40,
+                       seed=3, replicas=2, router="least-kv-pressure",
+                       autoscaler="fixed")
+
+    def test_runs_from_spec(self):
+        from repro.core.simulator import LLMInferenceSettings
+
+        settings = LLMInferenceSettings(batch=2, input_tokens=64,
+                                        output_tokens=16, decode_kv_samples=2)
+        report = simulate_cluster(CLUSTER_LLM, tpuv4i_baseline(), self.SPEC,
+                                  settings)
+        assert report.fleet_size == 2
+        assert report.router == "least-kv-pressure"
+        assert report.completed + report.rejected == 40
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="replicas"):
+            ServingSpec(replicas=0)
+        with pytest.raises(ValueError, match="min_replicas"):
+            ServingSpec(replicas=2, min_replicas=3)
+
+    def test_spec_summary_mentions_fleet(self):
+        assert "x2 least-kv-pressure/fixed" in self.SPEC.summary()
+        assert "x1" not in ServingSpec().summary()
+
+
+class TestSweepIntegration:
+    def make_serving_grid(self, **overrides):
+        return SweepGrid(designs={"baseline": tpuv4i_baseline()},
+                         models=["llama2-7b"], scenarios=["llm-serving"],
+                         precisions=(Precision.INT8,), batches=(2,),
+                         schedulers=("fcfs",), arrival_rates=(20.0,),
+                         serving_requests=20, input_tokens=64,
+                         output_tokens=16, **overrides)
+
+    def test_fleet_axes_expand(self):
+        grid = self.make_serving_grid(routers=("round-robin", "least-kv-pressure"),
+                                      replica_counts=(1, 2))
+        specs = grid.serving_specs()
+        # Replica count 1 is router-independent, so the two single-replica
+        # specs collapse into one (no duplicate simulations or rows).
+        assert len(specs) == 3
+        assert {(s.router, s.replicas) for s in specs} == {
+            ("round-robin", 1), ("round-robin", 2),
+            ("least-kv-pressure", 2)}
+        assert len(grid) == 3
+
+    def test_router_only_axis_does_not_duplicate_rows(self):
+        grid = self.make_serving_grid(routers=("round-robin",
+                                               "least-kv-pressure"))
+        assert len(grid.serving_specs()) == 1  # no replica axis: one spec
+
+    def test_fleet_axes_require_serving_grid(self):
+        with pytest.raises(ValueError, match="fleet axes"):
+            SweepGrid(designs={"baseline": tpuv4i_baseline()},
+                      models=["llama2-7b"], routers=("round-robin",))
+
+    def test_invalid_replica_counts_rejected(self):
+        with pytest.raises(ValueError, match="replica_counts"):
+            self.make_serving_grid(replica_counts=(0,))
+
+    def test_engine_evaluates_fleet_point(self):
+        grid = self.make_serving_grid(routers=("round-robin",),
+                                      replica_counts=(2,))
+        rows = SweepEngine().sweep(grid)
+        assert len(rows) == 1
+        row = rows[0]
+        assert "x2 round-robin/fixed" in row.settings_summary
+        assert row.devices == 2  # one device per replica for this model
+        assert row.item_unit == "token"
+        assert row.throughput > 0
+
+    def test_fleet_point_caches_and_reproduces(self):
+        engine = SweepEngine()
+        point = make_point("baseline", tpuv4i_baseline(), CLUSTER_LLM,
+                           batch=2, input_tokens=64, output_tokens=16,
+                           decode_kv_samples=2, scenario="llm-serving",
+                           serving=ServingSpec(arrival_rate=30.0,
+                                               num_requests=20, replicas=2))
+        first = engine.evaluate(point)
+        second = engine.evaluate(point)
+        assert first == second
+        assert engine.stats.point_hits == 1
+        assert SweepEngine().evaluate(point) == first

@@ -1,0 +1,168 @@
+"""Tests for the routing policies and the router registry."""
+
+import pytest
+
+from repro.serving.router import (
+    ROUTER_REGISTRY,
+    ReplicaView,
+    RouterContext,
+    RouterPolicy,
+    get_router,
+    register_router,
+)
+from repro.serving.trace import Request
+
+
+def view(index, outstanding=0, tokens=0, budget=10**9, kv_bytes=1000):
+    return ReplicaView(index=index, tpu_name="tpu", devices=1, max_batch=32,
+                       outstanding_requests=outstanding,
+                       outstanding_tokens=tokens,
+                       service_tokens_per_s=100.0,
+                       kv_budget_bytes=budget, kv_bytes_per_token=kv_bytes)
+
+
+def context(routed=0, now=0.0, fleet=4):
+    return RouterContext(now_s=now, routed_count=routed, fleet_size=fleet)
+
+
+def request(request_id=0, session_id=None):
+    return Request(request_id=request_id, arrival_s=0.0, input_tokens=64,
+                   output_tokens=16, session_id=session_id)
+
+
+class TestRegistry:
+    def test_builtin_policies_registered(self):
+        for name in ("round-robin", "least-outstanding-requests",
+                     "least-kv-pressure", "session-affinity"):
+            assert get_router(name).name == name
+
+    def test_unknown_router_lists_registered(self):
+        with pytest.raises(KeyError, match="round-robin"):
+            get_router("weighted-random")
+
+    def test_unknown_router_error_names_every_choice(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_router("nope")
+        message = str(excinfo.value)
+        for name in ROUTER_REGISTRY:
+            assert name in message
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_router(ROUTER_REGISTRY["round-robin"])
+
+    def test_register_overwrite(self):
+        original = ROUTER_REGISTRY["round-robin"]
+        register_router(original, overwrite=True)
+        assert ROUTER_REGISTRY["round-robin"] is original
+
+
+class TestReplicaView:
+    def test_kv_pressure(self):
+        v = view(0, tokens=500, budget=1_000_000, kv_bytes=1000)
+        assert v.kv_pressure == pytest.approx(0.5)
+
+    def test_kv_pressure_with_zero_budget_is_infinite(self):
+        assert view(0, budget=0).kv_pressure == float("inf")
+
+    def test_fits(self):
+        v = view(0, budget=100_000, kv_bytes=1000)  # 100 tokens fit
+        assert v.fits(request())  # 64+16 = 80 tokens
+        assert not v.fits(Request(request_id=1, arrival_s=0.0,
+                                  input_tokens=128, output_tokens=16))
+
+
+class TestBuiltinPolicies:
+    def test_round_robin_cycles(self):
+        policy = get_router("round-robin")
+        candidates = (view(0), view(1), view(2))
+        picks = [policy.choose(request(i), candidates, context(routed=i)).index
+                 for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_outstanding_prefers_emptiest(self):
+        policy = get_router("least-outstanding-requests")
+        candidates = (view(0, outstanding=3), view(1, outstanding=1),
+                      view(2, outstanding=2))
+        assert policy.choose(request(), candidates, context()).index == 1
+
+    def test_least_outstanding_ties_break_by_index(self):
+        policy = get_router("least-outstanding-requests")
+        candidates = (view(2, outstanding=1), view(1, outstanding=1))
+        assert policy.choose(request(), candidates, context()).index == 1
+
+    def test_least_kv_pressure_prefers_lowest_fraction(self):
+        policy = get_router("least-kv-pressure")
+        # Replica 0 holds fewer tokens but has a much smaller budget.
+        candidates = (view(0, tokens=100, budget=200_000),
+                      view(1, tokens=400, budget=4_000_000))
+        assert policy.choose(request(), candidates, context()).index == 1
+
+    def test_session_affinity_is_sticky(self):
+        policy = get_router("session-affinity")
+        candidates = (view(0), view(1), view(2), view(3))
+        picks = {policy.choose(request(i, session_id=42), candidates,
+                               context(routed=i)).index
+                 for i in range(10)}
+        assert len(picks) == 1  # every request of the session lands together
+
+    def test_session_affinity_spreads_sessions(self):
+        policy = get_router("session-affinity")
+        candidates = tuple(view(i) for i in range(4))
+        picks = {policy.choose(request(i, session_id=i), candidates,
+                               context()).index
+                 for i in range(32)}
+        assert len(picks) > 1  # distinct sessions do not all pile up
+
+    def test_session_affinity_rendezvous_stability(self):
+        """Removing a replica only moves sessions that lived on it."""
+        policy = get_router("session-affinity")
+        full = tuple(view(i) for i in range(4))
+        shrunk = tuple(view(i) for i in range(3))  # replica 3 drained
+        for session in range(24):
+            before = policy.choose(request(0, session_id=session), full,
+                                   context()).index
+            after = policy.choose(request(0, session_id=session), shrunk,
+                                  context()).index
+            if before != 3:
+                assert after == before
+
+    def test_session_affinity_falls_back_to_request_id(self):
+        policy = get_router("session-affinity")
+        candidates = tuple(view(i) for i in range(4))
+        a = policy.choose(request(7), candidates, context()).index
+        b = policy.choose(request(7), candidates, context(routed=99)).index
+        assert a == b  # request id is the key, not the routing count
+
+
+class TestCustomPolicy:
+    def test_custom_router_round_trip(self):
+        """A user-registered policy drives a cluster without touching core."""
+        from repro.core.designs import tpuv4i_baseline
+        from repro.serving.cluster import ClusterSimulator
+        from repro.serving.simulator import ServingSimulator
+        from repro.serving.trace import generate_trace
+        from repro.workloads.chat import RequestClass
+        from repro.workloads.llm import LLMConfig
+
+        policy = RouterPolicy(
+            name="test-always-last",
+            description="adversarial: dump everything on the last replica",
+            choose=lambda request, candidates, context: candidates[-1])
+        register_router(policy)
+        try:
+            model = LLMConfig(name="router-test-llm", num_layers=2, num_heads=8,
+                              d_model=1024, d_ff=4096, vocab_size=32000)
+            trace = generate_trace(
+                "poisson", (RequestClass(input_tokens=64, output_tokens=8),),
+                20.0, 30, 5)
+            replicas = [ServingSimulator(model, tpuv4i_baseline())
+                        for _ in range(3)]
+            report = ClusterSimulator(replicas,
+                                      router="test-always-last").run(trace)
+            assert report.router == "test-always-last"
+            assert report.replicas[2].requests_routed == 30
+            assert report.replicas[0].requests_routed == 0
+            assert report.completed == 30
+        finally:
+            del ROUTER_REGISTRY["test-always-last"]

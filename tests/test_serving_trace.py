@@ -149,3 +149,27 @@ class TestJsonl:
         path.write_text("\n")
         with pytest.raises(ValueError, match="no requests"):
             load_trace_jsonl(path)
+
+
+class TestSessionIds:
+    def test_session_round_trips_through_jsonl(self, tmp_path):
+        trace = (Request(request_id=0, arrival_s=0.0, input_tokens=8,
+                         output_tokens=4, session_id=11),
+                 Request(request_id=1, arrival_s=0.5, input_tokens=8,
+                         output_tokens=4))
+        path = write_trace_jsonl(trace, tmp_path / "sessions.jsonl")
+        loaded = load_trace_jsonl(path)
+        assert loaded[0].session_id == 11
+        assert loaded[1].session_id is None
+        assert loaded == trace
+
+    def test_sessionless_lines_stay_compact(self, tmp_path):
+        trace = (Request(request_id=0, arrival_s=0.0, input_tokens=8,
+                         output_tokens=4),)
+        path = write_trace_jsonl(trace, tmp_path / "plain.jsonl")
+        assert "session_id" not in path.read_text()
+
+    def test_negative_session_rejected(self):
+        with pytest.raises(ValueError, match="session_id"):
+            Request(request_id=0, arrival_s=0.0, input_tokens=8,
+                    output_tokens=4, session_id=-1)
