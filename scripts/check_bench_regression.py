@@ -2,7 +2,8 @@
 """Benchmark-regression gate: fresh BENCH_*.json vs. committed baselines.
 
 The benchmark suite writes machine-readable perf records at the repository
-root (``BENCH_sweep.json``, ``BENCH_serving.json``, ``BENCH_cluster.json``);
+root (``BENCH_sweep.json``, ``BENCH_serving.json``, ``BENCH_cluster.json``,
+``BENCH_optimize.json``);
 this script compares them against the copies committed under
 ``benchmarks/baselines/`` and turns the comparison into a CI verdict:
 
@@ -75,6 +76,11 @@ BENCH_METRICS: dict[str, tuple[Metric, ...]] = {
         Metric("wall_seconds", "wall"),
         Metric("cache_hit_rate", "rate"),
     ),
+    "BENCH_optimize.json": (
+        Metric("cold_wall_seconds", "wall"),
+        Metric("warm_wall_seconds", "wall"),
+        Metric("warm_simulations", "count"),
+    ),
 }
 
 #: Wall-time regressions below this absolute delta (seconds) never gate.
@@ -85,12 +91,24 @@ def compare(name: str, metric: Metric, fresh: float, base: float,
             fail_threshold: float, warn_threshold: float) -> tuple[str, str]:
     """Return (verdict, detail) for one metric; verdict in ok/warn/fail."""
     if metric.kind == "wall":
+        # The absolute noise floor applies BEFORE any relative comparison:
+        # a sub-floor delta never gates, however large the ratio — which is
+        # what keeps zero/near-zero baselines (the fully cached re-sweep
+        # records wall-times of milliseconds, sometimes 0.0) from dividing
+        # their way into a spurious verdict, or into a ZeroDivisionError.
         delta = fresh - base
-        ratio = (fresh / base - 1.0) if base > 0 else 0.0
-        detail = f"{base:.3f}s -> {fresh:.3f}s ({ratio:+.1%})"
+        if base > 0:
+            detail = f"{base:.3f}s -> {fresh:.3f}s ({delta / base:+.1%})"
+        else:
+            detail = f"{base:.3f}s -> {fresh:.3f}s (zero baseline, absolute gate)"
+        if delta <= WALL_ABSOLUTE_FLOOR_S / 2:
+            return "ok", detail
+        # Past the floor, a missing/zero baseline means any regression is
+        # infinitely relative — gate on the absolute delta alone.
+        ratio = (delta / base) if base > 0 else float("inf")
         if delta > WALL_ABSOLUTE_FLOOR_S and ratio > fail_threshold:
             return "fail", detail
-        if delta > WALL_ABSOLUTE_FLOOR_S / 2 and ratio > warn_threshold:
+        if ratio > warn_threshold:
             return "warn", detail
         return "ok", detail
     if metric.kind == "rate":

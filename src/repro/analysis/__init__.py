@@ -15,6 +15,7 @@ from repro.analysis.capacity import (
     FleetPlan,
     llm_footprint,
     dit_footprint,
+    fleet_lower_bound,
     plan_capacity,
     plan_fleet,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "FleetPlan",
     "llm_footprint",
     "dit_footprint",
+    "fleet_lower_bound",
     "plan_capacity",
     "plan_fleet",
     "PowerSummary",

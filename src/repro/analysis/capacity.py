@@ -177,6 +177,53 @@ class FleetPlan:
     evaluations: tuple[FleetEvaluation, ...]
 
 
+def fleet_lower_bound(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
+                      request_classes=None, scheduler: str = "fcfs",
+                      max_batch: int = 32,
+                      precision: Precision = Precision.INT8,
+                      devices: int | None = None,
+                      memory_utilisation: float = 0.9,
+                      simulator=None) -> int:
+    """Capacity lower bound on the replica count sustaining ``arrival_rate``.
+
+    The same estimate the cluster's routing front-end acts on: one replica
+    serialises prefill (one prompt at a time at the mix's mean prefill
+    cost) while decode shares ``max_batch`` slots at the full-batch decode
+    step cost — whichever binds caps the per-replica request rate, and the
+    bound is ``ceil(arrival_rate / per-replica rate)``.  Fleets below it
+    cannot even sustain the offered throughput, so :func:`plan_fleet`
+    starts its search here and the co-design optimizer prunes such
+    candidates before simulating them.
+
+    Raises
+    ------
+    ValueError
+        On a non-positive ``arrival_rate``.
+    """
+    # Imported lazily: repro.serving layers on top of repro.analysis, so a
+    # top-level import here would be circular.
+    from repro.serving.simulator import ServingSimulator
+    from repro.workloads.chat import DEFAULT_REQUEST_MIX, mix_fractions
+
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    classes = tuple(request_classes) if request_classes else DEFAULT_REQUEST_MIX
+    probe = ServingSimulator(model, tpu, scheduler=scheduler, precision=precision,
+                             max_batch=max_batch, devices=devices,
+                             memory_utilisation=memory_utilisation,
+                             simulator=simulator)
+    step = probe.costs.decode_cost(max_batch, probe.costs.bucket_tokens)
+    fractions = mix_fractions(classes)
+    mean_output = sum(fraction * cls.output_tokens
+                      for fraction, cls in zip(fractions, classes))
+    mean_prefill_s = sum(
+        fraction * probe.costs.prefill_cost(1, cls.input_tokens).seconds
+        for fraction, cls in zip(fractions, classes))
+    per_replica_rate = min(1.0 / mean_prefill_s,
+                           max_batch / (mean_output * step.seconds))
+    return max(1, int(math.ceil(arrival_rate / per_replica_rate)))
+
+
 def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
                slo=None, request_classes=None, attainment_target: float = 0.95,
                max_replicas: int = 16, num_requests: int = 400, seed: int = 0,
@@ -212,7 +259,7 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
     from repro.serving.simulator import ServingSimulator
     from repro.serving.trace import generate_trace
     from repro.sweep.cache import CachingInferenceSimulator
-    from repro.workloads.chat import DEFAULT_REQUEST_MIX, mix_fractions
+    from repro.workloads.chat import DEFAULT_REQUEST_MIX
 
     if arrival_rate <= 0:
         raise ValueError("arrival_rate must be positive")
@@ -226,22 +273,13 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
     trace = generate_trace(trace_kind, classes, arrival_rate, num_requests, seed)
     shared = CachingInferenceSimulator(tpu)
 
-    probe = ServingSimulator(model, tpu, scheduler=scheduler, precision=precision,
-                             max_batch=max_batch, devices=devices,
-                             memory_utilisation=memory_utilisation,
-                             simulator=shared)
-    step = probe.costs.decode_cost(max_batch, probe.costs.bucket_tokens)
-    fractions = mix_fractions(classes)
-    mean_output = sum(fraction * cls.output_tokens
-                      for fraction, cls in zip(fractions, classes))
-    mean_prefill_s = sum(
-        fraction * probe.costs.prefill_cost(1, cls.input_tokens).seconds
-        for fraction, cls in zip(fractions, classes))
     # Per-replica sustainable request rate: prefill serialises on the engine
     # while decode shares max_batch slots — the binding one caps the rate.
-    per_replica_rate = min(1.0 / mean_prefill_s,
-                           max_batch / (mean_output * step.seconds))
-    lower_bound = max(1, int(math.ceil(arrival_rate / per_replica_rate)))
+    lower_bound = fleet_lower_bound(
+        model, tpu, arrival_rate=arrival_rate, request_classes=classes,
+        scheduler=scheduler, max_batch=max_batch, precision=precision,
+        devices=devices, memory_utilisation=memory_utilisation,
+        simulator=shared)
 
     evaluations: list[FleetEvaluation] = []
     met_at: int | None = None

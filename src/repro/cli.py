@@ -34,6 +34,15 @@ Python:
 ``repro-sim fleet``
     Fleet sizing: the smallest replica count whose SLO attainment reaches
     a target at a given request rate, with per-fleet goodput and cost.
+``repro-sim optimize``
+    Pareto co-design search over the joint (design × precision ×
+    scheduler × router × autoscaler × replica count) space under declared
+    objectives (cost per million tokens, p99 TTFT/TPOT, energy per token,
+    chip-hours) and constraints (``slo>=0.95``, ``fit``, objective
+    bounds).  ``--strategy successive-halving`` prunes dominated
+    candidates on cheap short traces before re-scoring survivors on the
+    full trace; ``--store PATH`` persists every priced point so repeated
+    searches perform zero new simulations.
 ``repro-sim models``
     List the registered model configurations and their memory footprints.
 ``repro-sim scenarios``
@@ -68,6 +77,15 @@ from repro.common import Precision
 from repro.core.designs import PREDEFINED_DESIGNS, tpuv4i_baseline
 from repro.core.explorer import ArchitectureExplorer
 from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMInferenceSettings
+from repro.optimize import (
+    OBJECTIVE_REGISTRY,
+    SEARCH_REGISTRY,
+    CodesignOptimizer,
+    DesignSpace,
+    get_objective,
+    parse_constraint,
+)
+from repro.optimize.pareto import frontier_fieldnames
 from repro.serving.autoscaler import AUTOSCALER_REGISTRY
 from repro.serving.cluster import ClusterSimulator, ReplicaSummary
 from repro.serving.metrics import SLO, RequestMetrics
@@ -527,6 +545,97 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if plan.met else 1
 
 
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """Search the co-design space for Pareto-optimal fleet configurations."""
+    from repro.sweep.store import ResultStore
+
+    model = get_model(args.llm)
+    if not isinstance(model, LLMConfig):
+        raise SystemExit(f"'{args.llm}' is not an LLM; co-design optimisation "
+                         "prices serving fleets")
+    try:
+        objectives = [get_objective(name) for name in args.objectives]
+        constraints = [parse_constraint(text) for text in (args.constraints or ())]
+        space = DesignSpace(
+            designs=tuple(args.designs), precisions=tuple(args.precisions),
+            schedulers=tuple(args.schedulers), routers=tuple(args.routers),
+            autoscalers=tuple(args.autoscalers),
+            replica_counts=tuple(args.replica_counts),
+            max_batches=tuple(args.max_batches))
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error).strip('"')) from None
+    slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
+    try:
+        # OSError covers an unreadable/unwritable --store path (the store
+        # appends to it during the search, so write failures surface here).
+        store = ResultStore(args.store) if args.store else None
+        optimizer = CodesignOptimizer(
+            model, space, objectives=objectives, constraints=constraints,
+            strategy=args.strategy, arrival_rate=args.rate,
+            num_requests=args.requests, scenario=args.scenario,
+            input_tokens=args.input_tokens, output_tokens=args.output_tokens,
+            trace=args.trace, slo=slo, seed=args.seed, budget=args.budget,
+            store=store, use_capacity_bound=not args.no_capacity_bound)
+        frontier = optimizer.run()
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error).strip('"')) from None
+    except OSError as error:
+        raise SystemExit(f"cannot use result store '{args.store}': {error}") from None
+
+    header = ["design", "precision", "replicas", "scheduler", "router",
+              "autoscaler"]
+    header += [f"{objective.name} [{objective.unit}]" for objective in objectives]
+    header += ["SLO attained", "dominates"]
+    rows = []
+    for point in frontier.points:
+        result = point.result
+        rows.append([result.design, result.precision, result.replicas,
+                     result.scheduler, result.router, result.autoscaler]
+                    + [f"{value:.4g}" for value in point.values]
+                    + [f"{result.slo_attainment * 100:.1f}%",
+                       point.dominated_count])
+    title = (f"Pareto frontier: {model.name} at {args.rate:g} req/s "
+             f"({frontier.strategy} search, seed {args.seed})")
+    print(format_table(header, rows, title=title))
+    by_key = {point.result.cache_key: point.result for point in frontier.points}
+    for name, cache_key in frontier.extremes:
+        best = by_key[cache_key]
+        objective = get_objective(name)
+        print(f"best {name}: {objective.value(best):.4g} {objective.unit} "
+              f"({best.design}/{best.precision} x{best.replicas} "
+              f"{best.scheduler}/{best.router}/{best.autoscaler})")
+    print(f"searched {frontier.candidates} candidates: "
+          f"{len(frontier.points)} on the frontier, "
+          f"{frontier.dominated} dominated, "
+          f"{frontier.constraint_filtered} constraint-filtered, "
+          f"{frontier.strategy_pruned} pruned by the strategy "
+          "(short-trace dominated / over budget / unsampled), "
+          f"{frontier.infeasible} infeasible "
+          f"({frontier.capacity_pruned} below the capacity lower bound)")
+    print(f"simulations: {frontier.short_runs} short + {frontier.full_runs} "
+          f"full trace; new simulations: "
+          f"{frontier.short_runs + frontier.full_runs}; "
+          f"served from store: {frontier.store_served}")
+    if store is not None:
+        print(f"persistent store: {store.path} ({len(store)} entries)")
+    try:
+        if args.json:
+            path = pathlib.Path(args.json)
+            path.write_text(json.dumps(frontier.to_dict(), indent=2) + "\n",
+                            encoding="utf-8")
+            print(f"wrote frontier to {path}")
+        if args.csv:
+            path = write_csv(frontier.rows(), args.csv,
+                             fieldnames=frontier_fieldnames())
+            print(f"wrote frontier rows to {path}")
+    except OSError as error:
+        raise SystemExit(f"cannot write results: {error}")
+    if not frontier.points:
+        print("verdict: no feasible candidate satisfies the constraints")
+        return 1
+    return 0
+
+
 def cmd_models(args: argparse.Namespace) -> int:
     """List registered models with their footprints and capacity plans."""
     tpu = tpuv4i_baseline()
@@ -759,6 +868,83 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--json", metavar="PATH", default=None,
                        help="write the fleet plan to PATH as JSON")
     fleet.set_defaults(func=cmd_fleet)
+
+    optimize = subparsers.add_parser(
+        "optimize", help="Pareto co-design search over hardware x deployment",
+        description="Search the joint (TPU design x precision x scheduler x "
+                    "router x autoscaler x replica count) space for "
+                    "Pareto-optimal fleet configurations under declared "
+                    "objectives and constraints.  With --store, results "
+                    "persist across runs: a repeated search performs zero "
+                    "new simulations and reproduces the frontier bit for "
+                    "bit.")
+    optimize.add_argument("--designs", nargs="+",
+                          default=sorted(PREDEFINED_DESIGNS),
+                          help="design axis (default: all predefined designs)")
+    optimize.add_argument("--precisions", nargs="+",
+                          choices=[p.value for p in Precision],
+                          default=[Precision.INT8.value],
+                          help="precision axis (default int8)")
+    optimize.add_argument("--schedulers", nargs="+",
+                          choices=sorted(SCHEDULER_REGISTRY), default=["fcfs"],
+                          help="batching-policy axis (default fcfs)")
+    optimize.add_argument("--routers", nargs="+", choices=sorted(ROUTER_REGISTRY),
+                          default=["round-robin"],
+                          help="routing-policy axis (default round-robin)")
+    optimize.add_argument("--autoscalers", nargs="+",
+                          choices=sorted(AUTOSCALER_REGISTRY), default=["fixed"],
+                          help="autoscaling-policy axis (default fixed)")
+    optimize.add_argument("--replica-counts", dest="replica_counts", type=int,
+                          nargs="+", default=[1, 2, 4],
+                          help="replica-count axis (default 1 2 4)")
+    optimize.add_argument("--max-batches", dest="max_batches", type=int,
+                          nargs="+", default=[32],
+                          help="continuous-batching slot-limit axis (default 32)")
+    optimize.add_argument("--objectives", nargs="+",
+                          choices=sorted(OBJECTIVE_REGISTRY),
+                          default=["cost-per-million-tokens", "p99-ttft"],
+                          help="objectives to minimise/maximise "
+                               "(default: cost-per-million-tokens p99-ttft)")
+    optimize.add_argument("--constraints", nargs="+", default=None,
+                          metavar="CONSTRAINT",
+                          help="feasibility constraints: 'fit', 'slo>=0.95' or "
+                               "'<objective><=value' (default: none)")
+    optimize.add_argument("--strategy", choices=sorted(SEARCH_REGISTRY),
+                          default="successive-halving",
+                          help="search strategy (default successive-halving)")
+    optimize.add_argument("--budget", type=int, default=None,
+                          help="full-fidelity evaluation budget (random sample "
+                               "size / survivor cap; default: unlimited)")
+    optimize.add_argument("--rate", type=float, default=8.0,
+                          help="workload arrival rate in requests/s (default 8)")
+    optimize.add_argument("--requests", type=int, default=200,
+                          help="full-fidelity trace length (default 200)")
+    optimize.add_argument("--trace", choices=sorted(TRACE_REGISTRY),
+                          default="poisson",
+                          help="arrival process (default poisson)")
+    optimize.add_argument("--scenario", choices=llm_scenarios,
+                          default="chat-serving",
+                          help="scenario supplying the request mix "
+                               "(default chat-serving)")
+    optimize.add_argument("--store", metavar="PATH", default=None,
+                          help="persistent JSONL result store: repeated "
+                               "searches against the same store simulate "
+                               "nothing new")
+    optimize.add_argument("--no-capacity-bound", dest="no_capacity_bound",
+                          action="store_true",
+                          help="do not prune fleets below the capacity lower "
+                               "bound when an SLO constraint is declared")
+    optimize.add_argument("--slo-ttft", dest="slo_ttft", type=float, default=1.0,
+                          help="SLO: time to first token in seconds (default 1.0)")
+    optimize.add_argument("--slo-tpot", dest="slo_tpot", type=float, default=0.1,
+                          help="SLO: time per output token in seconds (default 0.1)")
+    optimize.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                          help="override the global --seed after the subcommand")
+    optimize.add_argument("--json", metavar="PATH", default=None,
+                          help="write the full frontier report to PATH as JSON")
+    optimize.add_argument("--csv", metavar="PATH", default=None,
+                          help="write the frontier rows to PATH as CSV")
+    optimize.set_defaults(func=cmd_optimize)
 
     models = subparsers.add_parser("models", help="list models and capacity plans")
     models.set_defaults(func=cmd_models)

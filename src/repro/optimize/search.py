@@ -1,0 +1,173 @@
+"""Search strategies over the co-design space, in an open registry.
+
+Every strategy maps a :class:`SearchContext` — the candidate list, the
+evaluator that prices them and the objectives that order them — to the set
+of **full-fidelity** results the frontier is built from.  Three ship
+built-in:
+
+* ``exhaustive`` — price every candidate on the full trace via the shared
+  caches; the ground truth the cheaper strategies are judged against.
+* ``random`` — a seeded uniform sample of ``budget`` candidates at full
+  fidelity; the classic cheap baseline for large spaces.
+* ``successive-halving`` — price *everything* on a short trace first
+  (``num_requests // short_fraction``), prune the candidates that are
+  Pareto-dominated at that cheap fidelity, and re-score only the survivors
+  on the full trace.  Dominated fleets reveal themselves early (an
+  overloaded fleet is overloaded on the short prefix too), so the strategy
+  runs strictly fewer full-trace simulations than exhaustive search while
+  recovering the same frontier on well-behaved spaces — the multi-fidelity
+  idea behind successive halving / Hyperband, applied to Pareto dominance
+  instead of a scalar loss.
+
+Strategies are plain frozen dataclasses in ``SEARCH_REGISTRY``; registering
+a new one (Bayesian, evolutionary, ...) makes it addressable from
+``repro-sim optimize --strategy`` without touching the optimizer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.optimize.evaluator import CandidateEvaluator, CandidateResult
+from repro.optimize.objectives import Objective
+from repro.optimize.pareto import non_dominated
+from repro.optimize.space import Candidate
+
+
+@dataclass
+class SearchContext:
+    """Everything a strategy needs to run one search."""
+
+    candidates: Sequence[Candidate]
+    evaluator: CandidateEvaluator
+    objectives: Sequence[Objective]
+    #: Seed of any strategy-internal randomness (sampling); evaluation
+    #: itself is deterministic regardless.
+    seed: int = 0
+    #: Full-fidelity evaluation budget (``None`` = unlimited).  Exhaustive
+    #: search ignores it; random sampling treats it as the sample size;
+    #: successive halving caps the survivors it re-scores.
+    budget: int | None = None
+    #: Short-trace divisor of multi-fidelity strategies.
+    short_fraction: int = 4
+    #: Floor on short-trace length (percentiles need a few requests).
+    min_short_requests: int = 20
+    #: Relative dominance margin of the cheap pruning pass: a candidate is
+    #: only pruned when something beats it by this fraction on *every*
+    #: objective, so short-vs-full metric drift cannot evict a true
+    #: frontier point (see :func:`repro.optimize.pareto.dominates_with_margin`).
+    prune_margin: float = 0.15
+
+
+@dataclass(frozen=True)
+class SearchStrategy:
+    """One registered search discipline."""
+
+    name: str
+    description: str
+    run: Callable[[SearchContext], tuple[CandidateResult, ...]]
+
+
+#: Registered search strategies, addressable by name.
+SEARCH_REGISTRY: dict[str, SearchStrategy] = {}
+
+
+def register_search(strategy: SearchStrategy, overwrite: bool = False) -> None:
+    """Add a search strategy to the registry.
+
+    Raises
+    ------
+    ValueError
+        If the name is taken and ``overwrite`` is not set.
+    """
+    if strategy.name in SEARCH_REGISTRY and not overwrite:
+        raise ValueError(f"search strategy '{strategy.name}' is already registered")
+    SEARCH_REGISTRY[strategy.name] = strategy
+
+
+def get_search(name: str) -> SearchStrategy:
+    """Look up a search strategy by name.
+
+    Raises
+    ------
+    KeyError
+        If the strategy is unknown; the error lists the registered names.
+    """
+    try:
+        return SEARCH_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(SEARCH_REGISTRY))
+        raise KeyError(
+            f"unknown search strategy '{name}'; registered strategies: {known}") from None
+
+
+def _exhaustive(context: SearchContext) -> tuple[CandidateResult, ...]:
+    """Price every candidate at full fidelity."""
+    return tuple(context.evaluator.evaluate(candidate)
+                 for candidate in context.candidates)
+
+
+def _random_sample(context: SearchContext) -> tuple[CandidateResult, ...]:
+    """Price a seeded uniform sample of ``budget`` candidates.
+
+    With no budget the sample is the whole space (random search degenerates
+    to exhaustive) — "unlimited" must mean what the CLI says it means, not
+    a silent arbitrary cap.
+    """
+    candidates = list(context.candidates)
+    if not candidates:  # everything capacity-pruned: nothing to sample
+        return ()
+    budget = context.budget if context.budget is not None else len(candidates)
+    if context.budget is not None and context.budget <= 0:
+        raise ValueError("random search needs a positive budget")
+    if budget < len(candidates):
+        rng = random.Random(context.seed)
+        candidates = rng.sample(candidates, budget)
+    return tuple(context.evaluator.evaluate(candidate)
+                 for candidate in candidates)
+
+
+def _successive_halving(context: SearchContext) -> tuple[CandidateResult, ...]:
+    """Prune dominated candidates on short traces, re-score the survivors.
+
+    Infeasible candidates (HBM misfits) are discovered on the cheap pass
+    and never re-scored — the deployment does not fit at any trace length.
+    """
+    evaluator = context.evaluator
+    short_n = max(context.min_short_requests,
+                  evaluator.num_requests // context.short_fraction)
+    if short_n >= evaluator.num_requests:
+        # The real trace is already as cheap as the pruning pass would be.
+        return _exhaustive(context)
+    cheap = [evaluator.evaluate(candidate, num_requests=short_n)
+             for candidate in context.candidates]
+    feasible = [result for result in cheap if result.feasible]
+    infeasible = tuple(result for result in cheap if not result.feasible)
+    survivors = non_dominated(feasible, context.objectives,
+                              margin=context.prune_margin)
+    if context.budget is not None and context.budget < len(survivors):
+        ordered = sorted(
+            survivors,
+            key=lambda result: (context.objectives[0].score(result),
+                                result.cache_key))
+        survivors = ordered[:context.budget]
+    full = tuple(evaluator.evaluate(result.candidate) for result in survivors)
+    return full + infeasible
+
+
+register_search(SearchStrategy(
+    name="exhaustive",
+    description="price every candidate on the full trace (via SweepEngine-"
+                "grade caching); the ground-truth frontier",
+    run=_exhaustive))
+register_search(SearchStrategy(
+    name="random",
+    description="seeded uniform sample of `budget` candidates at full fidelity",
+    run=_random_sample))
+register_search(SearchStrategy(
+    name="successive-halving",
+    description="prune Pareto-dominated candidates on cheap short traces, "
+                "re-score only the survivors on the full trace",
+    run=_successive_halving))

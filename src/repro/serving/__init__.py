@@ -43,6 +43,8 @@ from repro.serving.cluster import (
     ClusterSimulator,
     FleetCostModel,
     ReplicaSummary,
+    cluster_report_from_dict,
+    cluster_run_key,
     simulate_cluster,
 )
 from repro.serving.costs import StepCost, StepCostModel
@@ -95,6 +97,8 @@ __all__ = [
     "ClusterSimulator",
     "FleetCostModel",
     "ReplicaSummary",
+    "cluster_report_from_dict",
+    "cluster_run_key",
     "simulate_cluster",
     "StepCost",
     "StepCostModel",

@@ -45,7 +45,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.common import Precision
 from repro.serving.autoscaler import AutoscalerPolicy, FleetView, get_autoscaler
@@ -55,6 +55,14 @@ from repro.serving.simulator import ServingSimulator
 from repro.serving.spec import ServingSpec
 from repro.serving.trace import Request, generate_trace, request_classes_from_settings
 from repro.sweep.cache import CachingInferenceSimulator
+from repro.sweep.fingerprint import fingerprint
+from repro.sweep.store import decode_dataclass
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sweep.store import ResultStore
+
+#: Store namespace of persisted fleet reports (see repro.sweep.store).
+STORE_KIND = "cluster-report"
 
 
 @dataclass(frozen=True)
@@ -157,10 +165,19 @@ class ClusterReport:
 
     @property
     def utilisation(self) -> float:
-        """Busy fraction of the provisioned chip-time, devices-weighted."""
+        """Busy fraction of the provisioned chip-time, devices-weighted.
+
+        Each replica's busy time is clamped to its provisioned seconds
+        before the ratio: drain-aware billing keeps a scaled-in replica's
+        ``busy_s`` accruing through activation gaps its billing clock never
+        covered, and without the clamp an aggressive scale-in trace could
+        report a fleet utilisation above 1.0.  The result is provably in
+        [0, 1] for *any* replica summaries, engine-produced or
+        hand-constructed.
+        """
         provisioned = sum(r.devices * r.active_s for r in self.replicas)
-        busy = sum(r.devices * r.busy_s for r in self.replicas)
-        return busy / provisioned if provisioned > 0 else 0.0
+        busy = sum(r.devices * min(r.busy_s, r.active_s) for r in self.replicas)
+        return min(1.0, busy / provisioned) if provisioned > 0 else 0.0
 
     @property
     def cost_cache_hits(self) -> int:
@@ -451,13 +468,15 @@ class ClusterSimulator:
             # The drain extension in finalize() covers the final scale-in;
             # flooring at busy_s additionally covers work spilling across an
             # intermediate deactivate/reactivate gap, so billed time always
-            # contains the executed time and utilisation stays within [0, 1].
+            # contains the executed time.  The per-replica ratio is clamped
+            # anyway: utilisation must be provably in [0, 1] even if a
+            # future billing change re-opens a busy > provisioned window.
             active_s = max(handle.active_s, busy)
             summaries.append(ReplicaSummary(
                 index=handle.index, tpu_name=handle.replica.tpu_config.name,
                 scheduler=handle.replica.policy.name, devices=handle.devices,
                 active_s=active_s, busy_s=busy,
-                utilisation=busy / active_s if active_s > 0 else 0.0,
+                utilisation=min(1.0, busy / active_s) if active_s > 0 else 0.0,
                 requests_routed=len(handle.subtrace),
                 completed=report.completed if report is not None else 0,
                 rejected=report.rejected if report is not None else 0,
@@ -523,15 +542,77 @@ def _time_weighted_mean(timeline: Sequence[tuple[float, int]], end_s: float) -> 
     return area / (end_s - timeline[0][0])
 
 
+def cluster_report_from_dict(payload: Mapping[str, object]) -> ClusterReport:
+    """Rebuild a :class:`ClusterReport` from its ``to_dict`` payload.
+
+    The inverse of :meth:`ClusterReport.to_dict` up to the derived keys the
+    encoder injects (utilisation, cache totals — recomputed from the
+    replica rows) and the per-request tuple when the payload was written
+    with ``include_requests=False`` (restored as empty).  All numeric
+    fields round-trip exactly (JSON preserves IEEE-754 doubles), so every
+    aggregate a stored report serves is bit-for-bit the computed one.
+
+    Raises
+    ------
+    KeyError, TypeError
+        If the payload does not carry the report's required fields —
+        callers treating the store as a cache should catch these and fall
+        back to simulating.
+    """
+    data = dict(payload)
+    for derived in ("utilisation", "cost_cache_hits", "cost_cache_misses",
+                    "cost_cache_hit_rate"):
+        data.pop(derived, None)
+    for summary in ("ttft", "tpot", "e2e"):
+        data[summary] = decode_dataclass(LatencySummary, data[summary])
+    data["slo"] = decode_dataclass(SLO, data["slo"])
+    data["cost_model"] = decode_dataclass(FleetCostModel, data["cost_model"])
+    data["replica_timeline"] = tuple(
+        (entry[0], entry[1]) for entry in data["replica_timeline"])
+    data["replicas"] = tuple(decode_dataclass(ReplicaSummary, row)
+                             for row in data["replicas"])
+    data["requests"] = tuple(decode_dataclass(RequestMetrics, row)
+                             for row in data.get("requests", ()))
+    return decode_dataclass(ClusterReport, data)
+
+
+def cluster_run_key(model, tpu_config, spec: ServingSpec, settings: object) -> str:
+    """Content fingerprint of one :func:`simulate_cluster` run."""
+    return fingerprint("cluster-report/v1", tpu_config, model, spec, settings)
+
+
 def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
-                     simulator=None) -> ClusterReport:
+                     simulator=None, store: "ResultStore | None" = None,
+                     ) -> ClusterReport:
     """Run one fleet-shaped :class:`ServingSpec` end to end (the sweep entry).
 
     Builds ``spec.replicas`` homogeneous replicas that share one memoised
     graph simulator (so the fleet prices each distinct step state once), a
     router and an autoscaler from the spec's names, and replays the spec's
     seeded trace through the cluster.
+
+    A persistent :class:`~repro.sweep.store.ResultStore` short-circuits the
+    whole run: reports are keyed by :func:`cluster_run_key` and stored
+    without per-request rows, so a repeated run — in another process, days
+    later — decodes the report instead of replaying the event loop.  This
+    is what makes warm ``repro-sim optimize --store`` searches perform
+    zero new simulations.
     """
+    key = cluster_run_key(model, tpu_config, spec, settings) if store is not None else ""
+    if store is not None:
+        payload = store.get(STORE_KIND, key)
+        if payload is not None:
+            try:
+                return cluster_report_from_dict(payload)
+            except (KeyError, TypeError):
+                # Same-version schema drift: the payload is unusable, so the
+                # lookup was effectively a miss.  Reclassify it — callers
+                # (the optimizer's "new simulations" accounting, the CI
+                # zero-simulation gates) infer "did this call simulate?"
+                # from the miss counter, and the recompute below is real
+                # simulation work.
+                store.stats.hits -= 1
+                store.stats.misses += 1
     classes = request_classes_from_settings(settings)
     trace = generate_trace(spec.trace, classes, spec.arrival_rate,
                            spec.num_requests, spec.seed)
@@ -545,4 +626,7 @@ def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
     cluster = ClusterSimulator(replicas, router=spec.router,
                                autoscaler=spec.autoscaler,
                                min_replicas=spec.min_replicas)
-    return cluster.run(trace, slo=spec.slo)
+    report = cluster.run(trace, slo=spec.slo)
+    if store is not None:
+        store.put(STORE_KIND, key, report.to_dict(include_requests=False))
+    return report

@@ -22,8 +22,11 @@ from repro.sweep.engine import SweepEngine, SweepResult, SweepStats, point_key
 from repro.sweep.export import to_csv, to_json, write_csv, write_json
 from repro.sweep.fingerprint import canonicalize, fingerprint
 from repro.sweep.grid import SweepGrid, SweepPoint, default_grid, make_point
+from repro.sweep.store import STORE_VERSION, ResultStore
 
 __all__ = [
+    "ResultStore",
+    "STORE_VERSION",
     "CacheStats",
     "CachingInferenceSimulator",
     "ResultCache",

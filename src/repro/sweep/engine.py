@@ -24,13 +24,19 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import asdict, dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.core.config import TPUConfig
 from repro.parallel.multi_device import MultiTPUSystem
 from repro.sweep.cache import CachingInferenceSimulator, ResultCache
 from repro.sweep.fingerprint import fingerprint
 from repro.sweep.grid import SweepGrid, SweepPoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store uses cache)
+    from repro.sweep.store import ResultStore
+
+#: Store namespace of persisted sweep-point rows (see repro.sweep.store).
+STORE_KIND = "sweep-result"
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,18 @@ class SweepResult:
         """Plain-dict form used by the JSON/CSV exporters."""
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SweepResult":
+        """Rebuild a row from its ``to_dict`` payload (store round-trip).
+
+        Unknown keys are ignored so a store written by a newer minor schema
+        still loads where possible; missing required fields raise
+        ``TypeError``, which the engine treats as a store miss.
+        """
+        from repro.sweep.store import decode_dataclass
+
+        return decode_dataclass(cls, payload)
+
 
 @dataclass
 class SweepStats:
@@ -81,6 +99,10 @@ class SweepStats:
     point_misses: int = 0
     graph_hits: int = 0
     graph_misses: int = 0
+    #: Point rows served from / written to the persistent store (when one
+    #: is attached): a store hit does zero simulation work.
+    store_hits: int = 0
+    store_misses: int = 0
 
     @property
     def simulations(self) -> int:
@@ -96,7 +118,7 @@ def point_key(point: SweepPoint) -> str:
 
 
 def _compute_result(point: SweepPoint, simulator: CachingInferenceSimulator,
-                    key: str) -> SweepResult:
+                    key: str, store: "ResultStore | None" = None) -> SweepResult:
     """Simulate one point with the given (caching) simulator.
 
     The point's registered scenario drives the whole evaluation, so any
@@ -117,7 +139,8 @@ def _compute_result(point: SweepPoint, simulator: CachingInferenceSimulator,
             from repro.serving.cluster import simulate_cluster
 
             report = simulate_cluster(point.model, point.config, point.serving,
-                                      point.settings, simulator=simulator)
+                                      point.settings, simulator=simulator,
+                                      store=store)
             devices = report.total_devices
         else:
             from repro.serving.simulator import simulate_serving
@@ -170,7 +193,20 @@ def _compute_result(point: SweepPoint, simulator: CachingInferenceSimulator,
         communication_seconds=communication, cache_key=key)
 
 
+#: Per-worker-process snapshot of the parent's graph cache, installed once
+#: by :func:`_seed_worker_cache` when the pool spins the process up (not
+#: re-pickled per task, which would cost O(groups × cache size)).
+_WORKER_SEED_ENTRIES: dict[str, object] = {}
+
+
+def _seed_worker_cache(entries: Mapping[str, object]) -> None:
+    """Pool initializer: install the parent's graph-cache snapshot."""
+    _WORKER_SEED_ENTRIES.clear()
+    _WORKER_SEED_ENTRIES.update(entries)
+
+
 def _worker_evaluate_group(tasks: Sequence[tuple[str, SweepPoint]],
+                           seed_entries: Mapping[str, object] | None = None,
                            ) -> tuple[list[tuple[str, SweepResult]],
                                       list[tuple[str, object]], int, int]:
     """Pool worker: simulate a group of points sharing one local graph cache.
@@ -178,11 +214,24 @@ def _worker_evaluate_group(tasks: Sequence[tuple[str, SweepPoint]],
     The engine groups points by chip configuration before dispatch, so the
     graphs that points share (per-layer graphs across a device axis, repeated
     settings on one design) are simulated once per worker task rather than
-    once per point.  Returns the result rows, the graph-cache entries
-    produced (so the parent engine can absorb them) and the worker's graph
-    hit/miss counts (so the parent's statistics reflect work done remotely).
+    once per point.  The parent engine's existing graph-cache entries seed
+    the worker's cache (via the pool initializer, or the explicit
+    ``seed_entries`` override for direct calls): without them a warm parent
+    cache is invisible across the process boundary, so workers would
+    re-simulate graphs the parent already holds *and* count them as misses
+    — the classic "cache stats lost under multiprocessing fan-out" bug,
+    which made parallel runs under-report the hit rate (and over-simulate)
+    relative to an identical serial sweep.
+
+    Returns the result rows, the *new* graph-cache entries produced (so the
+    parent engine can absorb them without re-shipping what it sent) and the
+    worker's graph hit/miss deltas (so the parent's statistics reflect work
+    done remotely and parallel stats equal serial stats exactly).
     """
     cache = ResultCache()
+    seed_entries = (dict(seed_entries) if seed_entries is not None
+                    else dict(_WORKER_SEED_ENTRIES))
+    cache.merge(seed_entries.items())
     simulators: dict[str, CachingInferenceSimulator] = {}
     rows: list[tuple[str, SweepResult]] = []
     for key, point in tasks:
@@ -192,27 +241,42 @@ def _worker_evaluate_group(tasks: Sequence[tuple[str, SweepPoint]],
             simulator = CachingInferenceSimulator(point.config, cache)
             simulators[config_key] = simulator
         rows.append((key, _compute_result(point, simulator, key)))
-    return rows, list(cache.entries().items()), cache.stats.hits, cache.stats.misses
+    produced = [(graph_key, result) for graph_key, result in cache.entries().items()
+                if graph_key not in seed_entries]
+    return rows, produced, cache.stats.hits, cache.stats.misses
 
 
 class SweepEngine:
-    """Evaluates sweep grids with content-addressed caching and fan-out."""
+    """Evaluates sweep grids with content-addressed caching and fan-out.
 
-    def __init__(self, workers: int | None = None) -> None:
+    An optional persistent :class:`~repro.sweep.store.ResultStore` extends
+    the in-memory point cache across processes and runs: rows computed here
+    are written through to the store, rows another run already computed are
+    decoded from it without simulating anything.  Fleet-shaped points
+    additionally pass the store down to the cluster simulator, so warm
+    searches skip the event loop too.
+    """
+
+    def __init__(self, workers: int | None = None, *,
+                 store: "ResultStore | None" = None) -> None:
         #: Default worker count for :meth:`sweep` (``None``/``0``/``1`` = serial).
         self.workers = workers
+        #: Persistent cross-run result store (``None`` = in-memory only).
+        self.store = store
         self.graph_cache = ResultCache()
         self.point_cache = ResultCache()
         self._simulators: dict[str, CachingInferenceSimulator] = {}
         self._remote_graph_hits = 0
         self._remote_graph_misses = 0
+        self._store_hits = 0
+        self._store_misses = 0
 
     # -------------------------------------------------------------- evaluate
     def evaluate(self, point: SweepPoint) -> SweepResult:
-        """Evaluate one sweep point (served from the point cache on repeats)."""
+        """Evaluate one sweep point (served from the caches on repeats)."""
         key = point_key(point)
         return self.point_cache.get_or_compute(
-            key, lambda: _compute_result(point, self._simulator_for(point.config), key))
+            key, lambda: self._restore_or_compute(point, key))
 
     def sweep(self, points: SweepGrid | Iterable[SweepPoint],
               workers: int | None = None) -> list[SweepResult]:
@@ -236,33 +300,70 @@ class SweepEngine:
                     key, lambda key=key: prefetched[key]))
             else:
                 rows.append(self.point_cache.get_or_compute(
-                    key, lambda point=point, key=key: _compute_result(
-                        point, self._simulator_for(point.config), key)))
+                    key, lambda point=point, key=key: self._restore_or_compute(
+                        point, key)))
         return rows
 
     # --------------------------------------------------------------- helpers
+    def _restore_or_compute(self, point: SweepPoint, key: str) -> SweepResult:
+        """Serve a point from the persistent store, or simulate and persist."""
+        restored = self._from_store(key)
+        if restored is not None:
+            return restored
+        row = _compute_result(point, self._simulator_for(point.config), key,
+                              store=self.store)
+        if self.store is not None:
+            self.store.put(STORE_KIND, key, row.to_dict())
+        return row
+
+    def _from_store(self, key: str) -> SweepResult | None:
+        """Decode a stored row (``None`` without a store or on a miss)."""
+        if self.store is None:
+            return None
+        payload = self.store.get(STORE_KIND, key)
+        if payload is not None:
+            try:
+                row = SweepResult.from_dict(payload)
+            except TypeError:  # schema drift inside one store version
+                row = None
+            if row is not None:
+                self._store_hits += 1
+                return row
+        self._store_misses += 1
+        return None
+
     def _parallel_prefetch(self, points: Sequence[SweepPoint], keys: Sequence[str],
                            workers: int) -> dict[str, SweepResult]:
         """Simulate the unique uncached points in a process pool.
 
         Points are grouped by chip configuration and each group is one pool
-        task: worker processes cannot see the parent's graph cache, so
-        points that share graphs (which in practice means points on the same
-        chip) must travel together to be simulated once.  The fan-out is
-        therefore across distinct designs — the axis the exploration grids
-        are widest in.
+        task: every group ships with a snapshot of the parent's graph cache
+        (workers cannot see it otherwise) so graphs the parent — or an
+        earlier sweep — already simulated are cache hits in the worker too,
+        and the merged statistics equal a serial sweep's exactly.  Points
+        the persistent store already holds are decoded here and never
+        dispatched.  The fan-out is across distinct designs — the axis the
+        exploration grids are widest in.
         """
         pending: dict[str, SweepPoint] = {}
+        prefetched: dict[str, SweepResult] = {}
         for key, point in zip(keys, points):
-            if key not in self.point_cache and key not in pending:
+            if key in self.point_cache or key in pending or key in prefetched:
+                continue
+            restored = self._from_store(key)
+            if restored is not None:
+                prefetched[key] = restored
+            else:
                 pending[key] = point
         if not pending:
-            return {}
+            return prefetched
         groups: dict[str, list[tuple[str, SweepPoint]]] = {}
         for key, point in pending.items():
             groups.setdefault(fingerprint(point.config), []).append((key, point))
-        prefetched: dict[str, SweepResult] = {}
-        with multiprocessing.Pool(processes=min(workers, len(groups))) as pool:
+        seed_entries = self.graph_cache.entries()
+        with multiprocessing.Pool(processes=min(workers, len(groups)),
+                                  initializer=_seed_worker_cache,
+                                  initargs=(seed_entries,)) as pool:
             outcomes = pool.map(_worker_evaluate_group, list(groups.values()))
         for rows, graph_entries, graph_hits, graph_misses in outcomes:
             self.graph_cache.merge(graph_entries)
@@ -270,6 +371,8 @@ class SweepEngine:
             self._remote_graph_misses += graph_misses
             for key, row in rows:
                 prefetched[key] = row
+                if self.store is not None:
+                    self.store.put(STORE_KIND, key, row.to_dict())
         return prefetched
 
     def _simulator_for(self, config: TPUConfig) -> CachingInferenceSimulator:
@@ -289,12 +392,20 @@ class SweepEngine:
             point_hits=self.point_cache.stats.hits,
             point_misses=self.point_cache.stats.misses,
             graph_hits=self.graph_cache.stats.hits + self._remote_graph_hits,
-            graph_misses=self.graph_cache.stats.misses + self._remote_graph_misses)
+            graph_misses=self.graph_cache.stats.misses + self._remote_graph_misses,
+            store_hits=self._store_hits,
+            store_misses=self._store_misses)
 
     def clear_caches(self) -> None:
-        """Drop every cached simulation and reset the statistics."""
+        """Drop every cached simulation and reset the statistics.
+
+        The persistent store (if any) is left untouched: it is the
+        cross-run memory this method must not erase.
+        """
         self.graph_cache.clear()
         self.point_cache.clear()
         self._simulators.clear()
         self._remote_graph_hits = 0
         self._remote_graph_misses = 0
+        self._store_hits = 0
+        self._store_misses = 0

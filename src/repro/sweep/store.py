@@ -1,0 +1,140 @@
+"""Persistent on-disk result store: fingerprint-keyed JSONL memoisation.
+
+The in-process caches of :mod:`repro.sweep.cache` make repeated points free
+*within* one engine; this module makes them ~free *across* processes and
+runs.  A :class:`ResultStore` is an append-only JSONL file mapping
+``(kind, fingerprint)`` to a JSON payload — one record per line::
+
+    {"v": 1, "kind": "sweep-result", "key": "3fe1...", "value": {...}}
+
+Design points, stated explicitly:
+
+* **Content-addressed.**  Keys are the same SHA-256 fingerprints the
+  in-memory caches use (:mod:`repro.sweep.fingerprint`), so an entry is
+  valid for exactly the configuration that produced it — there is no
+  staleness to manage, only growth.  ``kind`` namespaces the payload shape
+  (sweep rows vs. cluster reports) so a key collision across shapes is
+  structurally impossible and the file stays greppable.
+* **Version-gated invalidation.**  Every record carries the store schema
+  version (:data:`STORE_VERSION`).  Records written under a different
+  version are skipped on load — bump the version whenever the *meaning* of
+  stored payloads changes (cost-model semantics, fingerprint inputs, row
+  schema), and old files degrade gracefully into cold caches instead of
+  serving wrong numbers.  The rule is documented in CONTRIBUTING.md.
+* **Append-only and crash-tolerant.**  Writes append whole lines; loading
+  tolerates a torn final line (a crashed writer) and unknown/corrupt lines
+  by skipping them.  Re-puts of the same key append a newer record; the
+  *last* valid record wins on load, so the file never needs rewriting.
+* **JSON round-trip exactness.**  Floats serialise via ``repr`` semantics
+  (Python's ``json``), which round-trips IEEE-754 doubles exactly — a
+  store-served row is bit-for-bit the row that was computed.
+
+Both :class:`~repro.sweep.engine.SweepEngine` (whole sweep-point rows) and
+:func:`repro.serving.cluster.simulate_cluster` (fleet reports) honour a
+store, which is what makes repeated/resumed co-design searches
+(``repro-sim optimize --store``) perform zero new simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+from typing import Any, Iterator, Mapping
+
+from repro.sweep.cache import CacheStats
+
+#: Schema version of stored payloads.  Bump when stored values change
+#: meaning (not when new kinds are added); older records are then ignored.
+STORE_VERSION = 1
+
+
+def decode_dataclass(cls: type, payload: Mapping[str, Any]) -> Any:
+    """Construct a (flat) dataclass from a stored payload.
+
+    The one decode policy every store kind shares: unknown keys are
+    ignored (a store written by a newer minor schema still loads where
+    possible), missing required fields raise ``TypeError`` — which callers
+    treat as a store miss, not an error.
+    """
+    names = {field.name for field in dataclasses.fields(cls)}
+    return cls(**{key: value for key, value in payload.items() if key in names})
+
+
+class ResultStore:
+    """A persistent ``(kind, key) -> JSON payload`` store backed by JSONL.
+
+    The whole file is indexed into memory on open (entries are small result
+    rows, not simulation inputs), so lookups after construction are plain
+    dictionary gets.  ``stats`` counts hits and misses exactly like the
+    in-memory :class:`~repro.sweep.cache.ResultCache`, so tests and
+    benchmarks can assert "the warm search performed zero new simulations".
+    """
+
+    def __init__(self, path: str | os.PathLike[str] | pathlib.Path, *,
+                 version: int = STORE_VERSION) -> None:
+        self.path = pathlib.Path(path)
+        self.version = version
+        self.stats = CacheStats()
+        self._entries: dict[tuple[str, str], Any] = {}
+        #: Records present in the file under a different schema version.
+        self.skipped_versions = 0
+        #: Malformed/torn lines tolerated while loading.
+        self.skipped_corrupt = 0
+        self._load()
+
+    # ----------------------------------------------------------------- loading
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                version = record["v"]
+                kind = record["kind"]
+                key = record["key"]
+                value = record["value"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                self.skipped_corrupt += 1
+                continue
+            if version != self.version:
+                self.skipped_versions += 1
+                continue
+            self._entries[(str(kind), str(key))] = value
+
+    # ----------------------------------------------------------------- lookups
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, kind_key: tuple[str, str]) -> bool:
+        return tuple(kind_key) in self._entries
+
+    def keys(self) -> Iterator[tuple[str, str]]:
+        """The stored ``(kind, key)`` pairs."""
+        return iter(self._entries)
+
+    def get(self, kind: str, key: str) -> Any | None:
+        """The stored payload, or ``None`` on a miss (hit/miss counted)."""
+        value = self._entries.get((kind, key))
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, kind: str, key: str, value: Any) -> None:
+        """Store a JSON-serialisable payload and append it to the file.
+
+        Appends are whole lines, so concurrent writers (e.g. two processes
+        warming the same store) interleave records rather than corrupting
+        each other; the last record of a key wins on the next load.
+        """
+        encoded = json.dumps({"v": self.version, "kind": kind, "key": key,
+                              "value": value}, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(encoded + "\n")
+        self._entries[(kind, key)] = value

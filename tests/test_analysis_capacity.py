@@ -6,6 +6,7 @@ from hypothesis import assume, given, settings, strategies as st
 from repro.analysis.capacity import (
     ModelFootprint,
     dit_footprint,
+    fleet_lower_bound,
     llm_footprint,
     llm_weight_bytes,
     plan_capacity,
@@ -217,6 +218,23 @@ class TestPlanFleet:
     def test_capacity_lower_bound_skips_hopeless_fleets(self):
         heavy = self.plan(arrival_rate=2000.0, max_replicas=10)
         assert heavy.evaluations[0].replicas > 1
+
+    def test_fleet_lower_bound_monotone_in_rate(self):
+        # The extracted estimate plan_fleet searches from (and the co-design
+        # optimizer prunes with): positive, monotone in the offered rate.
+        slow = fleet_lower_bound(LLAMA2_7B, tpuv4i_baseline(), arrival_rate=1.0)
+        fast = fleet_lower_bound(LLAMA2_7B, tpuv4i_baseline(),
+                                 arrival_rate=2000.0)
+        assert slow >= 1
+        assert fast > slow
+        with pytest.raises(ValueError, match="arrival_rate"):
+            fleet_lower_bound(LLAMA2_7B, tpuv4i_baseline(), arrival_rate=0.0)
+
+    def test_fleet_lower_bound_matches_plan_fleet_start(self):
+        plan = self.plan(arrival_rate=2000.0, max_replicas=10)
+        bound = fleet_lower_bound(self.MODEL, tpuv4i_baseline(),
+                                  arrival_rate=2000.0, request_classes=self.MIX)
+        assert plan.evaluations[0].replicas == min(bound, 10)
 
     def test_validation(self):
         with pytest.raises(ValueError, match="arrival_rate"):

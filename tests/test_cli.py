@@ -368,6 +368,82 @@ class TestFleet:
             build_parser().parse_args(["fleet"])
 
 
+class TestOptimize:
+    OPTIMIZE = ["--llm", "llama2-7b", "--input-tokens", "64",
+                "--output-tokens", "16", "optimize",
+                "--designs", "baseline", "design-a",
+                "--replica-counts", "2", "3",
+                "--rate", "24", "--requests", "120", "--seed", "7",
+                "--constraints", "slo>=0.5"]
+
+    def test_optimize_prints_frontier_and_provenance(self, capsys):
+        code, out = run_cli(capsys, *self.OPTIMIZE)
+        assert code == 0
+        assert "Pareto frontier" in out
+        assert "best cost-per-million-tokens" in out
+        assert "best p99-ttft" in out
+        assert "searched 4 candidates" in out
+        assert "new simulations:" in out
+
+    def test_optimize_warm_store_simulates_nothing(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        code, cold = run_cli(capsys, *self.OPTIMIZE, "--store", str(store))
+        assert code == 0
+        assert "new simulations: 0;" not in cold
+        code, warm = run_cli(capsys, *self.OPTIMIZE, "--store", str(store))
+        assert code == 0
+        assert "new simulations: 0;" in warm
+
+        def frontier_lines(text):
+            return [line for line in text.splitlines()
+                    if "simulations" not in line and "store" not in line]
+
+        assert frontier_lines(warm) == frontier_lines(cold)
+
+    def test_optimize_exports_json_and_csv(self, capsys, tmp_path):
+        import json as json_module
+
+        json_path = tmp_path / "frontier.json"
+        csv_path = tmp_path / "frontier.csv"
+        code, _ = run_cli(capsys, *self.OPTIMIZE, "--json", str(json_path),
+                          "--csv", str(csv_path))
+        assert code == 0
+        payload = json_module.loads(json_path.read_text())
+        assert payload["strategy"] == "successive-halving"
+        assert payload["points"]
+        header = csv_path.read_text().splitlines()[0]
+        assert "cost_per_million_tokens_dollars" in header
+        assert "dominated_count" in header
+
+    def test_optimize_exhaustive_strategy(self, capsys):
+        code, out = run_cli(capsys, *self.OPTIMIZE, "--strategy", "exhaustive")
+        assert code == 0
+        assert "exhaustive search" in out
+
+    def test_optimize_unsatisfiable_constraints_exit_nonzero(self, capsys):
+        code = main(self.OPTIMIZE[:-1] + ["chip-hours<=0.0000001"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no feasible candidate" in out
+
+    def test_optimize_rejects_bad_constraint(self):
+        with pytest.raises(SystemExit, match="accepted forms"):
+            main(self.OPTIMIZE[:-1] + ["cheap-and-fast"])
+
+    def test_optimize_rejects_unknown_design(self):
+        with pytest.raises(SystemExit, match="predefined designs"):
+            main(["--llm", "llama2-7b", "optimize", "--designs", "gpu",
+                  "--rate", "8"])
+
+    def test_optimize_unusable_store_path_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot use result store"):
+            main(self.OPTIMIZE + ["--store", "/proc/nope/store.jsonl"])
+
+    def test_optimize_rejects_non_llm_model(self):
+        with pytest.raises(SystemExit, match="not an LLM"):
+            main(["--llm", "dit-xl-2", "optimize"])
+
+
 class TestServingSweep:
     def test_sweep_serving_axes(self, capsys):
         code, out = run_cli(capsys, "--seed", "3", *SMALL, "sweep",

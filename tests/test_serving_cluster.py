@@ -1,5 +1,7 @@
 """Tests for the multi-replica cluster simulator and its fleet wiring."""
 
+import dataclasses
+
 import pytest
 
 from repro.common import Precision
@@ -7,6 +9,7 @@ from repro.core.designs import design_a, design_b, tpuv4i_baseline
 from repro.serving.cluster import (
     ClusterSimulator,
     FleetCostModel,
+    ReplicaSummary,
     simulate_cluster,
 )
 from repro.serving.metrics import SLO
@@ -125,6 +128,44 @@ class TestFleetRun:
         assert 0.0 < fleet_report.utilisation <= 1.0
         for replica in fleet_report.replicas:
             assert replica.active_s > 0
+
+    def test_utilisation_bounded_under_aggressive_scale_in(self):
+        # Regression for drain-aware billing pushing utilisation past 1.0:
+        # an opening burst scales the fleet out, a monster decode lands on a
+        # high-index replica, and a long quiet tail scales everything back
+        # in while that replica is still draining.  Fleet and per-replica
+        # utilisation must stay inside [0, 1] throughout.
+        requests = [Request(request_id=i, arrival_s=0.0,
+                            input_tokens=64, output_tokens=16)
+                    for i in range(12)]
+        requests.append(Request(request_id=12, arrival_s=5.0,
+                                input_tokens=64, output_tokens=30000))
+        requests.extend(Request(request_id=13 + k, arrival_s=7.0 + 3.0 * k,
+                                input_tokens=64, output_tokens=4)
+                        for k in range(16))
+        report = make_cluster(replicas=3, autoscaler="queue-depth",
+                              router="least-outstanding-requests",
+                              ).run(tuple(requests))
+        assert len(report.replica_timeline) > 1  # the fleet actually scaled
+        assert 0.0 <= report.utilisation <= 1.0
+        for replica in report.replicas:
+            assert 0.0 <= replica.utilisation <= 1.0
+            assert replica.busy_s <= replica.active_s
+
+    def test_utilisation_clamped_for_any_replica_rows(self):
+        # The property must be provably in [0, 1] even for hand-built rows
+        # whose busy time exceeds the billed time (the drain-billing shape
+        # the clamp defends against).
+        overrun = ReplicaSummary(
+            index=0, tpu_name="tpuv4i", scheduler="fcfs", devices=2,
+            active_s=10.0, busy_s=25.0, utilisation=1.0, requests_routed=1,
+            completed=1, rejected=0, total_tokens=100, tokens_per_second=1.0,
+            mxu_energy_joules=1.0, total_energy_joules=2.0,
+            kv_budget_bytes=1, peak_kv_reserved_bytes=1,
+            cost_cache_hits=0, cost_cache_misses=1)
+        report = dataclasses.replace(make_cluster(replicas=1).run(
+            make_trace(num_requests=5)), replicas=(overrun,))
+        assert report.utilisation == 1.0
 
     def test_bit_for_bit_determinism(self):
         first = make_cluster(replicas=3, autoscaler="queue-depth",

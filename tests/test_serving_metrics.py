@@ -44,6 +44,25 @@ class TestPercentile:
             percentile([], 50.0)
         with pytest.raises(ValueError):
             percentile([1.0], 150.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+    def test_two_element_endpoints_are_exact(self):
+        # q=0 / q=100 on two elements must return the elements themselves,
+        # with no interpolation drift.
+        assert percentile([7.0, 3.0], 0.0) == 3.0
+        assert percentile([7.0, 3.0], 100.0) == 7.0
+
+    def test_two_element_interpolation_spans_the_gap(self):
+        values = [10.0, 20.0]
+        assert percentile(values, 50.0) == pytest.approx(15.0)
+        assert percentile(values, 10.0) == pytest.approx(11.0)
+        assert percentile(values, 99.0) == pytest.approx(19.9)
+
+    def test_endpoints_never_leave_the_value_range(self):
+        values = [0.25, 0.5, 0.75, 1.0]
+        for q in (0.0, 1e-9, 50.0, 100.0 - 1e-9, 100.0):
+            assert min(values) <= percentile(values, q) <= max(values)
 
 
 class TestSLO:
@@ -54,6 +73,29 @@ class TestSLO:
         assert metrics.meets(SLO(ttft_s=1.0, tpot_s=0.2))
         assert not metrics.meets(SLO(ttft_s=0.4, tpot_s=0.2))
         assert not metrics.meets(SLO(ttft_s=1.0, tpot_s=0.05))
+
+    def test_exact_tie_at_both_targets_counts_as_met(self):
+        # Goodput ties: a request landing exactly ON the SLO targets meets
+        # the SLO (the comparison is <=, not <) and therefore counts toward
+        # goodput; an epsilon over either target does not.
+        slo = SLO(ttft_s=0.5, tpot_s=0.1)
+        tie = RequestMetrics.from_times(request_id=0, arrival_s=0.0,
+                                        input_tokens=8, output_tokens=5,
+                                        first_token_s=0.5,
+                                        finish_s=0.5 + 4 * 0.1)
+        assert tie.ttft_s == slo.ttft_s
+        assert tie.tpot_s == pytest.approx(slo.tpot_s)
+        assert tie.meets(slo)
+        over_ttft = RequestMetrics.from_times(request_id=1, arrival_s=0.0,
+                                              input_tokens=8, output_tokens=5,
+                                              first_token_s=0.5 + 1e-9,
+                                              finish_s=0.9)
+        assert not over_ttft.meets(slo)
+        over_tpot = RequestMetrics.from_times(request_id=2, arrival_s=0.0,
+                                              input_tokens=8, output_tokens=5,
+                                              first_token_s=0.5,
+                                              finish_s=0.5 + 4 * 0.1 + 1e-6)
+        assert not over_tpot.meets(slo)
 
     def test_validation(self):
         with pytest.raises(ValueError):

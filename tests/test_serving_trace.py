@@ -163,13 +163,63 @@ class TestSessionIds:
         assert loaded[1].session_id is None
         assert loaded == trace
 
-    def test_sessionless_lines_stay_compact(self, tmp_path):
+    def test_sessionless_lines_write_explicit_null(self, tmp_path):
+        # Dump/load symmetry: a standalone request's session_id is written
+        # explicitly as null, not dropped, so every field round-trips.
         trace = (Request(request_id=0, arrival_s=0.0, input_tokens=8,
                          output_tokens=4),)
         path = write_trace_jsonl(trace, tmp_path / "plain.jsonl")
-        assert "session_id" not in path.read_text()
+        assert '"session_id": null' in path.read_text()
 
     def test_negative_session_rejected(self):
         with pytest.raises(ValueError, match="session_id"):
             Request(request_id=0, arrival_s=0.0, input_tokens=8,
                     output_tokens=4, session_id=-1)
+
+    def test_mixed_session_trace_round_trips_bit_for_bit(self, tmp_path):
+        # Regression: a trace mixing session-carrying and standalone
+        # requests must reload as the identical tuple — None session ids
+        # included — or a replayed trace diverges from the in-memory run.
+        trace = (
+            Request(request_id=0, arrival_s=0.0, input_tokens=8,
+                    output_tokens=4, session_id=3),
+            Request(request_id=1, arrival_s=0.5, input_tokens=8,
+                    output_tokens=4),
+            Request(request_id=2, arrival_s=1.0, input_tokens=16,
+                    output_tokens=8, session_id=0),
+            Request(request_id=3, arrival_s=1.5, input_tokens=16,
+                    output_tokens=8, session_id=None),
+        )
+        loaded = load_trace_jsonl(write_trace_jsonl(trace, tmp_path / "mix.jsonl"))
+        assert loaded == trace
+
+    def test_reloaded_trace_routes_identically_under_session_affinity(
+            self, tmp_path):
+        # The observable contract behind the symmetry fix: routing a
+        # reloaded trace through the session-affinity policy must pick the
+        # same replica for every request as the in-memory trace does.
+        from repro.serving.router import ReplicaView, RouterContext, get_router
+
+        rng = random.Random(11)
+        trace = tuple(
+            Request(request_id=i, arrival_s=0.25 * i, input_tokens=8,
+                    output_tokens=4,
+                    session_id=rng.choice((None, 0, 1, 2, 7)))
+            for i in range(40))
+        loaded = load_trace_jsonl(write_trace_jsonl(trace, tmp_path / "affinity.jsonl"))
+
+        router = get_router("session-affinity")
+        views = tuple(
+            ReplicaView(index=index, tpu_name="tpu", devices=1, max_batch=32,
+                        outstanding_requests=0, outstanding_tokens=0,
+                        service_tokens_per_s=100.0, kv_budget_bytes=10**9,
+                        kv_bytes_per_token=1000)
+            for index in range(3))
+
+        def routes(requests):
+            return [router.choose(request, views,
+                                  RouterContext(now_s=request.arrival_s,
+                                                routed_count=i, fleet_size=3)).index
+                    for i, request in enumerate(requests)]
+
+        assert routes(loaded) == routes(trace)
