@@ -3,7 +3,7 @@
 
 The benchmark suite writes machine-readable perf records at the repository
 root (``BENCH_sweep.json``, ``BENCH_serving.json``, ``BENCH_cluster.json``,
-``BENCH_optimize.json``);
+``BENCH_optimize.json``, ``BENCH_faults.json``);
 this script compares them against the copies committed under
 ``benchmarks/baselines/`` and turns the comparison into a CI verdict:
 
@@ -80,6 +80,11 @@ BENCH_METRICS: dict[str, tuple[Metric, ...]] = {
         Metric("cold_wall_seconds", "wall"),
         Metric("warm_wall_seconds", "wall"),
         Metric("warm_simulations", "count"),
+    ),
+    "BENCH_faults.json": (
+        Metric("wall_seconds", "wall"),
+        Metric("cache_hit_rate", "rate"),
+        Metric("shed_requests", "count"),
     ),
 }
 

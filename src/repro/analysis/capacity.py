@@ -232,7 +232,7 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
                autoscaler: str = "fixed", max_batch: int = 32,
                precision: Precision = Precision.INT8,
                devices: int | None = None, memory_utilisation: float = 0.9,
-               cost_model=None) -> FleetPlan:
+               cost_model=None, faults=(), overlay=None) -> FleetPlan:
     """Smallest replica count that meets an SLO at a target request rate.
 
     Replays one seeded trace (``trace_kind`` arrivals at ``arrival_rate``
@@ -270,7 +270,10 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
     slo = slo if slo is not None else SLO()
     classes = tuple(request_classes) if request_classes else DEFAULT_REQUEST_MIX
     cost_model = cost_model if cost_model is not None else FleetCostModel()
-    trace = generate_trace(trace_kind, classes, arrival_rate, num_requests, seed)
+    # A chaos-aware plan sizes the fleet against the degraded trace/fleet:
+    # the overlay warps the arrivals, the faults replay in every evaluation.
+    trace = generate_trace(trace_kind, classes, arrival_rate, num_requests,
+                           seed, overlay=overlay)
     shared = CachingInferenceSimulator(tpu)
 
     # Per-replica sustainable request rate: prefill serialises on the engine
@@ -290,7 +293,8 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
             memory_utilisation=memory_utilisation, simulator=shared)
             for _ in range(count)]
         report = ClusterSimulator(replicas, router=router, autoscaler=autoscaler,
-                                  cost_model=cost_model).run(trace, slo=slo)
+                                  cost_model=cost_model,
+                                  faults=faults).run(trace, slo=slo)
         evaluations.append(FleetEvaluation(
             replicas=count, slo_attainment=report.slo_attainment,
             p99_ttft_s=report.ttft.p99_s, p99_tpot_s=report.tpot.p99_s,

@@ -88,14 +88,18 @@ from repro.optimize import (
 from repro.optimize.pareto import frontier_fieldnames
 from repro.serving.autoscaler import AUTOSCALER_REGISTRY
 from repro.serving.cluster import ClusterSimulator, ReplicaSummary
+from repro.serving.faults import FAULT_REGISTRY, parse_fault
 from repro.serving.metrics import SLO, RequestMetrics
 from repro.serving.router import ROUTER_REGISTRY
 from repro.serving.scheduler import SCHEDULER_REGISTRY
 from repro.serving.simulator import ServingSimulator
 from repro.serving.trace import (
+    OVERLAY_REGISTRY,
     TRACE_REGISTRY,
+    apply_overlay,
     generate_trace,
     load_trace_jsonl,
+    parse_overlay,
     request_classes_from_settings,
 )
 from repro.sweep.cache import CachingInferenceSimulator
@@ -347,6 +351,38 @@ def _print_serving_report(report, args: argparse.Namespace, model) -> None:
           f"states priced over {report.prefill_steps + report.decode_steps} steps)")
 
 
+def _parse_chaos(args: argparse.Namespace):
+    """Resolve the ``--faults`` / ``--overlay`` flags into spec objects."""
+    try:
+        faults = tuple(parse_fault(text)
+                       for text in (getattr(args, "faults", None) or ()))
+        overlay = (parse_overlay(args.overlay)
+                   if getattr(args, "overlay", None) else None)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error).strip('"')) from None
+    return faults, overlay
+
+
+def _print_resilience(report) -> None:
+    """Chaos outcome lines of a fleet run under injected faults."""
+    resilience = report.resilience
+    recovery = ("n/a (no crash)" if resilience.crash_count == 0
+                else "never" if resilience.recovery_s == float("inf")
+                else f"{resilience.recovery_s:.1f} s")
+    print(f"faults: {resilience.fault_count} injected "
+          f"({resilience.crash_count} crashes); "
+          f"{resilience.disrupted_requests} requests disrupted, "
+          f"{resilience.shed_requests} shed")
+    print(f"resilience: availability {resilience.availability * 100:.2f}% "
+          f"({resilience.downtime_replica_s:.1f} replica-s down), "
+          f"recovery to SLO {recovery}, "
+          f"SLO debt {resilience.slo_debt_s:.2f} s")
+    print(f"goodput under failure: "
+          f"{resilience.goodput_under_failure_tokens_per_second:.1f} tokens/s "
+          f"({resilience.goodput_under_failure_requests_per_second:.2f} "
+          "requests/s, undisrupted SLO-met requests only)")
+
+
 def _print_cluster_report(report, args: argparse.Namespace, model) -> None:
     """Human-readable output of a fleet run."""
     print(_percentile_table(
@@ -381,6 +417,8 @@ def _print_cluster_report(report, args: argparse.Namespace, model) -> None:
           f"${report.cost_per_million_tokens_dollars:.3f} per million tokens")
     print(f"step-cost cache: {report.cost_cache_hit_rate * 100:.2f}% hit rate "
           f"across the fleet ({report.cost_cache_misses} distinct states priced)")
+    if getattr(args, "faults", None) or report.fault_events:
+        _print_resilience(report)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -399,25 +437,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          f"model '{model.name}'")
     if args.replicas < 1:
         raise SystemExit("--replicas must be positive")
-    if args.replicas == 1 and (args.router != "round-robin"
-                               or args.autoscaler != "fixed"
-                               or args.min_replicas != 1):
+    faults, overlay = _parse_chaos(args)
+    if args.replicas == 1 and not faults and (args.router != "round-robin"
+                                              or args.autoscaler != "fixed"
+                                              or args.min_replicas != 1):
         print("note: --router/--autoscaler/--min-replicas apply only with "
-              "--replicas > 1; running a single deployment")
+              "--replicas > 1 (or --faults); running a single deployment")
     precision = Precision(args.precision)
     settings = scenario.make_settings(ScenarioKnobs(
         batch=args.batch, precision=precision, input_tokens=args.input_tokens,
         output_tokens=args.output_tokens))
     slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
+    # Fault injection lives at the routing layer, so a faulted run goes
+    # through the cluster simulator even at --replicas 1.
+    fleet_run = args.replicas > 1 or bool(faults)
 
     def run_once():
         """One full serve pipeline: trace, simulator(s), report."""
         if args.trace_file:
             trace = load_trace_jsonl(args.trace_file)
+            if overlay is not None:
+                trace = apply_overlay(trace, overlay)
         else:
             trace = generate_trace(args.trace, request_classes_from_settings(settings),
-                                   args.rate, args.requests, args.seed)
-        if args.replicas > 1:
+                                   args.rate, args.requests, args.seed,
+                                   overlay=overlay)
+        if fleet_run:
             shared = CachingInferenceSimulator(config)
             replicas = [ServingSimulator(
                 model, config, scheduler=args.scheduler, precision=precision,
@@ -426,7 +471,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 for _ in range(args.replicas)]
             cluster = ClusterSimulator(replicas, router=args.router,
                                        autoscaler=args.autoscaler,
-                                       min_replicas=args.min_replicas)
+                                       min_replicas=args.min_replicas,
+                                       faults=faults)
             return cluster.run(trace, slo=slo)
         simulator = ServingSimulator(
             model, config, scheduler=args.scheduler, precision=precision,
@@ -448,7 +494,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # argparse choices.
         raise SystemExit(str(error)) from None
 
-    if args.replicas > 1:
+    if fleet_run:
         _print_cluster_report(report, args, model)
     else:
         _print_serving_report(report, args, model)
@@ -464,7 +510,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                             encoding="utf-8")
             print(f"wrote serving report to {path}")
         if args.csv:
-            if args.replicas > 1:
+            if fleet_run:
                 path = write_csv(report.replicas, args.csv,
                                  fieldnames=fieldnames_of(ReplicaSummary))
                 print(f"wrote per-replica metrics to {path}")
@@ -496,6 +542,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         batch=args.batch, precision=precision, input_tokens=args.input_tokens,
         output_tokens=args.output_tokens))
     slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
+    faults, overlay = _parse_chaos(args)
     try:
         plan = plan_fleet(model, config, arrival_rate=args.rate, slo=slo,
                           request_classes=request_classes_from_settings(settings),
@@ -504,7 +551,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                           num_requests=args.requests, seed=args.seed,
                           trace_kind=args.trace, scheduler=args.scheduler,
                           router=args.router, max_batch=args.max_batch,
-                          precision=precision)
+                          precision=precision, faults=faults, overlay=overlay)
     except ValueError as error:
         raise SystemExit(str(error)) from None
 
@@ -565,6 +612,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as error:
         raise SystemExit(str(error).strip('"')) from None
     slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
+    faults, overlay = _parse_chaos(args)
     try:
         # OSError covers an unreadable/unwritable --store path (the store
         # appends to it during the search, so write failures surface here).
@@ -575,7 +623,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             num_requests=args.requests, scenario=args.scenario,
             input_tokens=args.input_tokens, output_tokens=args.output_tokens,
             trace=args.trace, slo=slo, seed=args.seed, budget=args.budget,
-            store=store, use_capacity_bound=not args.no_capacity_bound)
+            store=store, use_capacity_bound=not args.no_capacity_bound,
+            faults=faults, overlay=overlay)
         frontier = optimizer.run()
     except (KeyError, ValueError) as error:
         raise SystemExit(str(error).strip('"')) from None
@@ -678,6 +727,18 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
 
 
 # -------------------------------------------------------------------- parser
+def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--faults`` / ``--overlay`` chaos flags."""
+    parser.add_argument(
+        "--faults", action="append", metavar="FAULT", default=None,
+        help="inject a fault source (repeatable): '<kind>[:field=value,...]' "
+             "with kinds " + ", ".join(sorted(FAULT_REGISTRY))
+             + "; e.g. 'replica-crash:at_s=5,duration_s=10,replica=0'")
+    parser.add_argument(
+        "--overlay", metavar="OVERLAY", default=None,
+        help="arrival-drift overlay: '<kind>[:field=value,...]' with kinds "
+             + ", ".join(sorted(OVERLAY_REGISTRY))
+             + "; e.g. 'flash-crowd:start_s=10,duration_s=30,magnitude=3'")
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the CLI."""
     parser = argparse.ArgumentParser(prog="repro-sim",
@@ -826,6 +887,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the full serving report to PATH as JSON")
     serve.add_argument("--csv", metavar="PATH", default=None,
                        help="write per-request TTFT/TPOT/e2e rows to PATH as CSV")
+    _add_chaos_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
     fleet = subparsers.add_parser(
@@ -867,6 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the global --seed after the subcommand")
     fleet.add_argument("--json", metavar="PATH", default=None,
                        help="write the fleet plan to PATH as JSON")
+    _add_chaos_flags(fleet)
     fleet.set_defaults(func=cmd_fleet)
 
     optimize = subparsers.add_parser(
@@ -944,6 +1007,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the full frontier report to PATH as JSON")
     optimize.add_argument("--csv", metavar="PATH", default=None,
                           help="write the frontier rows to PATH as CSV")
+    _add_chaos_flags(optimize)
     optimize.set_defaults(func=cmd_optimize)
 
     models = subparsers.add_parser("models", help="list models and capacity plans")

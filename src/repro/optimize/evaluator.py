@@ -38,8 +38,9 @@ from repro.core.config import TPUConfig
 from repro.core.designs import PREDEFINED_DESIGNS
 from repro.optimize.space import Candidate
 from repro.serving.cluster import cluster_run_key, simulate_cluster
+from repro.serving.faults import FaultSpec
 from repro.serving.metrics import SLO
-from repro.serving.trace import request_classes_from_settings
+from repro.serving.trace import OverlaySpec, request_classes_from_settings
 from repro.sweep.cache import CachingInferenceSimulator
 from repro.workloads.llm import LLMConfig
 from repro.workloads.registry import get_scenario
@@ -81,6 +82,14 @@ class CandidateResult:
     cost_per_million_tokens_dollars: float
     utilisation: float
     cache_key: str
+    #: Resilience outcomes under the evaluator's (possibly empty) chaos
+    #: scenario — trivial for fault-free searches, load-bearing for the
+    #: resilience objectives/constraints (recovery-s, availability, ...).
+    availability: float = 1.0
+    recovery_s: float = 0.0
+    slo_debt_s: float = 0.0
+    goodput_under_failure_tokens_per_second: float = 0.0
+    disrupted_requests: int = 0
 
     @property
     def candidate(self) -> Candidate:
@@ -103,7 +112,9 @@ class CandidateEvaluator:
                  input_tokens: int = 1024, output_tokens: int = 512,
                  trace: str = "poisson", slo: SLO = SLO(), seed: int = 0,
                  designs: Mapping[str, TPUConfig] | None = None,
-                 store: "ResultStore | None" = None) -> None:
+                 store: "ResultStore | None" = None,
+                 faults: tuple[FaultSpec, ...] = (),
+                 overlay: OverlaySpec | None = None) -> None:
         if not isinstance(model, LLMConfig):
             raise ValueError("co-design optimisation prices serving fleets; "
                              f"'{getattr(model, 'name', model)}' is not an LLM")
@@ -126,6 +137,10 @@ class CandidateEvaluator:
         self.seed = seed
         self.designs = dict(designs) if designs is not None else dict(PREDEFINED_DESIGNS)
         self.store = store
+        # The chaos scenario is part of the evaluation, not the candidate:
+        # every candidate faces the same faults and drift.
+        self.faults = tuple(faults)
+        self.overlay = overlay
         self._settings: dict[str, object] = {}
         self._simulators: dict[str, CachingInferenceSimulator] = {}
         self._capacity_bounds: dict[tuple[str, str, str, int], int] = {}
@@ -210,7 +225,9 @@ class CandidateEvaluator:
         settings = self.settings_for(candidate.precision)
         spec = candidate.serving_spec(arrival_rate=self.arrival_rate,
                                       num_requests=n, seed=self.seed,
-                                      trace=self.trace, slo=self.slo)
+                                      trace=self.trace, slo=self.slo,
+                                      faults=self.faults,
+                                      overlay=self.overlay)
         key = cluster_run_key(self.model, config, spec, settings)
         misses_before = self.store.stats.misses if self.store is not None else None
         try:
@@ -240,7 +257,14 @@ class CandidateEvaluator:
             energy_per_token_joules=report.energy_per_token_joules,
             chip_hours=report.chip_hours,
             cost_per_million_tokens_dollars=report.cost_per_million_tokens_dollars,
-            utilisation=report.utilisation, cache_key=key)
+            utilisation=report.utilisation,
+            availability=report.resilience.availability,
+            recovery_s=report.resilience.recovery_s,
+            slo_debt_s=report.resilience.slo_debt_s,
+            goodput_under_failure_tokens_per_second=(
+                report.resilience.goodput_under_failure_tokens_per_second),
+            disrupted_requests=report.resilience.disrupted_requests,
+            cache_key=key)
 
     def infeasible(self, candidate: Candidate, reason: str, *,
                    fidelity: str = "full", num_requests: int | None = None,
@@ -258,4 +282,8 @@ class CandidateEvaluator:
             p99_ttft_s=0.0, p99_tpot_s=0.0, tokens_per_second=0.0,
             energy_per_token_joules=0.0, chip_hours=0.0,
             cost_per_million_tokens_dollars=0.0, utilisation=0.0,
-            cache_key=cache_key)
+            # An unserveable fleet recovers never and delivers nothing:
+            # resilience constraints must fail it, not wave it through.
+            availability=0.0, recovery_s=float("inf"), slo_debt_s=0.0,
+            goodput_under_failure_tokens_per_second=0.0,
+            disrupted_requests=0, cache_key=cache_key)

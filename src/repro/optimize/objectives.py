@@ -105,6 +105,20 @@ register_objective(Objective(
 register_objective(Objective(
     name="tokens-per-second", attr="tokens_per_second", direction="max",
     unit="tok/s", description="sustained fleet decode throughput"))
+register_objective(Objective(
+    name="availability", attr="availability", direction="max", unit="",
+    description="uptime fraction of provisioned replica-time under faults"))
+register_objective(Objective(
+    name="recovery-s", attr="recovery_s", direction="min", unit="s",
+    description="worst crash-to-SLO-reattainment time (inf = never)"))
+register_objective(Objective(
+    name="slo-debt", attr="slo_debt_s", direction="min", unit="s",
+    description="summed latency debt beyond the SLO targets"))
+register_objective(Objective(
+    name="goodput-under-failure",
+    attr="goodput_under_failure_tokens_per_second", direction="max",
+    unit="tok/s",
+    description="undisrupted SLO-meeting tokens per second under faults"))
 
 
 @dataclass(frozen=True)
@@ -151,7 +165,7 @@ def bound_constraint(objective_name: str, op: str, limit: float) -> Constraint:
         kind="bound", satisfied=satisfied)
 
 
-_CONSTRAINT_PATTERN = re.compile(r"^\s*([a-z0-9-]+)\s*(<=|>=)\s*([0-9.eE+-]+)\s*$")
+_CONSTRAINT_PATTERN = re.compile(r"^\s*([a-z0-9_-]+)\s*(<=|>=)\s*([0-9.eE+-]+)\s*$")
 
 
 def parse_constraint(text: str) -> Constraint:
@@ -159,7 +173,9 @@ def parse_constraint(text: str) -> Constraint:
 
     Accepted forms: ``fit`` (HBM feasibility), ``slo>=0.95`` (attainment
     target) and ``<objective><=value`` / ``<objective>>=value`` for any
-    registered objective, e.g. ``p99-ttft<=0.5``.
+    registered objective, e.g. ``p99-ttft<=0.5``.  Underscores in the
+    objective name are treated as dashes, so ``recovery_s<=30`` (the
+    result-attribute spelling) means ``recovery-s<=30``.
 
     Raises
     ------
@@ -173,6 +189,7 @@ def parse_constraint(text: str) -> Constraint:
     match = _CONSTRAINT_PATTERN.match(text)
     if match:
         name, op, raw_limit = match.groups()
+        name = name.replace("_", "-")
         try:
             limit = float(raw_limit)
         except ValueError:

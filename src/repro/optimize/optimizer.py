@@ -30,7 +30,9 @@ from repro.optimize.objectives import Constraint, Objective, get_objective
 from repro.optimize.pareto import ParetoFrontier, build_frontier
 from repro.optimize.search import SearchContext, SearchStrategy, get_search
 from repro.optimize.space import DesignSpace
+from repro.serving.faults import FaultSpec
 from repro.serving.metrics import SLO
+from repro.serving.trace import OverlaySpec
 from repro.workloads.llm import LLMConfig
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -50,7 +52,9 @@ class CodesignOptimizer:
                  output_tokens: int = 512, trace: str = "poisson",
                  slo: SLO = SLO(), seed: int = 0, budget: int | None = None,
                  store: "ResultStore | None" = None,
-                 use_capacity_bound: bool = True) -> None:
+                 use_capacity_bound: bool = True,
+                 faults: tuple[FaultSpec, ...] = (),
+                 overlay: OverlaySpec | None = None) -> None:
         if not objectives:
             raise ValueError("optimisation needs at least one objective")
         self.space = space
@@ -68,7 +72,7 @@ class CodesignOptimizer:
             scenario=scenario, input_tokens=input_tokens,
             output_tokens=output_tokens, trace=trace, slo=slo, seed=seed,
             designs={name: space.config_for(name) for name in space.designs},
-            store=store)
+            store=store, faults=faults, overlay=overlay)
 
     # -------------------------------------------------------------------- run
     def run(self) -> ParetoFrontier:

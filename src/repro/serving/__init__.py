@@ -33,6 +33,7 @@ from repro.serving.autoscaler import (
     AutoscalerPolicy,
     FleetView,
     fixed_autoscaler,
+    forecasting_autoscaler,
     get_autoscaler,
     queue_depth_autoscaler,
     register_autoscaler,
@@ -48,12 +49,24 @@ from repro.serving.cluster import (
     simulate_cluster,
 )
 from repro.serving.costs import StepCost, StepCostModel
+from repro.serving.faults import (
+    FAULT_REGISTRY,
+    FaultEvent,
+    FaultModel,
+    FaultSpec,
+    fault_timeline,
+    get_fault,
+    parse_fault,
+    register_fault,
+)
 from repro.serving.metrics import (
     SLO,
     LatencySummary,
     RequestMetrics,
+    ResilienceSummary,
     ServingReport,
     percentile,
+    slo_debt_s,
 )
 from repro.serving.router import (
     ROUTER_REGISTRY,
@@ -72,13 +85,19 @@ from repro.serving.scheduler import (
 from repro.serving.simulator import LiveRequest, ServingSimulator, simulate_serving
 from repro.serving.spec import ServingSpec
 from repro.serving.trace import (
+    OVERLAY_REGISTRY,
     TRACE_REGISTRY,
+    OverlaySpec,
     Request,
+    apply_overlay,
     bursty_trace,
     diurnal_trace,
     generate_trace,
+    get_overlay,
     load_trace_jsonl,
+    parse_overlay,
     poisson_trace,
+    register_overlay,
     register_trace,
     request_classes_from_settings,
     write_trace_jsonl,
@@ -89,6 +108,7 @@ __all__ = [
     "AutoscalerPolicy",
     "FleetView",
     "fixed_autoscaler",
+    "forecasting_autoscaler",
     "get_autoscaler",
     "queue_depth_autoscaler",
     "register_autoscaler",
@@ -102,11 +122,21 @@ __all__ = [
     "simulate_cluster",
     "StepCost",
     "StepCostModel",
+    "FAULT_REGISTRY",
+    "FaultEvent",
+    "FaultModel",
+    "FaultSpec",
+    "fault_timeline",
+    "get_fault",
+    "parse_fault",
+    "register_fault",
     "SLO",
     "LatencySummary",
     "RequestMetrics",
+    "ResilienceSummary",
     "ServingReport",
     "percentile",
+    "slo_debt_s",
     "ROUTER_REGISTRY",
     "ReplicaView",
     "RouterContext",
@@ -121,13 +151,19 @@ __all__ = [
     "ServingSimulator",
     "simulate_serving",
     "ServingSpec",
+    "OVERLAY_REGISTRY",
     "TRACE_REGISTRY",
+    "OverlaySpec",
     "Request",
+    "apply_overlay",
     "bursty_trace",
     "diurnal_trace",
     "generate_trace",
+    "get_overlay",
     "load_trace_jsonl",
+    "parse_overlay",
     "poisson_trace",
+    "register_overlay",
     "register_trace",
     "request_classes_from_settings",
     "write_trace_jsonl",

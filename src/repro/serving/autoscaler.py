@@ -24,7 +24,10 @@ same pattern as the router/scheduler registries.  Built-ins:
   lower one;
 * ``utilisation-target`` — track a target batch-slot utilisation, scaling
   out above ``target + headroom`` and in below ``target * scale_in_factor``
-  after the hold period.
+  after the hold period;
+* ``forecasting`` — scale on the *predicted* arrival rate (windowed rate
+  plus trend, extrapolated one cold start ahead) instead of the observed
+  queue, paying the same cold-start and hysteresis costs.
 
 Deactivation releases the highest-indexed active replica first and
 activation claims the lowest-indexed inactive one, so replicas below
@@ -33,6 +36,7 @@ activation claims the lowest-indexed inactive one, so replicas below
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable
 
@@ -193,6 +197,72 @@ def utilisation_target_autoscaler(target: float = 0.75,
         decide=decide, cold_start_s=cold_start_s)
 
 
+def forecasting_autoscaler(window_s: float = 10.0,
+                           requests_per_replica_s: float = 4.0,
+                           lead_s: float | None = None,
+                           hold_s: float = 15.0,
+                           cold_start_s: float = 5.0,
+                           name: str = "forecasting") -> AutoscalerPolicy:
+    """Predictive policy: scale on the *forecast* arrival rate, not the queue.
+
+    Reactive policies only add capacity after a burst has already queued —
+    and then pay the cold start on top.  This policy records every arrival
+    instant it is consulted at (the cluster calls ``decide`` exactly once
+    per arrival, so the decision times *are* the arrival process), measures
+    the rate over the trailing ``window_s`` and the rate trend across the
+    two half-windows, and linearly extrapolates ``lead_s`` seconds ahead —
+    by default exactly the cold start it must mask.  The target replica
+    count is the forecast rate over ``requests_per_replica_s`` (the rate
+    one replica is provisioned to sustain).
+
+    Prediction buys lead time, not free capacity: scale-out still pays the
+    full cold start before a replica is routable, and scale-in goes through
+    the same ``hold_s`` hysteresis as the reactive policies.  The cluster's
+    clamp keeps the answer within ``[min_replicas, fleet_size]`` whatever
+    the forecast says.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if requests_per_replica_s <= 0:
+        raise ValueError("requests_per_replica_s must be positive")
+    if lead_s is not None and lead_s < 0:
+        raise ValueError("lead_s must be non-negative (or None)")
+    if hold_s < 0:
+        raise ValueError("hold_s must be non-negative")
+
+    def decide(view: FleetView, state: dict) -> int:
+        arrivals: list[float] = state.setdefault("arrivals", [])
+        arrivals.append(view.now_s)
+        horizon = view.now_s - 2.0 * window_s
+        while arrivals and arrivals[0] < horizon:
+            arrivals.pop(0)
+        half = window_s / 2.0
+        recent = sum(1 for t in arrivals if t > view.now_s - half)
+        previous = sum(1 for t in arrivals
+                       if view.now_s - window_s < t <= view.now_s - half)
+        rate = (recent + previous) / window_s
+        slope = (recent - previous) / (half * half)
+        lead = cold_start_s if lead_s is None else lead_s
+        forecast = max(0.0, rate + slope * lead)
+        target = max(view.min_replicas,
+                     math.ceil(forecast / requests_per_replica_s))
+        if target > view.active_count:
+            state.pop("below_since", None)
+            return target
+        if target < view.active_count and view.active_count > view.min_replicas:
+            return _scale_in_with_hold(view, state, hold_s)
+        state.pop("below_since", None)
+        return view.active_count
+
+    return AutoscalerPolicy(
+        name=name,
+        description=f"scale on the arrival rate forecast {window_s:g}s window "
+                    f"extrapolated {('cold-start' if lead_s is None else f'{lead_s:g}s')} "
+                    f"ahead, {requests_per_replica_s:g} req/s per replica",
+        decide=decide, cold_start_s=cold_start_s)
+
+
 register_autoscaler(fixed_autoscaler())
 register_autoscaler(queue_depth_autoscaler())
 register_autoscaler(utilisation_target_autoscaler())
+register_autoscaler(forecasting_autoscaler())

@@ -34,22 +34,45 @@ How the fleet is simulated, stated explicitly:
   and replicas below ``min_replicas`` never drain.  The replica-count
   timeline is part of the report, and fleet economics (chip-hours and
   energy → cost per million tokens) are priced from it.
+* **Faults act at the routing layer.**  Injected
+  :class:`~repro.serving.faults.FaultSpec` sources expand into a
+  deterministic event timeline merged with the arrivals.  A **crash** fells
+  the replica at its onset: billing stops, the front-end's estimated
+  in-flight requests drain back to the router and are re-routed immediately
+  (their completed metrics are fixed up to the *original* arrival and
+  flagged ``disrupted``, so the disruption shows up as real latency), and
+  the replica restarts ``duration_s`` later, paying the autoscaler's cold
+  start before it is routable again.  **Slow** windows multiply the
+  replica's step durations during its replay (the front end stays blind to
+  them — unplanned degradation is exactly what routing estimates miss), and
+  **stall** windows make the replica unroutable while in-flight work
+  continues.  Conservation holds throughout: every trace request completes,
+  is rejected at admission, or is counted as shed.
 
-Determinism: the pre-pass and every replica replay are pure functions of the
-trace and the configuration, so a cluster run is bit-for-bit reproducible —
-the acceptance property the CI determinism check pins.
+Determinism: the pre-pass, the fault timeline and every replica replay are
+pure functions of the trace and the configuration, so a cluster run —
+chaos included — is bit-for-bit reproducible: the acceptance property the
+CI determinism checks pin.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import heapq
+import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.common import Precision
 from repro.serving.autoscaler import AutoscalerPolicy, FleetView, get_autoscaler
-from repro.serving.metrics import SLO, LatencySummary, RequestMetrics, ServingReport
+from repro.serving.faults import FaultEvent, FaultSpec, fault_timeline
+from repro.serving.metrics import (
+    SLO,
+    LatencySummary,
+    RequestMetrics,
+    ResilienceSummary,
+    ServingReport,
+)
 from repro.serving.router import ReplicaView, RouterContext, RouterPolicy, get_router
 from repro.serving.simulator import ServingSimulator
 from repro.serving.spec import ServingSpec
@@ -162,6 +185,16 @@ class ClusterReport:
     mean_active_replicas: float
     replicas: tuple[ReplicaSummary, ...]
     requests: tuple[RequestMetrics, ...] = ()
+    #: Requests no replica could take at all (conservation contract:
+    #: ``completed + rejected + shed == num_requests`` — structurally 0
+    #: while every crash schedules a restart, but the accounting is total).
+    shed: int = 0
+    #: Resilience outcomes, computed for every run: a fault-free fleet
+    #: reports availability 1.0, zero recovery time and a goodput-under-
+    #: failure equal to its plain goodput (nothing was disrupted).
+    resilience: ResilienceSummary = ResilienceSummary.clean()
+    #: The injected fault timeline in absolute simulated time (provenance).
+    fault_events: tuple[FaultEvent, ...] = ()
 
     @property
     def utilisation(self) -> float:
@@ -234,8 +267,10 @@ class _ReplicaHandle:
         self._decode_step_s = step.seconds
         self.service_tokens_per_s = replica.max_batch / step.seconds
         # Queueing estimate the router acts on: serial prefill occupancy,
-        # max_batch decode slots, and the set of requests still in flight.
-        self._queue: list[tuple[float, int]] = []
+        # max_batch decode slots, and the set of requests still in flight
+        # (keyed by finish estimate, carrying the request so a crash knows
+        # exactly what to drain back to the router).
+        self._queue: list[tuple[float, int, Request]] = []
         self._prefill_busy_until = 0.0
         self._slots = [0.0] * replica.max_batch
         self.outstanding_tokens = 0
@@ -246,6 +281,12 @@ class _ReplicaHandle:
         self.active_since: float | None = None
         self.deactivated_at: float | None = None
         self.active_s = 0.0
+        # Fault state: the pending outage end (None = up), completed outage
+        # spans, and the degradation/stall windows the timeline attached.
+        self.down_until: float | None = None
+        self.outages: list[tuple[float, float]] = []
+        self.slow_windows: list[tuple[float, float, float]] = []
+        self.stall_windows: list[tuple[float, float]] = []
 
     # ----------------------------------------------------------- scaling
     def activate(self, now: float, cold_start_s: float) -> None:
@@ -277,11 +318,47 @@ class _ReplicaHandle:
               and last_finish_s > self.deactivated_at):
             self.active_s += last_finish_s - self.deactivated_at
 
+    # ------------------------------------------------------------- faults
+    def stalled(self, now: float) -> bool:
+        """Whether an admission-stall window covers ``now``."""
+        return any(start <= now < end for start, end in self.stall_windows)
+
+    def crash(self, now: float, *, up_at: float) -> list[Request]:
+        """Fell the replica: stop billing, mark it down until ``up_at``.
+
+        Returns the front-end's estimated in-flight requests (finish
+        estimate past ``now``), removed from the sub-trace, in
+        deterministic (finish, id) order — the caller re-routes them.
+        Requests estimated already complete stay on the sub-trace: the
+        crash cannot un-serve them.
+        """
+        victims = [request for _, _, request in sorted(self._queue)]
+        victim_ids = {request.request_id for request in victims}
+        self.subtrace = [r for r in self.subtrace
+                         if r.request_id not in victim_ids]
+        self._queue = []
+        self.outstanding_tokens = 0
+        # The estimate queues future assignments behind the outage.
+        self._prefill_busy_until = up_at
+        self._slots = [up_at] * self.replica.max_batch
+        if self.active:
+            self.deactivate(now)
+        self.down_until = up_at
+        self.outages.append((now, up_at))
+        return victims
+
+    def restart(self, now: float, cold_start_s: float) -> None:
+        """Bring the replica back: billing resumes, cold start applies."""
+        self.down_until = None
+        self.activate(now, cold_start_s)
+        self._prefill_busy_until = self.ready_at
+        self._slots = [self.ready_at] * self.replica.max_batch
+
     # ------------------------------------------------------------ routing
     def drain(self, now: float) -> None:
         while self._queue and self._queue[0][0] <= now:
-            _, tokens = heapq.heappop(self._queue)
-            self.outstanding_tokens -= tokens
+            _, _, request = heapq.heappop(self._queue)
+            self.outstanding_tokens -= request.total_tokens
 
     @property
     def outstanding_requests(self) -> int:
@@ -295,7 +372,7 @@ class _ReplicaHandle:
         decode_start = max(self._prefill_busy_until, slot_free)
         finish = decode_start + request.output_tokens * self._decode_step_s
         heapq.heappush(self._slots, finish)
-        heapq.heappush(self._queue, (finish, request.total_tokens))
+        heapq.heappush(self._queue, (finish, request.request_id, request))
         self.outstanding_tokens += request.total_tokens
         self.subtrace.append(request)
 
@@ -317,7 +394,8 @@ class ClusterSimulator:
                  router: str | RouterPolicy = "round-robin",
                  autoscaler: str | AutoscalerPolicy = "fixed",
                  min_replicas: int = 1,
-                 cost_model: FleetCostModel = FleetCostModel()) -> None:
+                 cost_model: FleetCostModel = FleetCostModel(),
+                 faults: Sequence[FaultSpec] = ()) -> None:
         replicas = list(replicas)
         if not replicas:
             raise ValueError("a cluster needs at least one replica")
@@ -334,6 +412,7 @@ class ClusterSimulator:
                            else get_autoscaler(autoscaler))
         self.min_replicas = min_replicas
         self.cost_model = cost_model
+        self.faults = tuple(faults)
 
     # ---------------------------------------------------------------- run
     def run(self, trace: Sequence[Request], slo: SLO = SLO()) -> ClusterReport:
@@ -366,34 +445,126 @@ class ClusterSimulator:
             handle.activate(start_s, 0.0)
         timeline: list[tuple[float, int]] = [(start_s, initial)]
 
+        # Expand the injected fault sources into one deterministic event
+        # timeline over the arrival span.  Slow/stall windows attach to
+        # replica state directly; crashes (and the restarts they schedule)
+        # merge with the arrivals through a pending-event heap.
+        events = fault_timeline(self.faults, fleet_size,
+                                ordered[-1].arrival_s - start_s)
+        pending: list[tuple[float, int, str, object]] = []
+        seq = itertools.count(len(events))
+        for order, event in enumerate(events):
+            at = start_s + event.time_s
+            handle = handles[event.replica]
+            if event.effect == "slow":
+                handle.slow_windows.append((at, at + event.duration_s,
+                                            event.magnitude))
+            elif event.effect == "stall":
+                handle.stall_windows.append((at, at + event.duration_s))
+            else:
+                heapq.heappush(pending, (at, order, "crash", event))
+
+        crash_times: list[float] = []
+        original_arrival: dict[int, float] = {}
+        disrupted: set[int] = set()
+        shed = 0
         routed = 0
+
+        def active_handles() -> list[_ReplicaHandle]:
+            return [h for h in handles if h.active]
+
+        def dispatch(request: Request, now: float, rerouted: bool = False) -> None:
+            nonlocal routed, shed
+            active = active_handles()
+            for handle in active:
+                handle.drain(now)
+            if active:
+                warm = [h for h in active if h.ready_at <= now]
+                ready = [h for h in warm if not h.stalled(now)]
+                if not ready:  # every candidate is cold-starting or stalled:
+                    pool = warm or active  # wait on the least-soon-ready one
+                    ready = [min(pool, key=lambda h: (h.ready_at, h.index))]
+                views = {h.index: h.view() for h in ready}
+                candidates = tuple(views[h.index] for h in ready)
+                fitting = tuple(v for v in candidates if v.fits(request))
+                chosen = self.router.choose(
+                    request, fitting or candidates,
+                    RouterContext(now_s=now, routed_count=routed,
+                                  fleet_size=fleet_size))
+                handle = handles[chosen.index]
+            else:
+                # Mid-outage the whole fleet can be down; queue the request
+                # on the replica that restarts first rather than fail it.
+                down = [h for h in handles if h.down_until is not None]
+                if not down:  # structurally unreachable while every crash
+                    shed += 1  # schedules a restart; accounting stays total
+                    return
+                handle = min(down, key=lambda h: (h.down_until, h.index))
+            arrival = request.arrival_s
+            if handle.down_until is not None:
+                # Assigned across an outage: the replay cannot start the
+                # request before the replica is back and warm again.
+                arrival = max(arrival, handle.down_until
+                              + self.autoscaler.cold_start_s)
+            if rerouted:
+                disrupted.add(request.request_id)
+                arrival = max(arrival, now)
+            if arrival != request.arrival_s:
+                original_arrival.setdefault(request.request_id,
+                                            request.arrival_s)
+                request = dataclasses.replace(request, arrival_s=arrival)
+            handle.assign(request, now)
+            routed += 1
+
+        def advance_faults(now: float) -> None:
+            while pending and pending[0][0] <= now:
+                at, _, kind, payload = heapq.heappop(pending)
+                if kind == "restart":
+                    handle = handles[payload]
+                    if handle.down_until is not None:
+                        handle.restart(at, self.autoscaler.cold_start_s)
+                        timeline.append((at, len(active_handles())))
+                    continue
+                event = payload
+                handle = handles[event.replica]
+                if not handle.active or handle.down_until is not None:
+                    continue  # already down or scaled in: nothing to fell
+                handle.drain(at)
+                victims = handle.crash(at, up_at=at + event.duration_s)
+                crash_times.append(at)
+                heapq.heappush(pending, (at + event.duration_s, next(seq),
+                                         "restart", event.replica))
+                timeline.append((at, len(active_handles())))
+                for victim in victims:
+                    dispatch(victim, at, rerouted=True)
+
         for request in ordered:
             now = request.arrival_s
-            active = [h for h in handles if h.active]
+            advance_faults(now)
+            active = active_handles()
             for handle in active:
                 handle.drain(now)
             views = {handle.index: handle.view() for handle in active}
             fleet_view = self._fleet_view(now, fleet_size, active, views)
             target = self._clamp(self.autoscaler.decide(fleet_view, scaler_state))
             if target != len(active):
+                before = len(active)
                 self._rescale(handles, active, target, now)
-                active = [h for h in handles if h.active]
-                views = {handle.index: views.get(handle.index) or handle.view()
-                         for handle in active}
-                timeline.append((now, len(active)))
-            ready = [h for h in active if h.ready_at <= now]
-            if not ready:  # every candidate is cold-starting: wait on the
-                ready = [min(active, key=lambda h: (h.ready_at, h.index))]
-            candidates = tuple(views[h.index] for h in ready)
-            fitting = tuple(v for v in candidates if v.fits(request))
-            chosen = self.router.choose(
-                request, fitting or candidates,
-                RouterContext(now_s=now, routed_count=routed, fleet_size=fleet_size))
-            handles[chosen.index].assign(request, now)
-            routed += 1
+                # A crashed replica cannot be re-activated by scale-out, so
+                # the rescale can be a no-op; only real changes are events.
+                if len(active_handles()) != before:
+                    timeline.append((now, len(active_handles())))
+            dispatch(request, now)
+        while pending:  # restarts beyond the last arrival still end outages
+            at, _, kind, payload = heapq.heappop(pending)
+            if kind == "restart" and handles[payload].down_until is not None:
+                handles[payload].restart(at, self.autoscaler.cold_start_s)
+                timeline.append((at, len(active_handles())))
 
         reports: list[ServingReport | None] = [
-            handle.replica.run(tuple(handle.subtrace), slo, devices=handle.devices)
+            handle.replica.run(tuple(handle.subtrace), slo,
+                               devices=handle.devices,
+                               slow_windows=tuple(handle.slow_windows))
             if handle.subtrace else None
             for handle in handles]
 
@@ -406,7 +577,10 @@ class ClusterSimulator:
                            if report is not None and report.requests else None)
             handle.finalize(end_s, last_finish)
         return self._report(ordered, handles, reports, timeline, slo,
-                            start_s=start_s, end_s=end_s)
+                            start_s=start_s, end_s=end_s, events=events,
+                            crash_times=crash_times,
+                            original_arrival=original_arrival,
+                            disrupted=disrupted, shed=shed)
 
     # ------------------------------------------------------------ internal
     def _clamp(self, target: int) -> int:
@@ -420,7 +594,7 @@ class ClusterSimulator:
             utilisation = sum(min(1.0, h.outstanding_requests / h.replica.max_batch)
                               for h in active) / len(active)
             pressure = sum(views[h.index].kv_pressure for h in active) / len(active)
-        else:  # pragma: no cover - min_replicas >= 1 keeps this unreachable
+        else:  # reachable mid-outage: crashes can fell the whole fleet
             utilisation = pressure = 0.0
         return FleetView(now_s=now, fleet_size=fleet_size,
                          min_replicas=self.min_replicas,
@@ -435,7 +609,9 @@ class ClusterSimulator:
             for handle in handles:
                 if len(active) >= target:
                     break
-                if not handle.active:
+                # A crashed replica cannot be scale-out-activated early: its
+                # restart event is what brings it back.
+                if not handle.active and handle.down_until is None:
                     handle.activate(now, self.autoscaler.cold_start_s)
                     active.append(handle)
         else:
@@ -451,7 +627,12 @@ class ClusterSimulator:
                 handles: Sequence[_ReplicaHandle],
                 reports: Sequence[ServingReport | None],
                 timeline: list[tuple[float, int]], slo: SLO, *,
-                start_s: float, end_s: float) -> ClusterReport:
+                start_s: float, end_s: float,
+                events: Sequence[FaultEvent] = (),
+                crash_times: Sequence[float] = (),
+                original_arrival: Mapping[int, float] | None = None,
+                disrupted: frozenset[int] | set[int] = frozenset(),
+                shed: int = 0) -> ClusterReport:
         finished: list[RequestMetrics] = []
         completed = rejected = total_tokens = 0
         mxu_energy = total_energy = 0.0
@@ -492,12 +673,38 @@ class ClusterSimulator:
                 cost_cache_hits=handle.replica.costs.stats.hits,
                 cost_cache_misses=handle.replica.costs.stats.misses))
 
+        original_arrival = original_arrival or {}
+        if original_arrival or disrupted:
+            # Replays measured drained/delayed requests from their *floored*
+            # arrival; the client experienced the original one.  Re-derive
+            # the latency fields from it and flag the disrupted streams.
+            finished = [
+                RequestMetrics.from_times(
+                    m.request_id,
+                    original_arrival.get(m.request_id, m.arrival_s),
+                    m.input_tokens, m.output_tokens, m.first_token_s,
+                    m.finish_s, disrupted=m.request_id in disrupted)
+                if (m.request_id in original_arrival
+                    or m.request_id in disrupted)
+                else m
+                for m in finished]
         finished.sort(key=lambda m: m.request_id)
         met = [m for m in finished if m.meets(slo)]
         makespan = end_s - start_s
         per_second = (1.0 / makespan) if makespan > 0 else 0.0
         chip_hours = sum(s.devices * s.active_s for s in summaries) / 3600.0
         dollars = self.cost_model.run_dollars(chip_hours, total_energy)
+        downtime = sum(max(0.0, min(up_at, end_s) - down_at)
+                       for handle in handles
+                       for down_at, up_at in handle.outages)
+        resilience = ResilienceSummary.compute(
+            finished, slo, fault_count=len(events),
+            crash_times=tuple(crash_times), downtime_replica_s=downtime,
+            provisioned_replica_s=sum(s.active_s for s in summaries),
+            shed=shed, start_s=start_s, end_s=end_s)
+        # Restarts scheduled past the last completion keep the full timeline
+        # honest but must not skew the makespan-bounded aggregates.
+        capped = [entry for entry in timeline if entry[0] <= end_s]
         return ClusterReport(
             model_name=self.replicas[0].model.name,
             router=self.router.name, autoscaler=self.autoscaler.name,
@@ -524,10 +731,15 @@ class ClusterSimulator:
             cost_per_million_tokens_dollars=(dollars / (total_tokens / 1e6)
                                              if total_tokens else 0.0),
             replica_timeline=tuple(timeline),
-            peak_active_replicas=max(count for _, count in timeline),
-            mean_active_replicas=_time_weighted_mean(timeline, end_s),
+            peak_active_replicas=max(count for _, count in capped),
+            mean_active_replicas=_time_weighted_mean(capped, end_s),
             replicas=tuple(summaries),
-            requests=tuple(finished))
+            requests=tuple(finished),
+            shed=shed,
+            resilience=resilience,
+            fault_events=tuple(
+                dataclasses.replace(event, time_s=start_s + event.time_s)
+                for event in events))
 
 
 def _time_weighted_mean(timeline: Sequence[tuple[float, int]], end_s: float) -> float:
@@ -573,12 +785,23 @@ def cluster_report_from_dict(payload: Mapping[str, object]) -> ClusterReport:
                              for row in data["replicas"])
     data["requests"] = tuple(decode_dataclass(RequestMetrics, row)
                              for row in data.get("requests", ()))
+    if "resilience" in data:
+        data["resilience"] = decode_dataclass(ResilienceSummary,
+                                              data["resilience"])
+    data["fault_events"] = tuple(decode_dataclass(FaultEvent, row)
+                                 for row in data.get("fault_events", ()))
     return decode_dataclass(ClusterReport, data)
 
 
 def cluster_run_key(model, tpu_config, spec: ServingSpec, settings: object) -> str:
-    """Content fingerprint of one :func:`simulate_cluster` run."""
-    return fingerprint("cluster-report/v1", tpu_config, model, spec, settings)
+    """Content fingerprint of one :func:`simulate_cluster` run.
+
+    The version string is bumped whenever the report schema or the spec's
+    axes change shape (v2: fault/overlay chaos axes + resilience fields),
+    so stores written before a change *miss* instead of serving stale or
+    silently fault-blind payloads.
+    """
+    return fingerprint("cluster-report/v2", tpu_config, model, spec, settings)
 
 
 def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
@@ -615,7 +838,8 @@ def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
                 store.stats.misses += 1
     classes = request_classes_from_settings(settings)
     trace = generate_trace(spec.trace, classes, spec.arrival_rate,
-                           spec.num_requests, spec.seed)
+                           spec.num_requests, spec.seed,
+                           overlay=spec.overlay)
     shared = simulator if simulator is not None else CachingInferenceSimulator(tpu_config)
     replicas = [ServingSimulator(
         model, tpu_config, scheduler=spec.scheduler,
@@ -625,7 +849,8 @@ def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
         simulator=shared) for _ in range(spec.replicas)]
     cluster = ClusterSimulator(replicas, router=spec.router,
                                autoscaler=spec.autoscaler,
-                               min_replicas=spec.min_replicas)
+                               min_replicas=spec.min_replicas,
+                               faults=spec.faults)
     report = cluster.run(trace, slo=spec.slo)
     if store is not None:
         store.put(STORE_KIND, key, report.to_dict(include_requests=False))

@@ -76,6 +76,10 @@ class RequestMetrics:
     ttft_s: float
     tpot_s: float
     e2e_s: float
+    #: Whether the request was drained off a crashed replica and re-routed
+    #: mid-flight (its client stream broke); latencies are still measured
+    #: from the original arrival, so the disruption shows up as real delay.
+    disrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.first_token_s < self.arrival_s or self.finish_s < self.first_token_s:
@@ -85,7 +89,7 @@ class RequestMetrics:
     @classmethod
     def from_times(cls, request_id: int, arrival_s: float, input_tokens: int,
                    output_tokens: int, first_token_s: float,
-                   finish_s: float) -> "RequestMetrics":
+                   finish_s: float, disrupted: bool = False) -> "RequestMetrics":
         """Derive TTFT/TPOT/e2e from the raw event times.
 
         TPOT averages the decode steps *after* the first token; a
@@ -97,7 +101,7 @@ class RequestMetrics:
                    input_tokens=input_tokens, output_tokens=output_tokens,
                    first_token_s=first_token_s, finish_s=finish_s,
                    ttft_s=first_token_s - arrival_s, tpot_s=tpot,
-                   e2e_s=finish_s - arrival_s)
+                   e2e_s=finish_s - arrival_s, disrupted=disrupted)
 
     def meets(self, slo: SLO) -> bool:
         """Whether the request met both targets of the SLO."""
@@ -131,6 +135,115 @@ class LatencySummary:
     def empty(cls) -> "LatencySummary":
         """The all-zero summary used when no request completed."""
         return cls(mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0, max_s=0.0)
+
+
+def slo_debt_s(request: RequestMetrics, slo: SLO) -> float:
+    """Latency debt of one request beyond the SLO targets, in seconds.
+
+    The TTFT overshoot plus the per-token TPOT overshoot summed over the
+    decode steps — zero for a request that met the SLO, and a *graded*
+    penalty (unlike the binary ``meets``) for one that missed it.
+    """
+    decode_tokens = max(0, request.output_tokens - 1)
+    return (max(0.0, request.ttft_s - slo.ttft_s)
+            + decode_tokens * max(0.0, request.tpot_s - slo.tpot_s))
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Resilience outcomes of one fleet run under injected faults.
+
+    All fields are exact functions of the run's per-request metrics and
+    fault/outage bookkeeping, so a summary decoded from the result store is
+    bit-for-bit the computed one.  ``recovery_s`` is ``0.0`` when no crash
+    occurred and ``inf`` when attainment never re-reached the target after
+    some crash — the value a ``recovery_s<=30`` constraint correctly fails.
+    """
+
+    #: Fault events injected into the run / the crashes among them that
+    #: actually felled an active replica.
+    fault_count: int
+    crash_count: int
+    #: Completed requests that were drained off a crashed replica, and
+    #: admitted requests no replica could take at all (see the cluster's
+    #: conservation contract: completed + rejected + shed == num_requests).
+    disrupted_requests: int
+    shed_requests: int
+    #: Replica-seconds lost to outages, and the resulting uptime fraction
+    #: of the provisioned (billed) replica-time: up / (up + down), 1.0 for
+    #: a fault-free run, provably <= 1 since both terms are non-negative.
+    downtime_replica_s: float
+    availability: float
+    #: Worst time from a crash to windowed SLO attainment re-reaching the
+    #: recovery target (see :meth:`compute`).
+    recovery_s: float
+    #: Summed latency debt beyond the SLO targets over completed requests.
+    slo_debt_s: float
+    #: Goodput counting only undisrupted SLO-meeting requests — the work
+    #: the fleet delivered *as if healthy* while faults were active.
+    goodput_under_failure_requests_per_second: float
+    goodput_under_failure_tokens_per_second: float
+
+    @classmethod
+    def clean(cls) -> "ResilienceSummary":
+        """The no-faults summary (used before any chaos accounting runs)."""
+        return cls(fault_count=0, crash_count=0, disrupted_requests=0,
+                   shed_requests=0, downtime_replica_s=0.0, availability=1.0,
+                   recovery_s=0.0, slo_debt_s=0.0,
+                   goodput_under_failure_requests_per_second=0.0,
+                   goodput_under_failure_tokens_per_second=0.0)
+
+    @classmethod
+    def compute(cls, requests: Sequence[RequestMetrics], slo: SLO, *,
+                fault_count: int, crash_times: Sequence[float],
+                downtime_replica_s: float, provisioned_replica_s: float,
+                shed: int, start_s: float, end_s: float,
+                window_s: float = 5.0,
+                recovery_target: float = 0.95) -> "ResilienceSummary":
+        """Derive the summary from completed requests and outage bookkeeping.
+
+        Recovery time is measured against the run's windowed SLO
+        attainment: completions are bucketed into ``window_s`` windows from
+        ``start_s``, and each crash's recovery is the gap from the crash to
+        the end of the first later (non-empty) window whose attainment
+        reaches ``recovery_target`` — ``inf`` if none does before the run
+        ends.  The reported ``recovery_s`` is the worst crash's.
+        """
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if not 0 < recovery_target <= 1:
+            raise ValueError("recovery_target must be in (0, 1]")
+        makespan = end_s - start_s
+        per_second = (1.0 / makespan) if makespan > 0 else 0.0
+        healthy = [m for m in requests if not m.disrupted and m.meets(slo)]
+        recovery = 0.0
+        if crash_times:
+            windows: dict[int, list[bool]] = {}
+            for metric in requests:
+                index = int((metric.finish_s - start_s) // window_s)
+                windows.setdefault(index, []).append(metric.meets(slo))
+            recovered_ends = sorted(
+                start_s + (index + 1) * window_s
+                for index, met in windows.items()
+                if sum(met) / len(met) >= recovery_target)
+            recovery = max(
+                (next((end - crash for end in recovered_ends if end > crash),
+                      float("inf"))
+                 for crash in crash_times))
+        return cls(
+            fault_count=fault_count, crash_count=len(crash_times),
+            disrupted_requests=sum(1 for m in requests if m.disrupted),
+            shed_requests=shed,
+            downtime_replica_s=downtime_replica_s,
+            availability=(provisioned_replica_s
+                          / (provisioned_replica_s + downtime_replica_s)
+                          if provisioned_replica_s + downtime_replica_s > 0
+                          else 1.0),
+            recovery_s=recovery,
+            slo_debt_s=sum(slo_debt_s(m, slo) for m in requests),
+            goodput_under_failure_requests_per_second=len(healthy) * per_second,
+            goodput_under_failure_tokens_per_second=(
+                sum(m.output_tokens for m in healthy) * per_second))
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,7 @@ bit-for-bit reproducible — the only randomness is the explicit
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import math
 from dataclasses import dataclass
@@ -132,7 +133,9 @@ class ServingSimulator:
 
     # -------------------------------------------------------------- event loop
     def run(self, trace: Sequence[Request], slo: SLO = SLO(), *,
-            devices: int | None = None) -> ServingReport:
+            devices: int | None = None,
+            slow_windows: Sequence[tuple[float, float, float]] = (),
+            ) -> ServingReport:
         """Replay the trace and return the aggregate serving report.
 
         ``devices`` overrides the deployment for this run only (the cluster
@@ -140,16 +143,42 @@ class ServingSimulator:
         the replica); by default the constructor's ``devices`` applies, or
         the smallest deployment admitting the largest trace request.
 
+        ``slow_windows`` are ``(start_s, end_s, factor)`` degradation
+        windows (absolute simulated time) during which step *durations* are
+        multiplied by ``factor`` — the cluster layer's slow-node fault
+        model.  Overlapping windows compound multiplicatively.  Only time
+        stretches: per-step energy is unchanged (throttling slows the chip,
+        it does not add work), and the factor is sampled at each step
+        chunk's start, with chunks capped at the next window boundary so a
+        long chunk cannot smear one factor across a boundary.
+
         Raises
         ------
         ValueError
-            If the trace is empty, or an explicit ``devices`` deployment
-            cannot hold the model's weights at all.
+            If the trace is empty, an explicit ``devices`` deployment
+            cannot hold the model's weights at all, or a slow window is
+            malformed (end before start, or factor below 1).
         """
         if not trace:
             raise ValueError("serving needs a non-empty trace")
         if devices is not None and devices <= 0:
             raise ValueError("devices must be positive (or None)")
+        for window_start, window_end, factor in slow_windows:
+            if window_end <= window_start or factor < 1.0:
+                raise ValueError("slow windows need end > start and factor >= 1")
+        boundaries = sorted({edge for window in slow_windows
+                             for edge in window[:2]})
+
+        def slow_factor(t: float) -> float:
+            factor = 1.0
+            for window_start, window_end, window_factor in slow_windows:
+                if window_start <= t < window_end:
+                    factor *= window_factor
+            return factor
+
+        def next_boundary(t: float) -> float:
+            index = bisect.bisect_right(boundaries, t)
+            return boundaries[index] if index < len(boundaries) else math.inf
         ordered_trace = sorted(trace, key=lambda r: (r.arrival_s, r.request_id))
         if devices is None:
             devices = (self.devices if self.devices is not None
@@ -221,8 +250,9 @@ class ServingSimulator:
             if admitted:
                 cost = self.costs.prefill_cost(
                     len(admitted), max(live.request.input_tokens for live in admitted))
-                clock += cost.seconds
-                busy += cost.seconds
+                step_s = cost.seconds * slow_factor(clock)
+                clock += step_s
+                busy += step_s
                 mxu_energy += cost.mxu_energy_joules
                 total_energy += cost.total_energy_joules
                 prefill_steps += 1
@@ -239,14 +269,18 @@ class ServingSimulator:
                 batch = len(running)
                 max_context = max(live.context_tokens for live in running)
                 cost = self.costs.decode_cost(batch, max_context)
+                step_s = cost.seconds * slow_factor(clock)
                 chunk = min(min(live.remaining for live in running),
                             self.costs.bucket(max_context) - max_context + 1)
                 if (index < n and self.policy.admit_during_decode
                         and batch < self.max_batch):
                     gap = admissible[index].arrival_s - clock
-                    chunk = min(chunk, max(1, math.ceil(gap / cost.seconds)))
-                clock += chunk * cost.seconds
-                busy += chunk * cost.seconds
+                    chunk = min(chunk, max(1, math.ceil(gap / step_s)))
+                edge = next_boundary(clock)
+                if edge != math.inf:
+                    chunk = min(chunk, max(1, math.ceil((edge - clock) / step_s)))
+                clock += chunk * step_s
+                busy += chunk * step_s
                 mxu_energy += chunk * cost.mxu_energy_joules
                 total_energy += chunk * cost.total_energy_joules
                 decode_steps += 1
@@ -318,10 +352,20 @@ def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
     ``request_classes`` mix, or the single canonical shape of plain LLM
     serving settings); the precision follows the settings too, so a sweep
     point's serving run prices the same numerics as its analytical row.
+
+    Raises
+    ------
+    ValueError
+        If the spec injects faults — fault timelines act at the routing
+        layer, so faulted specs (any replica count) must run through
+        :func:`repro.serving.cluster.simulate_cluster`.
     """
+    if spec.faults:
+        raise ValueError("fault injection needs the cluster simulator; "
+                         "route faulted specs through simulate_cluster")
     classes = request_classes_from_settings(settings)
     trace = generate_trace(spec.trace, classes, spec.arrival_rate,
-                           spec.num_requests, spec.seed)
+                           spec.num_requests, spec.seed, overlay=spec.overlay)
     engine = ServingSimulator(
         model, tpu_config, scheduler=spec.scheduler,
         precision=getattr(settings, "precision", Precision.INT8),

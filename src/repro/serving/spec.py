@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.serving.faults import FaultSpec
 from repro.serving.metrics import SLO
+from repro.serving.trace import OverlaySpec
 
 
 @dataclass(frozen=True)
@@ -37,6 +39,13 @@ class ServingSpec:
     router: str = "round-robin"
     autoscaler: str = "fixed"
     min_replicas: int = 1
+    #: Chaos axes: injectable fault sources (expanded into a deterministic
+    #: event timeline by the cluster — any faulted spec runs the cluster
+    #: path, replicas == 1 included) and an arrival-drift overlay applied
+    #: to the generated trace.  Both fingerprint into sweep/store keys, so
+    #: chaos runs are content-addressed like healthy ones.
+    faults: tuple[FaultSpec, ...] = ()
+    overlay: OverlaySpec | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_rate <= 0:
@@ -53,6 +62,13 @@ class ServingSpec:
             raise ValueError("replicas must be positive")
         if not 1 <= self.min_replicas <= self.replicas:
             raise ValueError("min_replicas must be in [1, replicas]")
+        # Coerce to a tuple so specs stay hashable (grids dedup in sets)
+        # and a list-vs-tuple spelling never splits fingerprints.
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if not all(isinstance(fault, FaultSpec) for fault in self.faults):
+            raise ValueError("faults must be FaultSpec instances")
+        if self.overlay is not None and not isinstance(self.overlay, OverlaySpec):
+            raise ValueError("overlay must be an OverlaySpec (or None)")
 
     def summary(self) -> str:
         """Human-readable spec summary used in tables and exports."""
@@ -60,4 +76,8 @@ class ServingSpec:
                 f"n={self.num_requests} seed={self.seed}")
         if self.replicas > 1:
             base += f" x{self.replicas} {self.router}/{self.autoscaler}"
+        if self.overlay is not None:
+            base += f" +{self.overlay.summary()}"
+        if self.faults:
+            base += " !" + ",".join(fault.summary() for fault in self.faults)
         return base

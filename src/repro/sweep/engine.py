@@ -111,8 +111,14 @@ class SweepStats:
 
 
 def point_key(point: SweepPoint) -> str:
-    """Deterministic content fingerprint of a sweep point."""
-    return fingerprint("sweep-point/v4", point.design, point.config, point.model,
+    """Deterministic content fingerprint of a sweep point.
+
+    The version string is bumped whenever the point or spec schema gains an
+    axis (v5: fault/overlay chaos axes on the serving spec), so rows stored
+    by an older binary miss — a pre-chaos store must never satisfy a
+    faulted request, or chaos sweeps would silently serve healthy numbers.
+    """
+    return fingerprint("sweep-point/v5", point.design, point.config, point.model,
                        point.scenario, point.settings, point.devices, point.parallelism,
                        point.serving)
 
@@ -133,9 +139,11 @@ def _compute_result(point: SweepPoint, simulator: CachingInferenceSimulator,
     if point.serving is not None:
         # Imported lazily: repro.serving layers on top of repro.sweep, so a
         # top-level import here would be circular.  Fleet-shaped specs run
-        # the cluster simulator; both report types share the row mapping
-        # (latency = mean e2e, throughput = sustained tokens/s).
-        if point.serving.replicas > 1:
+        # the cluster simulator — faulted specs too, whatever their replica
+        # count, because fault injection lives at the routing layer; both
+        # report types share the row mapping (latency = mean e2e,
+        # throughput = sustained tokens/s).
+        if point.serving.replicas > 1 or point.serving.faults:
             from repro.serving.cluster import simulate_cluster
 
             report = simulate_cluster(point.model, point.config, point.serving,

@@ -19,7 +19,9 @@ from typing import Iterator, Mapping, Sequence
 from repro.common import Precision
 from repro.core.config import TPUConfig
 from repro.core.designs import PREDEFINED_DESIGNS
+from repro.serving.faults import FaultSpec
 from repro.serving.spec import ServingSpec
+from repro.serving.trace import OverlaySpec
 from repro.workloads.dit import DiTConfig
 from repro.workloads.llm import LLMConfig
 from repro.workloads.registry import (
@@ -156,6 +158,14 @@ class SweepGrid:
     policy), so one grid also answers "which routing policy at which fleet
     size".  Both default to the degenerate single-replica fleet and are
     only meaningful on serving grids.
+
+    The **chaos axes** cross in the same way: every entry of ``fault_sets``
+    (a tuple of :class:`~repro.serving.faults.FaultSpec` sources, with
+    ``()`` meaning fault-free) × every entry of ``overlays`` (an
+    :class:`~repro.serving.trace.OverlaySpec` arrival drift, with ``None``
+    meaning the unmodified trace).  Chaos axes ride on serving grids only,
+    and they travel inside the :class:`ServingSpec`, so the sweep engine's
+    content-addressed caching fingerprints them like any other axis.
     """
 
     designs: Mapping[str, TPUConfig] = field(
@@ -182,6 +192,9 @@ class SweepGrid:
     routers: Sequence[str] = ()
     replica_counts: Sequence[int] = ()
     serving_autoscaler: str = "fixed"
+    # Chaos axes of a serving grid: fault sources × arrival overlays.
+    fault_sets: Sequence[Sequence[FaultSpec]] = ((),)
+    overlays: Sequence[OverlaySpec | None] = (None,)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -204,6 +217,14 @@ class SweepGrid:
                              "serving grid: set schedulers and arrival_rates")
         if any(count <= 0 for count in self.replica_counts):
             raise ValueError("replica_counts must be positive")
+        if not self.fault_sets or not self.overlays:
+            raise ValueError("fault_sets / overlays must be non-empty "
+                             "(use ((),) / (None,) for the healthy axis)")
+        chaos = (any(tuple(faults) for faults in self.fault_sets)
+                 or any(overlay is not None for overlay in self.overlays))
+        if chaos and not self.schedulers:
+            raise ValueError("chaos axes (fault_sets / overlays) need a "
+                             "serving grid: set schedulers and arrival_rates")
 
     @property
     def is_serving(self) -> bool:
@@ -233,14 +254,18 @@ class SweepGrid:
                         fleet = ({"replicas": count, "router": router,
                                   "autoscaler": self.serving_autoscaler}
                                  if count > 1 else {})
-                        spec = ServingSpec(
-                            scheduler=scheduler, trace=self.serving_trace,
-                            arrival_rate=rate,
-                            num_requests=self.serving_requests,
-                            seed=self.seed, **fleet)
-                        if spec not in seen:
-                            seen.add(spec)
-                            specs.append(spec)
+                        for faults in self.fault_sets:
+                            for overlay in self.overlays:
+                                spec = ServingSpec(
+                                    scheduler=scheduler,
+                                    trace=self.serving_trace,
+                                    arrival_rate=rate,
+                                    num_requests=self.serving_requests,
+                                    seed=self.seed, faults=tuple(faults),
+                                    overlay=overlay, **fleet)
+                                if spec not in seen:
+                                    seen.add(spec)
+                                    specs.append(spec)
         return specs
 
     def scenarios_for(self, model: LLMConfig | DiTConfig) -> list[str]:

@@ -171,7 +171,7 @@ class TestExportIntegration:
         assert len(parsed) == report.completed
         assert set(parsed[0]) == {"request_id", "arrival_s", "input_tokens",
                                   "output_tokens", "first_token_s", "finish_s",
-                                  "ttft_s", "tpot_s", "e2e_s"}
+                                  "ttft_s", "tpot_s", "e2e_s", "disrupted"}
 
     def test_request_rows_export_to_json(self, report):
         decoded = json.loads(to_json(report.requests))
@@ -193,4 +193,4 @@ class TestExportIntegration:
 
         header = to_csv((), fieldnames=fieldnames_of(RequestMetrics)).strip()
         assert header.startswith("request_id,arrival_s,")
-        assert header.endswith(",e2e_s")
+        assert header.endswith(",e2e_s,disrupted")
