@@ -2,7 +2,8 @@
 """Benchmark-regression gate: fresh BENCH_*.json vs. committed baselines.
 
 The benchmark suite writes machine-readable perf records at the repository
-root (``BENCH_sweep.json``, ``BENCH_serving.json``, ``BENCH_cluster.json``,
+root (``BENCH_sweep.json``, ``BENCH_serving.json``,
+``BENCH_serving_scale.json``, ``BENCH_cluster.json``,
 ``BENCH_optimize.json``, ``BENCH_faults.json``);
 this script compares them against the copies committed under
 ``benchmarks/baselines/`` and turns the comparison into a CI verdict:
@@ -19,6 +20,9 @@ this script compares them against the copies committed under
 * **count metrics** (e.g. graph simulations of a cached re-sweep) fail
   whenever the fresh value exceeds the baseline at all: a cached re-sweep
   that starts simulating again is a correctness bug, not noise.
+* **throughput metrics** (e.g. requests simulated per wall-second) are
+  wall-times upside down: they regress when the fresh value *drops*
+  relative to baseline, gated with the same relative thresholds.
 
 Regenerating the baselines after an intentional perf change::
 
@@ -72,6 +76,12 @@ BENCH_METRICS: dict[str, tuple[Metric, ...]] = {
         Metric("wall_seconds", "wall"),
         Metric("cache_hit_rate", "rate"),
     ),
+    "BENCH_serving_scale.json": (
+        Metric("exact.wall_seconds", "wall"),
+        Metric("exact.requests_per_wall_second", "throughput"),
+        Metric("exact.cache_hit_rate", "rate"),
+        Metric("fluid.speedup_vs_exact", "throughput"),
+    ),
     "BENCH_cluster.json": (
         Metric("wall_seconds", "wall"),
         Metric("cache_hit_rate", "rate"),
@@ -122,6 +132,17 @@ def compare(name: str, metric: Metric, fresh: float, base: float,
         if drop > 0.02:
             return "fail", detail
         if drop > 0.005:
+            return "warn", detail
+        return "ok", detail
+    if metric.kind == "throughput":
+        # Inverted wall-time: higher is better, so gate the relative drop.
+        # No absolute floor — these are large numbers (hundreds of
+        # thousands of requests per wall-second), never near zero.
+        drop = (base - fresh) / base if base > 0 else 0.0
+        detail = f"{base:,.0f} -> {fresh:,.0f} ({-drop:+.1%})"
+        if drop > fail_threshold:
+            return "fail", detail
+        if drop > warn_threshold:
             return "warn", detail
         return "ok", detail
     if metric.kind == "count":

@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
+from types import SimpleNamespace
 
 from repro.common import Precision, ceil_div
 from repro.core.config import TPUConfig
@@ -232,7 +233,8 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
                autoscaler: str = "fixed", max_batch: int = 32,
                precision: Precision = Precision.INT8,
                devices: int | None = None, memory_utilisation: float = 0.9,
-               cost_model=None, faults=(), overlay=None) -> FleetPlan:
+               cost_model=None, faults=(), overlay=None,
+               fidelity: str = "exact") -> FleetPlan:
     """Smallest replica count that meets an SLO at a target request rate.
 
     Replays one seeded trace (``trace_kind`` arrivals at ``arrival_rate``
@@ -247,16 +249,27 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
     memoised graph simulator, so the incremental cost of each extra
     evaluation is the event loop, not re-simulation.
 
+    ``fidelity="fluid"`` sizes the fleet with the closed-form estimator
+    instead of event-loop replays — each candidate fleet costs
+    milliseconds regardless of trace length, at the estimator's
+    golden-bounded error (chaos plans must stay exact).
+
     Raises
     ------
     ValueError
-        On a non-positive rate/fleet ceiling or a target outside (0, 1].
+        On a non-positive rate/fleet ceiling, a target outside (0, 1], or
+        a fluid plan with faults/overlay.
     """
     # Imported lazily: repro.serving layers on top of repro.analysis, so a
     # top-level import here would be circular.
-    from repro.serving.cluster import ClusterSimulator, FleetCostModel
+    from repro.serving.cluster import (
+        ClusterSimulator,
+        FleetCostModel,
+        simulate_cluster,
+    )
     from repro.serving.metrics import SLO
     from repro.serving.simulator import ServingSimulator
+    from repro.serving.spec import ServingSpec
     from repro.serving.trace import generate_trace
     from repro.sweep.cache import CachingInferenceSimulator
     from repro.workloads.chat import DEFAULT_REQUEST_MIX
@@ -287,14 +300,36 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
     evaluations: list[FleetEvaluation] = []
     met_at: int | None = None
     for count in range(min(lower_bound, max_replicas), max_replicas + 1):
-        replicas = [ServingSimulator(
-            model, tpu, scheduler=scheduler, precision=precision,
-            max_batch=max_batch, devices=devices,
-            memory_utilisation=memory_utilisation, simulator=shared)
-            for _ in range(count)]
-        report = ClusterSimulator(replicas, router=router, autoscaler=autoscaler,
-                                  cost_model=cost_model,
-                                  faults=faults).run(trace, slo=slo)
+        if fidelity == "fluid":
+            spec = ServingSpec(
+                scheduler=scheduler, trace=trace_kind,
+                arrival_rate=arrival_rate, num_requests=num_requests,
+                seed=seed, max_batch=max_batch, devices=devices,
+                memory_utilisation=memory_utilisation, slo=slo,
+                replicas=count, router=router, fidelity="fluid")
+            settings = SimpleNamespace(request_classes=classes,
+                                       precision=precision)
+            report = simulate_cluster(model, tpu, spec, settings,
+                                      simulator=shared)
+            # The fluid fleet prices with the default sheet; re-price under
+            # this plan's cost model so the evaluations stay comparable.
+            dollars = cost_model.run_dollars(report.chip_hours,
+                                             report.total_energy_joules)
+            report = dataclasses.replace(
+                report, cost_model=cost_model,
+                cost_per_million_tokens_dollars=(
+                    dollars / (report.total_tokens / 1e6)
+                    if report.total_tokens else 0.0))
+        else:
+            replicas = [ServingSimulator(
+                model, tpu, scheduler=scheduler, precision=precision,
+                max_batch=max_batch, devices=devices,
+                memory_utilisation=memory_utilisation, simulator=shared)
+                for _ in range(count)]
+            report = ClusterSimulator(replicas, router=router,
+                                      autoscaler=autoscaler,
+                                      cost_model=cost_model,
+                                      faults=faults).run(trace, slo=slo)
         evaluations.append(FleetEvaluation(
             replicas=count, slo_attainment=report.slo_attainment,
             p99_ttft_s=report.ttft.p99_s, p99_tpot_s=report.tpot.p99_s,

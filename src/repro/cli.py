@@ -87,12 +87,13 @@ from repro.optimize import (
 )
 from repro.optimize.pareto import frontier_fieldnames
 from repro.serving.autoscaler import AUTOSCALER_REGISTRY
-from repro.serving.cluster import ClusterSimulator, ReplicaSummary
+from repro.serving.cluster import ClusterSimulator, ReplicaSummary, simulate_cluster
 from repro.serving.faults import FAULT_REGISTRY, parse_fault
 from repro.serving.metrics import SLO, RequestMetrics
 from repro.serving.router import ROUTER_REGISTRY
 from repro.serving.scheduler import SCHEDULER_REGISTRY
-from repro.serving.simulator import ServingSimulator
+from repro.serving.simulator import ServingSimulator, simulate_serving
+from repro.serving.spec import ServingSpec
 from repro.serving.trace import (
     OVERLAY_REGISTRY,
     TRACE_REGISTRY,
@@ -451,9 +452,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # Fault injection lives at the routing layer, so a faulted run goes
     # through the cluster simulator even at --replicas 1.
     fleet_run = args.replicas > 1 or bool(faults)
+    if args.shards < 1:
+        raise SystemExit("--shards must be positive")
+    if args.fidelity == "fluid":
+        if args.trace_file:
+            raise SystemExit("--fidelity fluid prices the scenario's request "
+                             "mix; it cannot replay --trace-file (run exact)")
+        if faults or overlay is not None:
+            raise SystemExit("--fidelity fluid cannot replay --faults or "
+                             "--overlay; chaos runs need the exact event loop")
+        if args.shards > 1:
+            raise SystemExit("--shards splits the exact event loop; fluid "
+                             "fidelity has no trace to shard")
+    elif args.shards > 1 and fleet_run:
+        raise SystemExit("--shards applies to single-deployment runs; the "
+                         "cluster path already interleaves replicas")
 
     def run_once():
         """One full serve pipeline: trace, simulator(s), report."""
+        if args.fidelity == "fluid":
+            spec = ServingSpec(
+                scheduler=args.scheduler, trace=args.trace,
+                arrival_rate=args.rate, num_requests=args.requests,
+                seed=args.seed, max_batch=args.max_batch,
+                bucket_tokens=args.bucket, devices=args.devices, slo=slo,
+                replicas=args.replicas, router=args.router,
+                autoscaler=args.autoscaler, min_replicas=args.min_replicas,
+                fidelity="fluid")
+            if fleet_run:
+                return simulate_cluster(model, config, spec, settings)
+            return simulate_serving(model, config, spec, settings)
         if args.trace_file:
             trace = load_trace_jsonl(args.trace_file)
             if overlay is not None:
@@ -478,10 +506,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
             model, config, scheduler=args.scheduler, precision=precision,
             max_batch=args.max_batch, bucket_tokens=args.bucket,
             devices=args.devices)
-        return simulator.run(trace, slo=slo)
+        return simulator.run(trace, slo=slo, shards=args.shards)
 
+    profiler = None
     try:
-        report = run_once()
+        if args.profile:
+            import cProfile
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                report = run_once()
+            finally:
+                profiler.disable()
+        else:
+            report = run_once()
         if args.check_determinism:
             repeat = run_once()
             if repeat.to_dict() != report.to_dict():
@@ -503,6 +541,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   for metric in ("ttft", "tpot", "e2e")}
         print("determinism check passed: two runs agree bit-for-bit")
         print(f"stable p99 digest: {json.dumps(digest)}")
+    if profiler is not None:
+        import pstats
+        stats = pstats.Stats(profiler).sort_stats("cumulative")
+        print("\nprofile: top functions by cumulative time")
+        stats.print_stats(15)
+        try:
+            stats.dump_stats(args.profile_out)
+        except OSError as error:
+            raise SystemExit(f"cannot write profile: {error}")
+        print(f"wrote profile data to {args.profile_out} "
+              "(inspect with `python -m pstats`)")
     try:
         if args.json:
             path = pathlib.Path(args.json)
@@ -543,6 +592,9 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         output_tokens=args.output_tokens))
     slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
     faults, overlay = _parse_chaos(args)
+    if args.fidelity == "fluid" and (faults or overlay is not None):
+        raise SystemExit("--fidelity fluid cannot replay --faults or "
+                         "--overlay; chaos runs need the exact event loop")
     try:
         plan = plan_fleet(model, config, arrival_rate=args.rate, slo=slo,
                           request_classes=request_classes_from_settings(settings),
@@ -551,7 +603,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                           num_requests=args.requests, seed=args.seed,
                           trace_kind=args.trace, scheduler=args.scheduler,
                           router=args.router, max_batch=args.max_batch,
-                          precision=precision, faults=faults, overlay=overlay)
+                          precision=precision, faults=faults, overlay=overlay,
+                          fidelity=args.fidelity)
     except ValueError as error:
         raise SystemExit(str(error)) from None
 
@@ -887,6 +940,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the full serving report to PATH as JSON")
     serve.add_argument("--csv", metavar="PATH", default=None,
                        help="write per-request TTFT/TPOT/e2e rows to PATH as CSV")
+    serve.add_argument("--fidelity", choices=("exact", "fluid"),
+                       default="exact",
+                       help="'exact' replays the discrete-event engine; "
+                            "'fluid' prices the run with the closed-form "
+                            "estimator — orders of magnitude faster, "
+                            "golden-bounded error (default exact)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="split the trace at quiescence boundaries across "
+                            "N worker processes and merge deterministically; "
+                            "the report is bit-for-bit identical to --shards "
+                            "1 (default 1; single-deployment runs only)")
+    serve.add_argument("--profile", action="store_true",
+                       help="run under cProfile, print the top cumulative "
+                            "functions and dump a .pstats artifact")
+    serve.add_argument("--profile-out", dest="profile_out",
+                       metavar="PATH", default="serve_profile.pstats",
+                       help="where --profile writes the .pstats artifact "
+                            "(default serve_profile.pstats)")
     _add_chaos_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -927,6 +998,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="SLO: time per output token in seconds (default 0.1)")
     fleet.add_argument("--seed", type=int, default=argparse.SUPPRESS,
                        help="override the global --seed after the subcommand")
+    fleet.add_argument("--fidelity", choices=("exact", "fluid"),
+                       default="exact",
+                       help="'exact' replays every candidate fleet through "
+                            "the event loop; 'fluid' sizes with the "
+                            "closed-form estimator (default exact)")
     fleet.add_argument("--json", metavar="PATH", default=None,
                        help="write the fleet plan to PATH as JSON")
     _add_chaos_flags(fleet)

@@ -212,15 +212,19 @@ class CandidateEvaluator:
 
     # --------------------------------------------------------------- evaluate
     def evaluate(self, candidate: Candidate,
-                 num_requests: int | None = None) -> CandidateResult:
-        """Price one candidate on the search trace (or a shorter one).
+                 num_requests: int | None = None, *,
+                 fluid: bool = False) -> CandidateResult:
+        """Price one candidate on the search trace (or a cheaper pass).
 
         ``num_requests`` overrides the trace length for cheap pruning
-        passes; the fidelity label and the content fingerprint both carry
-        it, so short- and full-trace runs never share store entries.
+        passes; ``fluid`` screens with the closed-form estimator instead
+        (full trace length — fluid cost is independent of it).  The
+        fidelity label and the content fingerprint both carry the choice,
+        so screening and full-trace runs never share store entries.
         """
         n = num_requests if num_requests is not None else self.num_requests
-        fidelity = "full" if n == self.num_requests else "short"
+        fidelity = ("fluid" if fluid
+                    else "full" if n == self.num_requests else "short")
         config = self.config_for(candidate.design)
         settings = self.settings_for(candidate.precision)
         spec = candidate.serving_spec(arrival_rate=self.arrival_rate,
@@ -228,6 +232,8 @@ class CandidateEvaluator:
                                       trace=self.trace, slo=self.slo,
                                       faults=self.faults,
                                       overlay=self.overlay)
+        if fluid:
+            spec = dataclasses.replace(spec, fidelity="fluid")
         key = cluster_run_key(self.model, config, spec, settings)
         misses_before = self.store.stats.misses if self.store is not None else None
         try:
@@ -242,6 +248,8 @@ class CandidateEvaluator:
         elif fidelity == "full":
             self.full_runs += 1
         else:
+            # Short traces and fluid estimates are both cheap screening
+            # passes; they share the counter the zero-simulation gates read.
             self.short_runs += 1
         return CandidateResult(
             design=candidate.design, model=self.model.name,

@@ -9,15 +9,19 @@ built-in:
   caches; the ground truth the cheaper strategies are judged against.
 * ``random`` — a seeded uniform sample of ``budget`` candidates at full
   fidelity; the classic cheap baseline for large spaces.
-* ``successive-halving`` — price *everything* on a short trace first
-  (``num_requests // short_fraction``), prune the candidates that are
-  Pareto-dominated at that cheap fidelity, and re-score only the survivors
-  on the full trace.  Dominated fleets reveal themselves early (an
-  overloaded fleet is overloaded on the short prefix too), so the strategy
-  runs strictly fewer full-trace simulations than exhaustive search while
-  recovering the same frontier on well-behaved spaces — the multi-fidelity
-  idea behind successive halving / Hyperband, applied to Pareto dominance
-  instead of a scalar loss.
+* ``successive-halving`` — price *everything* with the closed-form fluid
+  estimator first (chaos searches fall back to short exact traces of
+  ``num_requests // short_fraction`` — flows cannot replay fault
+  timelines), prune the candidates that are Pareto-dominated at that cheap
+  fidelity under a tie-guarding margin (fluid error is a correlated model
+  bias, so ranks are trustworthy even where absolute values drift), and
+  re-score only the survivors on the full exact trace.
+  Dominated fleets reveal themselves cheaply (an overloaded fleet is
+  overloaded in the fluid limit too), so the strategy runs strictly fewer
+  full-trace simulations than exhaustive search while recovering the same
+  frontier on well-behaved spaces — the multi-fidelity idea behind
+  successive halving / Hyperband, applied to Pareto dominance instead of a
+  scalar loss.
 
 Strategies are plain frozen dataclasses in ``SEARCH_REGISTRY``; registering
 a new one (Bayesian, evolutionary, ...) makes it addressable from
@@ -59,6 +63,13 @@ class SearchContext:
     #: objective, so short-vs-full metric drift cannot evict a true
     #: frontier point (see :func:`repro.optimize.pareto.dominates_with_margin`).
     prune_margin: float = 0.15
+    #: Dominance margin of fluid-screened pruning.  Much *narrower* than
+    #: the short-trace margin: the estimator's absolute error (golden
+    #: bounds in tests/test_serving_fluid.py) is a correlated model bias —
+    #: every candidate is priced by the same closed form — so relative
+    #: ordering is far more reliable than absolute values, and the margin
+    #: only needs to guard near-ties against rank inversion.
+    fluid_margin: float = 0.01
 
 
 @dataclass(frozen=True)
@@ -130,23 +141,35 @@ def _random_sample(context: SearchContext) -> tuple[CandidateResult, ...]:
 
 
 def _successive_halving(context: SearchContext) -> tuple[CandidateResult, ...]:
-    """Prune dominated candidates on short traces, re-score the survivors.
+    """Prune dominated candidates cheaply, re-score the survivors exactly.
+
+    The screening pass prices every candidate with the closed-form fluid
+    estimator (full trace length — fluid cost does not depend on it) and
+    prunes with the wider ``fluid_margin``.  Chaos searches fall back to
+    short exact traces: fault timelines and arrival-drift overlays act on
+    the event loop, which a flow cannot replay.
 
     Infeasible candidates (HBM misfits) are discovered on the cheap pass
-    and never re-scored — the deployment does not fit at any trace length.
+    and never re-scored — the deployment does not fit at any fidelity.
     """
     evaluator = context.evaluator
-    short_n = max(context.min_short_requests,
-                  evaluator.num_requests // context.short_fraction)
-    if short_n >= evaluator.num_requests:
-        # The real trace is already as cheap as the pruning pass would be.
-        return _exhaustive(context)
-    cheap = [evaluator.evaluate(candidate, num_requests=short_n)
-             for candidate in context.candidates]
+    use_fluid = not evaluator.faults and evaluator.overlay is None
+    if use_fluid:
+        cheap = [evaluator.evaluate(candidate, fluid=True)
+                 for candidate in context.candidates]
+        margin = context.fluid_margin
+    else:
+        short_n = max(context.min_short_requests,
+                      evaluator.num_requests // context.short_fraction)
+        if short_n >= evaluator.num_requests:
+            # The real trace is already as cheap as the pruning pass.
+            return _exhaustive(context)
+        cheap = [evaluator.evaluate(candidate, num_requests=short_n)
+                 for candidate in context.candidates]
+        margin = context.prune_margin
     feasible = [result for result in cheap if result.feasible]
     infeasible = tuple(result for result in cheap if not result.feasible)
-    survivors = non_dominated(feasible, context.objectives,
-                              margin=context.prune_margin)
+    survivors = non_dominated(feasible, context.objectives, margin=margin)
     if context.budget is not None and context.budget < len(survivors):
         ordered = sorted(
             survivors,

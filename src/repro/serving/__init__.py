@@ -59,6 +59,7 @@ from repro.serving.faults import (
     parse_fault,
     register_fault,
 )
+from repro.serving.fluid import estimate_serving
 from repro.serving.metrics import (
     SLO,
     LatencySummary,
@@ -130,6 +131,7 @@ __all__ = [
     "get_fault",
     "parse_fault",
     "register_fault",
+    "estimate_serving",
     "SLO",
     "LatencySummary",
     "RequestMetrics",

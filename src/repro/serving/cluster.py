@@ -796,12 +796,13 @@ def cluster_report_from_dict(payload: Mapping[str, object]) -> ClusterReport:
 def cluster_run_key(model, tpu_config, spec: ServingSpec, settings: object) -> str:
     """Content fingerprint of one :func:`simulate_cluster` run.
 
-    The version string is bumped whenever the report schema or the spec's
-    axes change shape (v2: fault/overlay chaos axes + resilience fields),
-    so stores written before a change *miss* instead of serving stale or
-    silently fault-blind payloads.
+    The version string is bumped whenever the report schema, the spec's
+    axes, or the fidelity semantics change shape (v2: fault/overlay chaos
+    axes + resilience fields; v3: the ``fidelity`` spec axis and the fluid
+    estimator), so stores written before a change *miss* instead of
+    serving stale or silently fault-blind payloads.
     """
-    return fingerprint("cluster-report/v2", tpu_config, model, spec, settings)
+    return fingerprint("cluster-report/v3", tpu_config, model, spec, settings)
 
 
 def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
@@ -836,6 +837,12 @@ def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
                 # simulation work.
                 store.stats.hits -= 1
                 store.stats.misses += 1
+    if spec.fidelity == "fluid":
+        report = _fluid_cluster_report(model, tpu_config, spec, settings,
+                                       simulator=simulator)
+        if store is not None:
+            store.put(STORE_KIND, key, report.to_dict(include_requests=False))
+        return report
     classes = request_classes_from_settings(settings)
     trace = generate_trace(spec.trace, classes, spec.arrival_rate,
                            spec.num_requests, spec.seed,
@@ -855,3 +862,101 @@ def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
     if store is not None:
         store.put(STORE_KIND, key, report.to_dict(include_requests=False))
     return report
+
+
+def _fluid_cluster_report(model, tpu_config, spec: ServingSpec,
+                          settings: object, *, simulator=None) -> ClusterReport:
+    """Fleet-shaped fluid estimate: R identical replicas, flow split evenly.
+
+    The fluid model has no routing events to replay, so the fleet reduces
+    to ``spec.replicas`` independent single-replica estimates at
+    ``arrival_rate / replicas`` each (what a balanced router converges to),
+    rolled up with the same aggregation the exact cluster performs.  The
+    replica count is static — autoscaler dynamics, like scheduler order,
+    cannot matter to a flow — and the resilience summary is the clean one
+    with goodput-under-failure equal to plain goodput (nothing disrupted).
+    """
+    from repro.serving.fluid import estimate_serving
+
+    fleet = spec.replicas
+    base, extra = divmod(spec.num_requests, fleet)
+    shared = (simulator if simulator is not None
+              else CachingInferenceSimulator(tpu_config))
+    # At most two distinct per-replica request counts; estimate each once.
+    reports: dict[int, ServingReport] = {}
+    counts = [base + (1 if index < extra else 0) for index in range(fleet)]
+    for count in sorted(set(counts)):
+        if count == 0:
+            continue
+        replica_spec = dataclasses.replace(
+            spec, arrival_rate=spec.arrival_rate / fleet, num_requests=count,
+            replicas=1, min_replicas=1)
+        reports[count] = estimate_serving(model, tpu_config, replica_spec,
+                                          settings, simulator=shared)
+    per_replica = [reports[count] for count in counts if count > 0]
+    makespan = max(report.makespan_s for report in per_replica)
+    per_second = (1.0 / makespan) if makespan > 0 else 0.0
+    completed = sum(report.completed for report in per_replica)
+    total_tokens = sum(report.total_tokens for report in per_replica)
+    mxu_energy = sum(report.mxu_energy_joules for report in per_replica)
+    total_energy = sum(report.total_energy_joules for report in per_replica)
+    met_requests = sum(report.completed * report.slo_attainment
+                      for report in per_replica)
+    attainment = met_requests / completed if completed else 0.0
+    goodput_tokens = sum(
+        report.goodput_tokens_per_second * report.makespan_s
+        for report in per_replica)
+    devices = per_replica[0].devices if per_replica else (spec.devices or 1)
+    summaries = tuple(
+        ReplicaSummary(
+            index=index, tpu_name=tpu_config.name,
+            scheduler=report.scheduler, devices=report.devices,
+            active_s=makespan, busy_s=report.busy_s,
+            utilisation=report.busy_s / makespan if makespan > 0 else 0.0,
+            requests_routed=report.num_requests, completed=report.completed,
+            rejected=report.rejected, total_tokens=report.total_tokens,
+            tokens_per_second=report.tokens_per_second,
+            mxu_energy_joules=report.mxu_energy_joules,
+            total_energy_joules=report.total_energy_joules,
+            kv_budget_bytes=report.kv_budget_bytes,
+            peak_kv_reserved_bytes=report.peak_kv_reserved_bytes,
+            cost_cache_hits=report.cost_cache_hits,
+            cost_cache_misses=report.cost_cache_misses)
+        for index, report in enumerate(per_replica))
+    cost_model = FleetCostModel()
+    chip_hours = sum(s.devices * s.active_s for s in summaries) / 3600.0
+    cost = cost_model.run_dollars(chip_hours, total_energy)
+    head = per_replica[0] if per_replica else None
+    empty = LatencySummary.empty()
+    goodput_requests = completed * attainment * per_second
+    goodput_tokens_rate = goodput_tokens * per_second if makespan > 0 else 0.0
+    return ClusterReport(
+        model_name=model.name, router=spec.router, autoscaler=spec.autoscaler,
+        scheduler=head.scheduler if head else spec.scheduler,
+        fleet_size=fleet, min_replicas=spec.min_replicas,
+        total_devices=sum(s.devices for s in summaries) or fleet * devices,
+        num_requests=spec.num_requests, completed=completed,
+        rejected=sum(report.rejected for report in per_replica),
+        makespan_s=makespan, total_tokens=total_tokens,
+        tokens_per_second=total_tokens * per_second,
+        requests_per_second=completed * per_second,
+        ttft=head.ttft if head else empty,
+        tpot=head.tpot if head else empty,
+        e2e=head.e2e if head else empty,
+        slo=spec.slo, slo_attainment=attainment,
+        goodput_requests_per_second=goodput_requests,
+        goodput_tokens_per_second=goodput_tokens_rate,
+        mxu_energy_joules=mxu_energy, total_energy_joules=total_energy,
+        energy_per_token_joules=(mxu_energy / total_tokens
+                                 if total_tokens else 0.0),
+        chip_hours=chip_hours, cost_model=cost_model,
+        cost_per_million_tokens_dollars=(cost / (total_tokens / 1e6)
+                                         if total_tokens else 0.0),
+        replica_timeline=((0.0, fleet),),
+        peak_active_replicas=fleet, mean_active_replicas=float(fleet),
+        replicas=summaries, requests=(), shed=0,
+        resilience=dataclasses.replace(
+            ResilienceSummary.clean(),
+            goodput_under_failure_requests_per_second=goodput_requests,
+            goodput_under_failure_tokens_per_second=goodput_tokens_rate),
+        fault_events=())

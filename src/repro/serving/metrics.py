@@ -33,7 +33,11 @@ def percentile(values: Sequence[float], q: float) -> float:
         raise ValueError("cannot take a percentile of no values")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(values)
+    return _percentile_sorted(sorted(values), q)
+
+
+def _percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """:func:`percentile` on an already-sorted non-empty sequence."""
     if len(ordered) == 1:
         return ordered[0]
     position = (len(ordered) - 1) * (q / 100.0)
@@ -124,12 +128,18 @@ class LatencySummary:
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "LatencySummary":
-        """Summarise a non-empty sequence of latencies."""
+        """Summarise a non-empty sequence of latencies.
+
+        Sorts once and interpolates the three percentiles off the sorted
+        copy (the exact arithmetic of :func:`percentile`), so summarising a
+        250k-request run costs one sort instead of three.
+        """
+        ordered = sorted(values)
         return cls(mean_s=sum(values) / len(values),
-                   p50_s=percentile(values, 50.0),
-                   p95_s=percentile(values, 95.0),
-                   p99_s=percentile(values, 99.0),
-                   max_s=max(values))
+                   p50_s=_percentile_sorted(ordered, 50.0),
+                   p95_s=_percentile_sorted(ordered, 95.0),
+                   p99_s=_percentile_sorted(ordered, 99.0),
+                   max_s=ordered[-1])
 
     @classmethod
     def empty(cls) -> "LatencySummary":

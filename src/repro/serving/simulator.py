@@ -34,9 +34,25 @@ Modelling choices, stated explicitly:
   overlap and no ICI hop cost.  This is conservative for throughput and
   exact for single-chip deployments; ring modelling is future work.
 
+The hot path exploits one invariant: running requests all decode in
+lock-step, so against a global decode counter ``G`` each request has a
+*fixed* context offset (``input_tokens + 1`` at the ``G`` of its prefill)
+and a *fixed* death epoch (the ``G`` at which it emits its last token).
+The batch therefore lives in two heaps — min-heap on death epoch, lazy
+max-heap on context offset — and advancing a decode chunk is O(1) with no
+per-request work; a finish pops exactly the finishing requests.  Per-request
+latency values accumulate into raw arrays and percentiles are computed once
+at report time.  Device-busy time and energy accumulate per *quiescent
+segment* — the spans between instants where the system is fully drained —
+and the report sums the segment totals left-to-right.  Segments are exactly
+the units trace sharding hands to workers, which is what makes a sharded
+run (``run(..., shards=N)``) bit-for-bit identical to the serial one: every
+float in the report is produced by the same additions in the same order.
+
 Determinism: given identical arguments (including the trace seed) a run is
 bit-for-bit reproducible — the only randomness is the explicit
-``random.Random(seed)`` inside trace generation.
+``random.Random(seed)`` inside trace generation — and independent of the
+shard count.
 """
 
 from __future__ import annotations
@@ -44,30 +60,49 @@ from __future__ import annotations
 import bisect
 import heapq
 import math
-from dataclasses import dataclass
-from typing import Sequence
+import multiprocessing
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from operator import attrgetter
+from typing import Mapping, Sequence
 
 from repro.analysis.capacity import serving_kv_budget
 from repro.common import Precision, ceil_div
 from repro.core.config import TPUConfig
 from repro.core.simulator import InferenceSimulator
-from repro.serving.costs import StepCostModel
+from repro.serving.costs import StepCost, StepCostModel
 from repro.serving.metrics import (
     SLO,
     LatencySummary,
     RequestMetrics,
     ServingReport,
 )
-from repro.serving.scheduler import SchedulerPolicy, get_scheduler
+from repro.serving.scheduler import (
+    SCHEDULER_REGISTRY,
+    SchedulerPolicy,
+    _by_arrival,
+    get_scheduler,
+)
 from repro.serving.spec import ServingSpec
 from repro.serving.trace import Request, generate_trace, request_classes_from_settings
 from repro.sweep.cache import CachingInferenceSimulator
 from repro.workloads.llm import LLMConfig
 
+_new_instance = object.__new__
+_arrival_key = attrgetter("arrival_s", "request_id")
+
 
 @dataclass
 class LiveRequest:
-    """Mutable in-flight state of one request inside the event loop."""
+    """Mutable in-flight state of one request inside the event loop.
+
+    The optimised engine keeps running requests as plain heap tuples; this
+    class survives as the argument of
+    :attr:`~repro.serving.scheduler.SchedulerPolicy.priority` keys (and for
+    any external schedulers built on it), wrapping requests on the waiting
+    queue of non-FCFS policies.
+    """
 
     request: Request
     first_token_s: float | None = None
@@ -82,6 +117,35 @@ class LiveRequest:
     def remaining(self) -> int:
         """Tokens still to generate."""
         return self.request.output_tokens - self.generated
+
+
+@dataclass
+class _ShardState:
+    """Raw outcome of one event-loop pass over a (sub-)trace.
+
+    Everything is either an exact integer, an exact per-request record, or a
+    per-quiescent-segment float subtotal, so shard states merge into the
+    serial run's numbers bit-for-bit (see the module docstring).
+    """
+
+    #: ``(request_id, arrival_s, input_tokens, output_tokens, first_token_s,
+    #: finish_s)`` tuples in completion order (empty when per-request rows
+    #: are not collected).
+    finished: list = field(default_factory=list)
+    #: Per-request latency values in completion order.
+    ttfts: list = field(default_factory=list)
+    tpots: list = field(default_factory=list)
+    e2es: list = field(default_factory=list)
+    #: Requests (and their output tokens) that met the run's SLO.
+    met_count: int = 0
+    met_tokens: int = 0
+    #: ``(busy_s, mxu_energy_j, total_energy_j)`` per quiescent segment.
+    segments: list = field(default_factory=list)
+    prefill_steps: int = 0
+    decode_steps: int = 0
+    total_tokens: int = 0
+    peak_reserved: int = 0
+    final_clock: float = 0.0
 
 
 class ServingSimulator:
@@ -135,6 +199,8 @@ class ServingSimulator:
     def run(self, trace: Sequence[Request], slo: SLO = SLO(), *,
             devices: int | None = None,
             slow_windows: Sequence[tuple[float, float, float]] = (),
+            shards: int = 1, shard_workers: int | None = None,
+            collect_requests: bool = True,
             ) -> ServingReport:
         """Replay the trace and return the aggregate serving report.
 
@@ -152,20 +218,119 @@ class ServingSimulator:
         chunk's start, with chunks capped at the next window boundary so a
         long chunk cannot smear one factor across a boundary.
 
+        ``shards`` splits the trace at quiescence boundaries (the largest
+        arrival gaps) and replays the pieces over a ``multiprocessing``
+        fan-out, merging the shard outcomes into a report **bit-for-bit
+        identical** to the serial run: each shard is validated to have
+        drained before the next shard's first arrival (violating shards are
+        merged with their successor and re-run), so the serial event
+        sequence is exactly the concatenation of the shard sequences.
+        ``shard_workers`` caps the process count (default: CPU count); with
+        one worker the engine simply runs serially — sharding is a runtime
+        execution detail and never changes results, which is why it is not
+        part of any content-addressed fingerprint.
+
+        ``collect_requests=False`` skips materialising the per-request
+        :class:`~repro.serving.metrics.RequestMetrics` rows
+        (``report.requests`` comes back empty); every aggregate — latency
+        percentiles included — is identical, computed from the same raw
+        arrays.  Day-scale traces use this to avoid building millions of
+        row objects nothing will read.
+
         Raises
         ------
         ValueError
             If the trace is empty, an explicit ``devices`` deployment
-            cannot hold the model's weights at all, or a slow window is
-            malformed (end before start, or factor below 1).
+            cannot hold the model's weights at all, a slow window is
+            malformed (end before start, or factor below 1), or ``shards``
+            / ``shard_workers`` is not positive.
         """
         if not trace:
             raise ValueError("serving needs a non-empty trace")
         if devices is not None and devices <= 0:
             raise ValueError("devices must be positive (or None)")
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if shard_workers is not None and shard_workers <= 0:
+            raise ValueError("shard_workers must be positive (or None)")
         for window_start, window_end, factor in slow_windows:
             if window_end <= window_start or factor < 1.0:
                 raise ValueError("slow windows need end > start and factor >= 1")
+
+        ordered_trace = sorted(trace, key=_arrival_key)
+        if devices is None:
+            devices = (self.devices if self.devices is not None
+                       else self.plan_devices(trace))
+        budget = self.kv_budget(devices)
+        if budget <= 0:
+            raise ValueError(
+                f"{self.model.name} does not fit {devices} x {self.tpu_config.name}: "
+                f"no KV budget left after weights (use more devices)")
+
+        # Integer token limit: same predicate as reserving the full-context
+        # KV footprint against the budget, without a multiply per request.
+        token_limit = budget // self.kv_bytes_per_token
+        admissible: list[Request] = []
+        rejected = 0
+        for request in ordered_trace:
+            if request.input_tokens + request.output_tokens > token_limit:
+                rejected += 1
+            else:
+                admissible.append(request)
+
+        workers = shard_workers if shard_workers is not None else (os.cpu_count() or 1)
+        if shards > 1 and workers > 1 and len(admissible) > 1:
+            state = self._run_sharded(admissible, budget=budget, slo=slo,
+                                      slow_windows=tuple(slow_windows),
+                                      devices=devices, shards=shards,
+                                      workers=workers,
+                                      collect_requests=collect_requests)
+        else:
+            state = self._run_core_accounted(admissible, budget=budget, slo=slo,
+                                             slow_windows=tuple(slow_windows),
+                                             collect_requests=collect_requests)
+
+        return self._build_report(state, slo, devices=devices,
+                                  num_requests=len(ordered_trace),
+                                  rejected=rejected, budget=budget,
+                                  start_s=ordered_trace[0].arrival_s)
+
+    # ------------------------------------------------------------------- core
+    def _run_core_accounted(self, admissible: Sequence[Request], *, budget: int,
+                            slo: SLO,
+                            slow_windows: Sequence[tuple[float, float, float]],
+                            collect_requests: bool) -> _ShardState:
+        """Run the core and settle the step-cost cache statistics.
+
+        The core consults the memo without per-lookup stats bookkeeping
+        (misses are still counted inside
+        :meth:`~repro.serving.costs.StepCostModel._step`); every event does
+        exactly one lookup, so the hits are the event count minus the new
+        misses — the same totals the per-lookup counting produced.
+        """
+        stats = self.costs.stats
+        misses_before = stats.misses
+        state = self._run_core(admissible, budget=budget, slo=slo,
+                               slow_windows=slow_windows,
+                               collect_requests=collect_requests)
+        stats.hits += (state.prefill_steps + state.decode_steps
+                       - (stats.misses - misses_before))
+        return state
+
+    def _run_core(self, admissible: Sequence[Request], *, budget: int,
+                  slo: SLO, slow_windows: Sequence[tuple[float, float, float]],
+                  collect_requests: bool = True) -> _ShardState:
+        """One optimised event-loop pass over already-admissible requests.
+
+        The returned :class:`_ShardState` carries only exact integers,
+        per-request records and per-quiescent-segment float subtotals, so
+        states from consecutive quiescence-separated sub-traces concatenate
+        into precisely the serial run's numbers.
+        """
+        state = _ShardState()
+        if not admissible:
+            return state
+
         boundaries = sorted({edge for window in slow_windows
                              for edge in window[:2]})
 
@@ -179,168 +344,452 @@ class ServingSimulator:
         def next_boundary(t: float) -> float:
             index = bisect.bisect_right(boundaries, t)
             return boundaries[index] if index < len(boundaries) else math.inf
-        ordered_trace = sorted(trace, key=lambda r: (r.arrival_s, r.request_id))
-        if devices is None:
-            devices = (self.devices if self.devices is not None
-                       else self.plan_devices(trace))
-        budget = self.kv_budget(devices)
-        if budget <= 0:
-            raise ValueError(
-                f"{self.model.name} does not fit {devices} x {self.tpu_config.name}: "
-                f"no KV budget left after weights (use more devices)")
 
-        admissible: list[Request] = []
-        rejected = 0
-        for request in ordered_trace:
-            if request.total_tokens * self.kv_bytes_per_token > budget:
-                rejected += 1
-            else:
-                admissible.append(request)
+        policy = self.policy
+        fifo = policy.priority is _by_arrival
+        admit_during_decode = policy.admit_during_decode
+        priority = policy.priority
+        max_batch = self.max_batch
+        costs = self.costs
+        memo_get = costs._memo.get
+        price = costs._step
+        bt = costs.bucket_tokens
+        btm1 = bt - 1
+        kv_per_token = self.kv_bytes_per_token
+        ceil = math.ceil
+        inf = math.inf
+        slo_ttft = slo.ttft_s
+        slo_tpot = slo.tpot_s
+        collect = collect_requests
 
-        #: Waiting queue as a heap on the policy's priority key, so admission
-        #: is O(log n) per request even with tens of thousands queued.
-        waiting: list[tuple[tuple, LiveRequest]] = []
-        running: list[LiveRequest] = []
-        finished: list[RequestMetrics] = []
-        # The makespan is measured from the first arrival, so traces whose
-        # timestamps do not start near zero (e.g. production JSONL excerpts)
-        # report the same throughput/utilisation as their re-based twins.
-        start_s = ordered_trace[0].arrival_s
-        clock = start_s
-        busy = 0.0
-        mxu_energy = total_energy = 0.0
-        reserved = peak_reserved = 0
-        prefill_steps = decode_steps = 0
-        total_tokens = 0
-        index = 0
+        arrivals = [request.arrival_s for request in admissible]
         n = len(admissible)
+        index = 0
 
-        def reservation(live: LiveRequest) -> int:
-            return live.request.total_tokens * self.kv_bytes_per_token
+        #: Waiting queue: FCFS-ordered policies take the deque fast path
+        #: (admissible is pre-sorted by the FCFS key, so FIFO order *is*
+        #: the heap's pop order); anything else keeps the policy-key heap.
+        waiting: deque | list = deque() if fifo else []
+        heappush, heappop = heapq.heappush, heapq.heappop
+        #: Running batch as two heaps over plain tuples (see module doc):
+        #: ``rem_heap`` = (death_G, request_id, arrival_s, input_tokens,
+        #: output_tokens, first_token_s, reservation) min-heap on the death
+        #: epoch; ``ctx_heap`` = (-ctx0, death_G, request_id) lazy max-heap
+        #: on the context offset (entries of finished requests are popped
+        #: when they surface).
+        rem_heap: list = []
+        ctx_heap: list = []
+        batch = 0
 
-        def finish(live: LiveRequest) -> None:
-            nonlocal reserved, total_tokens
-            reserved -= reservation(live)
-            total_tokens += live.request.output_tokens
-            finished.append(RequestMetrics.from_times(
-                request_id=live.request.request_id,
-                arrival_s=live.request.arrival_s,
-                input_tokens=live.request.input_tokens,
-                output_tokens=live.request.output_tokens,
-                first_token_s=live.first_token_s, finish_s=clock))
+        finished_append = state.finished.append
+        ttfts_append = state.ttfts.append
+        tpots_append = state.tpots.append
+        e2es_append = state.e2es.append
+        segments = state.segments
+        met_count = met_tokens = 0
+        total_tokens = 0
+        prefill_steps = decode_steps = 0
+        reserved = peak_reserved = 0
 
-        while index < n or waiting or running:
-            while index < n and admissible[index].arrival_s <= clock:
-                live = LiveRequest(admissible[index])
-                heapq.heappush(waiting, (self.policy.priority(live), live))
-                index += 1
+        clock = arrivals[0]
+        busy_seg = mxu_seg = te_seg = 0.0
+        #: Global decode counter: total decode chunks applied so far.
+        G = 0
+        slow = bool(boundaries)
+        #: Per-run unpacked step-cost caches keyed ``bucket << shift |
+        #: group`` (an exact composite — group never exceeds ``max_batch``):
+        #: int keys hash faster than tuples and allocate nothing.  Values
+        #: are (seconds, mxu_energy, total_energy), layered over the memo.
+        shift = max_batch.bit_length()
+        dcache: dict = {}
+        dcache_get = dcache.get
+        pcache: dict = {}
+        pcache_get = pcache.get
 
-            admitted: list[LiveRequest] = []
-            if waiting and (self.policy.admit_during_decode or not running):
-                slots = self.max_batch - len(running)
-                while waiting and len(admitted) < slots:
-                    head = waiting[0][1]
-                    if reserved + reservation(head) > budget:
+        while True:
+            # Quiescent point: nothing in flight and the next arrival is not
+            # in the past — close the current busy/energy segment.  These
+            # instants are exactly the legal shard boundaries.
+            if not batch and not waiting and (index == n or arrivals[index] >= clock):
+                if busy_seg != 0.0:
+                    segments.append((busy_seg, mxu_seg, te_seg))
+                    busy_seg = mxu_seg = te_seg = 0.0
+
+            if fifo:
+                while index < n and arrivals[index] <= clock:
+                    waiting.append(admissible[index])
+                    index += 1
+            else:
+                while index < n and arrivals[index] <= clock:
+                    live = LiveRequest(admissible[index])
+                    heappush(waiting, (priority(live), live))
+                    index += 1
+
+            if waiting and (admit_during_decode or not batch):
+                slots = max_batch - batch
+                group = 0
+                admitted: list = []  # (request, reservation) pairs
+                while waiting and group < slots:
+                    request = waiting[0] if fifo else waiting[0][1].request
+                    resv = (request.input_tokens + request.output_tokens) * kv_per_token
+                    if reserved + resv > budget:
                         break  # no hole-filling: the priority is the contract
-                    heapq.heappop(waiting)
-                    admitted.append(head)
-                    reserved += reservation(head)
-                    peak_reserved = max(peak_reserved, reserved)
-
-            if admitted:
-                cost = self.costs.prefill_cost(
-                    len(admitted), max(live.request.input_tokens for live in admitted))
-                step_s = cost.seconds * slow_factor(clock)
-                clock += step_s
-                busy += step_s
-                mxu_energy += cost.mxu_energy_joules
-                total_energy += cost.total_energy_joules
-                prefill_steps += 1
-                for live in admitted:
-                    live.first_token_s = clock
-                    live.generated = 1  # prefill emits the first token
-                    if live.remaining <= 0:
-                        finish(live)
+                    if fifo:
+                        waiting.popleft()
                     else:
-                        running.append(live)
+                        heappop(waiting)
+                    admitted.append((request, resv))
+                    group += 1
+                    reserved += resv
+                if reserved > peak_reserved:
+                    peak_reserved = reserved
+                if group:
+                    max_input = 0
+                    for request, _ in admitted:
+                        if request.input_tokens > max_input:
+                            max_input = request.input_tokens
+                    bkt = (max_input + btm1) // bt * bt
+                    cached = pcache_get(bkt << shift | group)
+                    if cached is None:
+                        cost = memo_get(("prefill", group, bkt))
+                        if cost is None:
+                            cost = price("prefill", group, bkt)
+                        cached = (cost.seconds, cost.mxu_energy_joules,
+                                  cost.total_energy_joules)
+                        pcache[bkt << shift | group] = cached
+                    seconds, mxu_e, total_e = cached
+                    step_s = seconds * slow_factor(clock) if slow else seconds
+                    clock += step_s
+                    busy_seg += step_s
+                    mxu_seg += mxu_e
+                    te_seg += total_e
+                    prefill_steps += 1
+                    # Live top of the context heap, for the domination test
+                    # below (entries of finished requests pop lazily here
+                    # exactly as in the decode loop).
+                    top = ctx_heap[0] if ctx_heap else None
+                    while top is not None and top[1] <= G:
+                        heappop(ctx_heap)
+                        top = ctx_heap[0] if ctx_heap else None
+                    for request, resv in admitted:
+                        out = request.output_tokens
+                        if out <= 1:
+                            # Prefill emitted the only token: finish now.
+                            reserved -= resv
+                            total_tokens += out
+                            arrival = request.arrival_s
+                            ttft = clock - arrival
+                            if collect:
+                                finished_append((request.request_id, arrival,
+                                                 request.input_tokens, out,
+                                                 clock, clock))
+                            ttfts_append(ttft)
+                            tpots_append(0.0)
+                            e2es_append(ttft)
+                            if ttft <= slo_ttft:
+                                met_count += 1
+                                met_tokens += out
+                        else:
+                            rid = request.request_id
+                            death = G + out - 1
+                            heappush(rem_heap, (death, rid, request.arrival_s,
+                                                request.input_tokens, out,
+                                                clock, resv))
+                            # Domination test: a request whose context offset
+                            # and death epoch are both <= the live top's can
+                            # never define max_context — skip its entry.
+                            neg_ctx0 = G - request.input_tokens - 1
+                            if top is None or neg_ctx0 < top[0] or death > top[1]:
+                                heappush(ctx_heap, (neg_ctx0, death, rid))
+                            batch += 1
+                    continue
+
+            if batch:
+                # Decode fast path: advance chunk after chunk in O(1) until
+                # the composition can change (a finish, a due arrival, or a
+                # slow-window edge).
+                arrival_cap = index < n and admit_during_decode and batch < max_batch
+                next_arrival = arrivals[index] if index < n else inf
+                while True:
+                    top = ctx_heap[0]
+                    while top[1] <= G:  # finished request's stale entry
+                        heappop(ctx_heap)
+                        top = ctx_heap[0]
+                    max_context = G - top[0]
+                    bkt = (max_context + btm1) // bt * bt
+                    cached = dcache_get(bkt << shift | batch)
+                    if cached is None:
+                        cost = memo_get(("decode", batch, bkt))
+                        if cost is None:
+                            cost = price("decode", batch, bkt)
+                        cached = (cost.seconds, cost.mxu_energy_joules,
+                                  cost.total_energy_joules)
+                        dcache[bkt << shift | batch] = cached
+                    seconds, mxu_e, total_e = cached
+                    step_s = seconds * slow_factor(clock) if slow else seconds
+                    min_remaining = rem_heap[0][0] - G
+                    chunk = bkt - max_context + 1
+                    if min_remaining < chunk:
+                        chunk = min_remaining
+                    if arrival_cap:
+                        cap = ceil((next_arrival - clock) / step_s)
+                        if cap < 1:
+                            cap = 1
+                        if cap < chunk:
+                            chunk = cap
+                    if slow:
+                        edge = next_boundary(clock)
+                        if edge != inf:
+                            cap = ceil((edge - clock) / step_s)
+                            if cap < 1:
+                                cap = 1
+                            if cap < chunk:
+                                chunk = cap
+                    dt = chunk * step_s
+                    clock += dt
+                    busy_seg += dt
+                    mxu_seg += chunk * mxu_e
+                    te_seg += chunk * total_e
+                    decode_steps += 1
+                    G += chunk
+                    if rem_heap[0][0] <= G:
+                        while rem_heap and rem_heap[0][0] <= G:
+                            (_, rid, arrival, inp, out, first,
+                             resv) = heappop(rem_heap)
+                            reserved -= resv
+                            total_tokens += out
+                            ttft = first - arrival
+                            tpot = (clock - first) / (out - 1)
+                            if collect:
+                                finished_append((rid, arrival, inp, out,
+                                                 first, clock))
+                            ttfts_append(ttft)
+                            tpots_append(tpot)
+                            e2es_append(clock - arrival)
+                            if ttft <= slo_ttft and tpot <= slo_tpot:
+                                met_count += 1
+                                met_tokens += out
+                            batch -= 1
+                        break
+                    if arrival_cap and next_arrival <= clock:
+                        break
+                    if slow:
+                        break  # re-sample the degradation factor per chunk
                 continue
 
-            if running:
-                batch = len(running)
-                max_context = max(live.context_tokens for live in running)
-                cost = self.costs.decode_cost(batch, max_context)
-                step_s = cost.seconds * slow_factor(clock)
-                chunk = min(min(live.remaining for live in running),
-                            self.costs.bucket(max_context) - max_context + 1)
-                if (index < n and self.policy.admit_during_decode
-                        and batch < self.max_batch):
-                    gap = admissible[index].arrival_s - clock
-                    chunk = min(chunk, max(1, math.ceil(gap / step_s)))
-                edge = next_boundary(clock)
-                if edge != math.inf:
-                    chunk = min(chunk, max(1, math.ceil((edge - clock) / step_s)))
-                clock += chunk * step_s
-                busy += chunk * step_s
-                mxu_energy += chunk * cost.mxu_energy_joules
-                total_energy += chunk * cost.total_energy_joules
-                decode_steps += 1
-                for live in running:
-                    live.generated += chunk
-                still_running = []
-                for live in running:
-                    if live.remaining <= 0:
-                        finish(live)
-                    else:
-                        still_running.append(live)
-                running = still_running
+            if index < n:
+                # Idle: jump to the next arrival.
+                if arrivals[index] > clock:
+                    clock = arrivals[index]
                 continue
+            break
 
-            # Idle: jump to the next arrival.
-            clock = max(clock, admissible[index].arrival_s)
+        if busy_seg != 0.0:
+            segments.append((busy_seg, mxu_seg, te_seg))
+        state.met_count = met_count
+        state.met_tokens = met_tokens
+        state.total_tokens = total_tokens
+        state.prefill_steps = prefill_steps
+        state.decode_steps = decode_steps
+        state.peak_reserved = peak_reserved
+        state.final_clock = clock
+        return state
 
-        return self._report(finished, slo, devices=devices,
-                            num_requests=len(ordered_trace), rejected=rejected,
-                            makespan=clock - start_s, busy=busy,
-                            total_tokens=total_tokens,
-                            mxu_energy=mxu_energy, total_energy=total_energy,
-                            prefill_steps=prefill_steps, decode_steps=decode_steps,
-                            kv_budget=budget, peak_reserved=peak_reserved)
+    # --------------------------------------------------------------- sharding
+    def _run_sharded(self, admissible: list[Request], *, budget: int, slo: SLO,
+                     slow_windows: tuple[tuple[float, float, float], ...],
+                     devices: int, shards: int, workers: int,
+                     collect_requests: bool) -> _ShardState:
+        """Fan shard slices over a process pool and merge their states.
+
+        Slices are cut at the largest arrival gaps; after the parallel
+        replay each boundary is *validated* (the shard must have drained
+        before its successor's first arrival).  A shard that spills is
+        merged with its successor and re-run, so the final partition is
+        provably a chain of quiescence-separated sub-traces whose event
+        sequences concatenate into the serial run's.
+        """
+        policy_name = self.policy.name
+        if SCHEDULER_REGISTRY.get(policy_name) is not self.policy:
+            # An unregistered ad-hoc policy cannot travel to workers by
+            # name; run serially rather than guess at picklability.
+            return self._run_core_accounted(admissible, budget=budget, slo=slo,
+                                            slow_windows=slow_windows,
+                                            collect_requests=collect_requests)
+
+        slices = _quiescence_slices([r.arrival_s for r in admissible], shards)
+        if len(slices) == 1:
+            return self._run_core_accounted(admissible, budget=budget, slo=slo,
+                                            slow_windows=slow_windows,
+                                            collect_requests=collect_requests)
+
+        seed_entries = dict(self.costs._memo)
+
+        def task_for(bounds: tuple[int, int]) -> tuple:
+            start, stop = bounds
+            return (self.model, self.tpu_config, policy_name, self.precision,
+                    self.max_batch, self.costs.bucket_tokens,
+                    self.memory_utilisation, devices, budget, slo,
+                    slow_windows, collect_requests,
+                    tuple(admissible[start:stop]))
+
+        with multiprocessing.Pool(processes=min(workers, len(slices)),
+                                  initializer=_seed_shard_worker,
+                                  initargs=(seed_entries,)) as pool:
+            outcomes = pool.map(_run_shard_remote, [task_for(b) for b in slices])
+            # Validate each boundary; merge-and-re-run spilling shards.
+            position = 0
+            while position < len(slices) - 1:
+                shard_state, _ = outcomes[position]
+                next_start = slices[position + 1][0]
+                if shard_state.final_clock <= admissible[next_start].arrival_s:
+                    position += 1
+                    continue
+                slices[position] = (slices[position][0], slices[position + 1][1])
+                del slices[position + 1]
+                del outcomes[position + 1]
+                outcomes[position] = pool.apply(
+                    _run_shard_remote, (task_for(slices[position]),))
+
+        merged = _ShardState()
+        new_entries: dict = {}
+        for shard_state, entries in outcomes:
+            merged.finished.extend(shard_state.finished)
+            merged.ttfts.extend(shard_state.ttfts)
+            merged.tpots.extend(shard_state.tpots)
+            merged.e2es.extend(shard_state.e2es)
+            merged.segments.extend(shard_state.segments)
+            merged.met_count += shard_state.met_count
+            merged.met_tokens += shard_state.met_tokens
+            merged.total_tokens += shard_state.total_tokens
+            merged.prefill_steps += shard_state.prefill_steps
+            merged.decode_steps += shard_state.decode_steps
+            if shard_state.peak_reserved > merged.peak_reserved:
+                merged.peak_reserved = shard_state.peak_reserved
+            merged.final_clock = shard_state.final_clock
+            new_entries.update(entries)
+
+        # Exact cache accounting across the fan-out: the distinct new states
+        # are the union of what the (surviving) shards priced beyond the
+        # parent memo; every other lookup would have been a memo hit in the
+        # serial run.
+        self.costs._memo.update(new_entries)
+        self.costs.stats.misses += len(new_entries)
+        self.costs.stats.hits += (merged.prefill_steps + merged.decode_steps
+                                  - len(new_entries))
+        return merged
 
     # ----------------------------------------------------------------- report
-    def _report(self, finished: list[RequestMetrics], slo: SLO, *, devices: int,
-                num_requests: int, rejected: int, makespan: float, busy: float,
-                total_tokens: int, mxu_energy: float, total_energy: float,
-                prefill_steps: int, decode_steps: int, kv_budget: int,
-                peak_reserved: int) -> ServingReport:
-        finished = sorted(finished, key=lambda m: m.request_id)
-        met = [m for m in finished if m.meets(slo)]
+    def _build_report(self, state: _ShardState, slo: SLO, *, devices: int,
+                      num_requests: int, rejected: int, budget: int,
+                      start_s: float) -> ServingReport:
+        """Assemble the :class:`ServingReport` from raw event-loop state."""
+        records = sorted(state.finished)
+        requests: list[RequestMetrics] = []
+        requests_append = requests.append
+        set_dict = object.__setattr__  # bypass the frozen-dataclass guard
+        for request_id, arrival, inp, out, first, finish in records:
+            metric = _new_instance(RequestMetrics)
+            set_dict(metric, "__dict__", {
+                "request_id": request_id, "arrival_s": arrival,
+                "input_tokens": inp, "output_tokens": out,
+                "first_token_s": first, "finish_s": finish,
+                "ttft_s": first - arrival,
+                "tpot_s": (finish - first) / (out - 1) if out > 1 else 0.0,
+                "e2e_s": finish - arrival, "disrupted": False})
+            requests_append(metric)
+        completed = len(state.ttfts)
+        makespan = state.final_clock - start_s if completed else 0.0
+        busy = mxu_energy = total_energy = 0.0
+        for seg_busy, seg_mxu, seg_te in state.segments:
+            busy += seg_busy
+            mxu_energy += seg_mxu
+            total_energy += seg_te
         span = makespan if makespan > 0 else 0.0
         per_second = (1.0 / span) if span else 0.0
+        total_tokens = state.total_tokens
         return ServingReport(
             model_name=self.model.name, tpu_name=self.tpu_config.name,
             scheduler=self.policy.name, devices=devices,
-            num_requests=num_requests, completed=len(finished), rejected=rejected,
+            num_requests=num_requests, completed=completed, rejected=rejected,
             makespan_s=makespan, busy_s=busy,
             total_tokens=total_tokens,
             tokens_per_second=total_tokens * per_second,
-            requests_per_second=len(finished) * per_second,
-            ttft=(LatencySummary.from_values([m.ttft_s for m in finished])
-                  if finished else LatencySummary.empty()),
-            tpot=(LatencySummary.from_values([m.tpot_s for m in finished])
-                  if finished else LatencySummary.empty()),
-            e2e=(LatencySummary.from_values([m.e2e_s for m in finished])
-                 if finished else LatencySummary.empty()),
+            requests_per_second=completed * per_second,
+            ttft=(LatencySummary.from_values(state.ttfts)
+                  if completed else LatencySummary.empty()),
+            tpot=(LatencySummary.from_values(state.tpots)
+                  if completed else LatencySummary.empty()),
+            e2e=(LatencySummary.from_values(state.e2es)
+                 if completed else LatencySummary.empty()),
             slo=slo,
-            slo_attainment=len(met) / len(finished) if finished else 0.0,
-            goodput_requests_per_second=len(met) * per_second,
-            goodput_tokens_per_second=sum(m.output_tokens for m in met) * per_second,
+            slo_attainment=state.met_count / completed if completed else 0.0,
+            goodput_requests_per_second=state.met_count * per_second,
+            goodput_tokens_per_second=state.met_tokens * per_second,
             mxu_energy_joules=mxu_energy, total_energy_joules=total_energy,
             energy_per_token_joules=mxu_energy / total_tokens if total_tokens else 0.0,
-            prefill_steps=prefill_steps, decode_steps=decode_steps,
-            kv_budget_bytes=kv_budget, peak_kv_reserved_bytes=peak_reserved,
+            prefill_steps=state.prefill_steps, decode_steps=state.decode_steps,
+            kv_budget_bytes=budget, peak_kv_reserved_bytes=state.peak_reserved,
             cost_cache_hits=self.costs.stats.hits,
             cost_cache_misses=self.costs.stats.misses,
-            requests=tuple(finished))
+            requests=tuple(requests))
+
+
+def _quiescence_slices(arrivals: Sequence[float], shards: int,
+                       ) -> list[tuple[int, int]]:
+    """Cut ``[0, len)`` into up to ``shards`` slices at the largest gaps.
+
+    Only strictly positive inter-arrival gaps are candidates (splitting
+    inside a simultaneous burst can never validate); ties break on the
+    earlier index so the partition is deterministic.
+    """
+    n = len(arrivals)
+    gaps = sorted(
+        ((arrivals[i] - arrivals[i - 1], i) for i in range(1, n)
+         if arrivals[i] > arrivals[i - 1]),
+        key=lambda pair: (-pair[0], pair[1]))
+    cuts = sorted(i for _, i in gaps[:shards - 1])
+    slices: list[tuple[int, int]] = []
+    start = 0
+    for cut in cuts:
+        slices.append((start, cut))
+        start = cut
+    slices.append((start, n))
+    return slices
+
+
+#: Parent memo snapshot installed in shard workers by the pool initializer
+#: (mirrors the sweep engine's graph-cache seeding idiom).
+_SHARD_SEED_ENTRIES: dict[tuple[str, int, int], StepCost] = {}
+
+
+def _seed_shard_worker(entries: Mapping[tuple[str, int, int], StepCost]) -> None:
+    """Pool initializer: install the parent's step-cost memo snapshot."""
+    _SHARD_SEED_ENTRIES.clear()
+    _SHARD_SEED_ENTRIES.update(entries)
+
+
+def _run_shard_remote(task: tuple) -> tuple[_ShardState, dict]:
+    """Pool worker: replay one shard slice with a seeded step-cost memo.
+
+    Returns the raw shard state plus the *new* memo entries the shard
+    priced, so the parent can absorb them (and account hits/misses exactly
+    as a serial run would) without re-shipping what it sent.
+    """
+    (model, tpu_config, scheduler, precision, max_batch, bucket_tokens,
+     memory_utilisation, devices, budget, slo, slow_windows, collect_requests,
+     subtrace) = task
+    engine = ServingSimulator(
+        model, tpu_config, scheduler=scheduler, precision=precision,
+        max_batch=max_batch, bucket_tokens=bucket_tokens, devices=devices,
+        memory_utilisation=memory_utilisation)
+    engine.costs._memo.update(_SHARD_SEED_ENTRIES)
+    state = engine._run_core(list(subtrace), budget=budget, slo=slo,
+                             slow_windows=slow_windows,
+                             collect_requests=collect_requests)
+    new_entries = {key: value for key, value in engine.costs._memo.items()
+                   if key not in _SHARD_SEED_ENTRIES}
+    return state, new_entries
 
 
 def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
@@ -353,6 +802,11 @@ def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
     serving settings); the precision follows the settings too, so a sweep
     point's serving run prices the same numerics as its analytical row.
 
+    ``spec.fidelity`` selects the engine: ``"exact"`` replays the
+    discrete-event loop; ``"fluid"`` dispatches to the closed-form
+    estimator (:func:`repro.serving.fluid.estimate_serving`) — same report
+    shape, orders of magnitude faster, golden-bounded error.
+
     Raises
     ------
     ValueError
@@ -363,6 +817,11 @@ def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
     if spec.faults:
         raise ValueError("fault injection needs the cluster simulator; "
                          "route faulted specs through simulate_cluster")
+    if spec.fidelity == "fluid":
+        from repro.serving.fluid import estimate_serving
+
+        return estimate_serving(model, tpu_config, spec, settings,
+                                simulator=simulator)
     classes = request_classes_from_settings(settings)
     trace = generate_trace(spec.trace, classes, spec.arrival_rate,
                            spec.num_requests, spec.seed, overlay=spec.overlay)

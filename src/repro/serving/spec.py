@@ -46,6 +46,11 @@ class ServingSpec:
     #: chaos runs are content-addressed like healthy ones.
     faults: tuple[FaultSpec, ...] = ()
     overlay: OverlaySpec | None = None
+    #: Evaluation fidelity: ``"exact"`` replays the discrete-event engine;
+    #: ``"fluid"`` prices the spec with the closed-form flow estimator
+    #: (:mod:`repro.serving.fluid`) — orders of magnitude faster, with
+    #: golden-bounded error, for screening passes and day-scale what-ifs.
+    fidelity: str = "exact"
 
     def __post_init__(self) -> None:
         if self.arrival_rate <= 0:
@@ -69,11 +74,22 @@ class ServingSpec:
             raise ValueError("faults must be FaultSpec instances")
         if self.overlay is not None and not isinstance(self.overlay, OverlaySpec):
             raise ValueError("overlay must be an OverlaySpec (or None)")
+        if self.fidelity not in ("exact", "fluid"):
+            raise ValueError("fidelity must be 'exact' or 'fluid'")
+        if self.fidelity == "fluid" and self.faults:
+            raise ValueError("fault injection needs the exact event loop; "
+                             "fluid fidelity cannot replay fault timelines")
+        if self.fidelity == "fluid" and self.overlay is not None:
+            raise ValueError("arrival-drift overlays warp individual "
+                             "arrivals; fluid fidelity sees only the mean "
+                             "rate, so overlaid specs must run exact")
 
     def summary(self) -> str:
         """Human-readable spec summary used in tables and exports."""
         base = (f"{self.trace}@{self.arrival_rate:g}/s {self.scheduler} "
                 f"n={self.num_requests} seed={self.seed}")
+        if self.fidelity != "exact":
+            base += f" [{self.fidelity}]"
         if self.replicas > 1:
             base += f" x{self.replicas} {self.router}/{self.autoscaler}"
         if self.overlay is not None:

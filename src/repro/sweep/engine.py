@@ -114,11 +114,12 @@ def point_key(point: SweepPoint) -> str:
     """Deterministic content fingerprint of a sweep point.
 
     The version string is bumped whenever the point or spec schema gains an
-    axis (v5: fault/overlay chaos axes on the serving spec), so rows stored
-    by an older binary miss — a pre-chaos store must never satisfy a
-    faulted request, or chaos sweeps would silently serve healthy numbers.
+    axis (v5: fault/overlay chaos axes on the serving spec; v6: the
+    ``fidelity`` axis and the fluid estimator), so rows stored by an older
+    binary miss — a pre-chaos store must never satisfy a faulted request,
+    or chaos sweeps would silently serve healthy numbers.
     """
-    return fingerprint("sweep-point/v5", point.design, point.config, point.model,
+    return fingerprint("sweep-point/v6", point.design, point.config, point.model,
                        point.scenario, point.settings, point.devices, point.parallelism,
                        point.serving)
 

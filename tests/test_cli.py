@@ -258,6 +258,56 @@ class TestServe:
             main(self.SERVE + ["--json", str(tmp_path / "missing" / "report.json")])
 
 
+class TestServeFidelityAndShards:
+    BASE = ["--seed", "7", "--llm", "llama2-7b", "--input-tokens", "64",
+            "--output-tokens", "16", "serve", "--scenario", "chat-serving",
+            "--rate", "0.5", "--requests", "60"]
+
+    def test_sharded_output_matches_serial(self, capsys):
+        _, serial = run_cli(capsys, *self.BASE)
+        _, sharded = run_cli(capsys, *self.BASE, "--shards", "5")
+        assert sharded == serial
+
+    def test_fluid_fidelity_prints_report(self, capsys):
+        code, out = run_cli(capsys, *self.BASE, "--fidelity", "fluid")
+        assert code == 0
+        assert "TTFT" in out and "SLO" in out
+
+    def test_fluid_rejects_trace_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="fluid"):
+            main(self.BASE + ["--fidelity", "fluid",
+                              "--trace-file", str(tmp_path / "t.jsonl")])
+
+    def test_fluid_rejects_faults(self):
+        with pytest.raises(SystemExit, match="exact"):
+            main(self.BASE + ["--fidelity", "fluid",
+                              "--faults", "replica-crash:at_s=1"])
+
+    def test_fluid_rejects_shards(self):
+        with pytest.raises(SystemExit, match="shard"):
+            main(self.BASE + ["--fidelity", "fluid", "--shards", "2"])
+
+    def test_shards_reject_fleet_runs(self):
+        with pytest.raises(SystemExit, match="single-deployment"):
+            main(self.BASE + ["--replicas", "2", "--shards", "2"])
+
+    def test_profile_writes_pstats_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "serve.pstats"
+        code, out = run_cli(capsys, *self.BASE, "--profile",
+                            "--profile-out", str(out_path))
+        assert code == 0
+        assert "cumulative" in out
+        assert out_path.stat().st_size > 0
+
+    def test_fleet_fluid_fidelity_sizes_the_fleet(self, capsys):
+        code, out = run_cli(
+            capsys, "--llm", "llama2-7b", "--input-tokens", "64",
+            "--output-tokens", "16", "fleet", "--rate", "2",
+            "--requests", "80", "--max-replicas", "2", "--seed", "7",
+            "--fidelity", "fluid")
+        assert "Fleet sizing" in out and "replicas" in out
+
+
 class TestServeCluster:
     CLUSTER = ["--llm", "llama2-7b", "--input-tokens", "64",
                "--output-tokens", "16", "serve", "--replicas", "3",

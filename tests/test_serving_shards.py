@@ -1,0 +1,105 @@
+"""Sharded serving replay: split at quiescence, merge bit-for-bit.
+
+The sharded path cuts the trace at quiescence boundaries (instants where
+the deployment is empty and idle), replays the pieces independently and
+merges the per-shard accounting.  Because each boundary is a true
+renewal point of the event loop, the merged report must equal the serial
+one **bit for bit** — same floats, same quantiles, same step counts —
+for any shard count, worker count, or metric-collection mode.  These
+tests pin that contract; the property tests are derandomized so CI replays
+the same examples every run.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.designs import design_a
+from repro.serving.metrics import SLO
+from repro.serving.simulator import ServingSimulator
+from repro.serving.trace import generate_trace
+from repro.workloads.chat import DEFAULT_REQUEST_MIX
+from repro.workloads.llm import GPT3_30B
+
+SLO_SPEC = SLO(ttft_s=1.0, tpot_s=0.1)
+
+
+def _run(trace, **kwargs):
+    """One fresh-engine replay (fresh so cache counters match too)."""
+    simulator = ServingSimulator(GPT3_30B, design_a())
+    return simulator.run(trace, slo=SLO_SPEC, **kwargs)
+
+
+class TestShardEquality:
+    @settings(derandomize=True, deadline=None, max_examples=12)
+    @given(shards=st.integers(min_value=2, max_value=12),
+           rate=st.sampled_from([0.02, 0.05, 0.5, 8.0]),
+           seed=st.integers(min_value=0, max_value=3))
+    def test_sharded_equals_serial_bit_for_bit(self, shards, rate, seed):
+        """Any shard count reproduces the serial report exactly."""
+        trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, rate, 120, seed)
+        serial = _run(trace)
+        sharded = _run(trace, shards=shards)
+        assert sharded.to_dict() == serial.to_dict()
+
+    @settings(derandomize=True, deadline=None, max_examples=8)
+    @given(shards=st.integers(min_value=2, max_value=8),
+           rate=st.sampled_from([0.02, 0.5]))
+    def test_aggregate_only_matches_collected(self, shards, rate):
+        """collect_requests=False drops rows but changes no aggregate."""
+        trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, rate, 100, 1)
+        collected = _run(trace, shards=shards)
+        aggregate = _run(trace, shards=shards, collect_requests=False)
+        assert aggregate.requests == ()
+        assert (aggregate.to_dict(include_requests=False)
+                == collected.to_dict(include_requests=False))
+
+    def test_worker_processes_match_in_process_merge(self):
+        """Forcing worker processes changes nothing about the report."""
+        trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, 0.05, 60, 2)
+        serial = _run(trace)
+        forked = _run(trace, shards=4, shard_workers=2)
+        assert forked.to_dict() == serial.to_dict()
+
+    def test_warm_engine_reshard_matches_outcome(self):
+        """Re-running sharded on a warm engine: same simulated outcome.
+
+        Cache counters are cumulative on the engine, so only the
+        bookkeeping fields may differ between a warm and a cold replay.
+        """
+        trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, 0.5, 120, 3)
+        simulator = ServingSimulator(GPT3_30B, design_a())
+        serial = simulator.run(trace, slo=SLO_SPEC)
+        warm = simulator.run(trace, slo=SLO_SPEC, shards=6)
+        cold = _run(trace, shards=6)
+        for report in (warm, cold):
+            payload = report.to_dict()
+            expected = serial.to_dict()
+            for key in ("cost_cache_hits", "cost_cache_misses",
+                        "cost_cache_hit_rate"):
+                payload.pop(key)
+                expected.pop(key)
+            assert payload == expected
+
+    def test_more_shards_than_quiescent_segments(self):
+        """Asking for more shards than boundaries degrades gracefully."""
+        # Rate 32 on 80 requests saturates instantly: the queue never
+        # drains mid-trace, so there is exactly one segment.
+        trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, 32.0, 80, 5)
+        serial = _run(trace)
+        sharded = _run(trace, shards=16)
+        assert sharded.to_dict() == serial.to_dict()
+
+    def test_single_shard_is_the_serial_path(self):
+        trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, 0.05, 50, 0)
+        assert _run(trace, shards=1).to_dict() == _run(trace).to_dict()
+
+    def test_invalid_shard_counts_raise(self):
+        trace = generate_trace("poisson", DEFAULT_REQUEST_MIX, 0.05, 10, 0)
+        simulator = ServingSimulator(GPT3_30B, design_a())
+        for bad in (0, -2):
+            try:
+                simulator.run(trace, shards=bad)
+            except ValueError:
+                continue
+            raise AssertionError(f"shards={bad} should raise")
