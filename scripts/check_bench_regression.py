@@ -4,7 +4,7 @@
 The benchmark suite writes machine-readable perf records at the repository
 root (``BENCH_sweep.json``, ``BENCH_serving.json``,
 ``BENCH_serving_scale.json``, ``BENCH_cluster.json``,
-``BENCH_optimize.json``, ``BENCH_faults.json``);
+``BENCH_optimize.json``, ``BENCH_faults.json``, ``BENCH_obs.json``);
 this script compares them against the copies committed under
 ``benchmarks/baselines/`` and turns the comparison into a CI verdict:
 
@@ -23,6 +23,11 @@ this script compares them against the copies committed under
 * **throughput metrics** (e.g. requests simulated per wall-second) are
   wall-times upside down: they regress when the fresh value *drops*
   relative to baseline, gated with the same relative thresholds.
+* **overhead metrics** (the telemetry enabled-overhead fraction) gate
+  against an *absolute* ceiling (fail at >= 0.05, warn at >= 0.035),
+  not a baseline ratio — the 5 % budget is part of the telemetry
+  contract (``src/repro/obs``), so creeping toward it from a tiny
+  baseline must not read as "within 25 % of before".
 
 Regenerating the baselines after an intentional perf change::
 
@@ -96,10 +101,18 @@ BENCH_METRICS: dict[str, tuple[Metric, ...]] = {
         Metric("cache_hit_rate", "rate"),
         Metric("shed_requests", "count"),
     ),
+    "BENCH_obs.json": (
+        Metric("overhead_fraction", "overhead"),
+    ),
 }
 
 #: Wall-time regressions below this absolute delta (seconds) never gate.
 WALL_ABSOLUTE_FLOOR_S = 0.25
+
+#: Overhead metrics gate on these absolute ceilings (not baseline ratios):
+#: the telemetry contract's enabled-overhead budget and its early warning.
+OVERHEAD_FAIL_CEILING = 0.05
+OVERHEAD_WARN_CEILING = 0.035
 
 
 def compare(name: str, metric: Metric, fresh: float, base: float,
@@ -148,6 +161,16 @@ def compare(name: str, metric: Metric, fresh: float, base: float,
     if metric.kind == "count":
         detail = f"{base:.0f} -> {fresh:.0f}"
         return ("fail" if fresh > base else "ok"), detail
+    if metric.kind == "overhead":
+        # Absolute ceiling, baseline shown for context only: the budget
+        # is a contract, not a trajectory.
+        detail = (f"{base:+.2%} -> {fresh:+.2%} "
+                  f"(ceiling {OVERHEAD_FAIL_CEILING:.0%})")
+        if fresh >= OVERHEAD_FAIL_CEILING:
+            return "fail", detail
+        if fresh >= OVERHEAD_WARN_CEILING:
+            return "warn", detail
+        return "ok", detail
     raise ValueError(f"unknown metric kind '{metric.kind}'")
 
 

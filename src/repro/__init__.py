@@ -21,6 +21,8 @@ Typical usage::
     print(cim.simulate_llm_inference(GPT3_30B, settings).total_seconds)
 """
 
+import logging as _logging
+
 from repro.common import Precision
 from repro.core.config import MXUType, TPUConfig
 from repro.core.designs import (
@@ -72,6 +74,11 @@ from repro.workloads.registry import (
     scenario_for,
 )
 from repro.workloads.scenario import Scenario, ScenarioSpec, ScenarioStage
+
+# Library code logs under the ``repro.*`` hierarchy and never configures
+# handlers; the NullHandler keeps imports silent in host applications.
+# The CLI opts into output via ``repro.log.configure_logging`` (-v/-vv).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __version__ = "0.1.0"
 

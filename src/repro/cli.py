@@ -43,6 +43,11 @@ Python:
     candidates on cheap short traces before re-scoring survivors on the
     full trace; ``--store PATH`` persists every priced point so repeated
     searches perform zero new simulations.
+``repro-sim report``
+    Text dashboard rendered from a ``--trace-out`` Chrome trace or
+    ``--metrics-out`` JSONL file: gauge sparklines (queue depth, batch
+    occupancy, KV utilisation, SLO attainment over time), the
+    autoscaler/fault action log, span totals and counters.
 ``repro-sim models``
     List the registered model configurations and their memory footprints.
 ``repro-sim scenarios``
@@ -50,7 +55,11 @@ Python:
 
 Global options (``--batch``, ``--input-tokens``, ``--output-tokens``,
 ``--resolution``, ``--steps``, ``--llm``, ``--seed``) set the workload
-scenario; each subcommand adds its own switches.  Run
+scenario; ``-v``/``-vv`` raises diagnostic logging on stderr (results
+always stay on stdout); each subcommand adds its own switches.
+``serve``, ``sweep`` and ``optimize`` accept ``--trace-out`` (Chrome
+trace-event JSON for Perfetto) and ``--metrics-out`` (time-series JSONL);
+serving traces are stamped in simulated time, search traces in wall time.  Run
 ``python -m repro.cli --help`` (or ``repro-sim --help`` once installed) for
 the full option set.
 
@@ -66,11 +75,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import pathlib
 import sys
 from typing import Sequence
 
 from repro.analysis.breakdown import overall_comparison
+from repro.log import configure_logging
+from repro.obs import (
+    Telemetry,
+    load_trace_file,
+    render_report,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
 from repro.analysis.capacity import dit_footprint, llm_footprint, plan_capacity, plan_fleet
 from repro.analysis.report import format_table
 from repro.common import Precision
@@ -118,6 +136,42 @@ from repro.workloads.registry import (
     scenario_for,
 )
 from repro.workloads.scenario import ScenarioKnobs
+
+logger = logging.getLogger(__name__)
+
+
+def _telemetry_from_args(args: argparse.Namespace) -> Telemetry | None:
+    """An enabled telemetry sink when the run asked for exports, else None.
+
+    ``None`` (not a disabled instance) keeps instrumented hot paths on
+    their zero-overhead branch; interval validation errors surface as
+    usage errors, not tracebacks.
+    """
+    if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)):
+        return None
+    try:
+        return Telemetry(gauge_interval_s=getattr(args, "gauge_interval", 1.0))
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _export_telemetry(telemetry: Telemetry | None, args: argparse.Namespace,
+                      *, time_domain: str) -> None:
+    """Write the run's telemetry to the requested trace/metrics files."""
+    if telemetry is None:
+        return
+    try:
+        if getattr(args, "trace_out", None):
+            path = write_chrome_trace(telemetry, args.trace_out,
+                                      time_domain=time_domain)
+            print(f"wrote Chrome trace to {path} "
+                  "(open in Perfetto / chrome://tracing)")
+        if getattr(args, "metrics_out", None):
+            path = write_metrics_jsonl(telemetry, args.metrics_out,
+                                       time_domain=time_domain)
+            print(f"wrote metrics JSONL to {path}")
+    except OSError as error:
+        raise SystemExit(f"cannot write telemetry: {error}")
 
 
 def _design_config(name: str):
@@ -252,11 +306,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         models = [name for name in models if name not in dropped]
         dropped_dit = [name for name in dropped if isinstance(resolved[name], DiTConfig)]
         dropped_other = [name for name in dropped if name not in dropped_dit]
+        # A dropped model the user explicitly asked for is part of the
+        # command's answer, not progress narration — it stays on stdout.
         if dropped_dit:
-            print("note: skipping DiT models under tensor parallelism "
+            print("skipping DiT models under tensor parallelism "
                   f"({', '.join(dropped_dit)}); only LLM sharding is modelled")
         if dropped_other:
-            print("note: skipping models without a tensor-parallel scenario "
+            print("skipping models without a tensor-parallel scenario "
                   f"({', '.join(dropped_other)})")
         if not models:
             raise SystemExit("tensor parallelism is only modelled for LLM workloads; "
@@ -268,8 +324,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                            if isinstance(resolved[name], LLMConfig)]
         skipped = [name for name in models if name not in serving_capable]
         if skipped:
-            print(f"note: skipping non-LLM models ({', '.join(skipped)}); "
-                  "serving is modelled for LLM workloads")
+            print("skipping non-LLM models "
+                  f"({', '.join(skipped)}); serving is modelled for LLM workloads")
         models = serving_capable
         if not models:
             raise SystemExit("serving sweeps are only modelled for LLM workloads; "
@@ -291,7 +347,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed)
     except ValueError as error:
         raise SystemExit(str(error))
-    engine = SweepEngine()
+    telemetry = _telemetry_from_args(args)
+    engine = SweepEngine(telemetry=telemetry)
     try:
         results = engine.sweep(grid, workers=args.workers)
     except ValueError as error:
@@ -308,6 +365,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     stats = engine.stats
     print(f"{len(results)} points evaluated with {stats.simulations} graph simulations "
           f"({stats.graph_hits} graph-cache hits, {stats.point_hits} repeated points)")
+    _export_telemetry(telemetry, args, time_domain="wall")
     try:
         if args.json:
             print(f"wrote JSON rows to {write_json(results, args.json)}")
@@ -442,8 +500,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.replicas == 1 and not faults and (args.router != "round-robin"
                                               or args.autoscaler != "fixed"
                                               or args.min_replicas != 1):
-        print("note: --router/--autoscaler/--min-replicas apply only with "
-              "--replicas > 1 (or --faults); running a single deployment")
+        logger.warning("--router/--autoscaler/--min-replicas apply only with "
+                       "--replicas > 1 (or --faults); running a single "
+                       "deployment")
     precision = Precision(args.precision)
     settings = scenario.make_settings(ScenarioKnobs(
         batch=args.batch, precision=precision, input_tokens=args.input_tokens,
@@ -468,7 +527,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--shards applies to single-deployment runs; the "
                          "cluster path already interleaves replicas")
 
-    def run_once():
+    telemetry = _telemetry_from_args(args)
+
+    def run_once(telemetry: Telemetry | None = None):
         """One full serve pipeline: trace, simulator(s), report."""
         if args.fidelity == "fluid":
             spec = ServingSpec(
@@ -480,8 +541,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 autoscaler=args.autoscaler, min_replicas=args.min_replicas,
                 fidelity="fluid")
             if fleet_run:
-                return simulate_cluster(model, config, spec, settings)
-            return simulate_serving(model, config, spec, settings)
+                return simulate_cluster(model, config, spec, settings,
+                                        telemetry=telemetry)
+            return simulate_serving(model, config, spec, settings,
+                                    telemetry=telemetry)
         if args.trace_file:
             trace = load_trace_jsonl(args.trace_file)
             if overlay is not None:
@@ -501,12 +564,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                        autoscaler=args.autoscaler,
                                        min_replicas=args.min_replicas,
                                        faults=faults)
-            return cluster.run(trace, slo=slo)
+            return cluster.run(trace, slo=slo, telemetry=telemetry)
         simulator = ServingSimulator(
             model, config, scheduler=args.scheduler, precision=precision,
             max_batch=args.max_batch, bucket_tokens=args.bucket,
             devices=args.devices)
-        return simulator.run(trace, slo=slo, shards=args.shards)
+        return simulator.run(trace, slo=slo, shards=args.shards,
+                             telemetry=telemetry)
 
     profiler = None
     try:
@@ -515,12 +579,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             profiler = cProfile.Profile()
             profiler.enable()
             try:
-                report = run_once()
+                report = run_once(telemetry)
             finally:
                 profiler.disable()
         else:
-            report = run_once()
+            report = run_once(telemetry)
         if args.check_determinism:
+            # The repeat run is deliberately untraced: the check then also
+            # proves telemetry never perturbs the simulation (on-vs-off
+            # bit-for-bit identity), not just run-to-run determinism.
             repeat = run_once()
             if repeat.to_dict() != report.to_dict():
                 raise SystemExit(
@@ -539,7 +606,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.check_determinism:
         digest = {metric: getattr(report, metric).p99_s
                   for metric in ("ttft", "tpot", "e2e")}
-        print("determinism check passed: two runs agree bit-for-bit")
+        what = ("traced and untraced runs" if telemetry is not None
+                else "two runs")
+        print(f"determinism check passed: {what} agree bit-for-bit")
         print(f"stable p99 digest: {json.dumps(digest)}")
     if profiler is not None:
         import pstats
@@ -552,6 +621,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             raise SystemExit(f"cannot write profile: {error}")
         print(f"wrote profile data to {args.profile_out} "
               "(inspect with `python -m pstats`)")
+    # Telemetry export sits outside the profiled region, so --profile and
+    # --trace-out compose: the profile prices the run only, and the trace
+    # is written exactly once however the run was wrapped.
+    _export_telemetry(telemetry, args, time_domain="simulated")
     try:
         if args.json:
             path = pathlib.Path(args.json)
@@ -666,10 +739,12 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         raise SystemExit(str(error).strip('"')) from None
     slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
     faults, overlay = _parse_chaos(args)
+    telemetry = _telemetry_from_args(args)
     try:
         # OSError covers an unreadable/unwritable --store path (the store
         # appends to it during the search, so write failures surface here).
-        store = ResultStore(args.store) if args.store else None
+        store = (ResultStore(args.store, telemetry=telemetry)
+                 if args.store else None)
         optimizer = CodesignOptimizer(
             model, space, objectives=objectives, constraints=constraints,
             strategy=args.strategy, arrival_rate=args.rate,
@@ -677,7 +752,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             input_tokens=args.input_tokens, output_tokens=args.output_tokens,
             trace=args.trace, slo=slo, seed=args.seed, budget=args.budget,
             store=store, use_capacity_bound=not args.no_capacity_bound,
-            faults=faults, overlay=overlay)
+            faults=faults, overlay=overlay, telemetry=telemetry)
         frontier = optimizer.run()
     except (KeyError, ValueError) as error:
         raise SystemExit(str(error).strip('"')) from None
@@ -720,6 +795,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
           f"served from store: {frontier.store_served}")
     if store is not None:
         print(f"persistent store: {store.path} ({len(store)} entries)")
+    _export_telemetry(telemetry, args, time_domain="wall")
     try:
         if args.json:
             path = pathlib.Path(args.json)
@@ -735,6 +811,18 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     if not frontier.points:
         print("verdict: no feasible candidate satisfies the constraints")
         return 1
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a text dashboard from an exported trace/metrics file."""
+    try:
+        data = load_trace_file(args.trace_path)
+    except OSError as error:
+        raise SystemExit(f"cannot read trace: {error}")
+    except (ValueError, KeyError, TypeError) as error:
+        raise SystemExit(f"cannot parse trace '{args.trace_path}': {error}")
+    print(render_report(data, width=args.width), end="")
     return 0
 
 
@@ -780,6 +868,26 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
 
 
 # -------------------------------------------------------------------- parser
+def _add_telemetry_flags(parser: argparse.ArgumentParser, *,
+                         gauge_interval: bool = False) -> None:
+    """Attach the shared ``--trace-out`` / ``--metrics-out`` export flags."""
+    parser.add_argument(
+        "--trace-out", dest="trace_out", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON file of the run "
+             "(open in Perfetto or chrome://tracing; also readable by "
+             "`repro-sim report`)")
+    parser.add_argument(
+        "--metrics-out", dest="metrics_out", metavar="PATH", default=None,
+        help="write time-series gauges/events/counters as JSONL "
+             "(one self-describing record per line)")
+    if gauge_interval:
+        parser.add_argument(
+            "--gauge-interval", dest="gauge_interval", type=float,
+            default=1.0, metavar="SECONDS",
+            help="simulated-time sampling interval of queue-depth/"
+                 "batch-occupancy/KV-utilisation gauges (default 1.0)")
+
+
 def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
     """Attach the shared ``--faults`` / ``--overlay`` chaos flags."""
     parser.add_argument(
@@ -796,6 +904,9 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the CLI."""
     parser = argparse.ArgumentParser(prog="repro-sim",
                                      description="CIM-TPU architecture simulator")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="diagnostic logging on stderr: -v for INFO, "
+                             "-vv for DEBUG (results stay on stdout)")
     parser.add_argument("--batch", type=int, default=8, help="batch size (default 8)")
     parser.add_argument("--input-tokens", type=int, default=1024, dest="input_tokens",
                         help="prompt length for LLM workloads")
@@ -880,6 +991,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the result rows to PATH as JSON")
     sweep.add_argument("--csv", metavar="PATH", default=None,
                        help="write the result rows to PATH as CSV")
+    _add_telemetry_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     serve = subparsers.add_parser(
@@ -958,6 +1070,7 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PATH", default="serve_profile.pstats",
                        help="where --profile writes the .pstats artifact "
                             "(default serve_profile.pstats)")
+    _add_telemetry_flags(serve, gauge_interval=True)
     _add_chaos_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -1083,8 +1196,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the full frontier report to PATH as JSON")
     optimize.add_argument("--csv", metavar="PATH", default=None,
                           help="write the frontier rows to PATH as CSV")
+    _add_telemetry_flags(optimize)
     _add_chaos_flags(optimize)
     optimize.set_defaults(func=cmd_optimize)
+
+    report = subparsers.add_parser(
+        "report", help="text dashboard from an exported trace/metrics file",
+        description="Render utilisation sparklines, the autoscaler/fault "
+                    "action log, per-track span totals and counter totals "
+                    "from a --trace-out Chrome trace or --metrics-out JSONL "
+                    "file (the format is sniffed from content).")
+    report.add_argument("trace_path", metavar="PATH",
+                        help="a --trace-out or --metrics-out file")
+    report.add_argument("--width", type=int, default=60,
+                        help="sparkline width in characters (default 60)")
+    report.set_defaults(func=cmd_report)
 
     models = subparsers.add_parser("models", help="list models and capacity plans")
     models.set_defaults(func=cmd_models)
@@ -1099,6 +1225,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.verbose)
     return args.func(args)
 
 

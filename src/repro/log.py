@@ -1,0 +1,42 @@
+"""Logging setup for the ``repro.*`` logger hierarchy.
+
+Library modules log through ``logging.getLogger(__name__)`` — which puts
+every logger under the ``repro`` root — and never configure handlers
+themselves.  The package attaches a :class:`logging.NullHandler` to the
+root so importing the library stays silent under any host application.
+
+The CLI calls :func:`configure_logging` once at startup: diagnostics go
+to **stderr** (result output owns stdout), at WARNING by default, INFO
+with ``-v`` and DEBUG with ``-vv``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: The root of the library's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+_LEVELS = {0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+
+
+def configure_logging(verbosity: int = 0) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger (idempotent).
+
+    ``verbosity`` is the count of ``-v`` flags: 0 → WARNING, 1 → INFO,
+    2+ → DEBUG.  Re-invocation (tests call the CLI in-process many
+    times) updates the level instead of stacking handlers.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    level = _LEVELS.get(min(verbosity, 2), logging.DEBUG)
+    handler = next((h for h in root.handlers
+                    if getattr(h, "_repro_cli", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        handler._repro_cli = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+    root.setLevel(level)
+    return root

@@ -1,0 +1,215 @@
+"""Trace/metrics file formats: Chrome trace-event JSON and metrics JSONL.
+
+The Chrome format targets chrome://tracing and Perfetto.  Mapping:
+
+* every telemetry *track* becomes one thread (``tid``) inside a single
+  process (``pid`` 1), named via ``thread_name`` metadata — replicas
+  render as parallel tracks;
+* spans are complete events (``ph: "X"``) with microsecond ``ts``/``dur``;
+* events are instant events (``ph: "i"``) — fault markers use global
+  scope (``s: "g"``) so they draw a line across every replica track;
+* gauges become counter events (``ph: "C"``) that Perfetto plots as a
+  step chart per (track, gauge-name) series;
+* final counter totals ride in a ``repro.counters`` metadata record.
+
+Track-to-tid assignment is sorted-by-name, so the mapping is a pure
+function of the telemetry content — the golden schema test pins it.
+
+The metrics JSONL stream is one self-describing object per line
+(``{"type": "gauge" | "event" | "span" | "counter", ...}``), ordered by
+timestamp within each type, counters last.  Both formats round-trip
+through :func:`load_trace_file` / :func:`load_metrics_jsonl` into the
+neutral dict shape the ``repro-sim report`` renderer consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.obs.telemetry import Telemetry
+
+#: Trace-format version stamped into both file kinds.
+TRACE_VERSION = 1
+
+#: All telemetry lives in one trace process; tracks are its threads.
+TRACE_PID = 1
+
+
+def chrome_trace_dict(telemetry: Telemetry, *,
+                      time_domain: str = "simulated") -> dict:
+    """Render telemetry as a Chrome trace-event JSON object (dict)."""
+    tids = {track: tid for tid, track in enumerate(telemetry.tracks())}
+    events: list[dict] = [
+        {"ph": "M", "pid": TRACE_PID, "tid": 0, "name": "process_name",
+         "args": {"name": f"repro-sim ({time_domain} time)"}},
+    ]
+    for track, tid in tids.items():
+        events.append({"ph": "M", "pid": TRACE_PID, "tid": tid,
+                       "name": "thread_name", "args": {"name": track}})
+    for span in telemetry.spans:
+        record = {"ph": "X", "pid": TRACE_PID, "tid": tids[span.track],
+                  "name": span.name, "cat": "sim",
+                  "ts": span.start_s * 1e6,
+                  "dur": max(0.0, span.duration_s) * 1e6}
+        if span.args:
+            record["args"] = span.args
+        events.append(record)
+    for event in telemetry.sorted_events():
+        record = {"ph": "i", "pid": TRACE_PID, "tid": tids[event.track],
+                  "name": event.name, "cat": "sim",
+                  "ts": event.time_s * 1e6, "s": event.scope}
+        if event.args:
+            record["args"] = event.args
+        events.append(record)
+    for gauge in telemetry.gauges:
+        events.append({"ph": "C", "pid": TRACE_PID,
+                       "tid": tids[gauge.track],
+                       "name": f"{gauge.track}:{gauge.name}", "cat": "sim",
+                       "ts": gauge.time_s * 1e6,
+                       "args": {"value": gauge.value}})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "repro.trace_version": TRACE_VERSION,
+            "repro.time_domain": time_domain,
+            "repro.counters": dict(sorted(telemetry.counters.items())),
+        },
+    }
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str | pathlib.Path, *,
+                       time_domain: str = "simulated") -> pathlib.Path:
+    trace = chrome_trace_dict(telemetry, time_domain=time_domain)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(trace, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def metrics_lines(telemetry: Telemetry, *,
+                  time_domain: str = "simulated") -> list[dict]:
+    """Render telemetry as a list of metrics-JSONL records."""
+    lines: list[dict] = [{"type": "meta", "trace_version": TRACE_VERSION,
+                          "time_domain": time_domain}]
+    for gauge in telemetry.gauges:
+        lines.append({"type": "gauge", "track": gauge.track,
+                      "name": gauge.name, "t_s": gauge.time_s,
+                      "value": gauge.value})
+    for event in telemetry.sorted_events():
+        record = {"type": "event", "track": event.track,
+                  "name": event.name, "t_s": event.time_s}
+        if event.args:
+            record["args"] = event.args
+        lines.append(record)
+    for span in telemetry.spans:
+        record = {"type": "span", "track": span.track, "name": span.name,
+                  "t_s": span.start_s, "dur_s": span.duration_s}
+        if span.args:
+            record["args"] = span.args
+        lines.append(record)
+    for name, value in sorted(telemetry.counters.items()):
+        lines.append({"type": "counter", "name": name, "value": value})
+    return lines
+
+
+def write_metrics_jsonl(telemetry: Telemetry, path: str | pathlib.Path, *,
+                        time_domain: str = "simulated") -> pathlib.Path:
+    text = "\n".join(json.dumps(line, sort_keys=True)
+                     for line in metrics_lines(telemetry,
+                                               time_domain=time_domain))
+    path = pathlib.Path(path)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Loading — both formats normalise to one dict shape for the renderer:
+# {"time_domain", "gauges": [...], "events": [...], "spans": [...],
+#  "counters": {...}}
+# ----------------------------------------------------------------------
+
+
+def load_metrics_jsonl(path: str | pathlib.Path) -> dict:
+    data = {"time_domain": "simulated", "gauges": [], "events": [],
+            "spans": [], "counters": {}}
+    for line in pathlib.Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "meta":
+            data["time_domain"] = record.get("time_domain", "simulated")
+        elif kind == "gauge":
+            data["gauges"].append({"track": record["track"],
+                                   "name": record["name"],
+                                   "t_s": record["t_s"],
+                                   "value": record["value"]})
+        elif kind == "event":
+            data["events"].append({"track": record["track"],
+                                   "name": record["name"],
+                                   "t_s": record["t_s"],
+                                   "args": record.get("args") or {}})
+        elif kind == "span":
+            data["spans"].append({"track": record["track"],
+                                  "name": record["name"],
+                                  "t_s": record["t_s"],
+                                  "dur_s": record["dur_s"],
+                                  "args": record.get("args") or {}})
+        elif kind == "counter":
+            data["counters"][record["name"]] = record["value"]
+    return data
+
+
+def load_chrome_trace(path: str | pathlib.Path) -> dict:
+    trace = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    other = trace.get("otherData", {})
+    data = {"time_domain": other.get("repro.time_domain", "simulated"),
+            "gauges": [], "events": [], "spans": [],
+            "counters": dict(other.get("repro.counters", {}))}
+    thread_names: dict[int, str] = {}
+    for record in trace.get("traceEvents", []):
+        if record.get("ph") == "M" and record.get("name") == "thread_name":
+            thread_names[record["tid"]] = record["args"]["name"]
+    for record in trace.get("traceEvents", []):
+        ph = record.get("ph")
+        track = thread_names.get(record.get("tid"), "main")
+        if ph == "X":
+            data["spans"].append({"track": track, "name": record["name"],
+                                  "t_s": record["ts"] / 1e6,
+                                  "dur_s": record.get("dur", 0.0) / 1e6,
+                                  "args": record.get("args") or {}})
+        elif ph == "i":
+            data["events"].append({"track": track, "name": record["name"],
+                                   "t_s": record["ts"] / 1e6,
+                                   "args": record.get("args") or {}})
+        elif ph == "C":
+            # Counter names are exported as "track:gauge"; recover both.
+            name = record["name"]
+            gauge_name = name.split(":", 1)[1] if ":" in name else name
+            data["gauges"].append({"track": track, "name": gauge_name,
+                                   "t_s": record["ts"] / 1e6,
+                                   "value": record["args"]["value"]})
+    return data
+
+
+def load_trace_file(path: str | pathlib.Path) -> dict:
+    """Load either trace format, sniffing by content.
+
+    Chrome traces are one JSON object with a ``traceEvents`` key; the
+    metrics stream is JSONL whose first line is a ``meta`` record.
+    """
+    path = pathlib.Path(path)
+    head = path.read_text(encoding="utf-8").lstrip()[:4096]
+    if not head:
+        raise ValueError(f"{path}: empty trace file")
+    first_line = head.splitlines()[0]
+    try:
+        record = json.loads(first_line)
+    except json.JSONDecodeError:
+        record = None
+    if isinstance(record, dict) and record.get("type") in (
+            "meta", "gauge", "event", "span", "counter"):
+        return load_metrics_jsonl(path)
+    return load_chrome_trace(path)

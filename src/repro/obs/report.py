@@ -1,0 +1,133 @@
+"""Text dashboard for trace/metrics files: ``repro-sim report``.
+
+Renders, from either exported format, the run at a glance:
+
+* one sparkline per gauge series (queue depth, batch occupancy, KV
+  utilisation, SLO attainment), binned onto a fixed-width time grid
+  with min/mean/max annotations;
+* the autoscaler action log and fault markers as a timestamped table;
+* per-track span totals (where the time went);
+* final counter totals.
+
+Everything is plain ASCII plus the eight Unicode block characters used
+for sparklines — no terminal control codes, so output is pipe- and
+CI-log-friendly.
+"""
+
+from __future__ import annotations
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Event tracks rendered in full in the action log (everything else —
+#: per-request routing decisions included — is aggregated into per-name
+#: counts to keep the dashboard bounded).
+ACTION_TRACKS = ("autoscaler", "faults")
+
+#: Maximum rows printed in the action log before truncation.
+MAX_ACTION_ROWS = 40
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """Bin ``values`` into ``width`` buckets and render block chars."""
+    if not values:
+        return ""
+    if len(values) > width:
+        binned = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            binned.append(sum(chunk) / len(chunk))
+    else:
+        binned = list(values)
+    lo, hi = min(binned), max(binned)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_CHARS[0] * len(binned)
+    return "".join(
+        SPARK_CHARS[min(len(SPARK_CHARS) - 1,
+                        int((value - lo) / span * len(SPARK_CHARS)))]
+        for value in binned)
+
+
+def _format_args(args: dict) -> str:
+    return " ".join(f"{key}={value}" for key, value in sorted(args.items()))
+
+
+def render_report(data: dict, *, width: int = 60) -> str:
+    """Render the loaded trace dict (see ``repro.obs.export``) as text."""
+    unit = "s (simulated)" if data.get("time_domain") == "simulated" \
+        else "s (wall)"
+    lines: list[str] = []
+    out = lines.append
+
+    # ---- gauge sparklines ------------------------------------------------
+    series: dict[tuple[str, str], list[dict]] = {}
+    for gauge in data.get("gauges", []):
+        series.setdefault((gauge["track"], gauge["name"]), []).append(gauge)
+    if series:
+        out("== time-series gauges ==")
+        label_width = max(len(f"{track}:{name}")
+                          for track, name in series) + 2
+        for (track, name), samples in sorted(series.items()):
+            samples = sorted(samples, key=lambda s: s["t_s"])
+            values = [s["value"] for s in samples]
+            t0, t1 = samples[0]["t_s"], samples[-1]["t_s"]
+            stats = (f"min {min(values):.3g}  "
+                     f"mean {sum(values) / len(values):.3g}  "
+                     f"max {max(values):.3g}")
+            out(f"{f'{track}:{name}':<{label_width}}"
+                f"{sparkline(values, width)}")
+            out(f"{'':<{label_width}}[{t0:.2f}..{t1:.2f}{unit}]  {stats}")
+        out("")
+
+    # ---- action log (autoscaler / faults / router) -----------------------
+    actions = [event for event in data.get("events", [])
+               if event["track"] in ACTION_TRACKS]
+    actions.sort(key=lambda event: event["t_s"])
+    if actions:
+        out("== action log ==")
+        shown = actions[:MAX_ACTION_ROWS]
+        for event in shown:
+            args = _format_args(event.get("args") or {})
+            out(f"  t={event['t_s']:>10.3f}  {event['track']:<10} "
+                f"{event['name']:<14} {args}".rstrip())
+        if len(actions) > len(shown):
+            out(f"  ... {len(actions) - len(shown)} more")
+        out("")
+
+    # ---- other events, aggregated by (track, name) -----------------------
+    other: dict[tuple[str, str], int] = {}
+    for event in data.get("events", []):
+        if event["track"] not in ACTION_TRACKS:
+            key = (event["track"], event["name"])
+            other[key] = other.get(key, 0) + 1
+    if other:
+        out("== events ==")
+        for (track, name), count in sorted(other.items()):
+            out(f"  {track}:{name}  x{count}")
+        out("")
+
+    # ---- span totals per track -------------------------------------------
+    totals: dict[tuple[str, str], tuple[int, float]] = {}
+    for span in data.get("spans", []):
+        key = (span["track"], span["name"])
+        count, total = totals.get(key, (0, 0.0))
+        totals[key] = (count + 1, total + span["dur_s"])
+    if totals:
+        out("== span totals ==")
+        for (track, name), (count, total) in sorted(totals.items()):
+            out(f"  {track}:{name}  x{count}  {total:.4f}{unit}")
+        out("")
+
+    # ---- counters --------------------------------------------------------
+    counters = data.get("counters") or {}
+    if counters:
+        out("== counters ==")
+        for name, value in sorted(counters.items()):
+            out(f"  {name} = {value:g}")
+        out("")
+
+    if not lines:
+        return "(empty trace: no gauges, events, spans or counters)\n"
+    return "\n".join(lines).rstrip() + "\n"

@@ -47,6 +47,7 @@ from repro.workloads.registry import get_scenario
 from repro.workloads.scenario import ScenarioKnobs
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.telemetry import Telemetry
     from repro.sweep.store import ResultStore
 
 
@@ -114,7 +115,8 @@ class CandidateEvaluator:
                  designs: Mapping[str, TPUConfig] | None = None,
                  store: "ResultStore | None" = None,
                  faults: tuple[FaultSpec, ...] = (),
-                 overlay: OverlaySpec | None = None) -> None:
+                 overlay: OverlaySpec | None = None,
+                 telemetry: "Telemetry | None" = None) -> None:
         if not isinstance(model, LLMConfig):
             raise ValueError("co-design optimisation prices serving fleets; "
                              f"'{getattr(model, 'name', model)}' is not an LLM")
@@ -137,6 +139,11 @@ class CandidateEvaluator:
         self.seed = seed
         self.designs = dict(designs) if designs is not None else dict(PREDEFINED_DESIGNS)
         self.store = store
+        #: Optional telemetry sink (wall-time domain): one span per
+        #: candidate evaluation, labelled with fidelity and whether the
+        #: persistent store answered it for free.
+        self.telemetry = (telemetry if telemetry is not None
+                          and telemetry.enabled else None)
         # The chaos scenario is part of the evaluation, not the candidate:
         # every candidate faces the same faults and drift.
         self.faults = tuple(faults)
@@ -225,6 +232,8 @@ class CandidateEvaluator:
         n = num_requests if num_requests is not None else self.num_requests
         fidelity = ("fluid" if fluid
                     else "full" if n == self.num_requests else "short")
+        tel = self.telemetry
+        started = tel.wall_now() if tel is not None else 0.0
         config = self.config_for(candidate.design)
         settings = self.settings_for(candidate.precision)
         spec = candidate.serving_spec(arrival_rate=self.arrival_rate,
@@ -241,9 +250,15 @@ class CandidateEvaluator:
                                       simulator=self._simulator_for(candidate.design),
                                       store=self.store)
         except ValueError as error:
+            if tel is not None:
+                tel.span("optimize", f"evaluate:{fidelity}", started,
+                         tel.wall_now(), {"candidate": candidate.summary(),
+                                          "feasible": False})
             return self.infeasible(candidate, str(error), fidelity=fidelity,
                                    num_requests=n, cache_key=key)
-        if misses_before is not None and self.store.stats.misses == misses_before:
+        store_hit = (misses_before is not None
+                     and self.store.stats.misses == misses_before)
+        if store_hit:
             self.store_served += 1
         elif fidelity == "full":
             self.full_runs += 1
@@ -251,6 +266,12 @@ class CandidateEvaluator:
             # Short traces and fluid estimates are both cheap screening
             # passes; they share the counter the zero-simulation gates read.
             self.short_runs += 1
+        if tel is not None:
+            # Wall-domain span with explicit stamps (not wall_span: the
+            # args carry the outcome, known only after the run).
+            tel.span("optimize", f"evaluate:{fidelity}", started,
+                     tel.wall_now(), {"candidate": candidate.summary(),
+                                      "store_hit": store_hit})
         return CandidateResult(
             design=candidate.design, model=self.model.name,
             precision=candidate.precision, scheduler=candidate.scheduler,

@@ -36,6 +36,7 @@ from repro.serving.trace import OverlaySpec
 from repro.workloads.llm import LLMConfig
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.telemetry import Telemetry
     from repro.sweep.store import ResultStore
 
 
@@ -54,7 +55,8 @@ class CodesignOptimizer:
                  store: "ResultStore | None" = None,
                  use_capacity_bound: bool = True,
                  faults: tuple[FaultSpec, ...] = (),
-                 overlay: OverlaySpec | None = None) -> None:
+                 overlay: OverlaySpec | None = None,
+                 telemetry: "Telemetry | None" = None) -> None:
         if not objectives:
             raise ValueError("optimisation needs at least one objective")
         self.space = space
@@ -67,18 +69,24 @@ class CodesignOptimizer:
         self.seed = seed
         self.budget = budget
         self.use_capacity_bound = use_capacity_bound
+        #: Optional telemetry sink (wall-time domain): capacity-pruning
+        #: events here, promote/prune provenance inside the strategy.
+        self.telemetry = (telemetry if telemetry is not None
+                          and telemetry.enabled else None)
         self.evaluator = CandidateEvaluator(
             model, arrival_rate=arrival_rate, num_requests=num_requests,
             scenario=scenario, input_tokens=input_tokens,
             output_tokens=output_tokens, trace=trace, slo=slo, seed=seed,
             designs={name: space.config_for(name) for name in space.designs},
-            store=store, faults=faults, overlay=overlay)
+            store=store, faults=faults, overlay=overlay,
+            telemetry=self.telemetry)
 
     # -------------------------------------------------------------------- run
     def run(self) -> ParetoFrontier:
         """Execute the search and return the frozen frontier."""
         candidates = self.space.candidates()
         evaluator = self.evaluator
+        tel = self.telemetry
         pruned: list[CandidateResult] = []
         searchable = list(candidates)
         if self.use_capacity_bound and any(c.kind == "slo" for c in self.constraints):
@@ -90,11 +98,23 @@ class CodesignOptimizer:
                         candidate,
                         f"below the capacity lower bound of {bound} replicas "
                         f"at {evaluator.arrival_rate:g} req/s"))
+                    if tel is not None:
+                        tel.wall_event("optimize", "capacity-prune", {
+                            "candidate": candidate.summary(), "bound": bound})
                 else:
                     searchable.append(candidate)
-        outcome = self.strategy.run(SearchContext(
+        if tel is not None:
+            tel.count("optimize.capacity_pruned", len(pruned))
+        context = SearchContext(
             candidates=tuple(searchable), evaluator=evaluator,
-            objectives=self.objectives, seed=self.seed, budget=self.budget))
+            objectives=self.objectives, seed=self.seed, budget=self.budget,
+            telemetry=tel)
+        if tel is not None:
+            with tel.wall_span("optimize", f"search:{self.strategy.name}",
+                               {"candidates": len(searchable)}):
+                outcome = self.strategy.run(context)
+        else:
+            outcome = self.strategy.run(context)
         full = [result for result in outcome
                 if result.feasible and result.fidelity == "full"]
         infeasible = [result for result in outcome if not result.feasible]

@@ -32,12 +32,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.optimize.evaluator import CandidateEvaluator, CandidateResult
 from repro.optimize.objectives import Objective
 from repro.optimize.pareto import non_dominated
 from repro.optimize.space import Candidate
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.telemetry import Telemetry
 
 
 @dataclass
@@ -70,6 +73,11 @@ class SearchContext:
     #: ordering is far more reliable than absolute values, and the margin
     #: only needs to guard near-ties against rank inversion.
     fluid_margin: float = 0.01
+    #: Optional telemetry sink.  Multi-fidelity strategies emit one
+    #: ``promote``/``prune`` event per candidate on the ``optimize`` track
+    #: (wall time), carrying the margin and cheap-pass fidelity that
+    #: justified the decision — the provenance trail of every frontier.
+    telemetry: "Telemetry | None" = None
 
 
 @dataclass(frozen=True)
@@ -176,6 +184,19 @@ def _successive_halving(context: SearchContext) -> tuple[CandidateResult, ...]:
             key=lambda result: (context.objectives[0].score(result),
                                 result.cache_key))
         survivors = ordered[:context.budget]
+    tel = context.telemetry
+    if tel is not None and tel.enabled:
+        fidelity = "fluid" if use_fluid else "short"
+        promoted = {result.cache_key for result in survivors}
+        for result in feasible:
+            verdict = "promote" if result.cache_key in promoted else "prune"
+            tel.wall_event("optimize", verdict, {
+                "candidate": result.candidate.summary(),
+                "fidelity": fidelity, "margin": margin})
+        for result in infeasible:
+            tel.wall_event("optimize", "infeasible", {
+                "candidate": result.candidate.summary(),
+                "fidelity": fidelity, "reason": result.infeasibility})
     full = tuple(evaluator.evaluate(result.candidate) for result in survivors)
     return full + infeasible
 

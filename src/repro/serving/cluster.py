@@ -73,8 +73,9 @@ from repro.serving.metrics import (
     ResilienceSummary,
     ServingReport,
 )
+from repro.obs.telemetry import Telemetry
 from repro.serving.router import ReplicaView, RouterContext, RouterPolicy, get_router
-from repro.serving.simulator import ServingSimulator
+from repro.serving.simulator import ServingSimulator, emit_report_summary
 from repro.serving.spec import ServingSpec
 from repro.serving.trace import Request, generate_trace, request_classes_from_settings
 from repro.sweep.cache import CachingInferenceSimulator
@@ -415,8 +416,17 @@ class ClusterSimulator:
         self.faults = tuple(faults)
 
     # ---------------------------------------------------------------- run
-    def run(self, trace: Sequence[Request], slo: SLO = SLO()) -> ClusterReport:
+    def run(self, trace: Sequence[Request], slo: SLO = SLO(), *,
+            telemetry: Telemetry | None = None) -> ClusterReport:
         """Route the trace, replay every replica, aggregate the fleet report.
+
+        ``telemetry`` captures the fleet-level story on dedicated tracks —
+        routing decisions on ``router``, scale events on ``autoscaler``,
+        fault onsets/recoveries as global instants on ``faults`` — plus
+        each replica's own replay on its ``replica-N`` track (cold-start
+        and degradation windows included).  Like the engine's, it only
+        observes: the :class:`ClusterReport` is bit-for-bit identical with
+        telemetry on or off.
 
         Raises
         ------
@@ -426,6 +436,7 @@ class ClusterSimulator:
         """
         if not trace:
             raise ValueError("cluster serving needs a non-empty trace")
+        tel = telemetry if telemetry is not None and telemetry.enabled else None
         ordered = sorted(trace, key=lambda r: (r.arrival_s, r.request_id))
         handles = [_ReplicaHandle(index, replica, ordered)
                    for index, replica in enumerate(self.replicas)]
@@ -459,8 +470,15 @@ class ClusterSimulator:
             if event.effect == "slow":
                 handle.slow_windows.append((at, at + event.duration_s,
                                             event.magnitude))
+                if tel is not None:
+                    tel.span(f"replica-{event.replica}", "fault:slow",
+                             at, at + event.duration_s,
+                             {"magnitude": event.magnitude})
             elif event.effect == "stall":
                 handle.stall_windows.append((at, at + event.duration_s))
+                if tel is not None:
+                    tel.span(f"replica-{event.replica}", "fault:stall",
+                             at, at + event.duration_s)
             else:
                 heapq.heappush(pending, (at, order, "crash", event))
 
@@ -498,6 +516,9 @@ class ClusterSimulator:
                 down = [h for h in handles if h.down_until is not None]
                 if not down:  # structurally unreachable while every crash
                     shed += 1  # schedules a restart; accounting stays total
+                    if tel is not None:
+                        tel.event("router", "shed", now,
+                                  {"request": request.request_id})
                     return
                 handle = min(down, key=lambda h: (h.down_until, h.index))
             arrival = request.arrival_s
@@ -515,6 +536,10 @@ class ClusterSimulator:
                 request = dataclasses.replace(request, arrival_s=arrival)
             handle.assign(request, now)
             routed += 1
+            if tel is not None:
+                tel.event("router", "reroute" if rerouted else "route", now,
+                          {"request": request.request_id,
+                           "replica": handle.index})
 
         def advance_faults(now: float) -> None:
             while pending and pending[0][0] <= now:
@@ -524,6 +549,11 @@ class ClusterSimulator:
                     if handle.down_until is not None:
                         handle.restart(at, self.autoscaler.cold_start_s)
                         timeline.append((at, len(active_handles())))
+                        if tel is not None:
+                            tel.event("faults", "restart", at,
+                                      {"replica": payload}, scope="g")
+                            tel.span(f"replica-{payload}", "cold-start", at,
+                                     handle.ready_at)
                     continue
                 event = payload
                 handle = handles[event.replica]
@@ -532,6 +562,11 @@ class ClusterSimulator:
                 handle.drain(at)
                 victims = handle.crash(at, up_at=at + event.duration_s)
                 crash_times.append(at)
+                if tel is not None:
+                    tel.event("faults", "crash", at,
+                              {"replica": event.replica,
+                               "duration_s": event.duration_s,
+                               "victims": len(victims)}, scope="g")
                 heapq.heappush(pending, (at + event.duration_s, next(seq),
                                          "restart", event.replica))
                 timeline.append((at, len(active_handles())))
@@ -549,24 +584,41 @@ class ClusterSimulator:
             target = self._clamp(self.autoscaler.decide(fleet_view, scaler_state))
             if target != len(active):
                 before = len(active)
-                self._rescale(handles, active, target, now)
+                self._rescale(handles, active, target, now, tel=tel)
                 # A crashed replica cannot be re-activated by scale-out, so
                 # the rescale can be a no-op; only real changes are events.
-                if len(active_handles()) != before:
-                    timeline.append((now, len(active_handles())))
+                after = len(active_handles())
+                if after != before:
+                    timeline.append((now, after))
+                    if tel is not None:
+                        tel.event("autoscaler",
+                                  "scale-up" if after > before else "scale-down",
+                                  now, {"from": before, "to": after})
             dispatch(request, now)
         while pending:  # restarts beyond the last arrival still end outages
             at, _, kind, payload = heapq.heappop(pending)
             if kind == "restart" and handles[payload].down_until is not None:
                 handles[payload].restart(at, self.autoscaler.cold_start_s)
                 timeline.append((at, len(active_handles())))
+                if tel is not None:
+                    tel.event("faults", "restart", at,
+                              {"replica": payload}, scope="g")
+                    tel.span(f"replica-{payload}", "cold-start", at,
+                             handles[payload].ready_at)
 
         reports: list[ServingReport | None] = [
             handle.replica.run(tuple(handle.subtrace), slo,
                                devices=handle.devices,
-                               slow_windows=tuple(handle.slow_windows))
+                               slow_windows=tuple(handle.slow_windows),
+                               telemetry=tel,
+                               telemetry_track=f"replica-{handle.index}")
             if handle.subtrace else None
             for handle in handles]
+        if tel is not None:
+            tel.count("cluster.requests", len(ordered))
+            tel.count("cluster.routed", routed)
+            tel.count("cluster.shed", shed)
+            tel.count("cluster.crashes", len(crash_times))
 
         end_s = ordered[-1].arrival_s
         for report in reports:
@@ -604,7 +656,8 @@ class ClusterSimulator:
                          kv_pressure=pressure, utilisation=utilisation)
 
     def _rescale(self, handles: list[_ReplicaHandle],
-                 active: list[_ReplicaHandle], target: int, now: float) -> None:
+                 active: list[_ReplicaHandle], target: int, now: float,
+                 tel: Telemetry | None = None) -> None:
         if target > len(active):
             for handle in handles:
                 if len(active) >= target:
@@ -614,6 +667,9 @@ class ClusterSimulator:
                 if not handle.active and handle.down_until is None:
                     handle.activate(now, self.autoscaler.cold_start_s)
                     active.append(handle)
+                    if tel is not None and handle.ready_at > now:
+                        tel.span(f"replica-{handle.index}", "cold-start",
+                                 now, handle.ready_at)
         else:
             # Release the highest-indexed replicas first: replica 0 (and
             # everything below min_replicas) is never drained.
@@ -807,7 +863,7 @@ def cluster_run_key(model, tpu_config, spec: ServingSpec, settings: object) -> s
 
 def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
                      simulator=None, store: "ResultStore | None" = None,
-                     ) -> ClusterReport:
+                     telemetry: Telemetry | None = None) -> ClusterReport:
     """Run one fleet-shaped :class:`ServingSpec` end to end (the sweep entry).
 
     Builds ``spec.replicas`` homogeneous replicas that share one memoised
@@ -827,7 +883,12 @@ def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
         payload = store.get(STORE_KIND, key)
         if payload is not None:
             try:
-                return cluster_report_from_dict(payload)
+                report = cluster_report_from_dict(payload)
+                # Store-served runs replay nothing: summary-only telemetry,
+                # exactly like fluid estimates.
+                emit_report_summary(telemetry, "cluster", report,
+                                    fidelity="stored")
+                return report
             except (KeyError, TypeError):
                 # Same-version schema drift: the payload is unusable, so the
                 # lookup was effectively a miss.  Reclassify it — callers
@@ -840,6 +901,7 @@ def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
     if spec.fidelity == "fluid":
         report = _fluid_cluster_report(model, tpu_config, spec, settings,
                                        simulator=simulator)
+        emit_report_summary(telemetry, "cluster", report, fidelity="fluid")
         if store is not None:
             store.put(STORE_KIND, key, report.to_dict(include_requests=False))
         return report
@@ -858,7 +920,7 @@ def simulate_cluster(model, tpu_config, spec: ServingSpec, settings: object, *,
                                autoscaler=spec.autoscaler,
                                min_replicas=spec.min_replicas,
                                faults=spec.faults)
-    report = cluster.run(trace, slo=spec.slo)
+    report = cluster.run(trace, slo=spec.slo, telemetry=telemetry)
     if store is not None:
         store.put(STORE_KIND, key, report.to_dict(include_requests=False))
     return report

@@ -71,6 +71,7 @@ from repro.analysis.capacity import serving_kv_budget
 from repro.common import Precision, ceil_div
 from repro.core.config import TPUConfig
 from repro.core.simulator import InferenceSimulator
+from repro.obs.telemetry import Event, Gauge, Span, Telemetry
 from repro.serving.costs import StepCost, StepCostModel
 from repro.serving.metrics import (
     SLO,
@@ -146,6 +147,18 @@ class _ShardState:
     total_tokens: int = 0
     peak_reserved: int = 0
     final_clock: float = 0.0
+    #: Telemetry capture (empty unless the run collects telemetry) — plain
+    #: tuples so shard states still pickle cheaply and merge by
+    #: concatenation.  Span rows are ``(kind, start_s, end_s, batch,
+    #: bucket, steps, tokens, popped)``; the admit/complete instant events
+    #: are derived from them at materialisation (a prefill row implies an
+    #: admit of ``batch`` requests at ``start_s``; ``popped`` > 0 implies
+    #: that many completions at ``end_s``).  Gauge rows are catch-up
+    #: blocks ``(grid_t0, n_points, queue_depth, batch, reserved_bytes,
+    #: met, completed)`` that expand to ``n_points`` consecutive
+    #: fixed-interval grid samples sharing one state snapshot.
+    tel_spans: list = field(default_factory=list)
+    tel_gauges: list = field(default_factory=list)
 
 
 class ServingSimulator:
@@ -201,6 +214,8 @@ class ServingSimulator:
             slow_windows: Sequence[tuple[float, float, float]] = (),
             shards: int = 1, shard_workers: int | None = None,
             collect_requests: bool = True,
+            telemetry: Telemetry | None = None,
+            telemetry_track: str = "serve",
             ) -> ServingReport:
         """Replay the trace and return the aggregate serving report.
 
@@ -229,6 +244,14 @@ class ServingSimulator:
         one worker the engine simply runs serially — sharding is a runtime
         execution detail and never changes results, which is why it is not
         part of any content-addressed fingerprint.
+
+        ``telemetry`` (an enabled :class:`~repro.obs.telemetry.Telemetry`)
+        captures reject/admit/complete events, prefill/decode spans and
+        fixed-interval gauges onto ``telemetry_track`` — the cluster layer
+        names one track per replica.  Telemetry only *reads* loop state:
+        the report is bit-for-bit identical with it on or off, sharded
+        runs included (shard captures concatenate in trace order exactly
+        like the accounting segments).
 
         ``collect_requests=False`` skips materialising the per-request
         :class:`~repro.serving.metrics.RequestMetrics` rows
@@ -272,34 +295,107 @@ class ServingSimulator:
         token_limit = budget // self.kv_bytes_per_token
         admissible: list[Request] = []
         rejected = 0
+        tel = telemetry if telemetry is not None and telemetry.enabled else None
         for request in ordered_trace:
             if request.input_tokens + request.output_tokens > token_limit:
                 rejected += 1
+                if tel is not None:
+                    tel.event(telemetry_track, "reject", request.arrival_s,
+                              {"request": request.request_id,
+                               "tokens": request.total_tokens})
             else:
                 admissible.append(request)
 
+        collect_tel = tel is not None
+        gauge_interval = tel.gauge_interval_s if collect_tel else 1.0
         workers = shard_workers if shard_workers is not None else (os.cpu_count() or 1)
         if shards > 1 and workers > 1 and len(admissible) > 1:
             state = self._run_sharded(admissible, budget=budget, slo=slo,
                                       slow_windows=tuple(slow_windows),
                                       devices=devices, shards=shards,
                                       workers=workers,
-                                      collect_requests=collect_requests)
+                                      collect_requests=collect_requests,
+                                      collect_telemetry=collect_tel,
+                                      gauge_interval=gauge_interval)
         else:
             state = self._run_core_accounted(admissible, budget=budget, slo=slo,
                                              slow_windows=tuple(slow_windows),
-                                             collect_requests=collect_requests)
+                                             collect_requests=collect_requests,
+                                             collect_telemetry=collect_tel,
+                                             gauge_interval=gauge_interval)
 
+        if tel is not None:
+            self._install_telemetry(tel, telemetry_track, state,
+                                    budget=budget, rejected=rejected)
         return self._build_report(state, slo, devices=devices,
                                   num_requests=len(ordered_trace),
                                   rejected=rejected, budget=budget,
                                   start_s=ordered_trace[0].arrival_s)
 
+    @staticmethod
+    def _install_telemetry(tel: Telemetry, track: str, state: _ShardState, *,
+                           budget: int, rejected: int) -> None:
+        """Hand the raw capture tuples to the telemetry sink.
+
+        A serving run captures hundreds of thousands of tuples; turning
+        each into a record object here would dwarf the run itself and
+        blow the <5 % enabled-overhead budget.  Registering one deferred
+        translator keeps this call O(1) — the records materialise when
+        the telemetry is first read (export, report, summary).
+        """
+        tel_spans = state.tel_spans
+        tel_gauges = state.tel_gauges
+        interval = tel.gauge_interval_s
+        final_clock = state.final_clock
+        final_met = state.met_count
+        final_completed = len(state.ttfts)
+
+        def materialize(spans: list, events: list, gauges: list) -> None:
+            for kind, start, end, batch, bucket, steps, tokens, popped \
+                    in tel_spans:
+                if kind == "prefill":
+                    events.append(Event(track, "admit", start,
+                                        {"count": batch}))
+                spans.append(Span(track, kind, start, end,
+                                  {"batch": batch, "context_bucket": bucket,
+                                   "steps": steps, "tokens": tokens}))
+                if popped:
+                    events.append(Event(track, "complete", end,
+                                        {"count": popped}))
+            for t0, points, queue, batch, reserved, met, completed \
+                    in tel_gauges:
+                kv = reserved / budget
+                slo_frac = met / completed if completed else None
+                for i in range(points):
+                    t = t0 + i * interval
+                    gauges.append(Gauge(track, "queue_depth", t, queue))
+                    gauges.append(Gauge(track, "batch_occupancy", t, batch))
+                    gauges.append(Gauge(track, "kv_utilisation", t, kv))
+                    if completed:
+                        gauges.append(Gauge(track, "slo_attainment", t,
+                                            slo_frac))
+            # Closing samples so every series extends to the drain instant.
+            gauges.append(Gauge(track, "queue_depth", final_clock, 0))
+            gauges.append(Gauge(track, "batch_occupancy", final_clock, 0))
+            gauges.append(Gauge(track, "kv_utilisation", final_clock, 0.0))
+            if final_completed:
+                gauges.append(Gauge(track, "slo_attainment", final_clock,
+                                    final_met / final_completed))
+
+        tel.defer(materialize)
+        tel.count(f"{track}.completed", len(state.ttfts))
+        tel.count(f"{track}.rejected", rejected)
+        tel.count(f"{track}.prefill_steps", state.prefill_steps)
+        tel.count(f"{track}.decode_steps", state.decode_steps)
+        tel.count(f"{track}.tokens", state.total_tokens)
+
     # ------------------------------------------------------------------- core
     def _run_core_accounted(self, admissible: Sequence[Request], *, budget: int,
                             slo: SLO,
                             slow_windows: Sequence[tuple[float, float, float]],
-                            collect_requests: bool) -> _ShardState:
+                            collect_requests: bool,
+                            collect_telemetry: bool = False,
+                            gauge_interval: float = 1.0) -> _ShardState:
         """Run the core and settle the step-cost cache statistics.
 
         The core consults the memo without per-lookup stats bookkeeping
@@ -312,14 +408,18 @@ class ServingSimulator:
         misses_before = stats.misses
         state = self._run_core(admissible, budget=budget, slo=slo,
                                slow_windows=slow_windows,
-                               collect_requests=collect_requests)
+                               collect_requests=collect_requests,
+                               collect_telemetry=collect_telemetry,
+                               gauge_interval=gauge_interval)
         stats.hits += (state.prefill_steps + state.decode_steps
                        - (stats.misses - misses_before))
         return state
 
     def _run_core(self, admissible: Sequence[Request], *, budget: int,
                   slo: SLO, slow_windows: Sequence[tuple[float, float, float]],
-                  collect_requests: bool = True) -> _ShardState:
+                  collect_requests: bool = True,
+                  collect_telemetry: bool = False,
+                  gauge_interval: float = 1.0) -> _ShardState:
         """One optimised event-loop pass over already-admissible requests.
 
         The returned :class:`_ShardState` carries only exact integers,
@@ -395,6 +495,34 @@ class ServingSimulator:
         busy_seg = mxu_seg = te_seg = 0.0
         #: Global decode counter: total decode chunks applied so far.
         G = 0
+
+        # Telemetry capture.  Gauges sample on the absolute simulated-time
+        # grid (multiples of gauge_interval); a catch-up block covering
+        # every grid point since the last emission is appended at the top
+        # of the outer loop, and quiescent instants re-anchor the grid
+        # exactly the way a fresh shard run does — which is what makes a
+        # sharded capture concatenate into the serial one.  With telemetry
+        # off next_gauge is +inf and the whole apparatus is one
+        # always-false float compare per outer iteration.  Decode spans
+        # are captured per batch-composition epoch: the batch is constant
+        # across one entry of the inner chunk loop, so a span opens
+        # lazily when the batch changes (pd_* snapshot the open span's
+        # start) and flushes when a completion closes it, a prefill
+        # interrupts, or the run drains — everything else about the span
+        # (duration, steps, tokens) falls out of the clock/G/decode_steps
+        # deltas at flush time, so the inner loop carries zero telemetry
+        # instructions and a continuing burst costs one compare.
+        tel = collect_telemetry
+        tel_spans_append = state.tel_spans.append
+        tel_gauges_append = state.tel_gauges.append
+        ttfts = state.ttfts
+        floor = math.floor
+        next_gauge = (floor(clock / gauge_interval) * gauge_interval
+                      if tel else inf)
+        pd_t0 = 0.0
+        pd_batch = pd_bkt = -1
+        pd_g = pd_decode = 0
+        popped = 0
         slow = bool(boundaries)
         #: Per-run unpacked step-cost caches keyed ``bucket << shift |
         #: group`` (an exact composite — group never exceeds ``max_batch``):
@@ -414,6 +542,12 @@ class ServingSimulator:
                 if busy_seg != 0.0:
                     segments.append((busy_seg, mxu_seg, te_seg))
                     busy_seg = mxu_seg = te_seg = 0.0
+                if tel:
+                    # Re-anchor the gauge grid at the quiescent instant,
+                    # exactly as a shard starting here would initialise it
+                    # — idle gaps stay unsampled and a sharded capture
+                    # reproduces the serial row sequence bit-for-bit.
+                    next_gauge = floor(clock / gauge_interval) * gauge_interval
 
             if fifo:
                 while index < n and arrivals[index] <= clock:
@@ -424,6 +558,12 @@ class ServingSimulator:
                     live = LiveRequest(admissible[index])
                     heappush(waiting, (priority(live), live))
                     index += 1
+
+            if clock >= next_gauge:
+                points = int((clock - next_gauge) / gauge_interval) + 1
+                tel_gauges_append((next_gauge, points, len(waiting), batch,
+                                   reserved, met_count, len(ttfts)))
+                next_gauge += gauge_interval * points
 
             if waiting and (admit_during_decode or not batch):
                 slots = max_batch - batch
@@ -459,6 +599,15 @@ class ServingSimulator:
                         pcache[bkt << shift | group] = cached
                     seconds, mxu_e, total_e = cached
                     step_s = seconds * slow_factor(clock) if slow else seconds
+                    if tel:
+                        if pd_batch != -1:
+                            tel_spans_append(("decode", pd_t0, clock,
+                                              pd_batch, pd_bkt,
+                                              decode_steps - pd_decode,
+                                              (G - pd_g) * pd_batch, 0))
+                            pd_batch = -1
+                        tel_spans_append(("prefill", clock, clock + step_s,
+                                          group, bkt, 1, group, 0))
                     clock += step_s
                     busy_seg += step_s
                     mxu_seg += mxu_e
@@ -510,6 +659,20 @@ class ServingSimulator:
                 # slow-window edge).
                 arrival_cap = index < n and admit_during_decode and batch < max_batch
                 next_arrival = arrivals[index] if index < n else inf
+                if tel and batch != pd_batch:
+                    # Composition changed since the open decode span began:
+                    # flush it (its end is *this* instant — the clock has
+                    # not moved since the previous burst exited) and open
+                    # a new one.  A burst continuing the same batch skips
+                    # this entire block.
+                    if pd_batch != -1:
+                        tel_spans_append(("decode", pd_t0, clock, pd_batch,
+                                          pd_bkt, decode_steps - pd_decode,
+                                          (G - pd_g) * pd_batch, 0))
+                    pd_t0 = clock
+                    pd_g = G
+                    pd_decode = decode_steps
+                    pd_batch = batch
                 while True:
                     top = ctx_heap[0]
                     while top[1] <= G:  # finished request's stale entry
@@ -553,6 +716,7 @@ class ServingSimulator:
                     decode_steps += 1
                     G += chunk
                     if rem_heap[0][0] <= G:
+                        popped = 0
                         while rem_heap and rem_heap[0][0] <= G:
                             (_, rid, arrival, inp, out, first,
                              resv) = heappop(rem_heap)
@@ -570,11 +734,26 @@ class ServingSimulator:
                                 met_count += 1
                                 met_tokens += out
                             batch -= 1
+                            popped += 1
                         break
                     if arrival_cap and next_arrival <= clock:
                         break
                     if slow:
                         break  # re-sample the degradation factor per chunk
+                if tel:
+                    # Burst exit: remember the bucket the burst reached
+                    # (the context bucket advances within a span; the
+                    # recorded bucket is the final one).  A completion
+                    # closes the span and stamps its pop count, which
+                    # materialises as the "complete" instant event at the
+                    # span's end.
+                    pd_bkt = bkt
+                    if popped:
+                        tel_spans_append(("decode", pd_t0, clock, pd_batch,
+                                          bkt, decode_steps - pd_decode,
+                                          (G - pd_g) * pd_batch, popped))
+                        popped = 0
+                        pd_batch = -1
                 continue
 
             if index < n:
@@ -586,6 +765,10 @@ class ServingSimulator:
 
         if busy_seg != 0.0:
             segments.append((busy_seg, mxu_seg, te_seg))
+        if tel and pd_batch != -1:
+            tel_spans_append(("decode", pd_t0, clock, pd_batch, pd_bkt,
+                              decode_steps - pd_decode,
+                              (G - pd_g) * pd_batch, 0))
         state.met_count = met_count
         state.met_tokens = met_tokens
         state.total_tokens = total_tokens
@@ -599,7 +782,9 @@ class ServingSimulator:
     def _run_sharded(self, admissible: list[Request], *, budget: int, slo: SLO,
                      slow_windows: tuple[tuple[float, float, float], ...],
                      devices: int, shards: int, workers: int,
-                     collect_requests: bool) -> _ShardState:
+                     collect_requests: bool,
+                     collect_telemetry: bool = False,
+                     gauge_interval: float = 1.0) -> _ShardState:
         """Fan shard slices over a process pool and merge their states.
 
         Slices are cut at the largest arrival gaps; after the parallel
@@ -615,13 +800,17 @@ class ServingSimulator:
             # name; run serially rather than guess at picklability.
             return self._run_core_accounted(admissible, budget=budget, slo=slo,
                                             slow_windows=slow_windows,
-                                            collect_requests=collect_requests)
+                                            collect_requests=collect_requests,
+                                            collect_telemetry=collect_telemetry,
+                                            gauge_interval=gauge_interval)
 
         slices = _quiescence_slices([r.arrival_s for r in admissible], shards)
         if len(slices) == 1:
             return self._run_core_accounted(admissible, budget=budget, slo=slo,
                                             slow_windows=slow_windows,
-                                            collect_requests=collect_requests)
+                                            collect_requests=collect_requests,
+                                            collect_telemetry=collect_telemetry,
+                                            gauge_interval=gauge_interval)
 
         seed_entries = dict(self.costs._memo)
 
@@ -631,6 +820,7 @@ class ServingSimulator:
                     self.max_batch, self.costs.bucket_tokens,
                     self.memory_utilisation, devices, budget, slo,
                     slow_windows, collect_requests,
+                    collect_telemetry, gauge_interval,
                     tuple(admissible[start:stop]))
 
         with multiprocessing.Pool(processes=min(workers, len(slices)),
@@ -654,6 +844,21 @@ class ServingSimulator:
         merged = _ShardState()
         new_entries: dict = {}
         for shard_state, entries in outcomes:
+            # Shards are time-ordered, so concatenating captures keeps them
+            # monotonic (gauge samples stay on the absolute grid); the
+            # met/completed gauge counts are shard-local and rebase onto the
+            # running totals so the merged series stays cumulative.
+            met_offset = merged.met_count
+            completed_offset = len(merged.ttfts)
+            merged.tel_spans.extend(shard_state.tel_spans)
+            if met_offset or completed_offset:
+                merged.tel_gauges.extend(
+                    (t, points, queue, batch, reserved, met + met_offset,
+                     completed + completed_offset)
+                    for t, points, queue, batch, reserved, met, completed
+                    in shard_state.tel_gauges)
+            else:
+                merged.tel_gauges.extend(shard_state.tel_gauges)
             merged.finished.extend(shard_state.finished)
             merged.ttfts.extend(shard_state.ttfts)
             merged.tpots.extend(shard_state.tpots)
@@ -778,7 +983,7 @@ def _run_shard_remote(task: tuple) -> tuple[_ShardState, dict]:
     """
     (model, tpu_config, scheduler, precision, max_batch, bucket_tokens,
      memory_utilisation, devices, budget, slo, slow_windows, collect_requests,
-     subtrace) = task
+     collect_telemetry, gauge_interval, subtrace) = task
     engine = ServingSimulator(
         model, tpu_config, scheduler=scheduler, precision=precision,
         max_batch=max_batch, bucket_tokens=bucket_tokens, devices=devices,
@@ -786,15 +991,39 @@ def _run_shard_remote(task: tuple) -> tuple[_ShardState, dict]:
     engine.costs._memo.update(_SHARD_SEED_ENTRIES)
     state = engine._run_core(list(subtrace), budget=budget, slo=slo,
                              slow_windows=slow_windows,
-                             collect_requests=collect_requests)
+                             collect_requests=collect_requests,
+                             collect_telemetry=collect_telemetry,
+                             gauge_interval=gauge_interval)
     new_entries = {key: value for key, value in engine.costs._memo.items()
                    if key not in _SHARD_SEED_ENTRIES}
     return state, new_entries
 
 
+def emit_report_summary(telemetry: Telemetry | None, track: str,
+                        report, *, fidelity: str) -> None:
+    """Summary-only telemetry for runs without an event loop to observe.
+
+    Fluid estimates (and store-served cluster reports) have no events to
+    trace, so they contribute one whole-run span plus headline counters —
+    enough for the dashboard without pretending a replay happened.
+    ``report`` is any report shape with completed/rejected/makespan/SLO
+    fields (:class:`ServingReport` or the cluster's ``ClusterReport``).
+    """
+    if telemetry is None or not telemetry.enabled:
+        return
+    telemetry.span(track, f"{fidelity}-run", 0.0, report.makespan_s,
+                   {"completed": report.completed,
+                    "rejected": report.rejected,
+                    "slo_attainment": round(report.slo_attainment, 6)})
+    telemetry.count(f"{track}.completed", report.completed)
+    telemetry.count(f"{track}.rejected", report.rejected)
+    telemetry.count(f"{track}.tokens", report.total_tokens)
+
+
 def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
                      settings: object, *,
-                     simulator: InferenceSimulator | None = None) -> ServingReport:
+                     simulator: InferenceSimulator | None = None,
+                     telemetry: Telemetry | None = None) -> ServingReport:
     """Run one :class:`ServingSpec` end to end (the sweep engine's entry).
 
     The request mix comes from the scenario ``settings`` (an explicit
@@ -820,8 +1049,12 @@ def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
     if spec.fidelity == "fluid":
         from repro.serving.fluid import estimate_serving
 
-        return estimate_serving(model, tpu_config, spec, settings,
-                                simulator=simulator)
+        report = estimate_serving(model, tpu_config, spec, settings,
+                                  simulator=simulator)
+        # Fluid runs have no event loop: summary telemetry only, and the
+        # estimate itself never sees the telemetry object at all.
+        emit_report_summary(telemetry, "serve", report, fidelity="fluid")
+        return report
     classes = request_classes_from_settings(settings)
     trace = generate_trace(spec.trace, classes, spec.arrival_rate,
                            spec.num_requests, spec.seed, overlay=spec.overlay)
@@ -831,4 +1064,4 @@ def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
         max_batch=spec.max_batch, bucket_tokens=spec.bucket_tokens,
         devices=spec.devices, memory_utilisation=spec.memory_utilisation,
         simulator=simulator)
-    return engine.run(trace, slo=spec.slo)
+    return engine.run(trace, slo=spec.slo, telemetry=telemetry)

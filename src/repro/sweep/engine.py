@@ -22,11 +22,13 @@ scenario space):
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.core.config import TPUConfig
+from repro.obs.telemetry import Telemetry
 from repro.parallel.multi_device import MultiTPUSystem
 from repro.sweep.cache import CachingInferenceSimulator, ResultCache
 from repro.sweep.fingerprint import fingerprint
@@ -37,6 +39,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store uses cache)
 
 #: Store namespace of persisted sweep-point rows (see repro.sweep.store).
 STORE_KIND = "sweep-result"
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -267,11 +271,18 @@ class SweepEngine:
     """
 
     def __init__(self, workers: int | None = None, *,
-                 store: "ResultStore | None" = None) -> None:
+                 store: "ResultStore | None" = None,
+                 telemetry: Telemetry | None = None) -> None:
         #: Default worker count for :meth:`sweep` (``None``/``0``/``1`` = serial).
         self.workers = workers
         #: Persistent cross-run result store (``None`` = in-memory only).
         self.store = store
+        #: Telemetry sink (wall-clock domain): per-point compute spans plus
+        #: live cache/store hit-miss counters.  Observation only — rows are
+        #: identical with telemetry on or off.
+        self.telemetry = (telemetry
+                          if telemetry is not None and telemetry.enabled
+                          else None)
         self.graph_cache = ResultCache()
         self.point_cache = ResultCache()
         self._simulators: dict[str, CachingInferenceSimulator] = {}
@@ -319,8 +330,18 @@ class SweepEngine:
         restored = self._from_store(key)
         if restored is not None:
             return restored
-        row = _compute_result(point, self._simulator_for(point.config), key,
-                              store=self.store)
+        tel = self.telemetry
+        if tel is not None:
+            tel.count("sweep.computed")
+            with tel.wall_span("sweep", f"point:{point.design}/{point.workload}",
+                               {"scenario": point.scenario,
+                                "devices": point.devices,
+                                "key": key[:12]}):
+                row = _compute_result(point, self._simulator_for(point.config),
+                                      key, store=self.store)
+        else:
+            row = _compute_result(point, self._simulator_for(point.config), key,
+                                  store=self.store)
         if self.store is not None:
             self.store.put(STORE_KIND, key, row.to_dict())
         return row
@@ -337,8 +358,12 @@ class SweepEngine:
                 row = None
             if row is not None:
                 self._store_hits += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("sweep.store_hits")
                 return row
         self._store_misses += 1
+        if self.telemetry is not None:
+            self.telemetry.count("sweep.store_misses")
         return None
 
     def _parallel_prefetch(self, points: Sequence[SweepPoint], keys: Sequence[str],
@@ -370,10 +395,24 @@ class SweepEngine:
         for key, point in pending.items():
             groups.setdefault(fingerprint(point.config), []).append((key, point))
         seed_entries = self.graph_cache.entries()
+        logger.debug("parallel prefetch: %d point(s) in %d group(s) over "
+                     "up to %d worker(s)", len(pending), len(groups), workers)
+        tel = self.telemetry
+        span = (tel.wall_span("sweep", "parallel-fanout",
+                              {"points": len(pending), "groups": len(groups)})
+                if tel is not None else None)
         with multiprocessing.Pool(processes=min(workers, len(groups)),
                                   initializer=_seed_worker_cache,
                                   initargs=(seed_entries,)) as pool:
-            outcomes = pool.map(_worker_evaluate_group, list(groups.values()))
+            if span is not None:
+                with span:
+                    outcomes = pool.map(_worker_evaluate_group,
+                                        list(groups.values()))
+            else:
+                outcomes = pool.map(_worker_evaluate_group,
+                                    list(groups.values()))
+            if tel is not None:
+                tel.count("sweep.computed", len(pending))
         for rows, graph_entries, graph_hits, graph_misses in outcomes:
             self.graph_cache.merge(graph_entries)
             self._remote_graph_hits += graph_hits

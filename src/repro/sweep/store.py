@@ -39,11 +39,17 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import os
 import pathlib
-from typing import Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.sweep.cache import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.telemetry import Telemetry
+
+logger = logging.getLogger(__name__)
 
 #: Schema version of stored payloads.  Bump when stored values change
 #: meaning (not when new kinds are added); older records are then ignored.
@@ -73,16 +79,27 @@ class ResultStore:
     """
 
     def __init__(self, path: str | os.PathLike[str] | pathlib.Path, *,
-                 version: int = STORE_VERSION) -> None:
+                 version: int = STORE_VERSION,
+                 telemetry: "Telemetry | None" = None) -> None:
         self.path = pathlib.Path(path)
         self.version = version
         self.stats = CacheStats()
+        #: Optional telemetry sink mirroring ``stats`` as live counters
+        #: (``store.hit`` / ``store.miss`` / ``store.put``); assignable
+        #: after construction too — the CLI attaches it where the store
+        #: object is built far from the traced run.
+        self.telemetry = telemetry
         self._entries: dict[tuple[str, str], Any] = {}
         #: Records present in the file under a different schema version.
         self.skipped_versions = 0
         #: Malformed/torn lines tolerated while loading.
         self.skipped_corrupt = 0
         self._load()
+        if self.skipped_corrupt or self.skipped_versions:
+            logger.warning(
+                "store %s: skipped %d corrupt and %d differently-versioned "
+                "record(s) on load", self.path, self.skipped_corrupt,
+                self.skipped_versions)
 
     # ----------------------------------------------------------------- loading
     def _load(self) -> None:
@@ -121,8 +138,12 @@ class ResultStore:
         value = self._entries.get((kind, key))
         if value is None:
             self.stats.misses += 1
+            if self.telemetry is not None:
+                self.telemetry.count("store.miss")
             return None
         self.stats.hits += 1
+        if self.telemetry is not None:
+            self.telemetry.count("store.hit")
         return value
 
     def put(self, kind: str, key: str, value: Any) -> None:
@@ -138,3 +159,5 @@ class ResultStore:
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(encoded + "\n")
         self._entries[(kind, key)] = value
+        if self.telemetry is not None:
+            self.telemetry.count("store.put")

@@ -1,21 +1,28 @@
 #!/usr/bin/env python
-"""Regenerate ``tests/golden/table_iv.json`` from the current model.
+"""Regenerate the golden files from the current model.
 
 Run this only when a change *intentionally* shifts the reproduction's
-numbers; the diff of the golden file then documents exactly what moved::
+numbers or the trace schema; the diff of the golden file then documents
+exactly what moved::
 
     PYTHONPATH=src python tests/golden/regenerate.py
+
+Covers ``table_iv.json`` (the paper reproduction) and
+``chrome_trace.json`` (the pinned Chrome trace-event export schema).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import sys
 
 from repro.core.explorer import ArchitectureExplorer
 from repro.core.simulator import DiTInferenceSettings, LLMInferenceSettings
+from repro.obs.export import chrome_trace_dict
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "table_iv.json"
+TRACE_GOLDEN_PATH = pathlib.Path(__file__).parent / "chrome_trace.json"
 
 
 def main() -> None:
@@ -46,6 +53,16 @@ def main() -> None:
     }
     GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {GOLDEN_PATH} ({len(golden['rows'])} rows)")
+
+    # The trace golden is generated from the same synthetic telemetry the
+    # schema tests build, so the two can never drift apart.
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+    from test_obs import synthetic_telemetry
+    trace = chrome_trace_dict(synthetic_telemetry())
+    TRACE_GOLDEN_PATH.write_text(json.dumps(trace, indent=2, sort_keys=True)
+                                 + "\n", encoding="utf-8")
+    print(f"wrote {TRACE_GOLDEN_PATH} "
+          f"({len(trace['traceEvents'])} trace events)")
 
 
 if __name__ == "__main__":

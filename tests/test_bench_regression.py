@@ -65,6 +65,23 @@ class TestOtherKinds:
         assert gate.compare("b", metric, 0.0, 0.0, 0.25, 0.10)[0] == "ok"
         assert gate.compare("b", metric, 1.0, 0.0, 0.25, 0.10)[0] == "fail"
 
+    def test_overhead_gates_on_the_absolute_ceiling(self):
+        metric = gate.Metric("overhead_fraction", "overhead")
+        assert gate.compare("b", metric, 0.02, 0.01, 0.25, 0.10)[0] == "ok"
+        assert gate.compare("b", metric, 0.04, 0.01, 0.25, 0.10)[0] == "warn"
+        assert gate.compare("b", metric, 0.06, 0.01, 0.25, 0.10)[0] == "fail"
+
+    def test_overhead_ignores_the_baseline(self):
+        # The budget is a contract, not a trajectory: halving a failing
+        # overhead is still a failure, and a 100x jump that stays under
+        # the ceiling is still ok.
+        metric = gate.Metric("overhead_fraction", "overhead")
+        assert gate.compare("b", metric, 0.06, 0.12, 0.25, 0.10)[0] == "fail"
+        assert gate.compare("b", metric, 0.02, 0.0002, 0.25, 0.10)[0] == "ok"
+
+    def test_obs_record_is_gated(self):
+        assert "BENCH_obs.json" in gate.BENCH_METRICS
+
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown metric kind"):
             gate.compare("b", gate.Metric("x", "magic"), 1.0, 1.0, 0.25, 0.10)
@@ -94,8 +111,11 @@ class TestMainVerdicts:
                 for part in parents:
                     target_fresh = target_fresh.setdefault(part, {})
                     target_base = target_base.setdefault(part, {})
-                value_fresh = 0.0 if metric.kind == "count" else fresh_value
-                value_base = 0.0 if metric.kind == "count" else base_value
+                # Counts must stay at zero and overheads under their
+                # absolute ceiling for a run to read as clean.
+                zero_kinds = ("count", "overhead")
+                value_fresh = 0.0 if metric.kind in zero_kinds else fresh_value
+                value_base = 0.0 if metric.kind in zero_kinds else base_value
                 target_fresh[leaf] = value_fresh
                 target_base[leaf] = value_base
             (bench_dir / name).write_text(json.dumps(fresh), encoding="utf-8")
