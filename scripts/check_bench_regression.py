@@ -4,7 +4,8 @@
 The benchmark suite writes machine-readable perf records at the repository
 root (``BENCH_sweep.json``, ``BENCH_serving.json``,
 ``BENCH_serving_scale.json``, ``BENCH_cluster.json``,
-``BENCH_optimize.json``, ``BENCH_faults.json``, ``BENCH_obs.json``);
+``BENCH_optimize.json``, ``BENCH_faults.json``, ``BENCH_obs.json``,
+``BENCH_gateway.json``);
 this script compares them against the copies committed under
 ``benchmarks/baselines/`` and turns the comparison into a CI verdict:
 
@@ -103,6 +104,12 @@ BENCH_METRICS: dict[str, tuple[Metric, ...]] = {
     ),
     "BENCH_obs.json": (
         Metric("overhead_fraction", "overhead"),
+    ),
+    "BENCH_gateway.json": (
+        Metric("cold_wall_seconds", "wall"),
+        Metric("warm_wall_seconds", "wall"),
+        Metric("warm_simulations", "count"),
+        Metric("warm_hit_rate", "rate"),
     ),
 }
 

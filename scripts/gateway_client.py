@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Minimal stdlib client for the simulation gateway.
+
+Submits one API request payload to a running ``repro-sim gateway``,
+polls the job until it finishes and prints the result's cost accounting
+in the CLI's own phrasing — so the CI smoke can assert the multi-tenant
+store contract with a grep::
+
+    python scripts/gateway_client.py --url http://127.0.0.1:8080 \\
+        --payload request.json --out result.json
+    # second submission of the same payload:
+    #   new simulations: 0; served from store: 1
+
+No dependencies beyond the standard library (``urllib`` + ``json``), so
+the client runs anywhere the gateway does.  ``--payload -`` reads the
+request from stdin; without ``--payload`` the client submits the default
+``{"kind": "<--kind>"}`` request.  Exits 0 when the job completes, 1
+when it fails or is cancelled, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def _call(url: str, method: str = "GET", payload=None, timeout: float = 30.0):
+    """One JSON round-trip; HTTP errors return their decoded body."""
+    body = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _submit(base_url: str, payload: dict, retries: float) -> tuple[int, dict]:
+    """POST the payload, retrying while the gateway is still starting up."""
+    route = f"{base_url}/v1/{payload.get('kind', '')}"
+    deadline = time.time() + retries
+    while True:
+        try:
+            return _call(route, "POST", payload)
+        except urllib.error.URLError as error:
+            if time.time() >= deadline:
+                raise SystemExit(
+                    f"cannot reach gateway at {base_url}: {error}") from None
+            time.sleep(0.2)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="submit one request to a repro-sim gateway, wait for the "
+                    "job and print its cost accounting")
+    parser.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="base URL of the gateway (default %(default)s)")
+    parser.add_argument("--payload",
+                        help="JSON file holding the request payload "
+                             "('-' reads stdin); defaults to the --kind "
+                             "request with all-default fields")
+    parser.add_argument("--kind", default="simulate",
+                        help="request kind when no --payload is given "
+                             "(default %(default)s)")
+    parser.add_argument("--out",
+                        help="write the full result envelope JSON here")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="seconds to wait for the job (default "
+                             "%(default)s)")
+    parser.add_argument("--connect-retries", type=float, default=10.0,
+                        help="seconds to retry the first connection while "
+                             "the gateway starts (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    if args.payload == "-":
+        payload = json.load(sys.stdin)
+    elif args.payload:
+        with open(args.payload, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = {"kind": args.kind}
+    if not isinstance(payload, dict) or "kind" not in payload:
+        print("payload must be a JSON object with a 'kind' field",
+              file=sys.stderr)
+        return 2
+
+    status, accepted = _submit(args.url, payload, args.connect_retries)
+    if status != 202:
+        error = accepted.get("error", accepted)
+        print(f"submission rejected ({status}): {error.get('code')}: "
+              f"{error.get('message')}", file=sys.stderr)
+        return 1
+    print(f"submitted {accepted['job_id']} "
+          f"(fingerprint {accepted['fingerprint'][:12]})")
+
+    deadline = time.time() + args.timeout
+    while True:
+        status, job = _call(f"{args.url}{accepted['status_url']}")
+        if status != 200:
+            print(f"status poll failed ({status}): {job}", file=sys.stderr)
+            return 1
+        if job["status"] in ("done", "failed", "cancelled"):
+            break
+        if time.time() >= deadline:
+            print(f"job {accepted['job_id']} still {job['status']} after "
+                  f"{args.timeout}s", file=sys.stderr)
+            return 1
+        time.sleep(0.1)
+
+    took = (job["finished_s"] or 0) - job["submitted_s"]
+    print(f"job {job['job_id']}: {job['status']} in {took:.2f} s")
+    if job["status"] != "done":
+        error = job.get("error") or {}
+        print(f"{error.get('code', 'job-failed')}: "
+              f"{error.get('message', 'no detail')}", file=sys.stderr)
+        return 1
+
+    status, result = _call(f"{args.url}{accepted['result_url']}")
+    if status != 200:
+        print(f"result fetch failed ({status}): {result}", file=sys.stderr)
+        return 1
+    hits = result["store_hits"]
+    print(f"new simulations: {result['new_simulations']}; "
+          f"served from store: {hits}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote result envelope to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

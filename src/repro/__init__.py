@@ -23,6 +23,7 @@ Typical usage::
 
 import logging as _logging
 
+from repro import api
 from repro.common import Precision
 from repro.core.config import MXUType, TPUConfig
 from repro.core.designs import (
@@ -83,6 +84,7 @@ _logging.getLogger(__name__).addHandler(_logging.NullHandler())
 __version__ = "0.1.0"
 
 __all__ = [
+    "api",
     "Precision",
     "MXUType",
     "TPUConfig",

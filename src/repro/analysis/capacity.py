@@ -234,7 +234,8 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
                precision: Precision = Precision.INT8,
                devices: int | None = None, memory_utilisation: float = 0.9,
                cost_model=None, faults=(), overlay=None,
-               fidelity: str = "exact") -> FleetPlan:
+               fidelity: str = "exact", store=None, settings=None,
+               telemetry=None) -> FleetPlan:
     """Smallest replica count that meets an SLO at a target request rate.
 
     Replays one seeded trace (``trace_kind`` arrivals at ``arrival_rate``
@@ -254,11 +255,20 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
     milliseconds regardless of trace length, at the estimator's
     golden-bounded error (chaos plans must stay exact).
 
+    A persistent ``store`` routes every evaluation through
+    :func:`~repro.serving.cluster.simulate_cluster`, so each candidate
+    fleet is keyed by :func:`~repro.serving.cluster.cluster_run_key` and a
+    repeated plan replays nothing.  Store keys fingerprint the scenario
+    ``settings``, so a store-backed plan requires them (the request
+    classes and precision are then derived from the settings rather than
+    passed separately); the plan itself is bit-for-bit the storeless one.
+
     Raises
     ------
     ValueError
-        On a non-positive rate/fleet ceiling, a target outside (0, 1], or
-        a fluid plan with faults/overlay.
+        On a non-positive rate/fleet ceiling, a target outside (0, 1], a
+        fluid plan with faults/overlay, a ``store`` without ``settings``,
+        or settings that disagree with ``request_classes``/``precision``.
     """
     # Imported lazily: repro.serving layers on top of repro.analysis, so a
     # top-level import here would be circular.
@@ -270,7 +280,7 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
     from repro.serving.metrics import SLO
     from repro.serving.simulator import ServingSimulator
     from repro.serving.spec import ServingSpec
-    from repro.serving.trace import generate_trace
+    from repro.serving.trace import generate_trace, request_classes_from_settings
     from repro.sweep.cache import CachingInferenceSimulator
     from repro.workloads.chat import DEFAULT_REQUEST_MIX
 
@@ -280,8 +290,21 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
         raise ValueError("max_replicas must be positive")
     if not 0 < attainment_target <= 1:
         raise ValueError("attainment_target must be in (0, 1]")
+    if store is not None and settings is None:
+        raise ValueError("a store-backed fleet plan needs the scenario "
+                         "settings that define its request classes")
     slo = slo if slo is not None else SLO()
     classes = tuple(request_classes) if request_classes else DEFAULT_REQUEST_MIX
+    if settings is not None:
+        derived = tuple(request_classes_from_settings(settings))
+        if request_classes is not None and tuple(request_classes) != derived:
+            raise ValueError("request_classes disagree with the scenario "
+                             "settings they would be stored under")
+        classes = derived
+        settings_precision = getattr(settings, "precision", precision)
+        if settings_precision != precision:
+            raise ValueError("precision disagrees with the scenario settings "
+                             "it would be stored under")
     cost_model = cost_model if cost_model is not None else FleetCostModel()
     # A chaos-aware plan sizes the fleet against the degraded trace/fleet:
     # the overlay warps the arrivals, the faults replay in every evaluation.
@@ -297,29 +320,50 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
         devices=devices, memory_utilisation=memory_utilisation,
         simulator=shared)
 
+    def repriced(report):
+        # simulate_cluster prices with the default sheet; re-price under
+        # this plan's cost model so the evaluations stay comparable.  The
+        # formula mirrors ClusterSimulator.run exactly, so re-pricing with
+        # an equal model is the identity and plans stay bit-for-bit.
+        if report.cost_model == cost_model:
+            return report
+        dollars = cost_model.run_dollars(report.chip_hours,
+                                         report.total_energy_joules)
+        return dataclasses.replace(
+            report, cost_model=cost_model,
+            cost_per_million_tokens_dollars=(
+                dollars / (report.total_tokens / 1e6)
+                if report.total_tokens else 0.0))
+
     evaluations: list[FleetEvaluation] = []
     met_at: int | None = None
     for count in range(min(lower_bound, max_replicas), max_replicas + 1):
-        if fidelity == "fluid":
+        if store is not None:
+            # Store-backed evaluations route through simulate_cluster so
+            # each candidate fleet persists under its cluster_run_key and
+            # warm plans replay nothing.
+            spec = ServingSpec(
+                scheduler=scheduler, trace=trace_kind,
+                arrival_rate=arrival_rate, num_requests=num_requests,
+                seed=seed, max_batch=max_batch, devices=devices,
+                memory_utilisation=memory_utilisation, slo=slo,
+                replicas=count, router=router, autoscaler=autoscaler,
+                faults=tuple(faults), overlay=overlay, fidelity=fidelity)
+            report = repriced(simulate_cluster(
+                model, tpu, spec, settings, simulator=shared, store=store,
+                telemetry=telemetry))
+        elif fidelity == "fluid":
             spec = ServingSpec(
                 scheduler=scheduler, trace=trace_kind,
                 arrival_rate=arrival_rate, num_requests=num_requests,
                 seed=seed, max_batch=max_batch, devices=devices,
                 memory_utilisation=memory_utilisation, slo=slo,
                 replicas=count, router=router, fidelity="fluid")
-            settings = SimpleNamespace(request_classes=classes,
-                                       precision=precision)
-            report = simulate_cluster(model, tpu, spec, settings,
-                                      simulator=shared)
-            # The fluid fleet prices with the default sheet; re-price under
-            # this plan's cost model so the evaluations stay comparable.
-            dollars = cost_model.run_dollars(report.chip_hours,
-                                             report.total_energy_joules)
-            report = dataclasses.replace(
-                report, cost_model=cost_model,
-                cost_per_million_tokens_dollars=(
-                    dollars / (report.total_tokens / 1e6)
-                    if report.total_tokens else 0.0))
+            fluid_settings = SimpleNamespace(request_classes=classes,
+                                             precision=precision)
+            report = repriced(simulate_cluster(model, tpu, spec,
+                                               fluid_settings,
+                                               simulator=shared))
         else:
             replicas = [ServingSimulator(
                 model, tpu, scheduler=scheduler, precision=precision,
@@ -329,7 +373,8 @@ def plan_fleet(model: LLMConfig, tpu: TPUConfig, *, arrival_rate: float,
             report = ClusterSimulator(replicas, router=router,
                                       autoscaler=autoscaler,
                                       cost_model=cost_model,
-                                      faults=faults).run(trace, slo=slo)
+                                      faults=faults).run(trace, slo=slo,
+                                                         telemetry=telemetry)
         evaluations.append(FleetEvaluation(
             replicas=count, slo_attainment=report.slo_attainment,
             p99_ttft_s=report.ttft.p99_s, p99_tpot_s=report.tpot.p99_s,

@@ -1,0 +1,94 @@
+"""The unified simulation API: one facade behind every surface.
+
+Every way of running this repository's engines — the ``repro-sim`` CLI,
+the HTTP gateway (:mod:`repro.gateway`) and direct Python calls — goes
+through this package.  A run is a frozen request dataclass
+(:class:`SimulateRequest`, :class:`FleetRequest`, :class:`SweepRequest`,
+:class:`OptimizeRequest`, :class:`AutoconfigPreviewRequest`) that
+validates at construction, round-trips JSON exactly and carries a
+``schema_version``; the matching facade call returns a frozen response
+envelope with the result payload plus exact cost accounting
+(``new_simulations``, ``store_hits``...).  Failures are structured
+:class:`ApiError` values carried by :class:`ApiRequestError`, rendered
+identically on every surface.
+
+Typical usage::
+
+    from repro.api import SimulateRequest, simulate
+    from repro.sweep.store import ResultStore
+
+    store = ResultStore("runs.jsonl")
+    response = simulate(SimulateRequest(rate=12.0, requests=100),
+                        store=store)
+    print(response.report["ttft"]["p99_s"], response.new_simulations)
+
+The same request posted as JSON to a gateway's ``POST /v1/simulate``
+produces the byte-identical response body, and a second submission —
+from any client sharing the store — is served with zero new simulations.
+"""
+
+from repro.api.errors import (
+    ERROR_CODES,
+    ApiError,
+    ApiRequestError,
+    invalid_field,
+)
+from repro.api.facade import (
+    HANDLERS,
+    autoconfig_preview,
+    fleet,
+    optimize,
+    request_fingerprint,
+    run,
+    simulate,
+    sweep,
+)
+from repro.api.requests import (
+    REQUEST_TYPES,
+    SCHEMA_VERSION,
+    AutoconfigPreviewRequest,
+    FleetRequest,
+    OptimizeRequest,
+    SimulateRequest,
+    SweepRequest,
+    request_from_dict,
+)
+from repro.api.responses import (
+    RESPONSE_TYPES,
+    AutoconfigPreviewResponse,
+    FleetResponse,
+    OptimizeResponse,
+    SimulateResponse,
+    SweepResponse,
+    response_from_dict,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "ApiError",
+    "ApiRequestError",
+    "invalid_field",
+    "HANDLERS",
+    "autoconfig_preview",
+    "fleet",
+    "optimize",
+    "request_fingerprint",
+    "run",
+    "simulate",
+    "sweep",
+    "REQUEST_TYPES",
+    "SCHEMA_VERSION",
+    "AutoconfigPreviewRequest",
+    "FleetRequest",
+    "OptimizeRequest",
+    "SimulateRequest",
+    "SweepRequest",
+    "request_from_dict",
+    "RESPONSE_TYPES",
+    "AutoconfigPreviewResponse",
+    "FleetResponse",
+    "OptimizeResponse",
+    "SimulateResponse",
+    "SweepResponse",
+    "response_from_dict",
+]

@@ -43,6 +43,13 @@ Python:
     candidates on cheap short traces before re-scoring survivors on the
     full trace; ``--store PATH`` persists every priced point so repeated
     searches perform zero new simulations.
+``repro-sim gateway``
+    Simulation as a service: serve every engine over HTTP.  ``POST`` a
+    JSON request to ``/v1/simulate``, ``/v1/fleet``, ``/v1/sweep``,
+    ``/v1/optimize`` or ``/v1/autoconfig-preview``, poll
+    ``GET /v1/jobs/<id>`` and fetch ``GET /v1/jobs/<id>/result``.  All
+    jobs share one persistent ``--store``, so any request any client has
+    run before is served with zero new simulations.
 ``repro-sim report``
     Text dashboard rendered from a ``--trace-out`` Chrome trace or
     ``--metrics-out`` JSONL file: gauge sparklines (queue depth, batch
@@ -63,6 +70,14 @@ serving traces are stamped in simulated time, search traces in wall time.  Run
 ``python -m repro.cli --help`` (or ``repro-sim --help`` once installed) for
 the full option set.
 
+``serve``, ``fleet``, ``sweep`` and ``optimize`` are thin clients of the
+unified :mod:`repro.api` facade: each builds a frozen request from its
+flags, runs it through the same handler the HTTP gateway dispatches to,
+and prints from the response envelope — so the CLI, the gateway and
+direct Python calls produce byte-identical results for the same spec.
+Their shared ``--store PATH`` flag points every surface at the same
+persistent result cache.
+
 **Determinism guarantee:** every subcommand is a pure function of its flags.
 The simulator itself is analytical (RNG-free); the only randomness anywhere
 is the serving-trace generator, which draws from an explicit
@@ -80,6 +95,7 @@ import pathlib
 import sys
 from typing import Sequence
 
+from repro import api as repro_api
 from repro.analysis.breakdown import overall_comparison
 from repro.log import configure_logging
 from repro.obs import (
@@ -89,7 +105,7 @@ from repro.obs import (
     write_chrome_trace,
     write_metrics_jsonl,
 )
-from repro.analysis.capacity import dit_footprint, llm_footprint, plan_capacity, plan_fleet
+from repro.analysis.capacity import dit_footprint, llm_footprint, plan_capacity
 from repro.analysis.report import format_table
 from repro.common import Precision
 from repro.core.designs import PREDEFINED_DESIGNS, tpuv4i_baseline
@@ -98,33 +114,27 @@ from repro.core.simulator import DiTInferenceSettings, InferenceSimulator, LLMIn
 from repro.optimize import (
     OBJECTIVE_REGISTRY,
     SEARCH_REGISTRY,
-    CodesignOptimizer,
-    DesignSpace,
     get_objective,
-    parse_constraint,
 )
 from repro.optimize.pareto import frontier_fieldnames
 from repro.serving.autoscaler import AUTOSCALER_REGISTRY
-from repro.serving.cluster import ClusterSimulator, ReplicaSummary, simulate_cluster
+from repro.serving.cluster import ClusterSimulator, ReplicaSummary
 from repro.serving.faults import FAULT_REGISTRY, parse_fault
 from repro.serving.metrics import SLO, RequestMetrics
 from repro.serving.router import ROUTER_REGISTRY
 from repro.serving.scheduler import SCHEDULER_REGISTRY
-from repro.serving.simulator import ServingSimulator, simulate_serving
-from repro.serving.spec import ServingSpec
+from repro.serving.simulator import ServingSimulator
 from repro.serving.trace import (
     OVERLAY_REGISTRY,
     TRACE_REGISTRY,
     apply_overlay,
-    generate_trace,
     load_trace_jsonl,
     parse_overlay,
-    request_classes_from_settings,
 )
 from repro.sweep.cache import CachingInferenceSimulator
 from repro.sweep.engine import SweepEngine
 from repro.sweep.export import fieldnames_of, write_csv, write_json
-from repro.sweep.grid import SweepGrid, SweepPoint
+from repro.sweep.grid import SweepPoint
 from repro.workloads.dit import DIT_XL_2, DiTConfig
 from repro.workloads.llm import GPT3_30B, LLMConfig
 from repro.workloads.moe import MoEConfig
@@ -172,6 +182,26 @@ def _export_telemetry(telemetry: Telemetry | None, args: argparse.Namespace,
             print(f"wrote metrics JSONL to {path}")
     except OSError as error:
         raise SystemExit(f"cannot write telemetry: {error}")
+
+
+def _open_store(path: str | None, telemetry: Telemetry | None = None):
+    """A validated persistent ResultStore, or ``None`` when no path given.
+
+    The engines only append mid-run, so writability is probed up front: a
+    bad ``--store`` path is a clean usage error now, not an engine error
+    halfway through a search.
+    """
+    if not path:
+        return None
+    from repro.sweep.store import ResultStore
+
+    try:
+        store = ResultStore(path, telemetry=telemetry)
+        with open(store.path, "ab"):
+            pass
+    except OSError as error:
+        raise SystemExit(f"cannot use result store '{path}': {error}") from None
+    return store
 
 
 def _design_config(name: str):
@@ -269,7 +299,8 @@ def cmd_multi_device(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Sweep the generalized scenario grid and optionally export the rows."""
-    designs = {name: _design_config(name) for name in args.designs}
+    for name in args.designs:
+        _design_config(name)  # fail fast with the CLI's exact wording
     models = list(args.models)
     resolved = {}
     for name in models:
@@ -330,29 +361,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if not models:
             raise SystemExit("serving sweeps are only modelled for LLM workloads; "
                              "add an LLM model or drop --schedulers")
+    telemetry = _telemetry_from_args(args)
+    store = _open_store(args.store, telemetry)
     try:
-        grid = SweepGrid(
-            designs=designs, models=models, scenarios=scenarios,
-            precisions=tuple(Precision(p) for p in args.precisions),
-            batches=tuple(args.batches), device_counts=tuple(args.devices),
-            parallelism=args.parallelism,
+        request = repro_api.SweepRequest(
+            designs=tuple(args.designs), models=tuple(models),
+            scenarios=tuple(scenarios) if scenarios is not None else None,
+            precisions=tuple(args.precisions), batches=tuple(args.batches),
+            device_counts=tuple(args.devices), parallelism=args.parallelism,
             input_tokens=args.input_tokens, output_tokens=args.output_tokens,
-            decode_kv_samples=2,
-            image_resolution=args.resolution, sampling_steps=args.steps,
+            resolution=args.resolution, steps=args.steps,
             schedulers=schedulers, arrival_rates=arrival_rates,
-            serving_trace=args.trace, serving_requests=args.trace_requests,
+            trace=args.trace, trace_requests=args.trace_requests,
             routers=tuple(args.routers or ()),
             replica_counts=tuple(args.replica_counts or ()),
-            serving_autoscaler=args.autoscaler,
-            seed=args.seed)
-    except ValueError as error:
-        raise SystemExit(str(error))
-    telemetry = _telemetry_from_args(args)
-    engine = SweepEngine(telemetry=telemetry)
-    try:
-        results = engine.sweep(grid, workers=args.workers)
-    except ValueError as error:
-        raise SystemExit(str(error))
+            autoscaler=args.autoscaler, seed=args.seed, workers=args.workers)
+        response = repro_api.sweep(request, store=store, telemetry=telemetry)
+    except repro_api.ApiRequestError as error:
+        raise SystemExit(error.error.render()) from None
+    results = response.row_objects()
 
     table_rows = [[result.design, result.workload, result.scenario, result.precision,
                    result.batch, result.devices, result.settings_summary,
@@ -362,9 +389,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(format_table(["design", "model", "scenario", "precision", "batch", "TPUs",
                         "settings", "latency", "throughput", "MXU energy"],
                        table_rows, title="Scenario sweep"))
-    stats = engine.stats
-    print(f"{len(results)} points evaluated with {stats.simulations} graph simulations "
-          f"({stats.graph_hits} graph-cache hits, {stats.point_hits} repeated points)")
+    stats = response.stats
+    print(f"{len(results)} points evaluated with {stats['simulations']} graph simulations "
+          f"({stats['graph_hits']} graph-cache hits, {stats['point_hits']} repeated points)")
+    if store is not None:
+        print(f"new simulations: {response.new_simulations}; "
+              f"served from store: {response.store_hits}")
+        print(f"persistent store: {store.path} ({len(store)} entries)")
     _export_telemetry(telemetry, args, time_domain="wall")
     try:
         if args.json:
@@ -528,31 +559,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          "cluster path already interleaves replicas")
 
     telemetry = _telemetry_from_args(args)
+    if args.trace_file and args.store:
+        raise SystemExit("--store caches generated-trace runs keyed by their "
+                         "spec; --trace-file replays are not stored")
+    store = _open_store(args.store, telemetry)
 
-    def run_once(telemetry: Telemetry | None = None):
-        """One full serve pipeline: trace, simulator(s), report."""
-        if args.fidelity == "fluid":
-            spec = ServingSpec(
-                scheduler=args.scheduler, trace=args.trace,
-                arrival_rate=args.rate, num_requests=args.requests,
-                seed=args.seed, max_batch=args.max_batch,
-                bucket_tokens=args.bucket, devices=args.devices, slo=slo,
-                replicas=args.replicas, router=args.router,
-                autoscaler=args.autoscaler, min_replicas=args.min_replicas,
-                fidelity="fluid")
-            if fleet_run:
-                return simulate_cluster(model, config, spec, settings,
-                                        telemetry=telemetry)
-            return simulate_serving(model, config, spec, settings,
-                                    telemetry=telemetry)
-        if args.trace_file:
-            trace = load_trace_jsonl(args.trace_file)
-            if overlay is not None:
-                trace = apply_overlay(trace, overlay)
-        else:
-            trace = generate_trace(args.trace, request_classes_from_settings(settings),
-                                   args.rate, args.requests, args.seed,
-                                   overlay=overlay)
+    def run_direct(tel: Telemetry | None = None):
+        """JSONL replay: a local trace file is not part of the API schema."""
+        trace = load_trace_jsonl(args.trace_file)
+        if overlay is not None:
+            trace = apply_overlay(trace, overlay)
         if fleet_run:
             shared = CachingInferenceSimulator(config)
             replicas = [ServingSimulator(
@@ -564,13 +580,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                        autoscaler=args.autoscaler,
                                        min_replicas=args.min_replicas,
                                        faults=faults)
-            return cluster.run(trace, slo=slo, telemetry=telemetry)
+            return cluster.run(trace, slo=slo, telemetry=tel)
         simulator = ServingSimulator(
             model, config, scheduler=args.scheduler, precision=precision,
             max_batch=args.max_batch, bucket_tokens=args.bucket,
             devices=args.devices)
         return simulator.run(trace, slo=slo, shards=args.shards,
-                             telemetry=telemetry)
+                             telemetry=tel)
+
+    def run_api(tel: Telemetry | None = None, api_store=None):
+        request = repro_api.SimulateRequest(
+            design=args.design, llm=args.llm, scenario=args.scenario,
+            trace=args.trace, rate=args.rate, requests=args.requests,
+            scheduler=args.scheduler, replicas=args.replicas,
+            router=args.router, autoscaler=args.autoscaler,
+            min_replicas=args.min_replicas, seed=args.seed,
+            max_batch=args.max_batch, bucket=args.bucket,
+            devices=args.devices, precision=args.precision, batch=args.batch,
+            input_tokens=args.input_tokens, output_tokens=args.output_tokens,
+            slo_ttft=args.slo_ttft, slo_tpot=args.slo_tpot,
+            fidelity=args.fidelity, faults=tuple(args.faults or ()),
+            overlay=args.overlay, shards=args.shards)
+        return repro_api.simulate(request, store=api_store, telemetry=tel)
+
+    def run_once(tel: Telemetry | None = None, api_store=None):
+        """One full serve pipeline -> (report object, facade response|None)."""
+        if args.trace_file:
+            return run_direct(tel), None
+        resp = run_api(tel, api_store)
+        return resp.report_object(), resp
 
     profiler = None
     try:
@@ -579,30 +617,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
             profiler = cProfile.Profile()
             profiler.enable()
             try:
-                report = run_once(telemetry)
+                report, response = run_once(telemetry, store)
             finally:
                 profiler.disable()
         else:
-            report = run_once(telemetry)
+            report, response = run_once(telemetry, store)
         if args.check_determinism:
-            # The repeat run is deliberately untraced: the check then also
-            # proves telemetry never perturbs the simulation (on-vs-off
-            # bit-for-bit identity), not just run-to-run determinism.
-            repeat = run_once()
-            if repeat.to_dict() != report.to_dict():
+            # The repeat run is deliberately untraced and storeless: the
+            # check then also proves telemetry never perturbs the simulation
+            # (on-vs-off bit-for-bit identity) and, when --store served the
+            # first run, that a stored report is bit-for-bit the computed
+            # one — not just run-to-run determinism.
+            repeat, repeat_response = run_once()
+            payload = (report.to_dict() if response is None
+                       else dict(response.report))
+            repeat_payload = (repeat.to_dict() if repeat_response is None
+                              else dict(repeat_response.report))
+            if repeat_payload != payload:
                 raise SystemExit(
                     "determinism check FAILED: two identical serve invocations "
                     "produced different reports")
+    except repro_api.ApiRequestError as error:
+        raise SystemExit(error.error.render()) from None
     except (ValueError, OSError) as error:
-        # Bad trace files, impossible deployments, invalid knobs; scheduler,
-        # router, autoscaler and trace-kind names are already constrained by
-        # argparse choices.
+        # Bad trace files and impossible deployments on the direct replay
+        # path; API-path failures arrive structured as ApiRequestError.
         raise SystemExit(str(error)) from None
 
     if fleet_run:
         _print_cluster_report(report, args, model)
     else:
         _print_serving_report(report, args, model)
+    if store is not None and response is not None:
+        print(f"new simulations: {response.new_simulations}; "
+              f"served from store: {response.store_hits}")
+        print(f"persistent store: {store.path} ({len(store)} entries)")
     if args.check_determinism:
         digest = {metric: getattr(report, metric).p99_s
                   for metric in ("ttft", "tpot", "e2e")}
@@ -628,7 +677,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         if args.json:
             path = pathlib.Path(args.json)
-            path.write_text(json.dumps(report.to_dict(), indent=2) + "\n",
+            # The API payload convention: fleet reports are row-free (the
+            # shared-store shape), so the file matches what /v1/simulate
+            # and repro.api.simulate return byte for byte.
+            payload = (report.to_dict() if response is None
+                       else dict(response.report))
+            path.write_text(json.dumps(payload, indent=2) + "\n",
                             encoding="utf-8")
             print(f"wrote serving report to {path}")
         if args.csv:
@@ -647,39 +701,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Size a replica fleet for an SLO at a target request rate."""
-    config = _design_config(args.design)
-    model = get_model(args.llm)
-    if not isinstance(model, LLMConfig):
-        raise SystemExit(f"'{args.llm}' is not an LLM; serving is modelled "
-                         "for LLM workloads")
+    store = _open_store(args.store)
     try:
-        scenario = get_scenario(args.scenario)
-    except KeyError as error:
-        raise SystemExit(error.args[0]) from None
-    if not scenario.supports(model):
-        raise SystemExit(f"scenario '{args.scenario}' does not support "
-                         f"model '{model.name}'")
-    precision = Precision(args.precision)
-    settings = scenario.make_settings(ScenarioKnobs(
-        batch=args.batch, precision=precision, input_tokens=args.input_tokens,
-        output_tokens=args.output_tokens))
+        request = repro_api.FleetRequest(
+            rate=args.rate, design=args.design, llm=args.llm,
+            scenario=args.scenario, attainment=args.attainment,
+            max_replicas=args.max_replicas, requests=args.requests,
+            trace=args.trace, scheduler=args.scheduler, router=args.router,
+            max_batch=args.max_batch, precision=args.precision,
+            batch=args.batch, input_tokens=args.input_tokens,
+            output_tokens=args.output_tokens, slo_ttft=args.slo_ttft,
+            slo_tpot=args.slo_tpot, seed=args.seed, fidelity=args.fidelity,
+            faults=tuple(args.faults or ()), overlay=args.overlay)
+        response = repro_api.fleet(request, store=store)
+    except repro_api.ApiRequestError as error:
+        raise SystemExit(error.error.render()) from None
+    plan = response.plan_object()
     slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
-    faults, overlay = _parse_chaos(args)
-    if args.fidelity == "fluid" and (faults or overlay is not None):
-        raise SystemExit("--fidelity fluid cannot replay --faults or "
-                         "--overlay; chaos runs need the exact event loop")
-    try:
-        plan = plan_fleet(model, config, arrival_rate=args.rate, slo=slo,
-                          request_classes=request_classes_from_settings(settings),
-                          attainment_target=args.attainment,
-                          max_replicas=args.max_replicas,
-                          num_requests=args.requests, seed=args.seed,
-                          trace_kind=args.trace, scheduler=args.scheduler,
-                          router=args.router, max_batch=args.max_batch,
-                          precision=precision, faults=faults, overlay=overlay,
-                          fidelity=args.fidelity)
-    except ValueError as error:
-        raise SystemExit(str(error)) from None
 
     rows = [[evaluation.replicas,
              f"{evaluation.slo_attainment * 100:.1f}%",
@@ -691,7 +729,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     print(format_table(
         ["replicas", "SLO attained", "p99 TTFT", "p99 TPOT", "goodput", "$/Mtok"],
         rows,
-        title=f"Fleet sizing: {model.name} on {args.design} at {args.rate:g} req/s "
+        title=f"Fleet sizing: {plan.model_name} on {args.design} at {args.rate:g} req/s "
               f"({slo.summary()}, target {args.attainment * 100:.0f}%)"))
     if plan.met:
         chosen = plan.evaluations[-1]
@@ -703,15 +741,15 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         print(f"verdict: no fleet up to {args.max_replicas} replicas meets the "
               f"target; best attainment "
               f"{max(e.slo_attainment for e in plan.evaluations) * 100:.1f}%")
+    if store is not None:
+        print(f"new simulations: {response.new_simulations}; "
+              f"served from store: {response.store_hits}")
+        print(f"persistent store: {store.path} ({len(store)} entries)")
     try:
         if args.json:
             path = pathlib.Path(args.json)
-            payload = {"model": plan.model_name, "tpu": plan.tpu_name,
-                       "arrival_rate": plan.arrival_rate,
-                       "attainment_target": plan.attainment_target,
-                       "met": plan.met, "replicas": plan.replicas,
-                       "evaluations": [e.to_dict() for e in plan.evaluations]}
-            path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+            path.write_text(json.dumps(dict(response.plan), indent=2) + "\n",
+                            encoding="utf-8")
             print(f"wrote fleet plan to {path}")
     except OSError as error:
         raise SystemExit(f"cannot write results: {error}")
@@ -720,44 +758,31 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
 def cmd_optimize(args: argparse.Namespace) -> int:
     """Search the co-design space for Pareto-optimal fleet configurations."""
-    from repro.sweep.store import ResultStore
-
-    model = get_model(args.llm)
-    if not isinstance(model, LLMConfig):
-        raise SystemExit(f"'{args.llm}' is not an LLM; co-design optimisation "
-                         "prices serving fleets")
+    telemetry = _telemetry_from_args(args)
+    store = _open_store(args.store, telemetry)
     try:
-        objectives = [get_objective(name) for name in args.objectives]
-        constraints = [parse_constraint(text) for text in (args.constraints or ())]
-        space = DesignSpace(
-            designs=tuple(args.designs), precisions=tuple(args.precisions),
+        request = repro_api.OptimizeRequest(
+            llm=args.llm, designs=tuple(args.designs),
+            precisions=tuple(args.precisions),
             schedulers=tuple(args.schedulers), routers=tuple(args.routers),
             autoscalers=tuple(args.autoscalers),
             replica_counts=tuple(args.replica_counts),
-            max_batches=tuple(args.max_batches))
-    except (KeyError, ValueError) as error:
-        raise SystemExit(str(error).strip('"')) from None
-    slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
-    faults, overlay = _parse_chaos(args)
-    telemetry = _telemetry_from_args(args)
-    try:
-        # OSError covers an unreadable/unwritable --store path (the store
-        # appends to it during the search, so write failures surface here).
-        store = (ResultStore(args.store, telemetry=telemetry)
-                 if args.store else None)
-        optimizer = CodesignOptimizer(
-            model, space, objectives=objectives, constraints=constraints,
-            strategy=args.strategy, arrival_rate=args.rate,
-            num_requests=args.requests, scenario=args.scenario,
+            max_batches=tuple(args.max_batches),
+            objectives=tuple(args.objectives),
+            constraints=tuple(args.constraints or ()),
+            strategy=args.strategy, budget=args.budget, rate=args.rate,
+            requests=args.requests, trace=args.trace, scenario=args.scenario,
             input_tokens=args.input_tokens, output_tokens=args.output_tokens,
-            trace=args.trace, slo=slo, seed=args.seed, budget=args.budget,
-            store=store, use_capacity_bound=not args.no_capacity_bound,
-            faults=faults, overlay=overlay, telemetry=telemetry)
-        frontier = optimizer.run()
-    except (KeyError, ValueError) as error:
-        raise SystemExit(str(error).strip('"')) from None
-    except OSError as error:
-        raise SystemExit(f"cannot use result store '{args.store}': {error}") from None
+            slo_ttft=args.slo_ttft, slo_tpot=args.slo_tpot, seed=args.seed,
+            capacity_bound=not args.no_capacity_bound,
+            faults=tuple(args.faults or ()), overlay=args.overlay)
+        model = request.resolve_model()
+        objectives = request.objective_list()
+        response = repro_api.optimize(request, store=store,
+                                      telemetry=telemetry)
+    except repro_api.ApiRequestError as error:
+        raise SystemExit(error.error.render()) from None
+    frontier = response.frontier_object()
 
     header = ["design", "precision", "replicas", "scheduler", "router",
               "autoscaler"]
@@ -799,7 +824,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     try:
         if args.json:
             path = pathlib.Path(args.json)
-            path.write_text(json.dumps(frontier.to_dict(), indent=2) + "\n",
+            path.write_text(json.dumps(dict(response.frontier), indent=2) + "\n",
                             encoding="utf-8")
             print(f"wrote frontier to {path}")
         if args.csv:
@@ -811,6 +836,30 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     if not frontier.points:
         print("verdict: no feasible candidate satisfies the constraints")
         return 1
+    return 0
+
+
+def cmd_gateway(args: argparse.Namespace) -> int:
+    """Serve the simulation API over HTTP (simulation as a service)."""
+    from repro.gateway import GatewayServer
+
+    store = _open_store(args.store)
+    try:
+        server = GatewayServer(store, host=args.host, port=args.port,
+                               workers=args.api_workers)
+    except OSError as error:
+        raise SystemExit(f"cannot bind gateway to {args.host}:{args.port}: "
+                         f"{error}") from None
+    store_note = (f"; store {store.path} ({len(store)} entries)"
+                  if store is not None else "; no --store (runs are not "
+                  "shared between submissions)")
+    print(f"gateway listening on {server.url}{store_note}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -987,6 +1036,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="fixed",
                        help="autoscaling policy of fleet sweep points "
                             "(default fixed)")
+    sweep.add_argument("--store", metavar="PATH", default=None,
+                       help="persistent JSONL result store shared with "
+                            "serve/optimize and the gateway: repeated points "
+                            "are served with zero new simulations")
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="write the result rows to PATH as JSON")
     sweep.add_argument("--csv", metavar="PATH", default=None,
@@ -1048,6 +1101,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="SLO: time to first token in seconds (default 1.0)")
     serve.add_argument("--slo-tpot", dest="slo_tpot", type=float, default=0.1,
                        help="SLO: time per output token in seconds (default 0.1)")
+    serve.add_argument("--store", metavar="PATH", default=None,
+                       help="persistent JSONL result store shared with "
+                            "sweep/optimize and the gateway: a repeated run "
+                            "is served with zero new simulations")
     serve.add_argument("--json", metavar="PATH", default=None,
                        help="write the full serving report to PATH as JSON")
     serve.add_argument("--csv", metavar="PATH", default=None,
@@ -1116,6 +1173,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="'exact' replays every candidate fleet through "
                             "the event loop; 'fluid' sizes with the "
                             "closed-form estimator (default exact)")
+    fleet.add_argument("--store", metavar="PATH", default=None,
+                       help="persistent JSONL result store shared with "
+                            "serve/optimize and the gateway: already-sized "
+                            "fleets replay zero new simulations")
     fleet.add_argument("--json", metavar="PATH", default=None,
                        help="write the fleet plan to PATH as JSON")
     _add_chaos_flags(fleet)
@@ -1199,6 +1260,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(optimize)
     _add_chaos_flags(optimize)
     optimize.set_defaults(func=cmd_optimize)
+
+    gateway = subparsers.add_parser(
+        "gateway", help="serve the simulation API over HTTP",
+        description="Simulation as a service: POST JSON requests to "
+                    "/v1/simulate, /v1/fleet, /v1/sweep, /v1/optimize or "
+                    "/v1/autoconfig-preview, poll GET /v1/jobs/<id> and "
+                    "fetch GET /v1/jobs/<id>/result.  All jobs run against "
+                    "one shared persistent --store, so any request any "
+                    "client has run before is served with zero new "
+                    "simulations.")
+    gateway.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    gateway.add_argument("--port", type=int, default=8080,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default 8080)")
+    gateway.add_argument("--store", metavar="PATH", default=None,
+                         help="shared persistent JSONL result store backing "
+                              "every job (the multi-tenant simulation cache)")
+    gateway.add_argument("--api-workers", dest="api_workers", type=int,
+                         default=2,
+                         help="simulation worker threads draining the job "
+                              "queue (default 2)")
+    gateway.set_defaults(func=cmd_gateway)
 
     report = subparsers.add_parser(
         "report", help="text dashboard from an exported trace/metrics file",

@@ -145,6 +145,50 @@ class ParetoFrontier:
         return payload
 
 
+def frontier_from_dict(payload: dict) -> ParetoFrontier:
+    """Rebuild a :class:`ParetoFrontier` from its ``to_dict`` payload.
+
+    The flat point rows carry every :class:`CandidateResult` field plus
+    ``dominated_count``; the raw ``values`` tuples are not exported, so
+    they are recomputed from the decoded results via the named objectives
+    — the same ``Objective.value`` calls that produced them, hence exact.
+
+    Raises
+    ------
+    KeyError, TypeError
+        If the payload does not carry the frontier's required fields —
+        cache-style callers should treat these as a miss.
+    """
+    from repro.optimize.objectives import get_objective
+    from repro.sweep.store import decode_dataclass
+
+    data = dict(payload)
+    objectives = tuple(data["objectives"])
+    resolved = [get_objective(name) for name in objectives]
+    points = []
+    for row in data["points"]:
+        row = dict(row)
+        dominated_count = row.pop("dominated_count")
+        result = decode_dataclass(CandidateResult, row)
+        points.append(ParetoPoint(
+            result=result,
+            values=tuple(objective.value(result) for objective in resolved),
+            dominated_count=dominated_count))
+    return ParetoFrontier(
+        model_name=data["model_name"], strategy=data["strategy"],
+        objectives=objectives, constraints=tuple(data["constraints"]),
+        points=tuple(points),
+        extremes=tuple((entry[0], entry[1]) for entry in data["extremes"]),
+        candidates=data["candidates"],
+        capacity_pruned=data["capacity_pruned"],
+        infeasible=data["infeasible"],
+        constraint_filtered=data["constraint_filtered"],
+        dominated=data["dominated"],
+        strategy_pruned=data["strategy_pruned"],
+        short_runs=data["short_runs"], full_runs=data["full_runs"],
+        store_served=data["store_served"])
+
+
 def build_frontier(results: Sequence[CandidateResult],
                    objectives: Sequence[Objective], *, model_name: str,
                    strategy: str, constraints: Sequence[str] = (),

@@ -83,7 +83,14 @@ from repro.serving.scheduler import (
     get_scheduler,
     register_scheduler,
 )
-from repro.serving.simulator import LiveRequest, ServingSimulator, simulate_serving
+from repro.serving.simulator import (
+    SERVING_STORE_KIND,
+    LiveRequest,
+    ServingSimulator,
+    serving_report_from_dict,
+    serving_run_key,
+    simulate_serving,
+)
 from repro.serving.spec import ServingSpec
 from repro.serving.trace import (
     OVERLAY_REGISTRY,
@@ -151,6 +158,9 @@ __all__ = [
     "register_scheduler",
     "LiveRequest",
     "ServingSimulator",
+    "SERVING_STORE_KIND",
+    "serving_report_from_dict",
+    "serving_run_key",
     "simulate_serving",
     "ServingSpec",
     "OVERLAY_REGISTRY",

@@ -88,7 +88,13 @@ from repro.serving.scheduler import (
 from repro.serving.spec import ServingSpec
 from repro.serving.trace import Request, generate_trace, request_classes_from_settings
 from repro.sweep.cache import CachingInferenceSimulator
+from repro.sweep.fingerprint import fingerprint
+from repro.sweep.store import decode_dataclass
 from repro.workloads.llm import LLMConfig
+
+#: Store namespace of single-deployment serving reports (the fleet-shaped
+#: analogue lives in :mod:`repro.serving.cluster` as ``cluster-report``).
+SERVING_STORE_KIND = "serving-report"
 
 _new_instance = object.__new__
 _arrival_key = attrgetter("arrival_s", "request_id")
@@ -1020,9 +1026,50 @@ def emit_report_summary(telemetry: Telemetry | None, track: str,
     telemetry.count(f"{track}.tokens", report.total_tokens)
 
 
+def serving_report_from_dict(payload: Mapping[str, object]) -> ServingReport:
+    """Rebuild a :class:`ServingReport` from its ``to_dict`` payload.
+
+    The inverse of :meth:`ServingReport.to_dict` up to the derived keys the
+    encoder injects (utilisation, cache hit rate — both recomputed from
+    the restored fields).  All numeric fields round-trip exactly (JSON
+    preserves IEEE-754 doubles), so a store-served report is bit-for-bit
+    the computed one, per-request rows included.
+
+    Raises
+    ------
+    KeyError, TypeError
+        If the payload does not carry the report's required fields —
+        callers treating the store as a cache should catch these and fall
+        back to simulating.
+    """
+    data = dict(payload)
+    for derived in ("utilisation", "cost_cache_hit_rate"):
+        data.pop(derived, None)
+    for summary in ("ttft", "tpot", "e2e"):
+        data[summary] = decode_dataclass(LatencySummary, data[summary])
+    data["slo"] = decode_dataclass(SLO, data["slo"])
+    data["requests"] = tuple(decode_dataclass(RequestMetrics, row)
+                             for row in data.get("requests", ()))
+    return decode_dataclass(ServingReport, data)
+
+
+def serving_run_key(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
+                    settings: object) -> str:
+    """Content fingerprint of one :func:`simulate_serving` run.
+
+    The version string follows the same bump rule as ``cluster-report``
+    keys: any change to the report schema, the spec's axes or the engine's
+    semantics bumps it, so older stores miss instead of serving stale
+    payloads (the rule is documented in CONTRIBUTING.md).
+    """
+    return fingerprint("serving-report/v1", tpu_config, model, spec, settings)
+
+
 def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
                      settings: object, *,
                      simulator: InferenceSimulator | None = None,
+                     store=None, shards: int = 1,
+                     shard_workers: int | None = None,
                      telemetry: Telemetry | None = None) -> ServingReport:
     """Run one :class:`ServingSpec` end to end (the sweep engine's entry).
 
@@ -1036,6 +1083,18 @@ def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
     estimator (:func:`repro.serving.fluid.estimate_serving`) — same report
     shape, orders of magnitude faster, golden-bounded error.
 
+    A persistent :class:`~repro.sweep.store.ResultStore` short-circuits the
+    whole run, exactly like :func:`repro.serving.cluster.simulate_cluster`
+    does for fleets: reports are keyed by :func:`serving_run_key` and
+    stored with their per-request rows, so a repeated run — another
+    process, another client of the gateway, days later — decodes the
+    report bit for bit instead of replaying the event loop.
+
+    ``shards``/``shard_workers`` forward to :meth:`ServingSimulator.run`'s
+    quiescence-boundary trace sharding.  They are execution hints, not
+    content: a sharded run's report is bit-for-bit the serial one, so they
+    deliberately do not enter the store key.
+
     Raises
     ------
     ValueError
@@ -1046,6 +1105,23 @@ def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
     if spec.faults:
         raise ValueError("fault injection needs the cluster simulator; "
                          "route faulted specs through simulate_cluster")
+    key = serving_run_key(model, tpu_config, spec, settings) if store is not None else ""
+    if store is not None:
+        payload = store.get(SERVING_STORE_KIND, key)
+        if payload is not None:
+            try:
+                report = serving_report_from_dict(payload)
+                # Store-served runs replay nothing: summary-only telemetry,
+                # exactly like fluid estimates.
+                emit_report_summary(telemetry, "serve", report,
+                                    fidelity="stored")
+                return report
+            except (KeyError, TypeError):
+                # Same-version schema drift: the payload is unusable, so
+                # the lookup was effectively a miss — reclassify it (the
+                # "new simulations" accounting reads the miss counter).
+                store.stats.hits -= 1
+                store.stats.misses += 1
     if spec.fidelity == "fluid":
         from repro.serving.fluid import estimate_serving
 
@@ -1054,6 +1130,8 @@ def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
         # Fluid runs have no event loop: summary telemetry only, and the
         # estimate itself never sees the telemetry object at all.
         emit_report_summary(telemetry, "serve", report, fidelity="fluid")
+        if store is not None:
+            store.put(SERVING_STORE_KIND, key, report.to_dict())
         return report
     classes = request_classes_from_settings(settings)
     trace = generate_trace(spec.trace, classes, spec.arrival_rate,
@@ -1064,4 +1142,8 @@ def simulate_serving(model: LLMConfig, tpu_config: TPUConfig, spec: ServingSpec,
         max_batch=spec.max_batch, bucket_tokens=spec.bucket_tokens,
         devices=spec.devices, memory_utilisation=spec.memory_utilisation,
         simulator=simulator)
-    return engine.run(trace, slo=spec.slo, telemetry=telemetry)
+    report = engine.run(trace, slo=spec.slo, shards=shards,
+                        shard_workers=shard_workers, telemetry=telemetry)
+    if store is not None:
+        store.put(SERVING_STORE_KIND, key, report.to_dict())
+    return report

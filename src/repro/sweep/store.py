@@ -25,6 +25,13 @@ Design points, stated explicitly:
   tolerates a torn final line (a crashed writer) and unknown/corrupt lines
   by skipping them.  Re-puts of the same key append a newer record; the
   *last* valid record wins on load, so the file never needs rewriting.
+* **Safe under concurrent writers.**  One store object may be shared by
+  many threads (the gateway's job workers all hit the multi-tenant cache):
+  an internal lock serialises appends and index/stat updates, and each
+  append is a single whole-line write, so interleaved puts can never tear
+  or interleave partial records.  Separate *processes* appending to one
+  file interleave whole lines too (POSIX ``O_APPEND`` semantics for
+  single-write lines), which loading already tolerates by design.
 * **JSON round-trip exactness.**  Floats serialise via ``repr`` semantics
   (Python's ``json``), which round-trips IEEE-754 doubles exactly — a
   store-served row is bit-for-bit the row that was computed.
@@ -42,6 +49,7 @@ import json
 import logging
 import os
 import pathlib
+import threading
 from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.sweep.cache import CacheStats
@@ -89,6 +97,9 @@ class ResultStore:
         #: after construction too — the CLI attaches it where the store
         #: object is built far from the traced run.
         self.telemetry = telemetry
+        #: Serialises appends, index updates and stat counts so one store
+        #: object can back many threads (the gateway's worker pool).
+        self._lock = threading.Lock()
         self._entries: dict[tuple[str, str], Any] = {}
         #: Records present in the file under a different schema version.
         self.skipped_versions = 0
@@ -135,29 +146,34 @@ class ResultStore:
 
     def get(self, kind: str, key: str) -> Any | None:
         """The stored payload, or ``None`` on a miss (hit/miss counted)."""
-        value = self._entries.get((kind, key))
-        if value is None:
-            self.stats.misses += 1
+        with self._lock:
+            value = self._entries.get((kind, key))
+            if value is None:
+                self.stats.misses += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("store.miss")
+                return None
+            self.stats.hits += 1
             if self.telemetry is not None:
-                self.telemetry.count("store.miss")
-            return None
-        self.stats.hits += 1
-        if self.telemetry is not None:
-            self.telemetry.count("store.hit")
-        return value
+                self.telemetry.count("store.hit")
+            return value
 
     def put(self, kind: str, key: str, value: Any) -> None:
         """Store a JSON-serialisable payload and append it to the file.
 
-        Appends are whole lines, so concurrent writers (e.g. two processes
-        warming the same store) interleave records rather than corrupting
-        each other; the last record of a key wins on the next load.
+        Thread-safe: the append, the in-memory index update and the
+        telemetry count happen under the store lock, and the record is
+        written as one whole line — N threads hammering one store produce
+        exactly N parseable lines.  Concurrent writers in *other processes*
+        interleave whole lines too; the last record of a key wins on the
+        next load.
         """
         encoded = json.dumps({"v": self.version, "kind": kind, "key": key,
                               "value": value}, separators=(",", ":"))
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(encoded + "\n")
-        self._entries[(kind, key)] = value
-        if self.telemetry is not None:
-            self.telemetry.count("store.put")
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(encoded + "\n")
+            self._entries[(kind, key)] = value
+            if self.telemetry is not None:
+                self.telemetry.count("store.put")

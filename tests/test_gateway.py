@@ -1,0 +1,338 @@
+"""End-to-end tests for the HTTP gateway and its async job queue.
+
+The gateway is exercised the way a client sees it: a real
+``ThreadingHTTPServer`` on an ephemeral port, real ``urllib`` requests,
+JSON bodies both ways.  The properties under test are the service
+contract: submissions validate synchronously (structured 4xx now, not a
+failed job later), results are the facade's envelopes verbatim, the
+shared store makes the gateway a multi-tenant cache (a warm repeat from
+*any* client costs zero new simulations), and the same request yields a
+byte-identical report over HTTP, through ``repro.api`` and via the CLI.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import api
+from repro.api import AutoconfigPreviewRequest, SimulateRequest
+from repro.cli import main as cli_main
+from repro.gateway import JobManager, GatewayServer
+from repro.sweep.store import ResultStore
+
+#: Small, fast serving run shared by the e2e tests.
+FAST = dict(llm="llama2-7b", input_tokens=64, output_tokens=16,
+            rate=20.0, requests=30, seed=7)
+
+
+def http(url, method="GET", payload=None, raw=None):
+    """One JSON round-trip; 4xx/5xx return (status, body) instead of raising."""
+    body = raw if raw is not None else (
+        None if payload is None else json.dumps(payload).encode("utf-8"))
+    request = urllib.request.Request(
+        url, data=body, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def poll_until_done(base_url, job_id, timeout=60.0):
+    """Poll the status route the way an HTTP client would."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, job = http(f"{base_url}/v1/jobs/{job_id}")
+        assert status == 200
+        if job["status"] in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(0.02)
+    raise TimeoutError(f"job {job_id} not finished after {timeout}s")
+
+
+def strip_accounting(payload):
+    return {key: value for key, value in payload.items()
+            if key not in ("served_from_store", "new_simulations",
+                           "store_hits", "store_misses")}
+
+
+@pytest.fixture
+def gateway(tmp_path):
+    store = ResultStore(tmp_path / "store.jsonl")
+    with GatewayServer(store, port=0) as server:
+        yield server
+
+
+class TestSubmitPollFetch:
+    def test_submit_poll_fetch_round_trip(self, gateway):
+        payload = SimulateRequest(**FAST).to_dict()
+        status, accepted = http(f"{gateway.url}/v1/simulate", "POST", payload)
+        assert status == 202
+        assert accepted["status"] == "queued"
+        assert accepted["status_url"] == f"/v1/jobs/{accepted['job_id']}"
+        assert accepted["result_url"] == \
+            f"/v1/jobs/{accepted['job_id']}/result"
+
+        job = poll_until_done(gateway.url, accepted["job_id"])
+        assert job["status"] == "done"
+        assert job["new_simulations"] == 1
+        assert job["fingerprint"] == accepted["fingerprint"]
+        # The job carries its engine run's telemetry totals.
+        assert job["telemetry"]["spans"] > 0
+
+        status, result = http(f"{gateway.url}{accepted['result_url']}")
+        assert status == 200
+        assert result["kind"] == "simulate"
+        assert result["new_simulations"] == 1
+        assert not result["served_from_store"]
+        assert result["report"]["num_requests"] == FAST["requests"]
+
+    def test_warm_repeat_is_served_from_the_shared_store(self, gateway):
+        payload = SimulateRequest(**FAST).to_dict()
+        _, first = http(f"{gateway.url}/v1/simulate", "POST", payload)
+        poll_until_done(gateway.url, first["job_id"])
+        _, cold = http(f"{gateway.url}/v1/jobs/{first['job_id']}/result")
+
+        # Second client, same request: zero new simulations, same bytes.
+        _, second = http(f"{gateway.url}/v1/simulate", "POST", payload)
+        poll_until_done(gateway.url, second["job_id"])
+        status, warm = http(f"{gateway.url}/v1/jobs/{second['job_id']}/result")
+        assert status == 200
+        assert warm["new_simulations"] == 0
+        assert warm["store_hits"] > 0
+        assert warm["served_from_store"]
+        assert strip_accounting(warm) == strip_accounting(cold)
+
+    def test_store_outlives_the_gateway_process(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        payload = SimulateRequest(**FAST).to_dict()
+        with GatewayServer(ResultStore(path), port=0) as first:
+            _, job = http(f"{first.url}/v1/simulate", "POST", payload)
+            poll_until_done(first.url, job["job_id"])
+        # A freshly started gateway over the same store file serves warm.
+        with GatewayServer(ResultStore(path), port=0) as second:
+            _, job = http(f"{second.url}/v1/simulate", "POST", payload)
+            poll_until_done(second.url, job["job_id"])
+            _, warm = http(f"{second.url}/v1/jobs/{job['job_id']}/result")
+        assert warm["new_simulations"] == 0
+        assert warm["served_from_store"]
+
+    def test_health_reports_queue_and_store(self, gateway):
+        status, health = http(f"{gateway.url}/v1/health")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["jobs"] == 0
+        assert health["store_entries"] == 0
+
+    def test_jobs_listing_shows_submissions(self, gateway):
+        payload = AutoconfigPreviewRequest(llm="llama2-7b").to_dict()
+        _, accepted = http(f"{gateway.url}/v1/autoconfig-preview", "POST",
+                           payload)
+        poll_until_done(gateway.url, accepted["job_id"])
+        status, listing = http(f"{gateway.url}/v1/jobs")
+        assert status == 200
+        assert [job["job_id"] for job in listing["jobs"]] == \
+            [accepted["job_id"]]
+
+
+class TestValidationErrors:
+    def test_invalid_json_body_is_400(self, gateway):
+        status, body = http(f"{gateway.url}/v1/simulate", "POST",
+                            raw=b"{not json")
+        assert status == 400
+        assert body["error"]["code"] == "invalid-json"
+
+    def test_oversized_body_is_400(self, gateway):
+        from repro.gateway import MAX_BODY_BYTES
+
+        status, body = http(f"{gateway.url}/v1/simulate", "POST",
+                            raw=b" " * (MAX_BODY_BYTES + 1))
+        assert status == 400
+        assert body["error"]["code"] == "invalid-json"
+
+    def test_unknown_field_is_400_with_field_path(self, gateway):
+        payload = SimulateRequest(**FAST).to_dict()
+        payload["rte"] = 9.0
+        status, body = http(f"{gateway.url}/v1/simulate", "POST", payload)
+        assert status == 400
+        assert body["error"]["code"] == "unknown-field"
+        assert body["error"]["field"] == "rte"
+
+    def test_missing_required_field_is_400(self, gateway):
+        status, body = http(f"{gateway.url}/v1/fleet", "POST",
+                            payload={"kind": "fleet"})
+        assert status == 400
+        assert body["error"]["code"] == "missing-field"
+        assert body["error"]["field"] == "rate"
+
+    def test_kind_route_mismatch_is_400(self, gateway):
+        payload = SimulateRequest(**FAST).to_dict()
+        status, body = http(f"{gateway.url}/v1/fleet", "POST", payload)
+        assert status == 400
+        assert body["error"]["code"] == "invalid-kind"
+
+    def test_invalid_field_value_is_400(self, gateway):
+        payload = SimulateRequest(**FAST).to_dict()
+        payload["scheduler"] = "lifo"
+        status, body = http(f"{gateway.url}/v1/simulate", "POST", payload)
+        assert status == 400
+        assert body["error"]["code"] == "invalid-field"
+        assert body["error"]["field"] == "scheduler"
+
+    def test_unsupported_schema_version_is_400(self, gateway):
+        payload = SimulateRequest(**FAST).to_dict()
+        payload["schema_version"] = 99
+        status, body = http(f"{gateway.url}/v1/simulate", "POST", payload)
+        assert status == 400
+        assert body["error"]["code"] == "unsupported-schema-version"
+
+    def test_unknown_route_is_404(self, gateway):
+        status, body = http(f"{gateway.url}/v1/simulator", "POST",
+                            payload={})
+        assert status == 404
+        assert body["error"]["code"] == "unknown-route"
+
+    def test_unknown_job_is_404(self, gateway):
+        status, body = http(f"{gateway.url}/v1/jobs/job-999999")
+        assert status == 404
+        assert body["error"]["code"] == "unknown-job"
+
+    def test_get_on_engine_route_is_405(self, gateway):
+        status, body = http(f"{gateway.url}/v1/simulate")
+        assert status == 405
+        assert body["error"]["code"] == "method-not-allowed"
+
+    def test_post_to_jobs_listing_is_405(self, gateway):
+        status, body = http(f"{gateway.url}/v1/jobs", "POST", payload={})
+        assert status == 405
+        assert body["error"]["code"] == "method-not-allowed"
+
+
+class TestJobLifecycle:
+    @pytest.fixture
+    def slow_gateway(self):
+        """One worker whose first job blocks until ``release`` is set."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(request, *, store=None, telemetry=None):
+            started.set()
+            assert release.wait(timeout=30)
+            return api.run(request, store=store, telemetry=telemetry)
+
+        with GatewayServer(None, port=0, workers=1, runner=runner) as server:
+            yield server, release, started
+            release.set()
+
+    def test_cancel_queued_job_then_409_on_result(self, slow_gateway):
+        server, release, started = slow_gateway
+        payload = AutoconfigPreviewRequest(llm="llama2-7b").to_dict()
+        _, first = http(f"{server.url}/v1/autoconfig-preview", "POST", payload)
+        assert started.wait(timeout=10)
+        _, second = http(f"{server.url}/v1/autoconfig-preview", "POST",
+                         payload)
+
+        # Result of the still-running first job: 409, try again later.
+        status, body = http(f"{server.url}/v1/jobs/{first['job_id']}/result")
+        assert status == 409
+        assert body["error"]["code"] == "job-not-finished"
+
+        # The queued second job cancels; its result is a 409 forever.
+        status, cancelled = http(
+            f"{server.url}/v1/jobs/{second['job_id']}/cancel", "POST")
+        assert status == 200
+        assert cancelled["status"] == "cancelled"
+        status, body = http(f"{server.url}/v1/jobs/{second['job_id']}/result")
+        assert status == 409
+        assert body["error"]["code"] == "job-cancelled"
+
+        # Cancelling the running first job is a no-op; it still completes.
+        status, running = http(
+            f"{server.url}/v1/jobs/{first['job_id']}/cancel", "POST")
+        assert status == 200
+        assert running["status"] == "running"
+        release.set()
+        job = poll_until_done(server.url, first["job_id"])
+        assert job["status"] == "done"
+
+    def test_worker_crash_is_a_500_job_failed(self):
+        def runner(request, *, store=None, telemetry=None):
+            raise RuntimeError("engine exploded")
+
+        with GatewayServer(None, port=0, workers=1, runner=runner) as server:
+            payload = AutoconfigPreviewRequest(llm="llama2-7b").to_dict()
+            _, accepted = http(f"{server.url}/v1/autoconfig-preview", "POST",
+                               payload)
+            job = poll_until_done(server.url, accepted["job_id"])
+            assert job["status"] == "failed"
+            assert job["error"]["code"] == "job-failed"
+            status, body = http(
+                f"{server.url}/v1/jobs/{accepted['job_id']}/result")
+        assert status == 500
+        assert body["error"]["code"] == "job-failed"
+        assert "engine exploded" in body["error"]["message"]
+
+
+class TestJobManager:
+    def test_ids_are_dense_and_fifo(self):
+        manager = JobManager(None, workers=1,
+                             runner=lambda request, **kwargs: api.run(request))
+        request = AutoconfigPreviewRequest(llm="llama2-7b")
+        jobs = [manager.submit(request) for _ in range(3)]
+        assert [job.job_id for job in jobs] == \
+            ["job-000001", "job-000002", "job-000003"]
+        for job in jobs:
+            assert manager.wait(job.job_id, timeout=30).status == "done"
+        manager.shutdown()
+
+    def test_submit_after_shutdown_is_rejected(self):
+        manager = JobManager(None, workers=1)
+        manager.shutdown()
+        with pytest.raises(RuntimeError, match="shutting down"):
+            manager.submit(AutoconfigPreviewRequest(llm="llama2-7b"))
+
+
+class TestCrossSurfaceIdentity:
+    def test_http_api_and_cli_reports_are_byte_identical(self, tmp_path,
+                                                         capsys):
+        request = SimulateRequest(**FAST)
+
+        # Surface 1: direct facade call against a fresh store.
+        via_api = api.simulate(
+            request, store=ResultStore(tmp_path / "api.jsonl")).to_dict()
+
+        # Surface 2: the HTTP gateway against its own fresh store.
+        with GatewayServer(ResultStore(tmp_path / "http.jsonl"),
+                           port=0) as server:
+            _, accepted = http(f"{server.url}/v1/simulate", "POST",
+                               request.to_dict())
+            poll_until_done(server.url, accepted["job_id"])
+            _, via_http = http(
+                f"{server.url}/v1/jobs/{accepted['job_id']}/result")
+
+        # Cold runs on fresh stores: the *entire* envelope matches,
+        # accounting included.
+        assert json.dumps(via_http, sort_keys=True) == \
+            json.dumps(via_api, sort_keys=True)
+
+        # Surface 3: the CLI with --json against its own fresh store.
+        out_path = tmp_path / "report.json"
+        code = cli_main([
+            "--llm", FAST["llm"],
+            "--input-tokens", str(FAST["input_tokens"]),
+            "--output-tokens", str(FAST["output_tokens"]),
+            "--seed", str(FAST["seed"]),
+            "serve", "--rate", str(FAST["rate"]),
+            "--requests", str(FAST["requests"]),
+            "--store", str(tmp_path / "cli.jsonl"),
+            "--json", str(out_path)])
+        capsys.readouterr()
+        assert code == 0
+        via_cli = json.loads(out_path.read_text())
+        assert json.dumps(via_cli, sort_keys=True) == \
+            json.dumps(via_api["report"], sort_keys=True)

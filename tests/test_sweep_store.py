@@ -72,6 +72,75 @@ class TestResultStore:
         assert len(store) == 0
         assert store.get("kind", "key") is None
 
+    def test_concurrent_writers_never_tear_or_duplicate_lines(self, tmp_path):
+        """N threads hammering one store append exactly N*M whole lines.
+
+        The regression this pins: before the store grew its internal lock,
+        concurrent ``put`` calls could interleave partial writes (torn
+        lines) and race the in-memory index.  Every appended line must
+        parse, every (kind, key) must appear exactly once, and a reload
+        must see every record.
+        """
+        import threading
+
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        threads_n, puts_n = 8, 50
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for i in range(puts_n):
+                store.put("kind", f"w{worker}-k{i}",
+                          {"worker": worker, "i": i, "pad": "x" * 200})
+
+        threads = [threading.Thread(target=hammer, args=(worker,))
+                   for worker in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == threads_n * puts_n
+        seen = set()
+        for line in lines:
+            record = json.loads(line)  # raises on a torn line
+            assert record["v"] == STORE_VERSION
+            assert (record["kind"], record["key"]) not in seen
+            seen.add((record["kind"], record["key"]))
+        reloaded = ResultStore(path)
+        assert len(reloaded) == threads_n * puts_n
+        assert reloaded.skipped_corrupt == 0
+        assert reloaded.get("kind", "w0-k0") == {"worker": 0, "i": 0,
+                                                 "pad": "x" * 200}
+
+    def test_concurrent_readers_and_writers_count_consistently(self, tmp_path):
+        """Mixed get/put traffic keeps stats and index coherent."""
+        import threading
+
+        store = ResultStore(tmp_path / "store.jsonl")
+        for i in range(20):
+            store.put("kind", f"k{i}", {"i": i})
+
+        def read_all() -> None:
+            for i in range(20):
+                assert store.get("kind", f"k{i}") == {"i": i}
+
+        def write_more(worker: int) -> None:
+            for i in range(20):
+                store.put("kind", f"extra-w{worker}-{i}", {"i": i})
+
+        threads = ([threading.Thread(target=read_all) for _ in range(4)]
+                   + [threading.Thread(target=write_more, args=(w,))
+                      for w in range(4)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.stats.hits == 4 * 20
+        assert len(store) == 20 + 4 * 20
+
 
 class TestEngineStoreIntegration:
     def test_warm_store_serves_rows_with_zero_simulations(self, tmp_path):
