@@ -14,8 +14,9 @@ read ``.error``.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any
 
 #: The closed set of error codes the facade and gateway emit.  Codes are
 #: contract, not prose: clients branch on them, so adding one is an API

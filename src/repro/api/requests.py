@@ -36,8 +36,9 @@ see CONTRIBUTING.md for the stability policy.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Mapping
+from typing import Any, ClassVar
 
 from repro.api.errors import ApiError, ApiRequestError, invalid_field
 from repro.common import Precision

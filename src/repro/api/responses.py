@@ -24,8 +24,9 @@ re-encodes to the same JSON.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any, ClassVar, Mapping
+from typing import Any, ClassVar
 
 from repro.api.errors import ApiError, ApiRequestError
 from repro.api.requests import SCHEMA_VERSION

@@ -55,6 +55,13 @@ Python:
     ``--metrics-out`` JSONL file: gauge sparklines (queue depth, batch
     occupancy, KV utilisation, SLO attainment over time), the
     autoscaler/fault action log, span totals and counters.
+``repro-sim lint``
+    The repro-lint contract checker: AST rules that machine-enforce the
+    repo's determinism, fingerprint-bump, frozen-dataclass, registry-sync,
+    error-contract and telemetry-discipline invariants, with structured
+    ``file:line`` findings and ``--json`` export.  ``--diff-base REF``
+    additionally checks that any change to fingerprinted definitions
+    relative to the merge base bumped the matching version string.
 ``repro-sim models``
     List the registered model configurations and their memory footprints.
 ``repro-sim scenarios``
@@ -93,7 +100,7 @@ import json
 import logging
 import pathlib
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro import api as repro_api
 from repro.analysis.breakdown import overall_comparison
@@ -181,7 +188,7 @@ def _export_telemetry(telemetry: Telemetry | None, args: argparse.Namespace,
                                        time_domain=time_domain)
             print(f"wrote metrics JSONL to {path}")
     except OSError as error:
-        raise SystemExit(f"cannot write telemetry: {error}")
+        raise SystemExit(f"cannot write telemetry: {error}") from None
 
 
 def _open_store(path: str | None, telemetry: Telemetry | None = None):
@@ -209,7 +216,7 @@ def _design_config(name: str):
         return PREDEFINED_DESIGNS[name]
     except KeyError:
         known = ", ".join(sorted(PREDEFINED_DESIGNS))
-        raise SystemExit(f"unknown design '{name}'; choose one of: {known}")
+        raise SystemExit(f"unknown design '{name}'; choose one of: {known}") from None
 
 
 def _llm_settings(args: argparse.Namespace) -> LLMInferenceSettings:
@@ -403,7 +410,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if args.csv:
             print(f"wrote CSV rows to {write_csv(results, args.csv)}")
     except OSError as error:
-        raise SystemExit(f"cannot write results: {error}")
+        raise SystemExit(f"cannot write results: {error}") from None
     return 0
 
 
@@ -667,7 +674,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         try:
             stats.dump_stats(args.profile_out)
         except OSError as error:
-            raise SystemExit(f"cannot write profile: {error}")
+            raise SystemExit(f"cannot write profile: {error}") from None
         print(f"wrote profile data to {args.profile_out} "
               "(inspect with `python -m pstats`)")
     # Telemetry export sits outside the profiled region, so --profile and
@@ -695,7 +702,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                  fieldnames=fieldnames_of(RequestMetrics))
                 print(f"wrote per-request metrics to {path}")
     except OSError as error:
-        raise SystemExit(f"cannot write results: {error}")
+        raise SystemExit(f"cannot write results: {error}") from None
     return 0
 
 
@@ -752,7 +759,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                             encoding="utf-8")
             print(f"wrote fleet plan to {path}")
     except OSError as error:
-        raise SystemExit(f"cannot write results: {error}")
+        raise SystemExit(f"cannot write results: {error}") from None
     return 0 if plan.met else 1
 
 
@@ -832,7 +839,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
                              fieldnames=frontier_fieldnames())
             print(f"wrote frontier rows to {path}")
     except OSError as error:
-        raise SystemExit(f"cannot write results: {error}")
+        raise SystemExit(f"cannot write results: {error}") from None
     if not frontier.points:
         print("verdict: no feasible candidate satisfies the constraints")
         return 1
@@ -868,11 +875,47 @@ def cmd_report(args: argparse.Namespace) -> int:
     try:
         data = load_trace_file(args.trace_path)
     except OSError as error:
-        raise SystemExit(f"cannot read trace: {error}")
+        raise SystemExit(f"cannot read trace: {error}") from None
     except (ValueError, KeyError, TypeError) as error:
-        raise SystemExit(f"cannot parse trace '{args.trace_path}': {error}")
+        raise SystemExit(f"cannot parse trace '{args.trace_path}': {error}") from None
     print(render_report(data, width=args.width), end="")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repro-lint contract checker over the tree."""
+    from repro import lint as repro_lint
+
+    if args.list_rules:
+        rows = [[rule.id, rule.name, rule.description]
+                for _, rule in sorted(repro_lint.RULE_REGISTRY.items())]
+        rows.insert(0, [repro_lint.META_RULE, "lint",
+                        "files parse; every pragma suppresses a finding"])
+        print(format_table(["rule", "name", "enforces"], rows,
+                           title="repro-lint rules"))
+        return 0
+
+    rules = None
+    if args.rules:
+        try:
+            rules = [repro_lint.get_rule(rule_id) for rule_id in args.rules]
+        except KeyError as error:
+            raise SystemExit(str(error.args[0])) from None
+
+    findings, warning = repro_lint.lint_repository(
+        args.root, paths=args.paths, diff_base=args.diff_base, rules=rules)
+    if warning is not None:
+        print(f"warning: {warning}", file=sys.stderr)
+    for finding in findings:
+        print(finding.render())
+    if args.json:
+        payload = {"findings": [finding.to_dict() for finding in findings],
+                   "count": len(findings)}
+        pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n",
+                                           encoding="utf-8")
+        print(f"wrote findings JSON to {args.json}")
+    print(f"repro-lint: {len(findings)} finding(s)")
+    return 1 if findings else 0
 
 
 def cmd_models(args: argparse.Namespace) -> int:
@@ -1295,6 +1338,31 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--width", type=int, default=60,
                         help="sparkline width in characters (default 60)")
     report.set_defaults(func=cmd_report)
+
+    lint = subparsers.add_parser(
+        "lint", help="machine-check the repo's determinism/fingerprint/"
+                     "registry contracts",
+        description="Run the repro-lint AST contract checker: RPR001 "
+                    "determinism, RPR002 fingerprint-bump (needs "
+                    "--diff-base), RPR003 frozen dataclasses, RPR004 "
+                    "registry sync, RPR005 closed error contract, RPR006 "
+                    "telemetry discipline.  Exits non-zero on any finding; "
+                    "suppress a justified one with a "
+                    "'# repro-lint: disable=RULE' comment.")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint (default: src/repro)")
+    lint.add_argument("--root", default=".",
+                      help="repository root discovery hint (default: cwd)")
+    lint.add_argument("--diff-base", dest="diff_base", metavar="REF",
+                      help="git ref to diff against; enables the RPR002 "
+                           "fingerprint-bump rule (e.g. origin/main)")
+    lint.add_argument("--rules", nargs="+", metavar="RPRnnn",
+                      help="run only these rule ids")
+    lint.add_argument("--json", metavar="PATH",
+                      help="also write the findings as structured JSON")
+    lint.add_argument("--list-rules", action="store_true", dest="list_rules",
+                      help="list the registered rules and exit")
+    lint.set_defaults(func=cmd_lint)
 
     models = subparsers.add_parser("models", help="list models and capacity plans")
     models.set_defaults(func=cmd_models)

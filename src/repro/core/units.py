@@ -24,8 +24,8 @@ unit claims via its capability declaration,
 from __future__ import annotations
 
 import abc
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.core.results import OperatorResult
 from repro.hw.energy import EnergyBudget

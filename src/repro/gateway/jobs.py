@@ -28,8 +28,9 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any
 
 from repro.api.errors import ApiError, ApiRequestError
 
@@ -53,7 +54,7 @@ class Job:
     fingerprint: str
     request: Any
     status: str = "queued"
-    submitted_s: float = field(default_factory=time.time)
+    submitted_s: float = field(default_factory=time.time)  # repro-lint: disable=RPR001 (job wall timestamp, not simulation state)
     started_s: float | None = None
     finished_s: float | None = None
     #: The facade response once ``done``.
@@ -184,7 +185,7 @@ class JobManager:
             if job.status == "queued":
                 self._queue.remove(job)
                 job.status = "cancelled"
-                job.finished_s = time.time()
+                job.finished_s = time.time()  # repro-lint: disable=RPR001 (job wall timestamp, not simulation state)
                 self._changed.notify_all()
         return job
 
@@ -192,10 +193,10 @@ class JobManager:
     def wait(self, job_id: str, timeout: float = 60.0) -> Job:
         """Block until the job reaches a terminal state (tests, CLI clients)."""
         job = self.get(job_id)
-        deadline = time.time() + timeout
+        deadline = time.time() + timeout  # repro-lint: disable=RPR001 (job wall timestamp, not simulation state)
         with self._changed:
             while job.status not in TERMINAL_STATES:
-                remaining = deadline - time.time()
+                remaining = deadline - time.time()  # repro-lint: disable=RPR001 (job wall timestamp, not simulation state)
                 if remaining <= 0:
                     raise TimeoutError(
                         f"job '{job_id}' still {job.status} after {timeout}s")
@@ -218,7 +219,7 @@ class JobManager:
                     return
                 job = self._queue.popleft()
                 job.status = "running"
-                job.started_s = time.time()
+                job.started_s = time.time()  # repro-lint: disable=RPR001 (job wall timestamp, not simulation state)
                 self._changed.notify_all()
             telemetry = self._telemetry_factory()
             try:
@@ -242,7 +243,7 @@ class JobManager:
                 error: ApiError | None = None, telemetry=None) -> None:
         with self._changed:
             job.status = status
-            job.finished_s = time.time()
+            job.finished_s = time.time()  # repro-lint: disable=RPR001 (job wall timestamp, not simulation state)
             job.response = response
             job.error = error
             job.telemetry = telemetry

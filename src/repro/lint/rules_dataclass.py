@@ -1,0 +1,116 @@
+"""RPR003 — frozen dataclasses where immutability is the contract.
+
+Report and API payloads are hashed, fingerprinted, cached and shipped
+across process boundaries; a mutable one invites in-place edits that
+silently desynchronise a cached row from its content key.  This rule
+enforces two things:
+
+* Dataclasses in the contract modules (everything under ``api/``, the
+  serving metrics/report/spec modules, the Pareto frontier and the
+  telemetry records) must declare ``frozen=True``.
+* No dataclass field anywhere may carry a mutable default — neither a
+  literal (``= []``) nor a ``field(default=...)`` smuggling one in.
+  Shared-instance defaults alias state across every construction site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.engine import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    dataclass_frozen,
+    dotted_name,
+    is_dataclass_decorator,
+    register_rule,
+)
+
+RULE_ID = "RPR003"
+
+#: Path prefixes whose dataclasses must be frozen.
+FROZEN_PREFIXES = ("src/repro/api/",)
+#: Individual contract modules whose dataclasses must be frozen.
+FROZEN_MODULES = frozenset({
+    "src/repro/serving/metrics.py",
+    "src/repro/serving/spec.py",
+    "src/repro/serving/cluster.py",
+    "src/repro/optimize/pareto.py",
+    "src/repro/obs/telemetry.py",
+})
+
+_FROZEN_HINT = "declare @dataclass(frozen=True); contract payloads are immutable"
+_MUTABLE_HINT = "use field(default_factory=...) so each instance owns its value"
+
+#: Calls producing a fresh mutable container when used as a default.
+_MUTABLE_CALLS = frozenset({"dict", "list", "set", "bytearray",
+                            "collections.OrderedDict", "OrderedDict",
+                            "defaultdict", "collections.defaultdict"})
+
+
+def _requires_frozen(rel: str) -> bool:
+    return rel in FROZEN_MODULES or any(rel.startswith(p) for p in FROZEN_PREFIXES)
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _MUTABLE_CALLS
+    return False
+
+
+def _field_default(node: ast.AST) -> ast.AST | None:
+    """The ``default=`` value of a ``field(...)`` call, if any."""
+    if isinstance(node, ast.Call) and dotted_name(node.func) in (
+            "field", "dataclasses.field"):
+        for keyword in node.keywords:
+            if keyword.arg == "default":
+                return keyword.value
+        return None
+    return node
+
+
+def check_file(source: SourceFile, project: Project) -> Iterable[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        decorators = [d for d in node.decorator_list if is_dataclass_decorator(d)]
+        if not decorators:
+            continue
+
+        if _requires_frozen(source.rel) and not any(
+                dataclass_frozen(d) for d in decorators):
+            findings.append(Finding(
+                RULE_ID, source.rel, node.lineno, node.col_offset,
+                f"dataclass '{node.name}' in a contract module is not frozen",
+                hint=_FROZEN_HINT))
+
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) and statement.value is not None:
+                default = _field_default(statement.value)
+            elif (isinstance(statement, ast.Assign)
+                  and len(statement.targets) == 1
+                  and isinstance(statement.targets[0], ast.Name)):
+                default = _field_default(statement.value)
+            else:
+                continue
+            if default is not None and _is_mutable_default(default):
+                findings.append(Finding(
+                    RULE_ID, source.rel, statement.lineno, statement.col_offset,
+                    f"mutable default on a field of dataclass '{node.name}'",
+                    hint=_MUTABLE_HINT))
+    return findings
+
+
+register_rule(Rule(
+    id=RULE_ID,
+    name="frozen-dataclass",
+    description="contract-module dataclasses are frozen; no mutable defaults",
+    check_file=check_file,
+))

@@ -1,0 +1,136 @@
+"""RPR001 — determinism: no wall clocks, no ambient randomness.
+
+Every simulation result in this repo is a pure function of explicit
+inputs.  Two conventions keep it that way, and this rule machine-checks
+both inside ``src/repro/``:
+
+* **No wall-clock reads** (``time.time``/``perf_counter``/``monotonic``,
+  ``datetime.now`` and friends) outside the ``obs/`` wall-span helpers —
+  the one place the telemetry contract allows the wall-clock domain.
+  Benchmarks and scripts live outside ``src/repro/`` and are exempt.
+* **No ambient randomness**: every draw goes through an explicitly seeded
+  ``random.Random(seed)`` instance.  Module-level ``random.*`` calls hit
+  the interpreter-global RNG, and a bare ``random.Random()`` seeds itself
+  from the OS — both make reports unreproducible.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.engine import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    dotted_name,
+    register_rule,
+)
+
+RULE_ID = "RPR001"
+
+#: Fully-qualified wall-clock reads (matched on the dotted call target).
+_WALL_CLOCK_FULL = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.process_time",
+    "time.process_time_ns",
+})
+#: Wall-clock reads matched on the last two components, so both
+#: ``datetime.now()`` (class import) and ``datetime.datetime.now()`` hit.
+_WALL_CLOCK_TAIL = frozenset({
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+})
+#: Names importable straight off the ``time`` module that read the wall.
+_TIME_FUNCTIONS = frozenset(name.split(".", 1)[1] for name in _WALL_CLOCK_FULL)
+
+_WALL_HINT = ("simulations must not read the wall clock; use the simulated "
+              "clock, or obs wall_span/wall_event for search-side timing")
+_RNG_HINT = ("thread randomness through an explicit random.Random(seed) "
+             "instance (see CONTRIBUTING.md: determinism is a contract)")
+
+
+def _wall_clock_target(node: ast.AST) -> str | None:
+    """The offending dotted name if ``node`` names a wall-clock read."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    if dotted in _WALL_CLOCK_FULL:
+        return dotted
+    tail = ".".join(dotted.split(".")[-2:])
+    if tail in _WALL_CLOCK_TAIL:
+        return dotted
+    return None
+
+
+def _wall_clock_enforced(rel: str) -> bool:
+    """Wall-clock reads are policed inside ``src/repro/`` except ``obs/``."""
+    return rel.startswith("src/repro/") and not rel.startswith("src/repro/obs/")
+
+
+def check_file(source: SourceFile, project: Project) -> Iterable[Finding]:
+    police_wall = _wall_clock_enforced(source.rel)
+    findings: list[Finding] = []
+
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom) and node.level == 0:
+            if police_wall and node.module == "time":
+                bad = sorted(alias.name for alias in node.names
+                             if alias.name in _TIME_FUNCTIONS)
+                if bad:
+                    findings.append(Finding(
+                        RULE_ID, source.rel, node.lineno, node.col_offset,
+                        f"imports wall-clock reader(s) {', '.join(bad)} "
+                        "from the time module", hint=_WALL_HINT))
+            if node.module == "random":
+                bad = sorted(alias.name for alias in node.names
+                             if alias.name != "Random")
+                if bad:
+                    findings.append(Finding(
+                        RULE_ID, source.rel, node.lineno, node.col_offset,
+                        "imports module-level RNG function(s) "
+                        f"{', '.join(bad)} from the random module",
+                        hint=_RNG_HINT))
+            continue
+
+        if not isinstance(node, ast.Call):
+            continue
+
+        if police_wall:
+            target = _wall_clock_target(node.func)
+            if target is not None:
+                findings.append(Finding(
+                    RULE_ID, source.rel, node.lineno, node.col_offset,
+                    f"wall-clock read {target}() outside obs/",
+                    hint=_WALL_HINT))
+            for keyword in node.keywords:
+                if keyword.arg == "default_factory":
+                    target = _wall_clock_target(keyword.value)
+                    if target is not None:
+                        findings.append(Finding(
+                            RULE_ID, source.rel, node.lineno, node.col_offset,
+                            f"wall-clock reader {target} as a default_factory",
+                            hint=_WALL_HINT))
+
+        dotted = dotted_name(node.func)
+        if dotted == "random.Random" or dotted == "Random":
+            if not node.args and not node.keywords:
+                findings.append(Finding(
+                    RULE_ID, source.rel, node.lineno, node.col_offset,
+                    "unseeded Random() self-seeds from the OS",
+                    hint=_RNG_HINT))
+        elif dotted is not None and dotted.startswith("random."):
+            findings.append(Finding(
+                RULE_ID, source.rel, node.lineno, node.col_offset,
+                f"module-level RNG call {dotted}() uses the global "
+                "interpreter RNG", hint=_RNG_HINT))
+
+    return findings
+
+
+register_rule(Rule(
+    id=RULE_ID,
+    name="determinism",
+    description="no wall-clock reads outside obs/; no global or unseeded RNG",
+    check_file=check_file,
+))

@@ -1,0 +1,236 @@
+"""RPR002 — fingerprint-bump: content keys change ⇒ version strings change.
+
+The persistent store's correctness rests on one rule (CONTRIBUTING: "the
+persistent result store and its invalidation rule"): whenever the
+*meaning* of a content fingerprint changes — a fingerprinted dataclass
+gains/loses/retypes a field, a key-building function changes shape — the
+version string baked into the key must be bumped in the same change, so
+old stores miss instead of serving stale payloads.
+
+This rule is git-diff-aware.  Each :class:`FingerprintContract` names the
+version literal (file + regex) and the symbols whose definitions feed the
+key.  When a lint run has a diff base (``repro-sim lint --diff-base
+origin/main``), every watched symbol is snapshotted at the base and in the
+working tree; if any snapshot changed while the version literal did not,
+the rule fails at the version literal's line.
+
+Snapshots are structural, not textual: a dataclass snapshot is the ordered
+(name, annotation, default) field tuple, a function snapshot is the AST
+dump minus the docstring — so comment and doc edits never demand a bump.
+Contracts whose payloads tolerate appended defaulted fields (the API
+schema policy) set ``allow_appended_fields`` and only fail when existing
+fields change shape.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.lint.engine import Finding, Project, Rule, SourceFile, register_rule
+
+RULE_ID = "RPR002"
+
+
+@dataclass(frozen=True)
+class WatchedSymbol:
+    """One top-level class or function whose definition feeds a key."""
+
+    path: str
+    symbol: str
+
+
+@dataclass(frozen=True)
+class FingerprintContract:
+    """One version literal and the definitions it must track."""
+
+    name: str
+    version_file: str
+    #: Regex whose full match is the version literal (e.g. ``sweep-point/v6``).
+    version_pattern: str
+    watched: tuple[WatchedSymbol, ...]
+    #: When True (the API-schema policy), appending new defaulted fields to a
+    #: watched dataclass does not demand a bump — old payloads still decode.
+    allow_appended_fields: bool = False
+
+
+#: The repo's fingerprint/version contracts (see CONTRIBUTING.md).
+CONTRACTS: tuple[FingerprintContract, ...] = (
+    FingerprintContract(
+        name="sweep-point",
+        version_file="src/repro/sweep/engine.py",
+        version_pattern=r"sweep-point/v\d+",
+        watched=(
+            WatchedSymbol("src/repro/sweep/grid.py", "SweepPoint"),
+            WatchedSymbol("src/repro/sweep/engine.py", "point_key"),
+            WatchedSymbol("src/repro/serving/spec.py", "ServingSpec"),
+        ),
+    ),
+    FingerprintContract(
+        name="cluster-report",
+        version_file="src/repro/serving/cluster.py",
+        version_pattern=r"cluster-report/v\d+",
+        watched=(
+            WatchedSymbol("src/repro/serving/cluster.py", "cluster_run_key"),
+            WatchedSymbol("src/repro/serving/spec.py", "ServingSpec"),
+        ),
+    ),
+    FingerprintContract(
+        name="api-schema",
+        version_file="src/repro/api/requests.py",
+        version_pattern=r"SCHEMA_VERSION\s*=\s*\d+",
+        watched=(
+            WatchedSymbol("src/repro/api/requests.py", "SimulateRequest"),
+            WatchedSymbol("src/repro/api/requests.py", "FleetRequest"),
+            WatchedSymbol("src/repro/api/requests.py", "SweepRequest"),
+            WatchedSymbol("src/repro/api/requests.py", "OptimizeRequest"),
+            WatchedSymbol("src/repro/api/requests.py",
+                          "AutoconfigPreviewRequest"),
+            WatchedSymbol("src/repro/api/facade.py", "request_fingerprint"),
+        ),
+        allow_appended_fields=True,
+    ),
+    FingerprintContract(
+        name="store-version",
+        version_file="src/repro/sweep/store.py",
+        version_pattern=r"STORE_VERSION\s*=\s*\d+",
+        watched=(
+            WatchedSymbol("src/repro/sweep/engine.py", "SweepResult"),
+            WatchedSymbol("src/repro/serving/cluster.py", "ClusterReport"),
+        ),
+        allow_appended_fields=True,
+    ),
+)
+
+_HINT = ("bump the version string in the same change so pre-change stores "
+         "miss instead of serving stale payloads (CONTRIBUTING.md: the "
+         "invalidation rule)")
+
+
+def _find_symbol(tree: ast.Module, symbol: str) -> ast.stmt | None:
+    for node in tree.body:
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)) and node.name == symbol:
+            return node
+    return None
+
+
+def _strip_docstring(node: ast.stmt) -> ast.stmt:
+    body = getattr(node, "body", None)
+    if (body and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)):
+        node = type(node)(**{f: getattr(node, f) for f in node._fields})
+        node.body = body[1:]
+    return node
+
+
+def _class_fields(node: ast.ClassDef) -> tuple[tuple[str, str, str], ...]:
+    """Ordered (name, annotation, default) triples of a dataclass body."""
+    fields: list[tuple[str, str, str]] = []
+    for statement in node.body:
+        if (isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)):
+            annotation = ast.unparse(statement.annotation)
+            if "ClassVar" in annotation:
+                continue
+            default = (ast.unparse(statement.value)
+                       if statement.value is not None else "")
+            fields.append((statement.target.id, annotation, default))
+    return tuple(fields)
+
+
+def snapshot_symbol(text: str, symbol: str):
+    """A comparable structural snapshot of one top-level definition.
+
+    Returns ``("class", fields)`` for classes, ``("function", dump)`` for
+    functions, and ``None`` when the symbol (or the file) has no parsable
+    definition.
+    """
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return None
+    node = _find_symbol(tree, symbol)
+    if node is None:
+        return None
+    if isinstance(node, ast.ClassDef):
+        return ("class", _class_fields(node))
+    return ("function", ast.dump(_strip_docstring(node)))
+
+
+def _symbol_changed(base, head, allow_appended: bool) -> bool:
+    if base == head:
+        return False
+    if base is None or head is None:
+        return True
+    if (allow_appended and base[0] == "class" and head[0] == "class"
+            and len(head[1]) >= len(base[1])
+            and head[1][:len(base[1])] == base[1]):
+        # Pure append: every new trailing field must carry a default, or the
+        # payload shape changed for old writers after all.
+        return any(default == "" for _, _, default in head[1][len(base[1]):])
+    return True
+
+
+def _version_literals(text: str, pattern: str) -> list[tuple[str, int]]:
+    """Every (match, line) of the version pattern in a file's text."""
+    matches: list[tuple[str, int]] = []
+    for match in re.finditer(pattern, text):
+        line = text.count("\n", 0, match.start()) + 1
+        matches.append((match.group(0), line))
+    return matches
+
+
+def check_project(project: Project,
+                  files: Sequence[SourceFile]) -> Iterable[Finding]:
+    if project.diff_base is None:
+        return []
+
+    findings: list[Finding] = []
+    for contract in CONTRACTS:
+        changed: list[str] = []
+        for watched in contract.watched:
+            head_text = project.read_text(watched.path)
+            base_text = project.base_text(watched.path)
+            if head_text is None or base_text is None:
+                # File new (or gone) relative to the base: the contract is
+                # being introduced or dismantled wholesale — out of scope
+                # for a bump check.
+                continue
+            base = snapshot_symbol(base_text, watched.symbol)
+            head = snapshot_symbol(head_text, watched.symbol)
+            if base is None and head is None:
+                continue
+            if _symbol_changed(base, head, contract.allow_appended_fields):
+                changed.append(f"{watched.path}:{watched.symbol}")
+        if not changed:
+            continue
+
+        head_version_text = project.read_text(contract.version_file)
+        base_version_text = project.base_text(contract.version_file)
+        if head_version_text is None or base_version_text is None:
+            continue
+        head_versions = _version_literals(head_version_text,
+                                          contract.version_pattern)
+        base_versions = _version_literals(base_version_text,
+                                          contract.version_pattern)
+        if {v for v, _ in head_versions} != {v for v, _ in base_versions}:
+            continue  # the version literal moved — contract honoured
+        line = head_versions[0][1] if head_versions else 1
+        findings.append(Finding(
+            RULE_ID, contract.version_file, line, 0,
+            f"definitions feeding the '{contract.name}' fingerprint changed "
+            f"({', '.join(sorted(changed))}) but its version string did not",
+            hint=_HINT))
+    return findings
+
+
+register_rule(Rule(
+    id=RULE_ID,
+    name="fingerprint-bump",
+    description="changed fingerprint inputs demand a version-string bump",
+    check_project=check_project,
+))

@@ -1,0 +1,177 @@
+"""RPR004 — registry sync: every registered policy is reachable and tested.
+
+The repo's policy surfaces are open registries (routers, schedulers,
+faults, overlays, autoscalers, objectives, search strategies, scenarios).
+Registration alone is not enough: a policy nobody can reach from the CLI
+is dead weight, and one no test references can rot silently.  For every
+``register_*`` call in the linted tree this rule statically resolves the
+registered name and checks two cross-file contracts:
+
+* the backing ``*_REGISTRY`` symbol is referenced by ``src/repro/cli.py``
+  (the CLI builds its ``choices=`` and help text from the live registry,
+  so a referenced registry exposes every entry automatically);
+* the registered name appears as a quoted string literal somewhere under
+  ``tests/`` — at least one test exercises or pins the policy by name.
+
+Name resolution follows the registration idioms used in the repo: a
+literal first argument, an inline ``name="..."`` keyword, a helper call
+whose first argument (or whose ``name`` parameter default) is the name,
+and a module-level constant constructed with ``name="..."``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from repro.lint.engine import Finding, Project, Rule, SourceFile, register_rule
+
+RULE_ID = "RPR004"
+
+#: register function -> the registry it feeds.
+REGISTER_FUNCTIONS = {
+    "register_router": "ROUTER_REGISTRY",
+    "register_scheduler": "SCHEDULER_REGISTRY",
+    "register_fault": "FAULT_REGISTRY",
+    "register_overlay": "OVERLAY_REGISTRY",
+    "register_autoscaler": "AUTOSCALER_REGISTRY",
+    "register_objective": "OBJECTIVE_REGISTRY",
+    "register_search": "SEARCH_REGISTRY",
+    "register_scenario": "SCENARIO_REGISTRY",
+}
+
+_CLI_PATH = "src/repro/cli.py"
+_TESTS_PREFIX = "tests"
+
+
+def _constant_str(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _name_keyword(call: ast.Call) -> str | None:
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            return _constant_str(keyword.value)
+    return None
+
+
+def _index_module(source: SourceFile) -> tuple[dict[str, str], dict[str, str]]:
+    """(constant name -> registered name, function name -> name default)."""
+    constants: dict[str, str] = {}
+    helpers: dict[str, str] = {}
+    for node in source.tree.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)):
+            name = _name_keyword(node.value)
+            if name is not None:
+                constants[node.targets[0].id] = name
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            params = args.posonlyargs + args.args + args.kwonlyargs
+            defaults = ([None] * (len(args.posonlyargs) + len(args.args)
+                                  - len(args.defaults))
+                        + list(args.defaults) + list(args.kw_defaults))
+            for param, default in zip(params, defaults):
+                if param.arg == "name" and default is not None:
+                    value = _constant_str(default)
+                    if value is not None:
+                        helpers[node.name] = value
+    return constants, helpers
+
+
+def _resolve_name(arg: ast.AST, constants: dict[str, str],
+                  helpers: dict[str, str]) -> str | None:
+    """Statically resolve the policy name a registration argument carries."""
+    direct = _constant_str(arg)
+    if direct is not None:
+        return direct
+    if isinstance(arg, ast.Name):
+        return constants.get(arg.id)
+    if isinstance(arg, ast.Call):
+        name = _name_keyword(arg)
+        if name is not None:
+            return name
+        if arg.args:
+            first = _constant_str(arg.args[0])
+            if first is not None:
+                return first
+        if isinstance(arg.func, ast.Name):
+            return helpers.get(arg.func.id)
+    return None
+
+
+def check_project(project: Project,
+                  files: Sequence[SourceFile]) -> Iterable[Finding]:
+    # Merge constant/helper indexes across the linted tree: scenario
+    # constants are defined in workloads/*.py and registered from
+    # workloads/registry.py.
+    constants: dict[str, str] = {}
+    helpers: dict[str, str] = {}
+    for source in files:
+        module_constants, module_helpers = _index_module(source)
+        constants.update(module_constants)
+        helpers.update(module_helpers)
+
+    cli = project.source(_CLI_PATH)
+    cli_names: set[str] | None = None
+    if cli is not None:
+        cli_names = {node.id for node in ast.walk(cli.tree)
+                     if isinstance(node, ast.Name)}
+        cli_names.update(node.attr for node in ast.walk(cli.tree)
+                         if isinstance(node, ast.Attribute))
+
+    test_files = project.python_files(_TESTS_PREFIX)
+    test_text = "\n".join(project.read_text(rel) or "" for rel in test_files)
+
+    findings: list[Finding] = []
+    flagged_registries: set[str] = set()
+    for source in files:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            func_name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            registry = REGISTER_FUNCTIONS.get(func_name or "")
+            if registry is None or not node.args:
+                continue
+
+            name = _resolve_name(node.args[0], constants, helpers)
+            if name is None:
+                findings.append(Finding(
+                    RULE_ID, source.rel, node.lineno, node.col_offset,
+                    f"cannot statically resolve the name registered in "
+                    f"{registry}",
+                    hint="pass a literal name (or name= keyword) so the "
+                         "registry contract stays machine-checkable"))
+                continue
+
+            if (cli_names is not None and registry not in cli_names
+                    and registry not in flagged_registries):
+                flagged_registries.add(registry)
+                findings.append(Finding(
+                    RULE_ID, source.rel, node.lineno, node.col_offset,
+                    f"{registry} is never referenced by the CLI, so "
+                    f"'{name}' (and every other entry) is unreachable from "
+                    "repro-sim",
+                    hint=f"wire {registry} into the CLI's choices/help"))
+
+            if test_files and (f'"{name}"' not in test_text
+                               and f"'{name}'" not in test_text):
+                findings.append(Finding(
+                    RULE_ID, source.rel, node.lineno, node.col_offset,
+                    f"registered name '{name}' ({registry}) is referenced "
+                    "by no test",
+                    hint="add a test that exercises the policy by name"))
+    return findings
+
+
+register_rule(Rule(
+    id=RULE_ID,
+    name="registry-sync",
+    description="registered names are CLI-reachable and test-covered",
+    check_project=check_project,
+))

@@ -27,9 +27,9 @@ always mutually comparable.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
 
 
 @dataclass(frozen=True)

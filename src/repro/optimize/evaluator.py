@@ -29,8 +29,9 @@ not an error.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING
 
 from repro.analysis.capacity import fleet_lower_bound
 from repro.common import Precision

@@ -23,7 +23,8 @@ frontier signature is bit-for-bit the cold run's — the property CI pins.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.optimize.evaluator import CandidateEvaluator, CandidateResult
 from repro.optimize.objectives import Constraint, Objective, get_objective

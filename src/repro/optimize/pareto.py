@@ -19,8 +19,8 @@ artefact, not tribal knowledge.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.optimize.evaluator import CandidateResult
 from repro.optimize.objectives import Objective
@@ -220,8 +220,8 @@ def build_frontier(results: Sequence[CandidateResult],
     if points:
         for objective in objectives:
             best = min(points,
-                       key=lambda point: (objective.score(point.result),
-                                          point.result.cache_key))
+                       key=lambda point, score=objective.score:
+                       (score(point.result), point.result.cache_key))
             extremes.append((objective.name, best.result.cache_key))
     return ParetoFrontier(
         model_name=model_name, strategy=strategy,

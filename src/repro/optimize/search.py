@@ -31,8 +31,9 @@ a new one (Bayesian, evolutionary, ...) makes it addressable from
 from __future__ import annotations
 
 import random
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.optimize.evaluator import CandidateEvaluator, CandidateResult
 from repro.optimize.objectives import Objective

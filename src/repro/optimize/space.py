@@ -15,8 +15,8 @@ the repository.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, replace
-from typing import Iterator
 
 from repro.common import Precision
 from repro.core.config import TPUConfig

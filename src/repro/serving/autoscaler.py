@@ -37,8 +37,8 @@ activation claims the lowest-indexed inactive one, so replicas below
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 
 @dataclass(frozen=True)

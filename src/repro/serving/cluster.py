@@ -60,8 +60,9 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import itertools
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.common import Precision
 from repro.serving.autoscaler import AutoscalerPolicy, FleetView, get_autoscaler

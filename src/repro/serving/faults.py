@@ -43,8 +43,8 @@ use.
 from __future__ import annotations
 
 import random
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Sequence
 
 #: Effects a fault event can have on a replica (see module docstring).
 FAULT_EFFECTS = ("crash", "slow", "stall")

@@ -13,8 +13,8 @@ hook, so reports and per-request rows export through the generic encoders in
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 
 def percentile(values: Sequence[float], q: float) -> float:

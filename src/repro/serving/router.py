@@ -30,8 +30,8 @@ else in the serving stack — is bit-for-bit reproducible.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Sequence
 
 from repro.serving.trace import Request
 

@@ -63,9 +63,9 @@ import math
 import multiprocessing
 import os
 from collections import deque
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from operator import attrgetter
-from typing import Mapping, Sequence
 
 from repro.analysis.capacity import serving_kv_budget
 from repro.common import Precision, ceil_div

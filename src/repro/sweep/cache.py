@@ -17,8 +17,9 @@ tests and benchmarks can assert "the cached re-sweep simulated nothing".
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import Any
 
 from repro.core.config import TPUConfig
 from repro.core.results import GraphResult

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import asdict, dataclass
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.config import TPUConfig
 from repro.obs.telemetry import Telemetry

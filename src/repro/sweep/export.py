@@ -19,7 +19,8 @@ import dataclasses
 import io
 import json
 import pathlib
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.sweep.engine import SweepResult
 

@@ -13,8 +13,8 @@ the roadmap's scenario-diversity goal demands.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Mapping, Sequence
 
 from repro.common import Precision
 from repro.core.config import TPUConfig

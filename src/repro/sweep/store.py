@@ -50,7 +50,8 @@ import logging
 import os
 import pathlib
 import threading
-from typing import TYPE_CHECKING, Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import TYPE_CHECKING, Any
 
 from repro.sweep.cache import CacheStats
 

@@ -13,8 +13,8 @@ input bytes and output bytes.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.vector.activations import elementwise_op_counts, gelu_tanh_op_counts
 from repro.vector.layernorm import layernorm_op_counts

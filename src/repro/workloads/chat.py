@@ -12,8 +12,8 @@ of the traffic distribution, not of a single canonical request.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.common import Precision
 from repro.workloads.llm import (

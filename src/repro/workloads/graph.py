@@ -11,8 +11,8 @@ path until the shift-and-scale).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
-from typing import Iterator
 
 from repro.workloads.operators import LayerCategory, MatMulOp, Operator
 

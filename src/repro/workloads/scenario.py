@@ -17,8 +17,9 @@ concepts); :mod:`repro.core.simulator` re-exports them for compatibility.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any
 
 from repro.common import Precision
 from repro.workloads.graph import OperatorGraph

@@ -111,6 +111,14 @@ class TestObjectivesAndConstraints:
                      "energy-per-token", "chip-hours"):
             assert name in OBJECTIVE_REGISTRY
 
+    def test_registry_covers_the_resilience_objectives(self):
+        for name, attr in (("availability", "availability"),
+                           ("recovery-s", "recovery_s"),
+                           ("slo-debt", "slo_debt_s"),
+                           ("goodput-under-failure",
+                            "goodput_under_failure_tokens_per_second")):
+            assert get_objective(name).attr == attr
+
     def test_unknown_objective_lists_registered_names(self):
         with pytest.raises(KeyError, match="registered objectives"):
             get_objective("latency")

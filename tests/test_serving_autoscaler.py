@@ -25,7 +25,8 @@ def fleet_view(now=0.0, fleet=8, min_replicas=1, active=2, ready=None,
 
 class TestRegistry:
     def test_builtin_policies_registered(self):
-        for name in ("fixed", "queue-depth", "utilisation-target"):
+        for name in ("fixed", "queue-depth", "utilisation-target",
+                     "forecasting"):
             assert get_autoscaler(name).name == name
 
     def test_unknown_autoscaler_lists_registered(self):
